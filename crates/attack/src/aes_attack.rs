@@ -1,0 +1,219 @@
+//! First-round chosen-plaintext attack on T-table AES (paper Figure 7a).
+//!
+//! For key byte position `p`, the first AES round loads
+//! `T_{p mod 4}[ pt[p] ^ key[p] ]`, i.e. the *cache line* index is
+//! `(pt[p] ^ key[p]) >> 4` (16 four-byte entries per 64-byte line). The
+//! attacker monitors one line `L` of that table and, for each candidate
+//! high nibble `g`, encrypts with `pt[p] = ((g ^ L) << 4) | rand` while
+//! randomizing every other byte. If `g` equals the key's high nibble, the
+//! monitored line is touched on **every** encryption (100% rate); other
+//! candidates only touch it by chance through the remaining ~39 lookups
+//! of that table. One candidate per position at 100% ⇒ 4 key bits per
+//! byte ⇒ 64 of the 128 key bits.
+//!
+//! With stealth-mode translation enabled, decoy micro-ops sweep every
+//! T-table line on each (watchdog-gated) tainted access, so all 16
+//! candidates sit at 100% and the attack recovers nothing.
+
+use crate::harness::{victim_core, Defense};
+use crate::probe::{AttackMethod, FlushReload, PrimeProbe, ProbeKind};
+use csd_crypto::{AesVictim, Victim};
+use csd_pipeline::SimMode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Attack parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AesAttackConfig {
+    /// Technique (FLUSH+RELOAD needs shared tables; PRIME+PROBE does not).
+    pub method: AttackMethod,
+    /// Encryptions per candidate nibble (the paper's 64 000-attempt run is
+    /// 16 positions × 16 candidates × 250).
+    pub trials_per_candidate: usize,
+    /// Which line of each table to monitor (chosen to avoid L1 sets the
+    /// victim's key/plaintext buffers map to).
+    pub monitored_line: usize,
+    /// RNG seed for the random plaintext bytes.
+    pub seed: u64,
+    /// Defense deployed on the victim.
+    pub defense: Defense,
+}
+
+impl Default for AesAttackConfig {
+    fn default() -> AesAttackConfig {
+        AesAttackConfig {
+            method: AttackMethod::PrimeProbe,
+            trials_per_candidate: 128,
+            monitored_line: 4,
+            seed: 0xC5D_5EED,
+            defense: Defense::None,
+        }
+    }
+}
+
+/// The attack's result.
+#[derive(Debug, Clone)]
+pub struct AesAttackOutcome {
+    /// Per key-byte position, per candidate nibble: fraction of trials in
+    /// which the monitored line was touched (the Figure 7a curves).
+    pub touch_rates: Vec<[f64; 16]>,
+    /// Recovered high nibble per position (`None` when no unique
+    /// perfect-rate candidate exists — the obfuscated case).
+    pub recovered: Vec<Option<u8>>,
+    /// Ground-truth high nibbles.
+    pub truth: Vec<u8>,
+    /// Total encryptions performed.
+    pub encryptions: u64,
+}
+
+impl AesAttackOutcome {
+    /// Number of positions whose nibble was recovered correctly.
+    pub fn correct_positions(&self) -> usize {
+        self.recovered
+            .iter()
+            .zip(&self.truth)
+            .filter(|(r, t)| **r == Some(**t))
+            .count()
+    }
+
+    /// Key bits extracted (4 per correctly recovered position).
+    pub fn bits_recovered(&self) -> usize {
+        4 * self.correct_positions()
+    }
+
+    /// Whether the attack was fully defeated (nothing recovered).
+    pub fn defeated(&self) -> bool {
+        self.recovered.iter().all(Option::is_none)
+    }
+}
+
+/// Runs the first-round attack against every key byte of `victim`.
+///
+/// # Panics
+///
+/// Panics if the victim faults (victim programs are known-terminating).
+pub fn aes_attack(victim: &AesVictim, cfg: &AesAttackConfig) -> AesAttackOutcome {
+    let mut core = victim_core(victim, SimMode::Functional, cfg.defense);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let line = cfg.monitored_line;
+    let mut encryptions = 0u64;
+
+    // Ground truth: the first four round-key words are the key itself.
+    let truth: Vec<u8> = victim.aes().enc_keys[..4]
+        .iter()
+        .flat_map(|w| w.to_be_bytes())
+        .map(|b| b >> 4)
+        .collect();
+
+    let mut touch_rates = Vec::with_capacity(16);
+    let mut recovered = Vec::with_capacity(16);
+
+    for p in 0..16usize {
+        let table = p % 4;
+        let target = victim.table_line(table, line);
+        let mut rates = [0f64; 16];
+        for g in 0..16u8 {
+            let mut touched = 0usize;
+            for _ in 0..cfg.trials_per_candidate {
+                let mut pt = [0u8; 16];
+                rng.fill(&mut pt[..]);
+                pt[p] = ((g ^ line as u8) << 4) | (rng.gen::<u8>() & 0x0f);
+
+                match cfg.method {
+                    AttackMethod::FlushReload => {
+                        let fr = FlushReload::new(target, ProbeKind::Data, core.hierarchy());
+                        fr.reset(core.hierarchy_mut());
+                        victim.run_once(&mut core, &pt);
+                        if fr.probe(core.hierarchy_mut()).victim_touched {
+                            touched += 1;
+                        }
+                    }
+                    AttackMethod::PrimeProbe => {
+                        let pp = PrimeProbe::new(target, ProbeKind::Data, core.hierarchy());
+                        pp.reset(core.hierarchy_mut());
+                        victim.run_once(&mut core, &pt);
+                        if pp.probe(core.hierarchy_mut()).victim_touched {
+                            touched += 1;
+                        }
+                    }
+                }
+                encryptions += 1;
+            }
+            rates[g as usize] = touched as f64 / cfg.trials_per_candidate as f64;
+        }
+        touch_rates.push(rates);
+
+        // Recover: the unique candidate with a perfect touch rate.
+        let perfect: Vec<u8> = (0..16u8).filter(|&g| rates[g as usize] >= 1.0).collect();
+        recovered.push(if perfect.len() == 1 { Some(perfect[0]) } else { None });
+    }
+
+    AesAttackOutcome { touch_rates, recovered, truth, encryptions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csd_crypto::{AesKeySize, CipherDir};
+
+    fn test_victim() -> AesVictim {
+        let key: Vec<u8> = vec![
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        AesVictim::new(AesKeySize::K128, CipherDir::Encrypt, &key)
+    }
+
+    #[test]
+    fn prime_probe_recovers_key_nibbles_without_defense() {
+        let v = test_victim();
+        let cfg = AesAttackConfig { trials_per_candidate: 80, ..AesAttackConfig::default() };
+        let out = aes_attack(&v, &cfg);
+        assert!(
+            out.correct_positions() >= 14,
+            "P+P should recover nearly all positions, got {}/16",
+            out.correct_positions()
+        );
+        assert!(out.bits_recovered() >= 56);
+    }
+
+    #[test]
+    fn flush_reload_recovers_key_nibbles_without_defense() {
+        let v = test_victim();
+        let cfg = AesAttackConfig {
+            method: AttackMethod::FlushReload,
+            trials_per_candidate: 80,
+            ..AesAttackConfig::default()
+        };
+        let out = aes_attack(&v, &cfg);
+        assert!(
+            out.correct_positions() >= 14,
+            "F+R should recover nearly all positions, got {}/16",
+            out.correct_positions()
+        );
+    }
+
+    #[test]
+    fn stealth_mode_defeats_both_attacks() {
+        let v = test_victim();
+        for method in [AttackMethod::PrimeProbe, AttackMethod::FlushReload] {
+            let cfg = AesAttackConfig {
+                method,
+                trials_per_candidate: 16,
+                defense: Defense::stealth_default(),
+                ..AesAttackConfig::default()
+            };
+            let out = aes_attack(&v, &cfg);
+            assert!(out.defeated(), "{method:?}: stealth must defeat the attack");
+            // Every candidate shows a perfect touch rate: total obfuscation.
+            for rates in &out.touch_rates {
+                for (g, &r) in rates.iter().enumerate() {
+                    assert!(
+                        r >= 1.0,
+                        "candidate {g} rate {r} — decoys must touch every line"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Victim/core construction glue shared by the attacks and benchmarks.
+
+use csd::CsdConfig;
+use csd_crypto::{enable_stealth_for, Victim};
+use csd_pipeline::{Core, CoreConfig, SimMode};
+
+/// Whether and how the CSD defense is deployed on the victim's core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Defense {
+    /// No defense: plain decode.
+    None,
+    /// Stealth-mode translation with the given watchdog period (cycles),
+    /// triggered by DIFT, decoy ranges covering the victim's sensitive
+    /// data/instruction ranges.
+    Stealth {
+        /// Watchdog re-arm period in cycles.
+        watchdog_period: u64,
+    },
+}
+
+impl Defense {
+    /// The paper's default deployment (1000-cycle watchdog).
+    pub fn stealth_default() -> Defense {
+        Defense::Stealth { watchdog_period: 1000 }
+    }
+}
+
+/// Builds a core around `victim` in the given simulation mode, installs
+/// its data and taint, and (optionally) configures the stealth defense.
+pub fn victim_core(victim: &dyn Victim, mode: SimMode, defense: Defense) -> Core {
+    let cfg = CoreConfig { dift_enabled: true, ..CoreConfig::default() };
+    let mut core = Core::new(cfg, CsdConfig::default(), victim.program().clone(), mode);
+    victim.install(&mut core);
+    if let Defense::Stealth { watchdog_period } = defense {
+        enable_stealth_for(victim, &mut core, watchdog_period);
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csd_crypto::{AesKeySize, AesVictim, CipherDir};
+
+    #[test]
+    fn stealth_core_injects_decoys_while_plain_core_does_not() {
+        let key: Vec<u8> = (0..16).collect();
+        let v = AesVictim::new(AesKeySize::K128, CipherDir::Encrypt, &key);
+
+        let mut plain = victim_core(&v, SimMode::Functional, Defense::None);
+        v.run_once(&mut plain, &[0u8; 16]);
+        assert_eq!(plain.stats().decoy_uops, 0);
+
+        let mut defended = victim_core(&v, SimMode::Functional, Defense::stealth_default());
+        v.run_once(&mut defended, &[0u8; 16]);
+        assert!(defended.stats().decoy_uops > 0, "stealth must fire on AES");
+    }
+}

@@ -1,0 +1,39 @@
+//! # csd-attack — cache side-channel attack framework
+//!
+//! Models the paper's attacker (§IV-A, §VI-B): a co-located spy that can
+//! "effortlessly probe, flush, or evict a co-located victim's cache
+//! line(s)" and "make precise timing measurements", but has no access to
+//! cache *contents*. Attacker and victim share the machine's cache
+//! hierarchy; the attacker's probes interleave with victim execution at a
+//! chosen cadence.
+//!
+//! Provided:
+//!
+//! - [`FlushReload`] / [`PrimeProbe`] — the two probing primitives, for
+//!   both the data-cache and instruction-cache channels;
+//! - [`aes_attack`] — the first-round chosen-plaintext attack on T-table
+//!   AES (paper Figure 7a): for each key byte, 16 candidate plaintexts are
+//!   tried and only the one matching the key's high nibble touches the
+//!   monitored line on *every* encryption, revealing 4 bits per byte
+//!   (64 of 128 bits);
+//! - [`rsa_attack`] — the FLUSH+RELOAD (and PRIME+PROBE) trace attack on
+//!   square-and-multiply RSA (paper Figure 7b): multiply-line activity
+//!   timestamps are decoded into private-exponent bits;
+//! - [`victim_core`] — harness glue that builds a DIFT-enabled core around
+//!   a victim, optionally with stealth mode configured (decoy ranges +
+//!   watchdog, as the paper's defense deployment would).
+//!
+//! Because the security results depend on cache state rather than cycle
+//! timing, attacks drive the fast functional engine (see `DESIGN.md`).
+
+#![warn(missing_docs)]
+
+mod aes_attack;
+mod harness;
+mod probe;
+mod rsa_attack;
+
+pub use aes_attack::{aes_attack, AesAttackConfig, AesAttackOutcome};
+pub use harness::{victim_core, Defense};
+pub use probe::{AttackMethod, FlushReload, PrimeProbe, ProbeKind, ProbeOutcome};
+pub use rsa_attack::{calibrate, rsa_attack, RsaAttackConfig, RsaAttackOutcome, RsaTrace, TraceSample};

@@ -1,0 +1,44 @@
+//! Whole-simulator throughput: cycle-level and functional stepping.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use csd::CsdConfig;
+use csd_pipeline::{Core, CoreConfig, SimMode};
+use mx86_isa::{AluOp, Assembler, Cc, Gpr, MemRef, Program};
+
+fn loop_program(iters: i64) -> Program {
+    let mut a = Assembler::new(0x1000);
+    let top = a.fresh_label();
+    a.mov_ri(Gpr::Rcx, iters);
+    a.mov_ri(Gpr::Rbx, 0x8000);
+    a.bind(top).unwrap();
+    a.load(Gpr::Rax, MemRef::base(Gpr::Rbx));
+    a.alu_ri(AluOp::Add, Gpr::Rax, 1);
+    a.store(MemRef::base(Gpr::Rbx), Gpr::Rax);
+    a.alu_ri(AluOp::Sub, Gpr::Rcx, 1);
+    a.jcc(Cc::Ne, top);
+    a.halt();
+    a.finish().unwrap()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    const ITERS: i64 = 2_000;
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(5 * ITERS as u64));
+    for (name, mode) in [("functional", SimMode::Functional), ("cycle", SimMode::Cycle)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut core = Core::new(
+                    CoreConfig::default(),
+                    CsdConfig::default(),
+                    loop_program(ITERS),
+                    mode,
+                );
+                core.run(u64::MAX)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

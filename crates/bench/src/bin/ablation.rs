@@ -1,0 +1,49 @@
+//! Ablations called out in DESIGN.md: (1) criticality-threshold sweep
+//! (motivated by the paper's namd observation); (2) µop-cache
+//! window-constraint relaxation.
+
+use csd::DevecThresholds;
+use csd_bench::{row, run_devec_thresholds, run_security, DEFAULT_WATCHDOG};
+use csd_pipeline::CoreConfig;
+use csd_workloads::Workload;
+
+fn main() {
+    println!("== Ablation 1: devectorization threshold sweep (namd) ==\n");
+    let w = Workload::with_scale(
+        csd_workloads::specs().into_iter().find(|s| s.name == "namd").unwrap(),
+        0.3,
+    );
+    let widths = [16, 10, 12, 12];
+    println!(
+        "{}",
+        row(&["low/high", "cycles", "energy(uJ)", "gated"].map(String::from).to_vec(), &widths)
+    );
+    for (low, high) in [(1, 8), (4, 24), (8, 48), (16, 96)] {
+        let r = run_devec_thresholds(&w, DevecThresholds { window: 256, low, high });
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{low}/{high}"),
+                    r.stats.cycles.to_string(),
+                    format!("{:.2}", r.total_energy() / 1e6),
+                    format!("{:.1}%", 100.0 * r.gate.gated_fraction()),
+                ],
+                &widths
+            )
+        );
+    }
+
+    println!("\n== Ablation 2: µop-cache 3-lines-per-window constraint ==\n");
+    let victims = csd_bench::security_victims();
+    for max_lines in [3usize, 8] {
+        let cfg = CoreConfig { uop_cache_max_lines_per_window: max_lines, ..CoreConfig::opt() };
+        let m = run_security(victims[0].as_ref(), true, cfg, 6, DEFAULT_WATCHDOG);
+        println!(
+            "max {} lines/window: uop$ hit rate {:.1}%  cycles {}",
+            max_lines,
+            100.0 * m.uop_cache_hit_rate,
+            m.cycles
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 7a: PRIME+PROBE attack on AES — per-candidate touch rates with
+//! and without stealth-mode translation, and key bits recovered.
+
+use csd_attack::{aes_attack, AesAttackConfig, AttackMethod, Defense};
+use csd_crypto::{AesKeySize, AesVictim, CipherDir};
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(96);
+    let key: Vec<u8> = vec![
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+        0x4f, 0x3c,
+    ];
+    let victim = AesVictim::new(AesKeySize::K128, CipherDir::Encrypt, &key);
+
+    println!("== Figure 7a: PRIME+PROBE on AES (T-table first-round attack) ==\n");
+    for (label, defense) in [
+        ("no defense", Defense::None),
+        ("stealth mode", Defense::stealth_default()),
+    ] {
+        let cfg = AesAttackConfig {
+            method: AttackMethod::PrimeProbe,
+            trials_per_candidate: trials,
+            defense,
+            ..AesAttackConfig::default()
+        };
+        let out = aes_attack(&victim, &cfg);
+        println!(
+            "[{label}] encryptions={}  recovered {}/16 positions = {} key bits",
+            out.encryptions,
+            out.correct_positions(),
+            out.bits_recovered()
+        );
+        // The Figure 7a curve for position 0: touch rate per candidate.
+        print!("  pos0 touch-rate by candidate:");
+        for g in 0..16 {
+            print!(" {:>4.2}", out.touch_rates[0][g]);
+        }
+        println!("\n");
+    }
+    println!("paper: 64/128 bits in ~64k attempts undefended; 0 bits with stealth");
+}

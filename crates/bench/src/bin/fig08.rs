@@ -1,0 +1,60 @@
+//! Figure 8: normalized execution time with stealth mode, for the NoOpt
+//! (no µop cache/fusion) and Opt pipelines. Pass --uop-cache-report for
+//! the §VII-A µop-cache hit-rate numbers.
+
+use csd_bench::{mean, row, security_sweep, DEFAULT_WATCHDOG};
+use csd_pipeline::CoreConfig;
+
+fn main() {
+    let blocks: usize = std::env::args()
+        .filter_map(|s| s.parse().ok())
+        .next()
+        .unwrap_or(48);
+    let report = std::env::args().any(|a| a == "--uop-cache-report");
+
+    println!("== Figure 8: execution time, stealth on / stealth off ==\n");
+    let widths = [14, 10, 10, 12, 12];
+    println!(
+        "{}",
+        row(
+            &["bench", "noopt", "opt", "uop$ base", "uop$ stealth"]
+                .map(String::from)
+                .to_vec(),
+            &widths
+        )
+    );
+
+    let noopt = security_sweep(&CoreConfig::no_opt(), blocks, DEFAULT_WATCHDOG);
+    let opt = security_sweep(&CoreConfig::opt(), blocks, DEFAULT_WATCHDOG);
+    for (n, o) in noopt.iter().zip(&opt) {
+        println!(
+            "{}",
+            row(
+                &[
+                    n.name.clone(),
+                    format!("{:.3}", n.slowdown()),
+                    format!("{:.3}", o.slowdown()),
+                    format!("{:.1}%", 100.0 * o.base.uop_cache_hit_rate),
+                    format!("{:.1}%", 100.0 * o.stealth.uop_cache_hit_rate),
+                ],
+                &widths
+            )
+        );
+    }
+    let avg_noopt = mean(noopt.iter().map(|r| r.slowdown()));
+    let avg_opt = mean(opt.iter().map(|r| r.slowdown()));
+    println!(
+        "\naverage slowdown: noopt {:.1}%  opt {:.1}%   (paper: avg 5.6%, all <10%)",
+        100.0 * (avg_noopt - 1.0),
+        100.0 * (avg_opt - 1.0)
+    );
+
+    if report {
+        let nf_base = mean(noopt.iter().map(|r| r.base.uop_cache_hit_rate));
+        let nf_st = mean(noopt.iter().map(|r| r.stealth.uop_cache_hit_rate));
+        let f_base = mean(opt.iter().map(|r| r.base.uop_cache_hit_rate));
+        let f_st = mean(opt.iter().map(|r| r.stealth.uop_cache_hit_rate));
+        println!("\nµop cache hit rate (no fusion): {:.1}% -> {:.1}% with CSD (paper: 44% -> 39%)", 100.0*nf_base, 100.0*nf_st);
+        println!("µop cache hit rate (fusion):    {:.1}% -> {:.1}% with CSD (paper: 43% -> 42%)", 100.0*f_base, 100.0*f_st);
+    }
+}

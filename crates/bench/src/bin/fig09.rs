@@ -1,0 +1,32 @@
+//! Figure 9: dynamic µop expansion caused by CSD stealth mode.
+
+use csd_bench::{mean, row, security_sweep, DEFAULT_WATCHDOG};
+use csd_pipeline::CoreConfig;
+
+fn main() {
+    println!("== Figure 9: micro-op expansion under stealth mode ==\n");
+    let rows = security_sweep(&CoreConfig::opt(), 48, DEFAULT_WATCHDOG);
+    let widths = [14, 12, 12, 12];
+    println!(
+        "{}",
+        row(&["bench", "base uops", "csd uops", "expansion"].map(String::from).to_vec(), &widths)
+    );
+    for r in &rows {
+        println!(
+            "{}",
+            row(
+                &[
+                    r.name.clone(),
+                    r.base.uops.to_string(),
+                    r.stealth.uops.to_string(),
+                    format!("{:+.1}%", 100.0 * r.uop_expansion()),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "\naverage expansion: {:+.1}%   (paper: 8.0%)",
+        100.0 * mean(rows.iter().map(|r| r.uop_expansion()))
+    );
+}

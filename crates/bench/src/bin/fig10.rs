@@ -1,0 +1,30 @@
+//! Figure 10: L1D misses per kilo-instruction with and without CSD —
+//! the decoy loads mostly hit, so MPKI stays about the same.
+
+use csd_bench::{mean, row, security_sweep, DEFAULT_WATCHDOG};
+use csd_pipeline::CoreConfig;
+
+fn main() {
+    println!("== Figure 10: D-cache MPKI, baseline vs stealth ==\n");
+    let rows = security_sweep(&CoreConfig::opt(), 48, DEFAULT_WATCHDOG);
+    let widths = [14, 12, 12];
+    println!("{}", row(&["bench", "base", "stealth"].map(String::from).to_vec(), &widths));
+    for r in &rows {
+        println!(
+            "{}",
+            row(
+                &[
+                    r.name.clone(),
+                    format!("{:.2}", r.base.l1d_mpki),
+                    format!("{:.2}", r.stealth.l1d_mpki),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "\naverage MPKI: base {:.2}  stealth {:.2}   (paper: ~unchanged)",
+        mean(rows.iter().map(|r| r.base.l1d_mpki)),
+        mean(rows.iter().map(|r| r.stealth.l1d_mpki))
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 13: execution time of the three VPU policies, normalized to
+//! Always-On.
+
+use csd_bench::{mean, policies, row, run_devec};
+use csd_workloads::suite;
+
+fn main() {
+    let scale: f64 = std::env::args().filter_map(|s| s.parse().ok()).next().unwrap_or(0.5);
+    println!("== Figure 13: normalized execution time by VPU policy ==\n");
+    let widths = [10, 12, 12, 12];
+    println!(
+        "{}",
+        row(&["bench", "always-on", "conv", "csd"].map(String::from).to_vec(), &widths)
+    );
+    let mut conv_norm = Vec::new();
+    let mut csd_norm = Vec::new();
+    for w in suite(scale) {
+        let runs: Vec<_> = policies().iter().map(|(_, p)| run_devec(&w, *p)).collect();
+        let base = runs[0].stats.cycles as f64;
+        conv_norm.push(runs[1].stats.cycles as f64 / base);
+        csd_norm.push(runs[2].stats.cycles as f64 / base);
+        println!(
+            "{}",
+            row(
+                &[
+                    w.name().to_string(),
+                    "1.000".into(),
+                    format!("{:.3}", runs[1].stats.cycles as f64 / base),
+                    format!("{:.3}", runs[2].stats.cycles as f64 / base),
+                ],
+                &widths
+            )
+        );
+    }
+    let (c, d) = (mean(conv_norm), mean(csd_norm));
+    println!(
+        "\naverage: conventional {:.3}, csd {:.3} -> csd is {:.1}% faster than conventional (paper: 3.4%)",
+        c,
+        d,
+        100.0 * (c - d) / c
+    );
+}

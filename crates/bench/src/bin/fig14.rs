@@ -1,0 +1,31 @@
+//! Figure 14: dynamic µop counts for the three VPU policies — performance
+//! scales with the µop expansion of devectorization.
+
+use csd_bench::{policies, row, run_devec};
+use csd_workloads::suite;
+
+fn main() {
+    let scale: f64 = std::env::args().filter_map(|s| s.parse().ok()).next().unwrap_or(0.5);
+    println!("== Figure 14: dynamic micro-op counts by VPU policy ==\n");
+    let widths = [10, 12, 12, 12];
+    println!(
+        "{}",
+        row(&["bench", "always-on", "conv", "csd"].map(String::from).to_vec(), &widths)
+    );
+    for w in suite(scale) {
+        let runs: Vec<_> = policies().iter().map(|(_, p)| run_devec(&w, *p)).collect();
+        println!(
+            "{}",
+            row(
+                &[
+                    w.name().to_string(),
+                    runs[0].stats.uops.to_string(),
+                    runs[1].stats.uops.to_string(),
+                    runs[2].stats.uops.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\npaper: CSD's µop count grows only where devectorization is active");
+}

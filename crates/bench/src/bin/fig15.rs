@@ -1,0 +1,34 @@
+//! Figure 15: fraction of execution time the VPU is power-gated under CSD.
+
+use csd::VpuPolicy;
+use csd_bench::{mean, row, run_devec, CONVENTIONAL_IDLE_GATE};
+use csd_workloads::suite;
+
+fn main() {
+    let scale: f64 = std::env::args().filter_map(|s| s.parse().ok()).next().unwrap_or(0.5);
+    println!("== Figure 15: VPU power-gated time fraction ==\n");
+    let widths = [10, 12, 12];
+    println!("{}", row(&["bench", "conv", "csd"].map(String::from).to_vec(), &widths));
+    let mut fracs = Vec::new();
+    for w in suite(scale) {
+        let conv =
+            run_devec(&w, VpuPolicy::Conventional { idle_gate_cycles: CONVENTIONAL_IDLE_GATE });
+        let csd = run_devec(&w, VpuPolicy::default());
+        fracs.push(csd.gate.gated_fraction());
+        println!(
+            "{}",
+            row(
+                &[
+                    w.name().to_string(),
+                    format!("{:.1}%", 100.0 * conv.gate.gated_fraction()),
+                    format!("{:.1}%", 100.0 * csd.gate.gated_fraction()),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "\naverage CSD gated fraction: {:.1}%   (paper: >70%; ~100% for astar/gcc/gobmk/sjeng)",
+        100.0 * mean(fracs)
+    );
+}

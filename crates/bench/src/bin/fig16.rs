@@ -1,0 +1,41 @@
+//! Figure 16: breakdown of SSE (vector) instructions by how they executed
+//! under CSD — on the powered VPU, devectorized while waking, or
+//! devectorized while gated.
+
+use csd_bench::{row, run_devec};
+use csd::VpuPolicy;
+use csd_workloads::suite;
+
+fn main() {
+    let scale: f64 = std::env::args().filter_map(|s| s.parse().ok()).next().unwrap_or(0.5);
+    println!("== Figure 16: vector-instruction execution breakdown under CSD ==\n");
+    let widths = [10, 12, 13, 13, 10];
+    println!(
+        "{}",
+        row(
+            &["bench", "powered-on", "powering-on", "power-gated", "total"]
+                .map(String::from)
+                .to_vec(),
+            &widths
+        )
+    );
+    for w in suite(scale) {
+        let r = run_devec(&w, VpuPolicy::default());
+        let total = r.gate.vec_total().max(1);
+        let pct = |x: u64| format!("{:.1}%", 100.0 * x as f64 / total as f64);
+        println!(
+            "{}",
+            row(
+                &[
+                    w.name().to_string(),
+                    pct(r.gate.vec_on),
+                    pct(r.gate.vec_powering_on),
+                    pct(r.gate.vec_gated),
+                    r.gate.vec_total().to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\npaper: bwaves/milc devectorize while waking; omnetpp runs nearly all vector ops gated");
+}

@@ -1,0 +1,297 @@
+//! # csd-bench — the figure/table reproduction harness
+//!
+//! One function per experiment family, shared by the `fig*` binaries
+//! (`cargo run --release -p csd-bench --bin fig08`) and the Criterion
+//! benches. Each binary prints the same rows/series the paper reports;
+//! `EXPERIMENTS.md` records paper-vs-measured values.
+
+#![warn(missing_docs)]
+
+use csd::{CsdConfig, DevecThresholds, VpuPolicy};
+use csd_crypto::{
+    enable_stealth_for, AesKeySize, AesVictim, BlowfishVictim, CipherDir, RsaVictim, Victim,
+};
+use csd_pipeline::{Core, CoreConfig, SimMode, SimStats, StepOutcome};
+use csd_power::{Activity, EnergyBreakdown, EnergyModel, Unit};
+use csd_workloads::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's default watchdog period (cycles).
+pub const DEFAULT_WATCHDOG: u64 = 1000;
+
+/// Idle threshold for the conventional power-gating baseline (cycles the
+/// VPU must sit idle before it is gated).
+pub const CONVENTIONAL_IDLE_GATE: u64 = 400;
+
+/// The eight security datapoints: {AES, RSA, Blowfish, Rijndael} ×
+/// {encrypt, decrypt} (paper §VI-A).
+pub fn security_victims() -> Vec<Box<dyn Victim>> {
+    let aes_key: Vec<u8> = (0..16).map(|i| i * 11 + 3).collect();
+    let rij_key: Vec<u8> = (0..32).map(|i| i * 7 + 5).collect();
+    vec![
+        Box::new(AesVictim::new(AesKeySize::K128, CipherDir::Encrypt, &aes_key)),
+        Box::new(AesVictim::new(AesKeySize::K128, CipherDir::Decrypt, &aes_key)),
+        Box::new(RsaVictim::named("rsa-enc", 65_537, 1_000_003)),
+        Box::new(RsaVictim::named("rsa-dec", 0xC3A5_55AA_0F0F_1234, 1_000_003)),
+        Box::new(BlowfishVictim::new(CipherDir::Encrypt, b"BF-SECRET-KEY")),
+        Box::new(BlowfishVictim::new(CipherDir::Decrypt, b"BF-SECRET-KEY")),
+        Box::new(AesVictim::new(AesKeySize::K256, CipherDir::Encrypt, &rij_key)),
+        Box::new(AesVictim::new(AesKeySize::K256, CipherDir::Decrypt, &rij_key)),
+    ]
+}
+
+/// Metrics from one security-benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct SecMetrics {
+    /// Cycles over the measured region.
+    pub cycles: u64,
+    /// Retired macro-ops.
+    pub insts: u64,
+    /// Retired µops.
+    pub uops: u64,
+    /// Decoy µops among them.
+    pub decoy_uops: u64,
+    /// L1D misses per kilo-instruction.
+    pub l1d_mpki: f64,
+    /// µop-cache hit rate over the measured region.
+    pub uop_cache_hit_rate: f64,
+}
+
+/// Runs `blocks` operations of `victim` on a cycle-accurate core and
+/// returns steady-state metrics (twelve warm-up operations excluded).
+///
+/// # Panics
+///
+/// Panics if the victim faults.
+pub fn run_security(
+    victim: &dyn Victim,
+    stealth: bool,
+    core_cfg: CoreConfig,
+    blocks: usize,
+    watchdog: u64,
+) -> SecMetrics {
+    let cfg = CoreConfig { dift_enabled: true, ..core_cfg };
+    let mut core = Core::new(cfg, CsdConfig::default(), victim.program().clone(), SimMode::Cycle);
+    victim.install(&mut core);
+    if stealth {
+        enable_stealth_for(victim, &mut core, watchdog);
+    }
+    let mut rng = StdRng::seed_from_u64(0xBEEF ^ blocks as u64);
+    let mut input = vec![0u8; victim.input_len()];
+
+    // Warm-up long enough for the sparse table touches of the baseline to
+    // fully populate the caches — otherwise decoy prefetching makes
+    // stealth look *faster* (the paper's "prefetching effect", which
+    // should only mute, not invert, the cost).
+    for _ in 0..12 {
+        rng.fill(&mut input[..]);
+        victim.run_once(&mut core, &input);
+    }
+    let s0 = *core.stats();
+    let h0 = core.hierarchy().stats();
+    let u0 = *core.uop_cache_stats();
+    for _ in 0..blocks {
+        rng.fill(&mut input[..]);
+        victim.run_once(&mut core, &input);
+    }
+    let s1 = *core.stats();
+    let h1 = core.hierarchy().stats();
+    let u1 = *core.uop_cache_stats();
+
+    let insts = s1.insts - s0.insts;
+    let l1d = h1.l1d.delta(&h0.l1d);
+    let lookups = u1.lookups - u0.lookups;
+    let hits = u1.hits - u0.hits;
+    SecMetrics {
+        cycles: s1.cycles - s0.cycles,
+        insts,
+        uops: s1.uops - s0.uops,
+        decoy_uops: s1.decoy_uops - s0.decoy_uops,
+        l1d_mpki: l1d.mpki(insts),
+        uop_cache_hit_rate: if lookups > 0 { hits as f64 / lookups as f64 } else { 0.0 },
+    }
+}
+
+/// One row of the Figure 8/9/10 family for a single benchmark.
+#[derive(Debug, Clone)]
+pub struct SecurityRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline (stealth off).
+    pub base: SecMetrics,
+    /// Stealth on.
+    pub stealth: SecMetrics,
+}
+
+impl SecurityRow {
+    /// Normalized execution time (stealth / base).
+    pub fn slowdown(&self) -> f64 {
+        self.stealth.cycles as f64 / self.base.cycles as f64
+    }
+
+    /// µop expansion (stealth / base − 1).
+    pub fn uop_expansion(&self) -> f64 {
+        self.stealth.uops as f64 / self.base.uops as f64 - 1.0
+    }
+}
+
+/// Runs the full 8-datapoint security sweep under one core configuration.
+pub fn security_sweep(core_cfg: &CoreConfig, blocks: usize, watchdog: u64) -> Vec<SecurityRow> {
+    security_victims()
+        .iter()
+        .map(|v| SecurityRow {
+            name: v.name(),
+            base: run_security(v.as_ref(), false, core_cfg.clone(), blocks, watchdog),
+            stealth: run_security(v.as_ref(), true, core_cfg.clone(), blocks, watchdog),
+        })
+        .collect()
+}
+
+/// Geometric-mean helper.
+pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0, 0u32);
+    for x in xs {
+        log_sum += x.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return f64::NAN;
+    }
+    (log_sum / f64::from(n)).exp()
+}
+
+/// Arithmetic-mean helper.
+pub fn mean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u32);
+    for x in xs {
+        sum += x;
+        n += 1;
+    }
+    if n == 0 {
+        return f64::NAN;
+    }
+    sum / f64::from(n)
+}
+
+// ---------------------------------------------------------------------
+// Devectorization (Figures 12–16)
+// ---------------------------------------------------------------------
+
+/// The three VPU policies of the paper's comparison.
+pub fn policies() -> [(&'static str, VpuPolicy); 3] {
+    [
+        ("always-on", VpuPolicy::AlwaysOn),
+        ("conventional", VpuPolicy::Conventional { idle_gate_cycles: CONVENTIONAL_IDLE_GATE }),
+        ("csd-devec", VpuPolicy::CsdDevec(DevecThresholds::default())),
+    ]
+}
+
+/// Results of running one workload under one policy.
+#[derive(Debug, Clone)]
+pub struct DevecRun {
+    /// Simulation statistics.
+    pub stats: SimStats,
+    /// Gate-controller statistics.
+    pub gate: csd::GateStats,
+    /// Per-unit activity.
+    pub activity: Activity,
+    /// Energy breakdown from the default model.
+    pub energy: EnergyBreakdown,
+}
+
+impl DevecRun {
+    /// Total energy in picojoules.
+    pub fn total_energy(&self) -> f64 {
+        self.energy.total_pj()
+    }
+}
+
+/// Runs `workload` under `policy` on the cycle engine.
+///
+/// # Panics
+///
+/// Panics if the workload faults or exceeds the instruction budget.
+pub fn run_devec(workload: &Workload, policy: VpuPolicy) -> DevecRun {
+    let csd_cfg = CsdConfig { vpu_policy: policy, ..CsdConfig::default() };
+    let mut core = Core::new(
+        CoreConfig::default(),
+        csd_cfg,
+        workload.program().clone(),
+        SimMode::Cycle,
+    );
+    workload.install(&mut core);
+    let out = core.run(100_000_000);
+    assert_eq!(out, StepOutcome::Halted, "{} must halt", workload.name());
+    let activity = core.activity();
+    let energy = EnergyModel::default().breakdown(&activity);
+    DevecRun { stats: *core.stats(), gate: *core.engine().gate().stats(), activity, energy }
+}
+
+/// Runs one workload under a custom threshold configuration (the
+/// ablation sweep motivated by the paper's `namd` observation).
+pub fn run_devec_thresholds(workload: &Workload, thresholds: DevecThresholds) -> DevecRun {
+    run_devec(workload, VpuPolicy::CsdDevec(thresholds))
+}
+
+/// Pretty-prints a fixed-width table row.
+pub fn row(cols: &[String], widths: &[usize]) -> String {
+    cols.iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// VPU-relevant share of the energy breakdown, for Figure 12's stacked
+/// bars: `(vpu_dynamic, vpu_leakage+overhead, rest)`.
+pub fn energy_split(e: &EnergyBreakdown) -> (f64, f64, f64) {
+    let vpu_dyn = e.dynamic(Unit::Vpu);
+    let vpu_static = e.leakage(Unit::Vpu) + e.gating_overhead_pj;
+    (vpu_dyn, vpu_static, e.total_pj() - vpu_dyn - vpu_static)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn security_suite_has_eight_datapoints() {
+        let names: Vec<String> = security_victims().iter().map(|v| v.name()).collect();
+        assert_eq!(names.len(), 8);
+        assert!(names.contains(&"aes-enc".to_string()));
+        assert!(names.contains(&"rsa-dec".to_string()));
+        assert!(names.contains(&"rijndael-dec".to_string()));
+        assert!(names.contains(&"blowfish-enc".to_string()));
+    }
+
+    #[test]
+    fn stealth_costs_cycles_but_modestly() {
+        let v = &security_victims()[0]; // aes-enc
+        let base = run_security(v.as_ref(), false, CoreConfig::opt(), 4, DEFAULT_WATCHDOG);
+        let stealth = run_security(v.as_ref(), true, CoreConfig::opt(), 4, DEFAULT_WATCHDOG);
+        assert!(stealth.decoy_uops > 0);
+        assert!(stealth.cycles > base.cycles);
+        let slowdown = stealth.cycles as f64 / base.cycles as f64;
+        assert!(slowdown < 1.5, "stealth slowdown should be modest, got {slowdown}");
+    }
+
+    #[test]
+    fn devec_saves_energy_on_a_scalar_workload() {
+        let w = Workload::with_scale(
+            csd_workloads::specs().into_iter().find(|s| s.name == "gcc").unwrap(),
+            0.1,
+        );
+        let on = run_devec(&w, VpuPolicy::AlwaysOn);
+        let csd = run_devec(&w, VpuPolicy::CsdDevec(DevecThresholds::default()));
+        assert!(csd.total_energy() < on.total_energy());
+        assert!(csd.gate.gated_fraction() > 0.5);
+    }
+
+    #[test]
+    fn helpers() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((mean([1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!(geomean(std::iter::empty::<f64>()).is_nan());
+    }
+}

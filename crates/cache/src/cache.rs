@@ -1,0 +1,318 @@
+//! A single set-associative cache.
+
+use crate::replacement::{Replacement, SetState};
+use crate::stats::CacheStats;
+
+/// Geometry and policy of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Hit latency in cycles.
+    pub latency: u64,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two sets or
+    /// line size, or capacity not divisible by `ways * line_bytes`).
+    pub fn sets(&self) -> usize {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        let sets = self.size_bytes / (self.ways * self.line_bytes);
+        assert!(
+            sets * self.ways * self.line_bytes == self.size_bytes,
+            "capacity not divisible by ways*line"
+        );
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+}
+
+/// A set-associative cache tracking line presence (not data).
+///
+/// Addresses are byte addresses; the cache computes its own set/tag split.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: usize,
+    lines: Vec<Line>,
+    repl: Vec<SetState>,
+    stats: CacheStats,
+    set_shift: u32,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let sets = cfg.sets();
+        let repl = (0..sets)
+            .map(|i| SetState::new(cfg.replacement, cfg.ways, 0x9E37_79B9_7F4A_7C15 ^ i as u64))
+            .collect();
+        Cache {
+            cfg,
+            sets,
+            lines: vec![Line::default(); sets * cfg.ways],
+            repl,
+            stats: CacheStats::default(),
+            set_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: (sets - 1) as u64,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// The set index for an address.
+    #[inline]
+    pub fn set_of(&self, addr: u64) -> usize {
+        ((addr >> self.set_shift) & self.set_mask) as usize
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr >> (self.set_shift + self.sets.trailing_zeros())
+    }
+
+    /// The base address of the line containing `addr`.
+    #[inline]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !((self.cfg.line_bytes as u64) - 1)
+    }
+
+    fn find(&self, addr: u64) -> Option<usize> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.cfg.ways;
+        (0..self.cfg.ways)
+            .map(|w| base + w)
+            .find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
+    }
+
+    /// Looks up `addr`; on a hit, updates replacement state and dirtiness.
+    /// Returns whether the access hit. Does **not** fill on miss — callers
+    /// fill explicitly via [`Cache::fill`] so multi-level logic stays
+    /// outside the cache.
+    pub fn access(&mut self, addr: u64, write: bool) -> bool {
+        self.stats.accesses += 1;
+        match self.find(addr) {
+            Some(i) => {
+                self.stats.hits += 1;
+                let set = self.set_of(addr);
+                let way = i - set * self.cfg.ways;
+                self.repl[set].touch(way);
+                if write {
+                    self.lines[i].dirty = true;
+                }
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Checks presence without perturbing replacement state or stats.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.find(addr).is_some()
+    }
+
+    /// Inserts the line containing `addr`, evicting if necessary.
+    /// Returns the base address of the evicted line, if a valid line was
+    /// displaced (used for back-invalidation / write-back modeling).
+    pub fn fill(&mut self, addr: u64, write: bool) -> Option<u64> {
+        if let Some(i) = self.find(addr) {
+            // Already present (e.g. filled by a racing path) — refresh.
+            if write {
+                self.lines[i].dirty = true;
+            }
+            return None;
+        }
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.cfg.ways;
+        // Prefer an invalid way.
+        let way = (0..self.cfg.ways)
+            .find(|&w| !self.lines[base + w].valid)
+            .unwrap_or_else(|| self.repl[set].victim(self.cfg.ways));
+        let idx = base + way;
+        let evicted = if self.lines[idx].valid {
+            self.stats.evictions += 1;
+            Some(self.addr_of(set, self.lines[idx].tag))
+        } else {
+            None
+        };
+        self.lines[idx] = Line {
+            valid: true,
+            dirty: write,
+            tag,
+        };
+        self.repl[set].touch(way);
+        evicted
+    }
+
+    fn addr_of(&self, set: usize, tag: u64) -> u64 {
+        (tag << (self.set_shift + self.sets.trailing_zeros()))
+            | ((set as u64) << self.set_shift)
+    }
+
+    /// Removes the line containing `addr`. Returns whether it was present.
+    pub fn flush_line(&mut self, addr: u64) -> bool {
+        match self.find(addr) {
+            Some(i) => {
+                self.lines[i] = Line::default();
+                self.stats.flushes += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Invalidates the entire cache.
+    pub fn flush_all(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+    }
+
+    /// Addresses of all valid lines currently in the set containing `addr`.
+    pub fn lines_in_set(&self, addr: u64) -> Vec<u64> {
+        let set = self.set_of(addr);
+        let base = set * self.cfg.ways;
+        (0..self.cfg.ways)
+            .filter(|&w| self.lines[base + w].valid)
+            .map(|w| self.addr_of(set, self.lines[base + w].tag))
+            .collect()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (state is untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+            replacement: Replacement::Lru,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0x1000, false));
+        c.fill(0x1000, false);
+        assert!(c.access(0x1000, false));
+        assert!(c.access(0x103f, false), "same line");
+        assert!(!c.access(0x1040, false), "next line");
+    }
+
+    #[test]
+    fn eviction_returns_victim_address() {
+        let mut c = small();
+        // Three lines mapping to the same set (stride = sets*line = 256).
+        c.fill(0x0, false);
+        c.fill(0x100, false);
+        let evicted = c.fill(0x200, false);
+        assert_eq!(evicted, Some(0x0), "LRU victim");
+        assert!(!c.contains(0x0));
+        assert!(c.contains(0x100) && c.contains(0x200));
+    }
+
+    #[test]
+    fn hit_refreshes_lru() {
+        let mut c = small();
+        c.fill(0x0, false);
+        c.fill(0x100, false);
+        assert!(c.access(0x0, false)); // refresh 0x0; 0x100 becomes LRU
+        let evicted = c.fill(0x200, false);
+        assert_eq!(evicted, Some(0x100));
+    }
+
+    #[test]
+    fn flush_removes_line() {
+        let mut c = small();
+        c.fill(0x40, false);
+        assert!(c.flush_line(0x7f), "flush by any addr within the line");
+        assert!(!c.contains(0x40));
+        assert!(!c.flush_line(0x40), "already gone");
+    }
+
+    #[test]
+    fn contains_does_not_perturb() {
+        let mut c = small();
+        c.fill(0x0, false);
+        c.fill(0x100, false);
+        // Probing 0x0 must NOT refresh it.
+        assert!(c.contains(0x0));
+        let evicted = c.fill(0x200, false);
+        assert_eq!(evicted, Some(0x0));
+    }
+
+    #[test]
+    fn stats_track_accesses() {
+        let mut c = small();
+        c.access(0x0, false);
+        c.fill(0x0, false);
+        c.access(0x0, false);
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lines_in_set_reports_contents() {
+        let mut c = small();
+        c.fill(0x0, false);
+        c.fill(0x100, false);
+        let mut lines = c.lines_in_set(0x200);
+        lines.sort_unstable();
+        assert_eq!(lines, vec![0x0, 0x100]);
+    }
+
+    #[test]
+    fn sets_geometry() {
+        assert_eq!(small().config().sets(), 4);
+        let l1 = CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            latency: 4,
+            replacement: Replacement::Lru,
+        };
+        assert_eq!(l1.sets(), 64);
+    }
+}

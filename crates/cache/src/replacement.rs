@@ -1,0 +1,174 @@
+//! Replacement policies.
+
+/// The replacement policy of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Replacement {
+    /// True least-recently-used.
+    #[default]
+    Lru,
+    /// Tree pseudo-LRU (as used by real L1 designs).
+    TreePlru,
+    /// Pseudo-random (deterministic xorshift sequence).
+    Random,
+}
+
+/// Per-set replacement state.
+#[derive(Debug, Clone)]
+pub(crate) enum SetState {
+    /// Recency stamps per way (higher = more recent).
+    Lru { stamps: Vec<u64>, clock: u64 },
+    /// PLRU tree bits; `ways` must be a power of two.
+    TreePlru { bits: Vec<bool> },
+    /// Xorshift state.
+    Random { state: u64 },
+}
+
+impl SetState {
+    pub(crate) fn new(policy: Replacement, ways: usize, seed: u64) -> SetState {
+        match policy {
+            Replacement::Lru => SetState::Lru {
+                stamps: vec![0; ways],
+                clock: 0,
+            },
+            Replacement::TreePlru => {
+                assert!(
+                    ways.is_power_of_two(),
+                    "tree-PLRU requires a power-of-two way count"
+                );
+                SetState::TreePlru {
+                    bits: vec![false; ways.max(2) - 1],
+                }
+            }
+            Replacement::Random => SetState::Random {
+                state: seed | 1,
+            },
+        }
+    }
+
+    /// Records a touch (hit or fill) of `way`.
+    pub(crate) fn touch(&mut self, way: usize) {
+        match self {
+            SetState::Lru { stamps, clock } => {
+                *clock += 1;
+                stamps[way] = *clock;
+            }
+            SetState::TreePlru { bits } => {
+                // Walk from the root; at each node, point *away* from the
+                // touched way.
+                let ways = bits.len() + 1;
+                let mut node = 0;
+                let mut lo = 0;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if way < mid {
+                        bits[node] = true; // protect left: next victim right
+                        node = 2 * node + 1;
+                        hi = mid;
+                    } else {
+                        bits[node] = false;
+                        node = 2 * node + 2;
+                        lo = mid;
+                    }
+                }
+            }
+            SetState::Random { .. } => {}
+        }
+    }
+
+    /// Chooses a victim way among `ways` candidates.
+    pub(crate) fn victim(&mut self, ways: usize) -> usize {
+        match self {
+            SetState::Lru { stamps, .. } => {
+                let mut best = 0;
+                for w in 1..ways {
+                    if stamps[w] < stamps[best] {
+                        best = w;
+                    }
+                }
+                best
+            }
+            SetState::TreePlru { bits } => {
+                let mut node = 0;
+                let mut lo = 0;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if bits[node] {
+                        // true = left protected → victim on the right
+                        node = 2 * node + 2;
+                        lo = mid;
+                    } else {
+                        node = 2 * node + 1;
+                        hi = mid;
+                    }
+                }
+                lo
+            }
+            SetState::Random { state } => {
+                // xorshift64*
+                let mut x = *state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                *state = x;
+                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % ways as u64) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut s = SetState::new(Replacement::Lru, 4, 0);
+        for w in 0..4 {
+            s.touch(w);
+        }
+        s.touch(0); // 1 is now LRU
+        assert_eq!(s.victim(4), 1);
+    }
+
+    #[test]
+    fn plru_victim_avoids_recent() {
+        let mut s = SetState::new(Replacement::TreePlru, 8, 0);
+        for w in 0..8 {
+            s.touch(w);
+        }
+        let v = s.victim(8);
+        // The most recently touched way (7) must not be the victim.
+        assert_ne!(v, 7);
+    }
+
+    #[test]
+    fn plru_full_set_cycles_through_all_ways() {
+        // Repeatedly touching the victim must eventually visit every way.
+        let mut s = SetState::new(Replacement::TreePlru, 4, 0);
+        let mut seen = [false; 4];
+        for _ in 0..16 {
+            let v = s.victim(4);
+            seen[v] = true;
+            s.touch(v);
+        }
+        assert!(seen.iter().all(|&b| b), "victims: {seen:?}");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = SetState::new(Replacement::Random, 8, 42);
+        let mut b = SetState::new(Replacement::Random, 8, 42);
+        let va: Vec<usize> = (0..10).map(|_| a.victim(8)).collect();
+        let vb: Vec<usize> = (0..10).map(|_| b.victim(8)).collect();
+        assert_eq!(va, vb);
+        assert!(va.iter().any(|&v| v != va[0]), "degenerate sequence");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn plru_rejects_non_power_of_two() {
+        let _ = SetState::new(Replacement::TreePlru, 6, 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Cache statistics.
+
+/// Counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total lookups.
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Valid lines displaced by fills.
+    pub evictions: u64,
+    /// Lines removed by explicit flushes.
+    pub flushes: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; `None` if there were no accesses.
+    pub fn hit_rate(&self) -> Option<f64> {
+        (self.accesses > 0).then(|| self.hits as f64 / self.accesses as f64)
+    }
+
+    /// Misses per kilo-instruction given a retired-instruction count.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            return 0.0;
+        }
+        self.misses as f64 * 1000.0 / instructions as f64
+    }
+
+    /// Difference of two snapshots (`self - earlier`), for region-of-interest
+    /// measurement.
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses - earlier.accesses,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            flushes: self.flushes - earlier.flushes,
+        }
+    }
+}
+
+/// Statistics for the whole hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// L1 instruction cache.
+    pub l1i: CacheStats,
+    /// L1 data cache.
+    pub l1d: CacheStats,
+    /// Unified L2.
+    pub l2: CacheStats,
+    /// Last-level cache.
+    pub llc: CacheStats,
+    /// Accesses that went all the way to memory.
+    pub memory_accesses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_mpki() {
+        let s = CacheStats {
+            accesses: 10,
+            hits: 8,
+            misses: 2,
+            evictions: 0,
+            flushes: 0,
+        };
+        assert_eq!(s.hit_rate(), Some(0.8));
+        assert_eq!(s.mpki(1000), 2.0);
+        assert_eq!(CacheStats::default().hit_rate(), None);
+        assert_eq!(s.mpki(0), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let a = CacheStats { accesses: 5, hits: 3, misses: 2, evictions: 1, flushes: 0 };
+        let b = CacheStats { accesses: 9, hits: 6, misses: 3, evictions: 1, flushes: 2 };
+        let d = b.delta(&a);
+        assert_eq!(d.accesses, 4);
+        assert_eq!(d.hits, 3);
+        assert_eq!(d.misses, 1);
+        assert_eq!(d.flushes, 2);
+    }
+}

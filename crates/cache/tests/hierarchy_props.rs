@@ -1,0 +1,99 @@
+//! Property-based tests for cache and hierarchy invariants.
+
+use csd_cache::{AccessKind, Cache, CacheConfig, Hierarchy, HierarchyConfig, HitLevel, Replacement};
+use proptest::prelude::*;
+
+fn small_cache() -> Cache {
+    Cache::new(CacheConfig {
+        size_bytes: 2048,
+        ways: 4,
+        line_bytes: 64,
+        latency: 1,
+        replacement: Replacement::Lru,
+    })
+}
+
+proptest! {
+    /// A fill makes the line present; presence implies the next access to
+    /// any byte of the line hits.
+    #[test]
+    fn fill_then_hit(addrs in proptest::collection::vec(0u64..1 << 16, 1..200)) {
+        let mut c = small_cache();
+        for &a in &addrs {
+            if !c.access(a, false) {
+                c.fill(a, false);
+            }
+            prop_assert!(c.contains(a));
+            prop_assert!(c.access(a ^ 0x3F & 0x3F | (a & !0x3F), false),
+                "same line must hit");
+        }
+    }
+
+    /// A set never holds more lines than its associativity.
+    #[test]
+    fn associativity_is_respected(addrs in proptest::collection::vec(0u64..1 << 16, 1..300)) {
+        let mut c = small_cache();
+        for &a in &addrs {
+            c.fill(a, false);
+            prop_assert!(c.lines_in_set(a).len() <= 4);
+        }
+    }
+
+    /// Flushing a line removes exactly that line.
+    #[test]
+    fn flush_is_precise(a in 0u64..1 << 16, b in 0u64..1 << 16) {
+        let mut c = small_cache();
+        c.fill(a, false);
+        c.fill(b, false);
+        c.flush_line(a);
+        prop_assert!(!c.contains(a));
+        let same_line = (a & !0x3F) == (b & !0x3F);
+        if !same_line {
+            prop_assert!(c.contains(b));
+        }
+    }
+
+    /// Hierarchy latencies are strictly ordered by hit level, and a
+    /// repeated access never hits *further away* than the first.
+    #[test]
+    fn latency_monotonicity(addrs in proptest::collection::vec(0u64..1 << 20, 1..100)) {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        for &a in &addrs {
+            let first = h.access(a, AccessKind::DataRead);
+            let second = h.access(a, AccessKind::DataRead);
+            prop_assert_eq!(second.level, HitLevel::L1, "fill must promote to L1");
+            prop_assert!(second.latency <= first.latency);
+        }
+    }
+
+    /// `clflush` purges every level, for any prior access pattern.
+    #[test]
+    fn flush_purges_everywhere(
+        warm in proptest::collection::vec(0u64..1 << 16, 0..50),
+        victim in 0u64..1 << 16,
+    ) {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        for &a in &warm {
+            h.access(a, AccessKind::DataRead);
+        }
+        h.access(victim, AccessKind::DataRead);
+        h.flush(victim);
+        prop_assert!(!h.present_anywhere(victim));
+        let r = h.access(victim, AccessKind::DataRead);
+        prop_assert_eq!(r.level, HitLevel::Memory);
+    }
+
+    /// Stats conservation: hits + misses == accesses at every level.
+    #[test]
+    fn stats_conserve(addrs in proptest::collection::vec(0u64..1 << 18, 1..200)) {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        for &a in &addrs {
+            let kind = if a % 3 == 0 { AccessKind::DataWrite } else { AccessKind::DataRead };
+            h.access(a, kind);
+        }
+        let s = h.stats();
+        for lvl in [s.l1d, s.l2, s.llc] {
+            prop_assert_eq!(lvl.hits + lvl.misses, lvl.accesses);
+        }
+    }
+}

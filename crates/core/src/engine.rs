@@ -1,0 +1,387 @@
+//! The context-sensitive decoding engine: the single decode entry point
+//! the pipeline integrates at its decoder stage.
+
+use crate::devec::Devectorizer;
+use crate::gating::{VectorDecision, VpuGateController, VpuPolicy};
+use crate::mcu::{McuError, MicrocodeUpdate, MsromPatchTable, OpcodeClass, PrivilegeLevel};
+use crate::mode::{ContextId, VectorExecClass};
+use crate::msr::MsrFile;
+use crate::stealth::{StealthConfig, StealthTranslator};
+use csd_power::GatingParams;
+use csd_uops::{translate, Translation};
+use mx86_isa::Placed;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct CsdConfig {
+    /// Stealth-mode parameters.
+    pub stealth: StealthConfig,
+    /// VPU power-management policy.
+    pub vpu_policy: VpuPolicy,
+    /// Gating cost model.
+    pub gating: GatingParams,
+}
+
+/// Aggregate engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CsdStats {
+    /// Macro-ops decoded through the engine.
+    pub decoded_insts: u64,
+    /// Macro-ops whose translation came from a custom decoder (stealth,
+    /// devectorize, or MCU patch).
+    pub custom_decoded: u64,
+    /// Total µops emitted.
+    pub total_uops: u64,
+    /// µops that were decoys.
+    pub decoy_uops: u64,
+    /// Microcode updates successfully applied.
+    pub mcu_applied: u64,
+}
+
+/// The result of decoding one macro-op through the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeOutcome {
+    /// The µop flow to execute.
+    pub translation: Translation,
+    /// The translation context that produced it (micro-op cache tag bits).
+    pub context: ContextId,
+    /// Pipeline stall imposed before execution (conventional VPU wake).
+    pub stall_cycles: u64,
+    /// For vector macro-ops, how the instruction was classified for the
+    /// paper's Figure 16 breakdown.
+    pub vector_class: Option<VectorExecClass>,
+}
+
+/// The context-sensitive decoding engine.
+///
+/// Owns the MSR file, the stealth translator, the devectorizer, the VPU
+/// gate controller, and the microcode patch table. The pipeline calls
+/// [`CsdEngine::decode`] for every macro-op, [`CsdEngine::tick`] as cycles
+/// elapse, and [`CsdEngine::write_msr`] when `wrmsr` retires.
+///
+/// ```
+/// use csd::{CsdEngine, CsdConfig};
+/// use mx86_isa::{Placed, Inst, Gpr};
+///
+/// let mut engine = CsdEngine::new(CsdConfig::default());
+/// let p = Placed { addr: 0x1000, inst: Inst::MovRI { dst: Gpr::Rax, imm: 7 } };
+/// let out = engine.decode(&p, false);
+/// assert_eq!(out.translation.uops.len(), 1);
+/// assert_eq!(out.context, csd::ContextId::Native);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsdEngine {
+    msrs: MsrFile,
+    stealth: StealthTranslator,
+    devec: Devectorizer,
+    gate: VpuGateController,
+    patches: MsromPatchTable,
+    active_custom: Option<u8>,
+    stats: CsdStats,
+}
+
+impl CsdEngine {
+    /// A fresh engine; stealth stays dormant until MSRs enable it.
+    pub fn new(cfg: CsdConfig) -> CsdEngine {
+        CsdEngine {
+            msrs: MsrFile::new(),
+            stealth: StealthTranslator::new(cfg.stealth),
+            devec: Devectorizer::new(),
+            gate: VpuGateController::new(cfg.vpu_policy, cfg.gating),
+            patches: MsromPatchTable::new(),
+            active_custom: None,
+            stats: CsdStats::default(),
+        }
+    }
+
+    /// Writes an MSR. Writes inside the CSD block re-snapshot the stealth
+    /// translator's internal registers (the decoder's register-tracking
+    /// optimization noticing the update).
+    pub fn write_msr(&mut self, msr: u32, value: u64) {
+        self.msrs.write(msr, value);
+        if MsrFile::is_csd_msr(msr) {
+            self.stealth.configure(&self.msrs);
+        }
+    }
+
+    /// Reads an MSR.
+    pub fn read_msr(&self, msr: u32) -> u64 {
+        self.msrs.read(msr)
+    }
+
+    /// Mutable access to the MSR file for bulk configuration; call
+    /// [`CsdEngine::refresh`] afterwards.
+    pub fn msrs_mut(&mut self) -> &mut MsrFile {
+        &mut self.msrs
+    }
+
+    /// Re-snapshots decoder state from the MSR file.
+    pub fn refresh(&mut self) {
+        self.stealth.configure(&self.msrs);
+    }
+
+    /// Activates (or deactivates) a custom MCU-installed translation mode.
+    pub fn set_custom_mode(&mut self, mode: Option<u8>) {
+        self.active_custom = mode;
+    }
+
+    /// Applies a microcode update after verification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`McuError`] from [`MicrocodeUpdate::verify`].
+    pub fn apply_microcode_update(
+        &mut self,
+        mcu: &MicrocodeUpdate,
+        privilege: PrivilegeLevel,
+    ) -> Result<bool, McuError> {
+        mcu.verify(privilege)?;
+        let installed = self.patches.install(mcu);
+        if installed {
+            self.stats.mcu_applied += 1;
+        }
+        Ok(installed)
+    }
+
+    /// Advances time: watchdog countdown and VPU gate-state residency.
+    pub fn tick(&mut self, cycles: u64) {
+        self.stealth.tick(cycles);
+        self.gate.tick(cycles);
+    }
+
+    /// Whether the VPU is powered and usable this cycle.
+    pub fn vpu_available(&self) -> bool {
+        self.gate.vpu_available()
+    }
+
+    /// Decodes one macro-op in the current context.
+    ///
+    /// `tainted` is the DIFT verdict for this instruction (any
+    /// address-forming source register tainted, or tainted flags for a
+    /// conditional branch). The decode path is, in order: MCU patch lookup
+    /// → devectorization (gate-controller decision) → stealth decoy
+    /// injection on top of whatever translation resulted.
+    pub fn decode(&mut self, placed: &Placed, tainted: bool) -> DecodeOutcome {
+        let inst = &placed.inst;
+        let native = translate(inst, placed.next_addr());
+        let mut translation = native.clone();
+        let mut context = ContextId::Native;
+        let mut stall_cycles = 0;
+        let mut vector_class = None;
+
+        // 1. MCU-installed custom translation for the active custom mode.
+        if let Some(mode) = self.active_custom {
+            let ctx = ContextId::Custom(mode);
+            if let Some(patch) = self.patches.lookup(OpcodeClass::of(inst), ctx) {
+                translation = patch.clone();
+                context = ctx;
+            }
+        }
+
+        // 2. VPU power management.
+        if inst.is_vector() {
+            let weight = Devectorizer::weight(inst);
+            match self.gate.on_vector_inst(weight) {
+                VectorDecision::ExecuteOnVpu => {
+                    vector_class = Some(VectorExecClass::PoweredOn);
+                }
+                VectorDecision::StallThenExecute(c) => {
+                    stall_cycles = c;
+                    vector_class = Some(VectorExecClass::PoweredOn);
+                }
+                VectorDecision::Devectorize(class) => {
+                    vector_class = Some(class);
+                    if let Some(t) = self.devec.devectorize(inst, &native) {
+                        translation = t;
+                        context = ContextId::Devectorize;
+                    }
+                }
+            }
+        } else {
+            self.gate.on_scalar_inst();
+        }
+
+        // 3. Stealth-mode decoy injection (applies on top).
+        if let Some(t) = self.stealth.on_decode(placed, &translation, tainted) {
+            translation = t;
+            context = ContextId::Stealth;
+        }
+
+        self.stats.decoded_insts += 1;
+        self.stats.total_uops += translation.uops.len() as u64;
+        self.stats.decoy_uops +=
+            translation.uops.iter().filter(|u| u.is_decoy()).count() as u64;
+        if context != ContextId::Native {
+            self.stats.custom_decoded += 1;
+        }
+
+        DecodeOutcome { translation, context, stall_cycles, vector_class }
+    }
+
+    /// Engine-level counters.
+    pub fn stats(&self) -> &CsdStats {
+        &self.stats
+    }
+
+    /// The stealth translator (statistics, armed state).
+    pub fn stealth(&self) -> &StealthTranslator {
+        &self.stealth
+    }
+
+    /// The VPU gate controller (statistics, state).
+    pub fn gate(&self) -> &VpuGateController {
+        &self.gate
+    }
+
+    /// The devectorizer (statistics).
+    pub fn devectorizer(&self) -> &Devectorizer {
+        &self.devec
+    }
+
+    /// The microcode patch table.
+    pub fn patches(&self) -> &MsromPatchTable {
+        &self.patches
+    }
+}
+
+impl Default for CsdEngine {
+    fn default() -> CsdEngine {
+        CsdEngine::new(CsdConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criticality::DevecThresholds;
+    use crate::msr::{
+        CTL_DIFT_TRIGGER, CTL_STEALTH, MSR_CSD_CTL, MSR_DATA_RANGE_BASE,
+    };
+    use mx86_isa::{Gpr, Inst, MemRef, VecOp, Width, Xmm};
+
+    fn load_at(addr: u64) -> Placed {
+        Placed {
+            addr,
+            inst: Inst::Load { dst: Gpr::Rax, mem: MemRef::base(Gpr::Rbx), width: Width::B8 },
+        }
+    }
+
+    #[test]
+    fn native_decode_matches_static_translation() {
+        let mut e = CsdEngine::default();
+        let p = load_at(0x100);
+        let out = e.decode(&p, false);
+        assert_eq!(out.context, ContextId::Native);
+        assert_eq!(out.translation, translate(&p.inst, p.next_addr()));
+    }
+
+    #[test]
+    fn msr_writes_enable_stealth_path() {
+        let mut e = CsdEngine::default();
+        e.write_msr(MSR_DATA_RANGE_BASE, 0x8000);
+        e.write_msr(MSR_DATA_RANGE_BASE + 1, 0x8000 + 2 * 64);
+        e.write_msr(MSR_CSD_CTL, CTL_STEALTH | CTL_DIFT_TRIGGER);
+
+        let out = e.decode(&load_at(0x100), true);
+        assert_eq!(out.context, ContextId::Stealth);
+        assert!(out.translation.uops.iter().any(|u| u.is_decoy()));
+        assert!(e.stats().decoy_uops > 0);
+        assert_eq!(e.stats().custom_decoded, 1);
+
+        // Second tainted decode before the watchdog fires: native again.
+        let out2 = e.decode(&load_at(0x100), true);
+        assert_eq!(out2.context, ContextId::Native);
+
+        // Watchdog re-arms.
+        e.tick(1000);
+        let out3 = e.decode(&load_at(0x100), true);
+        assert_eq!(out3.context, ContextId::Stealth);
+    }
+
+    #[test]
+    fn devectorization_kicks_in_after_scalar_phase() {
+        let cfg = CsdConfig {
+            vpu_policy: VpuPolicy::CsdDevec(DevecThresholds { window: 8, low: 1, high: 16 }),
+            ..CsdConfig::default()
+        };
+        let mut e = CsdEngine::new(cfg);
+        let scalar = Placed { addr: 0, inst: Inst::MovRI { dst: Gpr::Rax, imm: 1 } };
+        for _ in 0..8 {
+            e.decode(&scalar, false);
+        }
+        assert!(!e.vpu_available());
+
+        let v = Placed {
+            addr: 0x40,
+            inst: Inst::VAlu { op: VecOp::PAddB, dst: Xmm::new(0), src: Xmm::new(1) },
+        };
+        let out = e.decode(&v, false);
+        assert_eq!(out.context, ContextId::Devectorize);
+        assert_eq!(out.vector_class, Some(VectorExecClass::PowerGated));
+        assert!(out.translation.uops.len() > 10);
+        assert_eq!(out.stall_cycles, 0);
+    }
+
+    #[test]
+    fn conventional_policy_stalls_instead_of_devectorizing() {
+        let cfg = CsdConfig {
+            vpu_policy: VpuPolicy::Conventional { idle_gate_cycles: 10 },
+            ..CsdConfig::default()
+        };
+        let mut e = CsdEngine::new(cfg);
+        e.tick(20); // idle → gated
+        let v = Placed {
+            addr: 0x40,
+            inst: Inst::VAlu { op: VecOp::PAddB, dst: Xmm::new(0), src: Xmm::new(1) },
+        };
+        let out = e.decode(&v, false);
+        assert_eq!(out.context, ContextId::Native);
+        assert_eq!(out.stall_cycles, 30);
+        assert_eq!(out.vector_class, Some(VectorExecClass::PoweredOn));
+    }
+
+    #[test]
+    fn mcu_patch_replaces_translation_in_custom_mode() {
+        let mut e = CsdEngine::default();
+        let body = vec![Inst::Nop { len: 1 }, Inst::Nop { len: 1 }];
+        let mcu = MicrocodeUpdate::new(
+            1,
+            OpcodeClass::Nop,
+            ContextId::Custom(0),
+            false,
+            body,
+        );
+        assert!(e.apply_microcode_update(&mcu, PrivilegeLevel::Kernel).unwrap());
+        assert_eq!(e.apply_microcode_update(&mcu, PrivilegeLevel::Kernel), Ok(false));
+
+        let p = Placed { addr: 0, inst: Inst::Nop { len: 1 } };
+        // Custom mode inactive: native.
+        assert_eq!(e.decode(&p, false).translation.uops.len(), 1);
+        // Active: patched two-µop flow.
+        e.set_custom_mode(Some(0));
+        let out = e.decode(&p, false);
+        assert_eq!(out.translation.uops.len(), 2);
+        assert_eq!(out.context, ContextId::Custom(0));
+    }
+
+    #[test]
+    fn unprivileged_mcu_is_rejected() {
+        let mut e = CsdEngine::default();
+        let mcu = MicrocodeUpdate::new(1, OpcodeClass::Nop, ContextId::Custom(0), false, vec![]);
+        assert_eq!(
+            e.apply_microcode_update(&mcu, PrivilegeLevel::User),
+            Err(McuError::NotPrivileged)
+        );
+        assert_eq!(e.stats().mcu_applied, 0);
+    }
+
+    #[test]
+    fn stats_count_uops() {
+        let mut e = CsdEngine::default();
+        e.decode(&load_at(0), false);
+        e.decode(&load_at(8), false);
+        assert_eq!(e.stats().decoded_insts, 2);
+        assert_eq!(e.stats().total_uops, 2);
+        assert_eq!(e.stats().custom_decoded, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the CSD engine's invariants.
+
+use csd::{msr, ContextId, CsdConfig, CsdEngine, DevecThresholds, VpuPolicy, VpuState};
+use mx86_isa::{AluOp, Gpr, Inst, MemRef, Placed, RegImm, VecOp, Width, Xmm};
+use proptest::prelude::*;
+
+fn arb_simple_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (0usize..16).prop_map(|r| Inst::MovRI { dst: Gpr::from_index(r), imm: 1 }),
+        (0usize..16).prop_map(|r| Inst::Alu {
+            op: AluOp::Add,
+            dst: Gpr::from_index(r),
+            src: RegImm::Imm(1)
+        }),
+        (0usize..16).prop_map(|r| Inst::Load {
+            dst: Gpr::from_index(r),
+            mem: MemRef::base(Gpr::Rbx),
+            width: Width::B8
+        }),
+        (0u8..16).prop_map(|x| Inst::VAlu {
+            op: VecOp::PAddD,
+            dst: Xmm::new(x),
+            src: Xmm::new((x + 1) % 16)
+        }),
+        Just(Inst::Nop { len: 1 }),
+    ]
+}
+
+proptest! {
+    /// For any instruction stream and taint pattern, a stealth-armed
+    /// engine keeps two invariants: decoy µops appear only on
+    /// load/store/branch macro-ops, and the non-decoy prefix of every
+    /// translation equals the native translation.
+    #[test]
+    fn stealth_only_augments(
+        insts in proptest::collection::vec(arb_simple_inst(), 1..60),
+        taints in proptest::collection::vec(any::<bool>(), 60),
+    ) {
+        let mut engine = CsdEngine::new(CsdConfig::default());
+        engine.write_msr(msr::MSR_DATA_RANGE_BASE, 0x8000);
+        engine.write_msr(msr::MSR_DATA_RANGE_BASE + 1, 0x8000 + 4 * 64);
+        engine.write_msr(msr::MSR_CSD_CTL, msr::CTL_STEALTH | msr::CTL_DIFT_TRIGGER);
+
+        let mut pc = 0x1000u64;
+        for (i, inst) in insts.iter().enumerate() {
+            let placed = Placed { addr: pc, inst: *inst };
+            let tainted = taints[i % taints.len()];
+            let native = csd_uops::translate(inst, placed.next_addr());
+            let out = engine.decode(&placed, tainted);
+
+            let non_decoys: Vec<_> =
+                out.translation.uops.iter().filter(|u| !u.is_decoy()).copied().collect();
+            prop_assert_eq!(&non_decoys, &native.uops,
+                "non-decoy stream must be the native translation");
+
+            let has_decoys = out.translation.uops.iter().any(|u| u.is_decoy());
+            if has_decoys {
+                prop_assert!(inst.is_load() || inst.is_store() || inst.is_branch());
+                prop_assert!(tainted);
+                prop_assert_eq!(out.context, ContextId::Stealth);
+            }
+            engine.tick(7); // let the watchdog creep
+            pc = placed.next_addr();
+        }
+    }
+
+    /// The gate controller's residency counters always partition time,
+    /// under any interleaving of ticks and vector/scalar instructions.
+    #[test]
+    fn gate_residency_partitions_time(
+        events in proptest::collection::vec((any::<bool>(), 1u64..50), 1..200),
+    ) {
+        let cfg = CsdConfig {
+            vpu_policy: VpuPolicy::CsdDevec(DevecThresholds { window: 16, low: 1, high: 4 }),
+            ..CsdConfig::default()
+        };
+        let mut engine = CsdEngine::new(cfg);
+        let scalar = Placed { addr: 0, inst: Inst::Nop { len: 1 } };
+        let vector = Placed {
+            addr: 0x20,
+            inst: Inst::VAlu { op: VecOp::PAddB, dst: Xmm::new(0), src: Xmm::new(1) },
+        };
+        let mut total = 0u64;
+        for (is_vec, ticks) in events {
+            engine.decode(if is_vec { &vector } else { &scalar }, false);
+            engine.tick(ticks);
+            total += ticks;
+            let s = engine.gate().stats();
+            prop_assert_eq!(s.total_cycles(), total);
+            prop_assert_eq!(s.vec_total(), s.vec_on + s.vec_powering_on + s.vec_gated);
+        }
+        // State machine is always in a legal state.
+        match engine.gate().state() {
+            VpuState::On | VpuState::Gated => {}
+            VpuState::Waking { remaining } => prop_assert!(remaining <= 30),
+        }
+    }
+
+    /// MSR reads always return the last write (the file is a plain
+    /// register file, whatever the decoder does with snapshots).
+    #[test]
+    fn msr_file_is_a_register_file(writes in proptest::collection::vec(
+        (0xC50u32..0xC90, any::<u64>()), 1..50)) {
+        let mut engine = CsdEngine::new(CsdConfig::default());
+        let mut last = std::collections::HashMap::new();
+        for (reg, val) in writes {
+            engine.write_msr(reg, val);
+            last.insert(reg, val);
+        }
+        for (reg, val) in last {
+            prop_assert_eq!(engine.read_msr(reg), val);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Reference AES (FIPS-197) with OpenSSL-style T-tables.
+//!
+//! Supports AES-128 (the paper's "AES" benchmark, after OpenSSL) and
+//! AES-256 (standing in for MiBench's "Rijndael" benchmark). The encrypt
+//! and decrypt paths both use the four-table formulation whose
+//! key-dependent loads are the data-cache side channel under study.
+
+/// The AES S-box.
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// The inverse S-box, derived from [`SBOX`].
+pub fn inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &s) in SBOX.iter().enumerate() {
+        inv[s as usize] = i as u8;
+    }
+    inv
+}
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (if x & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+/// GF(2^8) multiplication.
+pub fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut r = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            r ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    r
+}
+
+/// Builds the four encryption T-tables:
+/// `Te0[x] = (2s, s, s, 3s)` big-endian, `Te_i = rotr(Te0, 8i)`.
+pub fn te_tables() -> [[u32; 256]; 4] {
+    let mut t = [[0u32; 256]; 4];
+    for x in 0..256 {
+        let s = SBOX[x];
+        let t0 = (u32::from(xtime(s)) << 24)
+            | (u32::from(s) << 16)
+            | (u32::from(s) << 8)
+            | u32::from(xtime(s) ^ s);
+        for (i, ti) in t.iter_mut().enumerate() {
+            ti[x] = t0.rotate_right(8 * i as u32);
+        }
+    }
+    t
+}
+
+/// Builds the four decryption T-tables:
+/// `Td0[x] = (0e·si, 09·si, 0d·si, 0b·si)`, `Td_i = rotr(Td0, 8i)`.
+pub fn td_tables() -> [[u32; 256]; 4] {
+    let inv = inv_sbox();
+    let mut t = [[0u32; 256]; 4];
+    for x in 0..256 {
+        let s = inv[x];
+        let t0 = (u32::from(gf_mul(s, 0x0e)) << 24)
+            | (u32::from(gf_mul(s, 0x09)) << 16)
+            | (u32::from(gf_mul(s, 0x0d)) << 8)
+            | u32::from(gf_mul(s, 0x0b));
+        for (i, ti) in t.iter_mut().enumerate() {
+            ti[x] = t0.rotate_right(8 * i as u32);
+        }
+    }
+    t
+}
+
+/// Column byte-source pattern for encryption (ShiftRows).
+pub const ENC_SHIFT: [usize; 4] = [0, 1, 2, 3];
+/// Column byte-source pattern for decryption (InvShiftRows).
+pub const DEC_SHIFT: [usize; 4] = [0, 3, 2, 1];
+
+/// Key size selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AesKeySize {
+    /// AES-128: 10 rounds (OpenSSL AES benchmark).
+    K128,
+    /// AES-256: 14 rounds (the "Rijndael" benchmark).
+    K256,
+}
+
+impl AesKeySize {
+    /// Key length in bytes.
+    pub fn key_bytes(self) -> usize {
+        match self {
+            AesKeySize::K128 => 16,
+            AesKeySize::K256 => 32,
+        }
+    }
+
+    /// Number of rounds.
+    pub fn rounds(self) -> usize {
+        match self {
+            AesKeySize::K128 => 10,
+            AesKeySize::K256 => 14,
+        }
+    }
+}
+
+/// A reference AES context (expanded encryption + decryption schedules).
+#[derive(Debug, Clone)]
+pub struct Aes {
+    size: AesKeySize,
+    /// Encryption round keys, `4 * (rounds + 1)` words.
+    pub enc_keys: Vec<u32>,
+    /// Equivalent-inverse-cipher round keys.
+    pub dec_keys: Vec<u32>,
+}
+
+fn sub_word(w: u32) -> u32 {
+    (u32::from(SBOX[(w >> 24) as usize]) << 24)
+        | (u32::from(SBOX[((w >> 16) & 0xff) as usize]) << 16)
+        | (u32::from(SBOX[((w >> 8) & 0xff) as usize]) << 8)
+        | u32::from(SBOX[(w & 0xff) as usize])
+}
+
+fn inv_mix_column(w: u32) -> u32 {
+    let b: [u8; 4] = w.to_be_bytes();
+    let m = |r: usize| {
+        gf_mul(b[r], 0x0e)
+            ^ gf_mul(b[(r + 1) % 4], 0x0b)
+            ^ gf_mul(b[(r + 2) % 4], 0x0d)
+            ^ gf_mul(b[(r + 3) % 4], 0x09)
+    };
+    u32::from_be_bytes([m(0), m(1), m(2), m(3)])
+}
+
+impl Aes {
+    /// Expands `key` (16 or 32 bytes per `size`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` does not match `size`.
+    pub fn new(size: AesKeySize, key: &[u8]) -> Aes {
+        assert_eq!(key.len(), size.key_bytes(), "key length mismatch");
+        let nk = size.key_bytes() / 4;
+        let rounds = size.rounds();
+        let total = 4 * (rounds + 1);
+        let mut w = Vec::with_capacity(total);
+        for i in 0..nk {
+            w.push(u32::from_be_bytes([
+                key[4 * i],
+                key[4 * i + 1],
+                key[4 * i + 2],
+                key[4 * i + 3],
+            ]));
+        }
+        let mut rcon: u8 = 1;
+        for i in nk..total {
+            let mut t = w[i - 1];
+            if i % nk == 0 {
+                t = sub_word(t.rotate_left(8)) ^ (u32::from(rcon) << 24);
+                rcon = xtime(rcon);
+            } else if nk > 6 && i % nk == 4 {
+                t = sub_word(t);
+            }
+            w.push(w[i - nk] ^ t);
+        }
+
+        // Equivalent inverse cipher schedule: reverse round order and
+        // InvMixColumns on the middle rounds.
+        let mut dk = vec![0u32; total];
+        for r in 0..=rounds {
+            for c in 0..4 {
+                dk[4 * r + c] = w[4 * (rounds - r) + c];
+            }
+        }
+        for word in dk.iter_mut().take(4 * rounds).skip(4) {
+            *word = inv_mix_column(*word);
+        }
+
+        Aes { size, enc_keys: w, dec_keys: dk }
+    }
+
+    /// The key size.
+    pub fn size(&self) -> AesKeySize {
+        self.size
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, pt: &[u8; 16]) -> [u8; 16] {
+        self.rounds_with(&te_tables(), &SBOX, &self.enc_keys, pt, ENC_SHIFT)
+    }
+
+    /// Decrypts one 16-byte block (equivalent inverse cipher; InvShiftRows
+    /// rotates the other way, hence the mirrored column pattern).
+    pub fn decrypt_block(&self, ct: &[u8; 16]) -> [u8; 16] {
+        self.rounds_with(&td_tables(), &inv_sbox(), &self.dec_keys, ct, DEC_SHIFT)
+    }
+
+    fn rounds_with(
+        &self,
+        t: &[[u32; 256]; 4],
+        sbox: &[u8; 256],
+        rk: &[u32],
+        input: &[u8; 16],
+        shift: [usize; 4],
+    ) -> [u8; 16] {
+        let rounds = self.size.rounds();
+        let get = |i: usize| {
+            u32::from_be_bytes([input[4 * i], input[4 * i + 1], input[4 * i + 2], input[4 * i + 3]])
+        };
+        let mut s = [get(0) ^ rk[0], get(1) ^ rk[1], get(2) ^ rk[2], get(3) ^ rk[3]];
+        for r in 1..rounds {
+            let mut n = [0u32; 4];
+            for (c, out) in n.iter_mut().enumerate() {
+                *out = t[0][(s[(c + shift[0]) % 4] >> 24) as usize]
+                    ^ t[1][((s[(c + shift[1]) % 4] >> 16) & 0xff) as usize]
+                    ^ t[2][((s[(c + shift[2]) % 4] >> 8) & 0xff) as usize]
+                    ^ t[3][(s[(c + shift[3]) % 4] & 0xff) as usize]
+                    ^ rk[4 * r + c];
+            }
+            s = n;
+        }
+        // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        let mut out = [0u8; 16];
+        for c in 0..4 {
+            let w = (u32::from(sbox[(s[(c + shift[0]) % 4] >> 24) as usize]) << 24)
+                | (u32::from(sbox[((s[(c + shift[1]) % 4] >> 16) & 0xff) as usize]) << 16)
+                | (u32::from(sbox[((s[(c + shift[2]) % 4] >> 8) & 0xff) as usize]) << 8)
+                | u32::from(sbox[(s[(c + shift[3]) % 4] & 0xff) as usize]);
+            let w = w ^ rk[4 * rounds + c];
+            out[4 * c..4 * c + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIPS_PT: [u8; 16] = [
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+        0xee, 0xff,
+    ];
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &s in &SBOX {
+            assert!(!seen[s as usize]);
+            seen[s as usize] = true;
+        }
+        let inv = inv_sbox();
+        for i in 0..256 {
+            assert_eq!(inv[SBOX[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn gf_mul_matches_known_values() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1); // FIPS-197 example
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        assert_eq!(gf_mul(1, 0xAB), 0xAB);
+    }
+
+    #[test]
+    fn aes128_fips_vector() {
+        let key: Vec<u8> = (0u8..16).collect();
+        let aes = Aes::new(AesKeySize::K128, &key);
+        let ct = aes.encrypt_block(&FIPS_PT);
+        assert_eq!(
+            ct,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+                0xb4, 0xc5, 0x5a
+            ]
+        );
+    }
+
+    #[test]
+    fn aes256_fips_vector() {
+        let key: Vec<u8> = (0u8..32).collect();
+        let aes = Aes::new(AesKeySize::K256, &key);
+        let ct = aes.encrypt_block(&FIPS_PT);
+        assert_eq!(
+            ct,
+            [
+                0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b,
+                0x49, 0x60, 0x89
+            ]
+        );
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt_128_and_256() {
+        for size in [AesKeySize::K128, AesKeySize::K256] {
+            let key: Vec<u8> = (0..size.key_bytes() as u8).map(|i| i.wrapping_mul(37)).collect();
+            let aes = Aes::new(size, &key);
+            for seed in 0u8..8 {
+                let mut pt = [0u8; 16];
+                for (i, b) in pt.iter_mut().enumerate() {
+                    *b = seed.wrapping_mul(29).wrapping_add(i as u8 * 13);
+                }
+                let ct = aes.encrypt_block(&pt);
+                assert_eq!(aes.decrypt_block(&ct), pt, "{size:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn key_schedule_lengths() {
+        let aes = Aes::new(AesKeySize::K128, &[0; 16]);
+        assert_eq!(aes.enc_keys.len(), 44);
+        assert_eq!(aes.dec_keys.len(), 44);
+        let aes = Aes::new(AesKeySize::K256, &[0; 32]);
+        assert_eq!(aes.enc_keys.len(), 60);
+    }
+}

@@ -1,0 +1,36 @@
+//! # csd-crypto — cryptographic victim programs for the side-channel study
+//!
+//! The paper evaluates stealth-mode translation on commercial crypto codes:
+//! OpenSSL's T-table AES, GnuPG's square-and-multiply RSA, and MiBench's
+//! Blowfish and Rijndael. This crate rebuilds those *victims* for the mx86
+//! simulator:
+//!
+//! - a pure-Rust **reference** implementation of each algorithm (verified
+//!   against FIPS-197 vectors for AES/Rijndael), used as ground truth;
+//! - a **program generator** that hand-compiles the same algorithm to mx86,
+//!   preserving the side-channel-relevant structure exactly: four 1 KiB
+//!   T-tables (64 cache lines) indexed by key⊕plaintext bytes for
+//!   AES/Rijndael, key-dependent S-box loads for Blowfish, and a
+//!   key-dependent call to a multi-line `multiply` function for RSA;
+//! - the [`Victim`] trait used by the attack and benchmark harnesses to
+//!   install tables/keys (and DIFT taint), run one operation, and expose
+//!   the sensitive address ranges that stealth mode's decoy range
+//!   registers must cover.
+//!
+//! Substitutions from the paper's artifacts are documented in `DESIGN.md`
+//! (64-bit modexp for GnuPG's bignum; PRNG-seeded instead of π-seeded
+//! Blowfish boxes; AES-256 standing in for MiBench Rijndael).
+
+#![warn(missing_docs)]
+
+mod aes;
+mod aes_ref;
+mod blowfish;
+mod rsa;
+mod victim;
+
+pub use aes::{AesLayout, AesVictim, AES_LAYOUT};
+pub use aes_ref::{Aes, AesKeySize};
+pub use blowfish::{Blowfish, BlowfishLayout, BlowfishVictim, BLOWFISH_LAYOUT};
+pub use rsa::{RsaLayout, RsaVictim, RSA_LAYOUT};
+pub use victim::{enable_stealth_for, CipherDir, Victim};

@@ -1,0 +1,99 @@
+//! The common victim interface used by attack and benchmark harnesses.
+
+use csd_pipeline::Core;
+use mx86_isa::{AddrRange, Program};
+
+/// Whether a cipher victim runs in encrypt or decrypt mode (the paper's
+/// eight datapoints are four ciphers × two modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CipherDir {
+    /// Encryption.
+    Encrypt,
+    /// Decryption.
+    Decrypt,
+}
+
+impl CipherDir {
+    /// Both directions.
+    pub const BOTH: [CipherDir; 2] = [CipherDir::Encrypt, CipherDir::Decrypt];
+
+    /// Short label ("enc"/"dec").
+    pub fn label(self) -> &'static str {
+        match self {
+            CipherDir::Encrypt => "enc",
+            CipherDir::Decrypt => "dec",
+        }
+    }
+}
+
+/// A victim program: an algorithm compiled to mx86 plus the data and
+/// configuration the harness must install.
+pub trait Victim {
+    /// Benchmark name (e.g. `"aes-enc"`).
+    fn name(&self) -> String;
+
+    /// The victim's mx86 program.
+    fn program(&self) -> &Program;
+
+    /// Installs tables, keys, and DIFT taint into a fresh core built
+    /// around [`Victim::program`].
+    fn install(&self, core: &mut Core);
+
+    /// Restarts the program and writes `input`, leaving the core ready to
+    /// run (attack tracers interleave probes with partial runs).
+    fn prepare(&self, core: &mut Core, input: &[u8]);
+
+    /// Reads the operation's output after the program halted.
+    fn collect(&self, core: &Core) -> Vec<u8>;
+
+    /// Runs one operation (e.g. one block encryption) on `core`: restarts
+    /// the program, writes `input`, runs to halt, and returns the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program faults or fails to halt — victim programs are
+    /// closed, known-terminating code.
+    fn run_once(&self, core: &mut Core, input: &[u8]) -> Vec<u8> {
+        self.prepare(core, input);
+        let out = core.run(10_000_000);
+        assert_eq!(
+            out,
+            csd_pipeline::StepOutcome::Halted,
+            "victim program must halt"
+        );
+        self.collect(core)
+    }
+
+    /// Input length in bytes for [`Victim::run_once`].
+    fn input_len(&self) -> usize;
+
+    /// Data address ranges whose access pattern is key-dependent (the
+    /// decoy *data* range registers must cover these — AES T-tables,
+    /// Blowfish S-boxes).
+    fn sensitive_data_ranges(&self) -> Vec<AddrRange>;
+
+    /// Code address ranges whose fetch pattern is key-dependent (the decoy
+    /// *instruction* range registers — RSA's `multiply`).
+    fn sensitive_inst_ranges(&self) -> Vec<AddrRange>;
+
+    /// The reference (ground-truth) computation for correctness checks.
+    fn reference(&self, input: &[u8]) -> Vec<u8>;
+}
+
+/// Configures a core's CSD engine for this victim: programs the decoy
+/// address-range MSRs with the victim's sensitive ranges and enables
+/// stealth mode with the DIFT trigger.
+pub fn enable_stealth_for(victim: &dyn Victim, core: &mut Core, watchdog_period: u64) {
+    use csd::msr;
+    let e = core.engine_mut();
+    for (i, r) in victim.sensitive_data_ranges().iter().take(4).enumerate() {
+        e.write_msr(msr::MSR_DATA_RANGE_BASE + 2 * i as u32, r.start);
+        e.write_msr(msr::MSR_DATA_RANGE_BASE + 2 * i as u32 + 1, r.end);
+    }
+    for (i, r) in victim.sensitive_inst_ranges().iter().take(4).enumerate() {
+        e.write_msr(msr::MSR_INST_RANGE_BASE + 2 * i as u32, r.start);
+        e.write_msr(msr::MSR_INST_RANGE_BASE + 2 * i as u32 + 1, r.end);
+    }
+    e.write_msr(msr::MSR_WATCHDOG_PERIOD, watchdog_period);
+    e.write_msr(msr::MSR_CSD_CTL, msr::CTL_STEALTH | msr::CTL_DIFT_TRIGGER);
+}

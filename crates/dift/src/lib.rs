@@ -1,0 +1,401 @@
+//! # csd-dift — dynamic information-flow tracking substrate
+//!
+//! The paper uses a lightweight hardware DIFT engine (Kannan et al.) as one
+//! of the *trigger mechanisms* for context-sensitive decoding: when the
+//! decoder encounters a load or branch whose operands derive from tainted
+//! data (e.g. a cryptographic key), stealth-mode translation kicks in.
+//!
+//! This crate implements taint state and µop-level propagation:
+//!
+//! - sources: byte-granular memory ranges marked tainted (key buffers);
+//! - propagation: copy, ALU (union of sources), load (loaded-data taint ∪
+//!   address-register taint), store (data taint to memory), flags taint
+//!   from tainted compares;
+//! - queries: *tainted load/store* (any address-forming register tainted,
+//!   or tainted bytes loaded) and *tainted branch* (flags derived from
+//!   tainted data) — exactly the conditions that fire stealth mode.
+//!
+//! The paper models the taint lookup as an extra 4-cycle L2-tag access
+//! latency ([`DIFT_L2_TAG_PENALTY`]); the pipeline applies it to loads
+//! while DIFT is enabled.
+//!
+//! ```
+//! use csd_dift::Dift;
+//! use csd_uops::{Uop, UopKind, UMem, UReg};
+//! use mx86_isa::{AddrRange, Gpr, Width};
+//!
+//! let mut dift = Dift::new();
+//! dift.taint_memory(AddrRange::new(0x1000, 0x1010)); // secret key bytes
+//!
+//! // Load a key byte: the destination register becomes tainted.
+//! let ld = Uop::new(UopKind::Ld).dst(UReg::Gpr(Gpr::Rax)).mem(UMem::abs(0x1000, Width::B1));
+//! let ev = dift.propagate(&ld, Some(0x1000));
+//! assert!(ev.loaded_tainted_data);
+//! assert!(dift.reg_tainted(UReg::Gpr(Gpr::Rax)));
+//! ```
+
+#![warn(missing_docs)]
+
+use csd_uops::{UReg, Uop, UopKind};
+use mx86_isa::{AddrRange, Gpr, Xmm};
+use std::collections::HashSet;
+
+/// Extra load latency (cycles) charged while DIFT is active, modeling the
+/// taint-tag lookup as an additional L2-tag access (paper §VI-A).
+pub const DIFT_L2_TAG_PENALTY: u64 = 4;
+
+/// What a propagation step observed — the inputs to the CSD trigger logic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaintEvent {
+    /// A load/store computed its address from a tainted register
+    /// (key-dependent access pattern — the AES T-table case).
+    pub tainted_address: bool,
+    /// A load read bytes that are themselves tainted.
+    pub loaded_tainted_data: bool,
+    /// A conditional branch consumed tainted flags
+    /// (key-dependent control flow — the RSA square-and-multiply case).
+    pub tainted_branch: bool,
+}
+
+impl TaintEvent {
+    /// Whether the event should trigger stealth-mode translation.
+    pub fn triggers_stealth(&self) -> bool {
+        self.tainted_address || self.tainted_branch
+    }
+}
+
+/// Taint state over the full micro-architectural register namespace plus a
+/// byte-granular memory shadow.
+#[derive(Debug, Clone, Default)]
+pub struct Dift {
+    gprs: [bool; Gpr::COUNT],
+    xmms: [bool; Xmm::COUNT],
+    tmps: [bool; UReg::TMP_COUNT],
+    vtmps: [bool; UReg::VTMP_COUNT],
+    flags: bool,
+    mem: HashSet<u64>,
+    enabled: bool,
+}
+
+impl Dift {
+    /// Fresh, enabled DIFT state with nothing tainted.
+    pub fn new() -> Dift {
+        Dift { enabled: true, ..Dift::default() }
+    }
+
+    /// Enables or disables tracking. While disabled, propagation is a
+    /// no-op and all queries report untainted.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether tracking is enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Marks every byte in `range` as tainted (a taint *source*, e.g. the
+    /// buffer a secret key is read into).
+    pub fn taint_memory(&mut self, range: AddrRange) {
+        for b in range.start..range.end {
+            self.mem.insert(b);
+        }
+    }
+
+    /// Clears taint from every byte in `range`.
+    pub fn untaint_memory(&mut self, range: AddrRange) {
+        for b in range.start..range.end {
+            self.mem.remove(&b);
+        }
+    }
+
+    /// Marks a register as tainted (direct source injection).
+    pub fn taint_reg(&mut self, r: UReg) {
+        self.set_reg(r, true);
+    }
+
+    /// Whether a register is tainted.
+    pub fn reg_tainted(&self, r: UReg) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        match r {
+            UReg::Gpr(g) => self.gprs[g.index()],
+            UReg::Xmm(x) => self.xmms[x.index()],
+            UReg::Tmp(i) => self.tmps[i as usize],
+            UReg::VTmp(i) => self.vtmps[i as usize],
+        }
+    }
+
+    /// Whether any byte of `[addr, addr+len)` is tainted.
+    pub fn memory_tainted(&self, addr: u64, len: u64) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        (addr..addr + len).any(|b| self.mem.contains(&b))
+    }
+
+    /// Whether the flags register is tainted.
+    pub fn flags_tainted(&self) -> bool {
+        self.enabled && self.flags
+    }
+
+    /// Number of tainted memory bytes (diagnostics).
+    pub fn tainted_bytes(&self) -> usize {
+        self.mem.len()
+    }
+
+    fn set_reg(&mut self, r: UReg, v: bool) {
+        match r {
+            UReg::Gpr(g) => self.gprs[g.index()] = v,
+            UReg::Xmm(x) => self.xmms[x.index()] = v,
+            UReg::Tmp(i) => self.tmps[i as usize] = v,
+            UReg::VTmp(i) => self.vtmps[i as usize] = v,
+        }
+    }
+
+    fn mem_operand_addr_tainted(&self, uop: &Uop) -> bool {
+        uop.mem.is_some_and(|m| {
+            m.base.is_some_and(|b| self.reg_tainted(b))
+                || m.index.is_some_and(|(i, _)| self.reg_tainted(i))
+        })
+    }
+
+    /// Propagates taint through one µop and reports trigger-relevant
+    /// observations.
+    ///
+    /// `ea` is the resolved effective address for memory µops (`None` for
+    /// non-memory µops). Decoy µops are skipped entirely: they are
+    /// microarchitectural noise, not data flow.
+    pub fn propagate(&mut self, uop: &Uop, ea: Option<u64>) -> TaintEvent {
+        let mut ev = TaintEvent::default();
+        if !self.enabled || uop.is_decoy() {
+            return ev;
+        }
+        let src_taint = |d: &Dift| {
+            uop.src1.is_some_and(|r| d.reg_tainted(r))
+                || uop.src2.is_some_and(|r| d.reg_tainted(r))
+        };
+        match uop.kind {
+            UopKind::Nop | UopKind::Halt | UopKind::Rdtsc | UopKind::Clflush => {}
+            UopKind::MovImm => {
+                if let Some(d) = uop.dst {
+                    self.set_reg(d, false);
+                }
+            }
+            UopKind::Mov | UopKind::VMov | UopKind::VExtractQ | UopKind::VInsertQ => {
+                let t = src_taint(self);
+                if let Some(d) = uop.dst {
+                    // Inserts merge into the destination: keep existing taint.
+                    let keep = uop.kind == UopKind::VInsertQ && self.reg_tainted(d);
+                    self.set_reg(d, t || keep);
+                }
+            }
+            UopKind::Alu(_) | UopKind::Mul | UopKind::FAlu(..) | UopKind::DivQ
+            | UopKind::DivR | UopKind::VAlu(_) => {
+                let t = src_taint(self);
+                if let Some(d) = uop.dst {
+                    self.set_reg(d, t);
+                }
+                if uop.kind.writes_flags() || matches!(uop.kind, UopKind::DivQ | UopKind::DivR)
+                {
+                    self.flags = t;
+                }
+            }
+            UopKind::Lea => {
+                let t = self.mem_operand_addr_tainted(uop);
+                if let Some(d) = uop.dst {
+                    self.set_reg(d, t);
+                }
+            }
+            UopKind::Ld | UopKind::VLd | UopKind::Pop => {
+                ev.tainted_address = self.mem_operand_addr_tainted(uop);
+                let len = uop.mem.map_or(8, |m| m.width.bytes());
+                let data_t = ea.is_some_and(|a| self.memory_tainted(a, len));
+                ev.loaded_tainted_data = data_t;
+                if let Some(d) = uop.dst {
+                    self.set_reg(d, data_t || ev.tainted_address);
+                }
+            }
+            UopKind::St | UopKind::VSt | UopKind::Push => {
+                ev.tainted_address = self.mem_operand_addr_tainted(uop);
+                let t = src_taint(self);
+                if let (Some(a), Some(m)) = (ea, uop.mem) {
+                    for b in a..a + m.width.bytes() {
+                        if t {
+                            self.mem.insert(b);
+                        } else {
+                            self.mem.remove(&b);
+                        }
+                    }
+                } else if let Some(a) = ea {
+                    // Push without explicit mem operand: 8 bytes.
+                    for b in a..a + 8 {
+                        if t {
+                            self.mem.insert(b);
+                        } else {
+                            self.mem.remove(&b);
+                        }
+                    }
+                }
+            }
+            UopKind::PushImm => {
+                if let Some(a) = ea {
+                    for b in a..a + 8 {
+                        self.mem.remove(&b);
+                    }
+                }
+            }
+            UopKind::Br(_) => {
+                ev.tainted_branch = self.flags;
+            }
+            UopKind::JmpImm => {}
+            UopKind::JmpReg => {
+                ev.tainted_branch = uop.src1.is_some_and(|r| self.reg_tainted(r));
+            }
+            UopKind::Wrmsr | UopKind::Rdmsr => {
+                if let Some(d) = uop.dst {
+                    self.set_reg(d, false);
+                }
+            }
+        }
+        ev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csd_uops::UMem;
+    use mx86_isa::{AluOp, Cc, Width};
+
+    fn ld(dst: UReg, addr: u64) -> Uop {
+        Uop::new(UopKind::Ld).dst(dst).mem(UMem::abs(addr, Width::B8))
+    }
+
+    #[test]
+    fn load_of_tainted_data_taints_register() {
+        let mut d = Dift::new();
+        d.taint_memory(AddrRange::new(0x100, 0x108));
+        let ev = d.propagate(&ld(UReg::Gpr(Gpr::Rax), 0x100), Some(0x100));
+        assert!(ev.loaded_tainted_data);
+        assert!(!ev.tainted_address);
+        assert!(d.reg_tainted(UReg::Gpr(Gpr::Rax)));
+    }
+
+    #[test]
+    fn alu_unions_taint_and_taints_flags() {
+        let mut d = Dift::new();
+        d.taint_reg(UReg::Gpr(Gpr::Rbx));
+        let add = Uop::new(UopKind::Alu(AluOp::Add))
+            .dst(UReg::Gpr(Gpr::Rax))
+            .src1(UReg::Gpr(Gpr::Rax))
+            .src2(UReg::Gpr(Gpr::Rbx));
+        d.propagate(&add, None);
+        assert!(d.reg_tainted(UReg::Gpr(Gpr::Rax)));
+        assert!(d.flags_tainted());
+    }
+
+    #[test]
+    fn tainted_index_register_flags_tainted_address() {
+        let mut d = Dift::new();
+        d.taint_reg(UReg::Gpr(Gpr::Rcx));
+        let u = Uop::new(UopKind::Ld).dst(UReg::Tmp(0)).mem(UMem {
+            base: Some(UReg::Gpr(Gpr::Rbx)),
+            index: Some((UReg::Gpr(Gpr::Rcx), mx86_isa::Scale::S4)),
+            disp: 0,
+            width: Width::B4,
+        });
+        let ev = d.propagate(&u, Some(0x9999));
+        assert!(ev.tainted_address, "key-dependent table index");
+        assert!(ev.triggers_stealth());
+    }
+
+    #[test]
+    fn tainted_compare_then_branch_is_tainted_branch() {
+        let mut d = Dift::new();
+        d.taint_reg(UReg::Gpr(Gpr::Rax));
+        let cmp = Uop::new(UopKind::Alu(AluOp::Sub)).src1(UReg::Gpr(Gpr::Rax)).imm(0);
+        d.propagate(&cmp, None);
+        let br = Uop::new(UopKind::Br(Cc::Ne)).imm(0x40);
+        let ev = d.propagate(&br, None);
+        assert!(ev.tainted_branch);
+        assert!(ev.triggers_stealth());
+    }
+
+    #[test]
+    fn untainted_branch_does_not_trigger() {
+        let mut d = Dift::new();
+        let cmp = Uop::new(UopKind::Alu(AluOp::Sub)).src1(UReg::Gpr(Gpr::Rax)).imm(0);
+        d.propagate(&cmp, None);
+        let br = Uop::new(UopKind::Br(Cc::Ne)).imm(0x40);
+        assert!(!d.propagate(&br, None).triggers_stealth());
+    }
+
+    #[test]
+    fn store_propagates_taint_to_memory_and_back() {
+        let mut d = Dift::new();
+        d.taint_reg(UReg::Gpr(Gpr::Rdx));
+        let st = Uop::new(UopKind::St)
+            .src1(UReg::Gpr(Gpr::Rdx))
+            .mem(UMem::abs(0x200, Width::B8));
+        d.propagate(&st, Some(0x200));
+        assert!(d.memory_tainted(0x200, 8));
+        let ev = d.propagate(&ld(UReg::Gpr(Gpr::Rsi), 0x200), Some(0x200));
+        assert!(ev.loaded_tainted_data);
+    }
+
+    #[test]
+    fn untainted_store_clears_memory_taint() {
+        let mut d = Dift::new();
+        d.taint_memory(AddrRange::new(0x300, 0x308));
+        let st = Uop::new(UopKind::St)
+            .src1(UReg::Gpr(Gpr::Rax))
+            .mem(UMem::abs(0x300, Width::B8));
+        d.propagate(&st, Some(0x300));
+        assert!(!d.memory_tainted(0x300, 8));
+    }
+
+    #[test]
+    fn mov_imm_clears_taint() {
+        let mut d = Dift::new();
+        d.taint_reg(UReg::Gpr(Gpr::Rax));
+        let mi = Uop::new(UopKind::MovImm).dst(UReg::Gpr(Gpr::Rax)).imm(0);
+        d.propagate(&mi, None);
+        assert!(!d.reg_tainted(UReg::Gpr(Gpr::Rax)));
+    }
+
+    #[test]
+    fn decoy_uops_do_not_propagate() {
+        let mut d = Dift::new();
+        d.taint_memory(AddrRange::new(0x100, 0x140));
+        let decoy = Uop::new(UopKind::Ld)
+            .dst(UReg::Tmp(1))
+            .mem(UMem::abs(0x100, Width::B1))
+            .decoy();
+        let ev = d.propagate(&decoy, Some(0x100));
+        assert_eq!(ev, TaintEvent::default());
+        assert!(!d.reg_tainted(UReg::Tmp(1)));
+    }
+
+    #[test]
+    fn disabled_dift_reports_nothing() {
+        let mut d = Dift::new();
+        d.taint_memory(AddrRange::new(0x100, 0x108));
+        d.set_enabled(false);
+        let ev = d.propagate(&ld(UReg::Gpr(Gpr::Rax), 0x100), Some(0x100));
+        assert!(!ev.loaded_tainted_data);
+        assert!(!d.reg_tainted(UReg::Gpr(Gpr::Rax)));
+        assert!(!d.memory_tainted(0x100, 8));
+    }
+
+    #[test]
+    fn untaint_memory_removes_source() {
+        let mut d = Dift::new();
+        d.taint_memory(AddrRange::new(0x100, 0x110));
+        assert_eq!(d.tainted_bytes(), 16);
+        d.untaint_memory(AddrRange::new(0x100, 0x108));
+        assert!(!d.memory_tainted(0x100, 8));
+        assert!(d.memory_tainted(0x108, 8));
+    }
+}

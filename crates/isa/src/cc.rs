@@ -1,0 +1,148 @@
+//! Branch condition codes.
+
+use std::fmt;
+
+/// Condition codes for conditional branches (`Jcc`).
+///
+/// Evaluated against the architectural flags (ZF, SF, CF, OF) produced by
+/// the most recent flag-writing macro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cc {
+    /// Equal / zero (`ZF`).
+    Eq,
+    /// Not equal / not zero (`!ZF`).
+    Ne,
+    /// Signed less-than (`SF != OF`).
+    Lt,
+    /// Signed greater-or-equal (`SF == OF`).
+    Ge,
+    /// Signed less-or-equal (`ZF || SF != OF`).
+    Le,
+    /// Signed greater-than (`!ZF && SF == OF`).
+    Gt,
+    /// Unsigned below (`CF`).
+    B,
+    /// Unsigned above-or-equal (`!CF`).
+    Ae,
+    /// Unsigned below-or-equal (`CF || ZF`).
+    Be,
+    /// Unsigned above (`!CF && !ZF`).
+    A,
+    /// Negative (`SF`).
+    S,
+    /// Non-negative (`!SF`).
+    Ns,
+}
+
+impl Cc {
+    /// All condition codes.
+    pub const ALL: [Cc; 12] = [
+        Cc::Eq,
+        Cc::Ne,
+        Cc::Lt,
+        Cc::Ge,
+        Cc::Le,
+        Cc::Gt,
+        Cc::B,
+        Cc::Ae,
+        Cc::Be,
+        Cc::A,
+        Cc::S,
+        Cc::Ns,
+    ];
+
+    /// The logically inverted condition.
+    pub const fn invert(self) -> Cc {
+        match self {
+            Cc::Eq => Cc::Ne,
+            Cc::Ne => Cc::Eq,
+            Cc::Lt => Cc::Ge,
+            Cc::Ge => Cc::Lt,
+            Cc::Le => Cc::Gt,
+            Cc::Gt => Cc::Le,
+            Cc::B => Cc::Ae,
+            Cc::Ae => Cc::B,
+            Cc::Be => Cc::A,
+            Cc::A => Cc::Be,
+            Cc::S => Cc::Ns,
+            Cc::Ns => Cc::S,
+        }
+    }
+
+    /// Evaluates the condition against flag values.
+    pub const fn eval(self, zf: bool, sf: bool, cf: bool, of: bool) -> bool {
+        match self {
+            Cc::Eq => zf,
+            Cc::Ne => !zf,
+            Cc::Lt => sf != of,
+            Cc::Ge => sf == of,
+            Cc::Le => zf || (sf != of),
+            Cc::Gt => !zf && (sf == of),
+            Cc::B => cf,
+            Cc::Ae => !cf,
+            Cc::Be => cf || zf,
+            Cc::A => !cf && !zf,
+            Cc::S => sf,
+            Cc::Ns => !sf,
+        }
+    }
+}
+
+impl fmt::Display for Cc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cc::Eq => "e",
+            Cc::Ne => "ne",
+            Cc::Lt => "l",
+            Cc::Ge => "ge",
+            Cc::Le => "le",
+            Cc::Gt => "g",
+            Cc::B => "b",
+            Cc::Ae => "ae",
+            Cc::Be => "be",
+            Cc::A => "a",
+            Cc::S => "s",
+            Cc::Ns => "ns",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inversion_is_involutive() {
+        for cc in Cc::ALL {
+            assert_eq!(cc.invert().invert(), cc);
+        }
+    }
+
+    #[test]
+    fn inverted_condition_negates_eval() {
+        for cc in Cc::ALL {
+            for bits in 0..16u8 {
+                let (zf, sf, cf, of) = (
+                    bits & 1 != 0,
+                    bits & 2 != 0,
+                    bits & 4 != 0,
+                    bits & 8 != 0,
+                );
+                assert_eq!(
+                    cc.eval(zf, sf, cf, of),
+                    !cc.invert().eval(zf, sf, cf, of),
+                    "{cc} with flags {bits:04b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        // 1 < 2: sub computes 1-2 => sf=1, of=0
+        assert!(Cc::Lt.eval(false, true, true, false));
+        assert!(!Cc::Ge.eval(false, true, true, false));
+        assert!(Cc::Le.eval(false, true, true, false));
+    }
+}

@@ -1,0 +1,671 @@
+//! Macro-op (native instruction) definitions and encoding-length model.
+
+use crate::cc::Cc;
+use crate::operand::{MemRef, Width};
+use crate::reg::{Gpr, Xmm};
+use std::fmt;
+
+/// Maximum encoded length of any instruction, matching x86's 15-byte cap.
+pub const MAX_INST_LEN: u32 = 15;
+
+/// Scalar ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sar,
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sar => "sar",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Packed SSE-style vector operations over a 128-bit lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum VecOp {
+    /// Packed add of 16 bytes (`paddb`).
+    PAddB,
+    /// Packed add of 8 words (`paddw`).
+    PAddW,
+    /// Packed add of 4 dwords (`paddd`).
+    PAddD,
+    /// Packed add of 2 qwords (`paddq`).
+    PAddQ,
+    /// Packed subtract of 16 bytes (`psubb`).
+    PSubB,
+    /// Packed subtract of 4 dwords (`psubd`).
+    PSubD,
+    /// Packed bitwise and (`pand`).
+    PAnd,
+    /// Packed bitwise or (`por`).
+    POr,
+    /// Packed bitwise xor (`pxor`).
+    PXor,
+    /// Packed multiply low of 8 words (`pmullw`).
+    PMullW,
+    /// Packed multiply low of 4 dwords (`pmulld`).
+    PMullD,
+    /// Packed single-precision float add (`addps`).
+    AddPs,
+    /// Packed single-precision float multiply (`mulps`).
+    MulPs,
+    /// Packed single-precision float subtract (`subps`).
+    SubPs,
+    /// Packed double-precision float add (`addpd`).
+    AddPd,
+    /// Packed double-precision float multiply (`mulpd`).
+    MulPd,
+}
+
+impl VecOp {
+    /// Element width in bytes of each packed lane.
+    pub const fn element_bytes(self) -> u32 {
+        match self {
+            VecOp::PAddB | VecOp::PSubB => 1,
+            VecOp::PAddW | VecOp::PMullW => 2,
+            VecOp::PAddD | VecOp::PSubD | VecOp::PMullD | VecOp::AddPs | VecOp::MulPs
+            | VecOp::SubPs => 4,
+            VecOp::PAddQ | VecOp::AddPd | VecOp::MulPd | VecOp::PAnd | VecOp::POr
+            | VecOp::PXor => 8,
+        }
+    }
+
+    /// Number of packed elements in the 128-bit lane.
+    pub const fn lanes(self) -> u32 {
+        16 / self.element_bytes()
+    }
+
+    /// Whether the op is a floating-point vector op (longer scalar
+    /// emulation and higher execution latency than packed-integer ops).
+    pub const fn is_float(self) -> bool {
+        matches!(
+            self,
+            VecOp::AddPs | VecOp::MulPs | VecOp::SubPs | VecOp::AddPd | VecOp::MulPd
+        )
+    }
+
+    /// Whether the op is a multiply (higher latency/energy class).
+    pub const fn is_multiply(self) -> bool {
+        matches!(self, VecOp::PMullW | VecOp::PMullD | VecOp::MulPs | VecOp::MulPd)
+    }
+}
+
+impl fmt::Display for VecOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VecOp::PAddB => "paddb",
+            VecOp::PAddW => "paddw",
+            VecOp::PAddD => "paddd",
+            VecOp::PAddQ => "paddq",
+            VecOp::PSubB => "psubb",
+            VecOp::PSubD => "psubd",
+            VecOp::PAnd => "pand",
+            VecOp::POr => "por",
+            VecOp::PXor => "pxor",
+            VecOp::PMullW => "pmullw",
+            VecOp::PMullD => "pmulld",
+            VecOp::AddPs => "addps",
+            VecOp::MulPs => "mulps",
+            VecOp::SubPs => "subps",
+            VecOp::AddPd => "addpd",
+            VecOp::MulPd => "mulpd",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A register-or-immediate source operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegImm {
+    /// A GPR source.
+    Reg(Gpr),
+    /// An immediate source.
+    Imm(i64),
+}
+
+impl RegImm {
+    fn encoding_len(&self) -> u32 {
+        match self {
+            RegImm::Reg(_) => 0,
+            RegImm::Imm(i) => imm_len(*i),
+        }
+    }
+}
+
+impl From<Gpr> for RegImm {
+    fn from(r: Gpr) -> Self {
+        RegImm::Reg(r)
+    }
+}
+
+impl From<i64> for RegImm {
+    fn from(i: i64) -> Self {
+        RegImm::Imm(i)
+    }
+}
+
+impl fmt::Display for RegImm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegImm::Reg(r) => write!(f, "{r}"),
+            RegImm::Imm(i) => write!(f, "{i:#x}"),
+        }
+    }
+}
+
+fn imm_len(i: i64) -> u32 {
+    if i8::try_from(i).is_ok() {
+        1
+    } else if i32::try_from(i).is_ok() {
+        4
+    } else {
+        8
+    }
+}
+
+/// A native mx86 macro-op.
+///
+/// Variants cover the instruction classes relevant to the front end:
+/// scalar data movement, loads/stores, ALU ops (including load-op and
+/// read-modify-write memory forms), multiplies and microsequenced divides,
+/// control transfer, packed vector ops, and the system instructions used by
+/// the CSD framework (`Wrmsr`, `Clflush`, `Rdtsc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// No-operation of an explicit encoded length (x86 has multi-byte NOPs).
+    Nop {
+        /// Encoded length in bytes (1..=15).
+        len: u32,
+    },
+    /// `mov dst, src` — register-to-register move.
+    MovRR {
+        /// Destination register.
+        dst: Gpr,
+        /// Source register.
+        src: Gpr,
+    },
+    /// `mov dst, imm` — load immediate.
+    MovRI {
+        /// Destination register.
+        dst: Gpr,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `mov dst, [mem]` — scalar load.
+    Load {
+        /// Destination register.
+        dst: Gpr,
+        /// Memory source.
+        mem: MemRef,
+        /// Access width.
+        width: Width,
+    },
+    /// `mov [mem], src` — scalar store.
+    Store {
+        /// Memory destination.
+        mem: MemRef,
+        /// Source register.
+        src: Gpr,
+        /// Access width.
+        width: Width,
+    },
+    /// `lea dst, [mem]` — address computation without memory access.
+    Lea {
+        /// Destination register.
+        dst: Gpr,
+        /// Address expression.
+        mem: MemRef,
+    },
+    /// `op dst, src` — ALU op with register destination.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and first source) register.
+        dst: Gpr,
+        /// Second source.
+        src: RegImm,
+    },
+    /// `op dst, [mem]` — load-op: ALU with memory source.
+    AluLoad {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and first source) register.
+        dst: Gpr,
+        /// Memory source.
+        mem: MemRef,
+        /// Access width.
+        width: Width,
+    },
+    /// `op [mem], src` — read-modify-write ALU on memory.
+    AluStore {
+        /// Operation.
+        op: AluOp,
+        /// Memory destination (and first source).
+        mem: MemRef,
+        /// Second source.
+        src: RegImm,
+        /// Access width.
+        width: Width,
+    },
+    /// `imul dst, src` — 64-bit multiply.
+    Mul {
+        /// Destination (and first source) register.
+        dst: Gpr,
+        /// Second source.
+        src: RegImm,
+    },
+    /// `div src` — unsigned divide of RDX:RAX by `src`
+    /// (microsequenced: expands to more than four micro-ops).
+    Div {
+        /// Divisor register.
+        src: Gpr,
+    },
+    /// `cmp a, b` — compare (sets flags, no writeback).
+    Cmp {
+        /// First operand.
+        a: Gpr,
+        /// Second operand.
+        b: RegImm,
+    },
+    /// `test a, b` — bitwise-and flags test.
+    Test {
+        /// First operand.
+        a: Gpr,
+        /// Second operand.
+        b: RegImm,
+    },
+    /// `jmp target` — unconditional direct branch.
+    Jmp {
+        /// Absolute target address.
+        target: u64,
+    },
+    /// `j<cc> target` — conditional direct branch.
+    Jcc {
+        /// Condition.
+        cc: Cc,
+        /// Absolute target address.
+        target: u64,
+    },
+    /// `jmp reg` — indirect branch through a register.
+    JmpInd {
+        /// Register holding the target address.
+        reg: Gpr,
+    },
+    /// `call target` — direct call (pushes return address).
+    Call {
+        /// Absolute target address.
+        target: u64,
+    },
+    /// `ret` — return (pops return address).
+    Ret,
+    /// `push src`.
+    Push {
+        /// Source register.
+        src: Gpr,
+    },
+    /// `pop dst`.
+    Pop {
+        /// Destination register.
+        dst: Gpr,
+    },
+    /// `movdqa dst, [mem]` — 128-bit vector load.
+    VLoad {
+        /// Destination vector register.
+        dst: Xmm,
+        /// Memory source.
+        mem: MemRef,
+    },
+    /// `movdqa [mem], src` — 128-bit vector store.
+    VStore {
+        /// Memory destination.
+        mem: MemRef,
+        /// Source vector register.
+        src: Xmm,
+    },
+    /// `movdqa dst, src` — vector register move.
+    VMovRR {
+        /// Destination vector register.
+        dst: Xmm,
+        /// Source vector register.
+        src: Xmm,
+    },
+    /// `op dst, src` — packed vector ALU op.
+    VAlu {
+        /// Operation.
+        op: VecOp,
+        /// Destination (and first source) vector register.
+        dst: Xmm,
+        /// Second source vector register.
+        src: Xmm,
+    },
+    /// `op dst, [mem]` — packed vector ALU op with memory source.
+    VAluLoad {
+        /// Operation.
+        op: VecOp,
+        /// Destination (and first source) vector register.
+        dst: Xmm,
+        /// Memory source.
+        mem: MemRef,
+    },
+    /// `movq dst, src` — move low 64 bits of an XMM register to a GPR.
+    VMovToGpr {
+        /// Destination GPR.
+        dst: Gpr,
+        /// Source vector register.
+        src: Xmm,
+    },
+    /// `movq dst, src` — move a GPR into the low 64 bits of an XMM register
+    /// (upper half zeroed).
+    VMovFromGpr {
+        /// Destination vector register.
+        dst: Xmm,
+        /// Source GPR.
+        src: Gpr,
+    },
+    /// `clflush [mem]` — flush the cache line containing the address from
+    /// the entire hierarchy.
+    Clflush {
+        /// Address whose line is flushed.
+        mem: MemRef,
+    },
+    /// `rdtsc` — read the cycle counter into RAX.
+    Rdtsc,
+    /// `wrmsr msr, src` — write a model-specific register (privileged).
+    Wrmsr {
+        /// MSR number.
+        msr: u32,
+        /// Source register.
+        src: Gpr,
+    },
+    /// `rdmsr dst, msr` — read a model-specific register (privileged).
+    Rdmsr {
+        /// Destination register.
+        dst: Gpr,
+        /// MSR number.
+        msr: u32,
+    },
+    /// `hlt` — stop the core (ends simulation of this program).
+    Halt,
+}
+
+impl Inst {
+    /// Encoded length in bytes (deterministic model, 1..=15).
+    ///
+    /// The model mirrors x86 conventions: opcode + ModRM + optional SIB +
+    /// displacement + immediate, REX-style prefix for high registers,
+    /// 2-byte escape + prefix for vector ops.
+    pub fn len(&self) -> u32 {
+        let len = match *self {
+            Inst::Nop { len } => len,
+            Inst::MovRR { dst, src } => 2 + rex2(dst, src),
+            Inst::MovRI { dst, imm } => 2 + rex1(dst) + imm_len(imm),
+            Inst::Load { dst, mem, .. } | Inst::Lea { dst, mem } => {
+                2 + rex1(dst) + mem.encoding_len()
+            }
+            Inst::Store { mem, src, .. } => 2 + rex1(src) + mem.encoding_len(),
+            Inst::Alu { dst, src, .. } => 2 + rex1(dst) + src.encoding_len(),
+            Inst::AluLoad { dst, mem, .. } => 2 + rex1(dst) + mem.encoding_len(),
+            Inst::AluStore { mem, src, .. } => 2 + mem.encoding_len() + src.encoding_len(),
+            Inst::Mul { dst, src } => 3 + rex1(dst) + src.encoding_len(),
+            Inst::Div { src } => 2 + rex1(src),
+            Inst::Cmp { a, b } | Inst::Test { a, b } => 2 + rex1(a) + b.encoding_len(),
+            Inst::Jmp { .. } => 5,
+            Inst::Jcc { .. } => 6,
+            Inst::JmpInd { reg } => 2 + rex1(reg),
+            Inst::Call { .. } => 5,
+            Inst::Ret => 1,
+            Inst::Push { src } => 1 + rex1(src),
+            Inst::Pop { dst } => 1 + rex1(dst),
+            Inst::VLoad { mem, .. } | Inst::VStore { mem, .. } => 4 + mem.encoding_len(),
+            Inst::VMovRR { .. } => 4,
+            Inst::VAlu { .. } => 4,
+            Inst::VAluLoad { mem, .. } => 4 + mem.encoding_len(),
+            Inst::VMovToGpr { .. } | Inst::VMovFromGpr { .. } => 4,
+            Inst::Clflush { mem } => 3 + mem.encoding_len(),
+            Inst::Rdtsc => 2,
+            Inst::Wrmsr { .. } | Inst::Rdmsr { .. } => 6,
+            Inst::Halt => 1,
+        };
+        len.min(MAX_INST_LEN)
+    }
+
+    /// Whether this macro-op reads memory.
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. }
+                | Inst::AluLoad { .. }
+                | Inst::AluStore { .. }
+                | Inst::Pop { .. }
+                | Inst::Ret
+                | Inst::VLoad { .. }
+                | Inst::VAluLoad { .. }
+        )
+    }
+
+    /// Whether this macro-op writes memory.
+    pub fn is_store(&self) -> bool {
+        matches!(
+            self,
+            Inst::Store { .. }
+                | Inst::AluStore { .. }
+                | Inst::Push { .. }
+                | Inst::Call { .. }
+                | Inst::VStore { .. }
+        )
+    }
+
+    /// Whether this macro-op is a control transfer.
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jmp { .. }
+                | Inst::Jcc { .. }
+                | Inst::JmpInd { .. }
+                | Inst::Call { .. }
+                | Inst::Ret
+        )
+    }
+
+    /// Whether this macro-op is an unconditional control transfer.
+    pub fn is_unconditional_branch(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jmp { .. } | Inst::JmpInd { .. } | Inst::Call { .. } | Inst::Ret
+        )
+    }
+
+    /// Whether this macro-op uses the vector (XMM) register file.
+    pub fn is_vector(&self) -> bool {
+        matches!(
+            self,
+            Inst::VLoad { .. }
+                | Inst::VStore { .. }
+                | Inst::VMovRR { .. }
+                | Inst::VAlu { .. }
+                | Inst::VAluLoad { .. }
+                | Inst::VMovToGpr { .. }
+                | Inst::VMovFromGpr { .. }
+        )
+    }
+
+    /// Whether this macro-op writes flags.
+    pub fn writes_flags(&self) -> bool {
+        matches!(
+            self,
+            Inst::Alu { .. }
+                | Inst::AluLoad { .. }
+                | Inst::AluStore { .. }
+                | Inst::Mul { .. }
+                | Inst::Div { .. }
+                | Inst::Cmp { .. }
+                | Inst::Test { .. }
+        )
+    }
+
+    /// The direct branch target, if this is a direct control transfer.
+    pub fn direct_target(&self) -> Option<u64> {
+        match *self {
+            Inst::Jmp { target } | Inst::Jcc { target, .. } | Inst::Call { target } => {
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn rex1(r: Gpr) -> u32 {
+    u32::from(r.needs_rex())
+}
+
+fn rex2(a: Gpr, b: Gpr) -> u32 {
+    u32::from(a.needs_rex() || b.needs_rex())
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Nop { len } => write!(f, "nop{len}"),
+            Inst::MovRR { dst, src } => write!(f, "mov {dst}, {src}"),
+            Inst::MovRI { dst, imm } => write!(f, "mov {dst}, {imm:#x}"),
+            Inst::Load { dst, mem, width } => write!(f, "mov {dst}, {width} {mem}"),
+            Inst::Store { mem, src, width } => write!(f, "mov {width} {mem}, {src}"),
+            Inst::Lea { dst, mem } => write!(f, "lea {dst}, {mem}"),
+            Inst::Alu { op, dst, src } => write!(f, "{op} {dst}, {src}"),
+            Inst::AluLoad { op, dst, mem, width } => write!(f, "{op} {dst}, {width} {mem}"),
+            Inst::AluStore { op, mem, src, width } => write!(f, "{op} {width} {mem}, {src}"),
+            Inst::Mul { dst, src } => write!(f, "imul {dst}, {src}"),
+            Inst::Div { src } => write!(f, "div {src}"),
+            Inst::Cmp { a, b } => write!(f, "cmp {a}, {b}"),
+            Inst::Test { a, b } => write!(f, "test {a}, {b}"),
+            Inst::Jmp { target } => write!(f, "jmp {target:#x}"),
+            Inst::Jcc { cc, target } => write!(f, "j{cc} {target:#x}"),
+            Inst::JmpInd { reg } => write!(f, "jmp {reg}"),
+            Inst::Call { target } => write!(f, "call {target:#x}"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::Push { src } => write!(f, "push {src}"),
+            Inst::Pop { dst } => write!(f, "pop {dst}"),
+            Inst::VLoad { dst, mem } => write!(f, "movdqa {dst}, {mem}"),
+            Inst::VStore { mem, src } => write!(f, "movdqa {mem}, {src}"),
+            Inst::VMovRR { dst, src } => write!(f, "movdqa {dst}, {src}"),
+            Inst::VAlu { op, dst, src } => write!(f, "{op} {dst}, {src}"),
+            Inst::VAluLoad { op, dst, mem } => write!(f, "{op} {dst}, {mem}"),
+            Inst::VMovToGpr { dst, src } => write!(f, "movq {dst}, {src}"),
+            Inst::VMovFromGpr { dst, src } => write!(f, "movq {dst}, {src}"),
+            Inst::Clflush { mem } => write!(f, "clflush {mem}"),
+            Inst::Rdtsc => write!(f, "rdtsc"),
+            Inst::Wrmsr { msr, src } => write!(f, "wrmsr {msr:#x}, {src}"),
+            Inst::Rdmsr { dst, msr } => write!(f, "rdmsr {dst}, {msr:#x}"),
+            Inst::Halt => write!(f, "hlt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operand::Scale;
+
+    #[test]
+    fn lengths_within_x86_bounds() {
+        let insts = [
+            Inst::Nop { len: 1 },
+            Inst::MovRR { dst: Gpr::Rax, src: Gpr::R15 },
+            Inst::MovRI { dst: Gpr::Rax, imm: i64::MAX },
+            Inst::Load {
+                dst: Gpr::R9,
+                mem: MemRef::base_index(Gpr::Rax, Gpr::Rcx, Scale::S8).with_disp(0x1234_5678),
+                width: Width::B8,
+            },
+            Inst::Jcc { cc: Cc::Lt, target: 0 },
+            Inst::Div { src: Gpr::Rbx },
+            Inst::VAluLoad {
+                op: VecOp::PAddB,
+                dst: Xmm::new(3),
+                mem: MemRef::abs(0x1000_0000),
+            },
+        ];
+        for i in insts {
+            assert!((1..=MAX_INST_LEN).contains(&i.len()), "{i}: len {}", i.len());
+        }
+    }
+
+    #[test]
+    fn rex_prefix_lengthens_encoding() {
+        let lo = Inst::MovRR { dst: Gpr::Rax, src: Gpr::Rbx };
+        let hi = Inst::MovRR { dst: Gpr::Rax, src: Gpr::R12 };
+        assert_eq!(hi.len(), lo.len() + 1);
+    }
+
+    #[test]
+    fn immediate_size_affects_length() {
+        let short = Inst::MovRI { dst: Gpr::Rax, imm: 1 };
+        let mid = Inst::MovRI { dst: Gpr::Rax, imm: 0x1000 };
+        let long = Inst::MovRI { dst: Gpr::Rax, imm: 0x1_0000_0000 };
+        assert!(short.len() < mid.len());
+        assert!(mid.len() < long.len());
+    }
+
+    #[test]
+    fn classification() {
+        let ld = Inst::Load { dst: Gpr::Rax, mem: MemRef::abs(0), width: Width::B8 };
+        assert!(ld.is_load() && !ld.is_store() && !ld.is_branch() && !ld.is_vector());
+
+        let rmw = Inst::AluStore {
+            op: AluOp::Add,
+            mem: MemRef::abs(0),
+            src: RegImm::Imm(1),
+            width: Width::B8,
+        };
+        assert!(rmw.is_load() && rmw.is_store());
+
+        let call = Inst::Call { target: 0x10 };
+        assert!(call.is_branch() && call.is_store() && call.is_unconditional_branch());
+
+        let jcc = Inst::Jcc { cc: Cc::Eq, target: 0x10 };
+        assert!(jcc.is_branch() && !jcc.is_unconditional_branch());
+        assert_eq!(jcc.direct_target(), Some(0x10));
+
+        let v = Inst::VAlu { op: VecOp::PXor, dst: Xmm::new(0), src: Xmm::new(1) };
+        assert!(v.is_vector());
+    }
+
+    #[test]
+    fn vecop_lanes() {
+        assert_eq!(VecOp::PAddB.lanes(), 16);
+        assert_eq!(VecOp::PAddW.lanes(), 8);
+        assert_eq!(VecOp::PAddD.lanes(), 4);
+        assert_eq!(VecOp::PAddQ.lanes(), 2);
+        assert!(VecOp::MulPs.is_float() && VecOp::MulPs.is_multiply());
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Inst::AluLoad {
+            op: AluOp::Xor,
+            dst: Gpr::Rax,
+            mem: MemRef::base(Gpr::Rbx),
+            width: Width::B4,
+        };
+        assert_eq!(i.to_string(), "xor rax, dword [rbx]");
+    }
+}

@@ -1,0 +1,253 @@
+//! Memory operands and access widths.
+
+use crate::reg::Gpr;
+use std::fmt;
+
+/// Scale factor for the index register of a memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// `index * 1`
+    #[default]
+    S1,
+    /// `index * 2`
+    S2,
+    /// `index * 4`
+    S4,
+    /// `index * 8`
+    S8,
+}
+
+impl Scale {
+    /// The numeric multiplier.
+    #[inline]
+    pub const fn factor(self) -> u64 {
+        match self {
+            Scale::S1 => 1,
+            Scale::S2 => 2,
+            Scale::S4 => 4,
+            Scale::S8 => 8,
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.factor())
+    }
+}
+
+/// The size of a scalar memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Width {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes.
+    #[default]
+    B8,
+    /// 16 bytes (vector).
+    B16,
+}
+
+impl Width {
+    /// Access size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            Width::B1 => 1,
+            Width::B2 => 2,
+            Width::B4 => 4,
+            Width::B8 => 8,
+            Width::B16 => 16,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Width::B1 => "byte",
+            Width::B2 => "word",
+            Width::B4 => "dword",
+            Width::B8 => "qword",
+            Width::B16 => "xmmword",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A `base + index*scale + disp` memory reference.
+///
+/// ```
+/// use mx86_isa::{MemRef, Gpr, Scale};
+/// let m = MemRef::base_index(Gpr::Rax, Gpr::Rcx, Scale::S4).with_disp(0x40);
+/// assert_eq!(m.to_string(), "[rax + rcx*4 + 0x40]");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MemRef {
+    /// Base register, if any.
+    pub base: Option<Gpr>,
+    /// Index register and scale, if any.
+    pub index: Option<(Gpr, Scale)>,
+    /// Constant displacement.
+    pub disp: i64,
+}
+
+impl MemRef {
+    /// An absolute reference: `[disp]`.
+    #[inline]
+    pub const fn abs(disp: i64) -> MemRef {
+        MemRef {
+            base: None,
+            index: None,
+            disp,
+        }
+    }
+
+    /// A base-register reference: `[base]`.
+    #[inline]
+    pub const fn base(base: Gpr) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: None,
+            disp: 0,
+        }
+    }
+
+    /// A base+index reference: `[base + index*scale]`.
+    #[inline]
+    pub const fn base_index(base: Gpr, index: Gpr, scale: Scale) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: Some((index, scale)),
+            disp: 0,
+        }
+    }
+
+    /// An index-only reference: `[index*scale + disp]`.
+    #[inline]
+    pub const fn index_disp(index: Gpr, scale: Scale, disp: i64) -> MemRef {
+        MemRef {
+            base: None,
+            index: Some((index, scale)),
+            disp,
+        }
+    }
+
+    /// Returns a copy with the displacement set to `disp`.
+    #[inline]
+    pub const fn with_disp(mut self, disp: i64) -> MemRef {
+        self.disp = disp;
+        self
+    }
+
+    /// Number of encoding bytes contributed by this operand
+    /// (ModRM-style displacement + optional SIB byte).
+    pub fn encoding_len(&self) -> u32 {
+        let sib = u32::from(self.index.is_some());
+        let disp = if self.disp == 0 && self.base.is_some() {
+            0
+        } else if i8::try_from(self.disp).is_ok() {
+            1
+        } else {
+            4
+        };
+        sib + disp
+    }
+
+    /// Computes the effective address given resolved register values.
+    ///
+    /// `read_gpr` supplies the current value of any registers used.
+    pub fn effective_address(&self, mut read_gpr: impl FnMut(Gpr) -> u64) -> u64 {
+        let mut addr = self.disp as u64;
+        if let Some(b) = self.base {
+            addr = addr.wrapping_add(read_gpr(b));
+        }
+        if let Some((i, s)) = self.index {
+            addr = addr.wrapping_add(read_gpr(i).wrapping_mul(s.factor()));
+        }
+        addr
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut wrote = false;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            wrote = true;
+        }
+        if let Some((i, s)) = self.index {
+            if wrote {
+                write!(f, " + ")?;
+            }
+            write!(f, "{i}*{s}")?;
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote {
+                if self.disp >= 0 {
+                    write!(f, " + {:#x}", self.disp)?;
+                } else {
+                    write!(f, " - {:#x}", -self.disp)?;
+                }
+            } else {
+                write!(f, "{:#x}", self.disp)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_address_combines_parts() {
+        let m = MemRef::base_index(Gpr::Rax, Gpr::Rcx, Scale::S8).with_disp(-8);
+        let ea = m.effective_address(|r| match r {
+            Gpr::Rax => 0x1000,
+            Gpr::Rcx => 3,
+            _ => unreachable!(),
+        });
+        assert_eq!(ea, 0x1000 + 24 - 8);
+    }
+
+    #[test]
+    fn encoding_len_rules() {
+        assert_eq!(MemRef::base(Gpr::Rax).encoding_len(), 0);
+        assert_eq!(MemRef::base(Gpr::Rax).with_disp(4).encoding_len(), 1);
+        assert_eq!(MemRef::base(Gpr::Rax).with_disp(400).encoding_len(), 4);
+        assert_eq!(
+            MemRef::base_index(Gpr::Rax, Gpr::Rcx, Scale::S4).encoding_len(),
+            1
+        );
+        // Absolute (no base) always carries a displacement.
+        assert_eq!(MemRef::abs(0).encoding_len(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(MemRef::abs(0x10).to_string(), "[0x10]");
+        assert_eq!(MemRef::base(Gpr::Rbx).to_string(), "[rbx]");
+        assert_eq!(
+            MemRef::base(Gpr::Rbx).with_disp(-4).to_string(),
+            "[rbx - 0x4]"
+        );
+        assert_eq!(
+            MemRef::index_disp(Gpr::Rdx, Scale::S2, 8).to_string(),
+            "[rdx*2 + 0x8]"
+        );
+    }
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(Width::B1.bytes(), 1);
+        assert_eq!(Width::B16.bytes(), 16);
+    }
+}

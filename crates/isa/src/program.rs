@@ -1,0 +1,230 @@
+//! Assembled programs: instruction streams indexed by address.
+
+use crate::inst::Inst;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A half-open address range `[start, end)`.
+///
+/// Used for code/data footprints and, centrally, for the CSD *decoy
+/// address-range registers* that mark sensitive regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AddrRange {
+    /// Inclusive start address.
+    pub start: u64,
+    /// Exclusive end address.
+    pub end: u64,
+}
+
+impl AddrRange {
+    /// Creates a range; `end` must not precede `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(start: u64, end: u64) -> AddrRange {
+        assert!(end >= start, "address range end precedes start");
+        AddrRange { start, end }
+    }
+
+    /// Range covering `len` bytes from `start`.
+    pub fn with_len(start: u64, len: u64) -> AddrRange {
+        AddrRange::new(start, start + len)
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the range covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `addr` lies within the range.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Whether the two ranges share any byte.
+    pub fn overlaps(&self, other: &AddrRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Iterates over the starting addresses of `block`-byte blocks that the
+    /// range touches (aligned down to `block`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not a power of two.
+    pub fn blocks(&self, block: u64) -> impl Iterator<Item = u64> {
+        assert!(block.is_power_of_two(), "block size must be a power of two");
+        let first = self.start & !(block - 1);
+        let end = self.end;
+        (0..)
+            .map(move |i| first + i * block)
+            .take_while(move |&a| a < end)
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.start, self.end)
+    }
+}
+
+/// One placed instruction inside a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placed {
+    /// Start address of the encoding.
+    pub addr: u64,
+    /// The macro-op.
+    pub inst: Inst,
+}
+
+impl Placed {
+    /// Address of the byte following this instruction.
+    pub fn next_addr(&self) -> u64 {
+        self.addr + u64::from(self.inst.len())
+    }
+}
+
+/// An assembled program: a contiguous, address-indexed instruction stream.
+///
+/// Produced by [`crate::Assembler::finish`]. Instructions are laid out
+/// back-to-back starting at the entry address; `fetch` resolves an address
+/// to the instruction that *starts* there, mirroring how the front end's
+/// instruction-length decoder walks the byte stream.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    insts: Vec<Placed>,
+    by_addr: HashMap<u64, usize>,
+    symbols: HashMap<String, u64>,
+    entry: u64,
+}
+
+impl Program {
+    pub(crate) fn from_parts(
+        insts: Vec<Placed>,
+        symbols: HashMap<String, u64>,
+        entry: u64,
+    ) -> Program {
+        let by_addr = insts.iter().enumerate().map(|(i, p)| (p.addr, i)).collect();
+        Program {
+            insts,
+            by_addr,
+            symbols,
+            entry,
+        }
+    }
+
+    /// The program's entry address.
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// First address past the last instruction.
+    pub fn end_addr(&self) -> u64 {
+        self.insts.last().map_or(self.entry, Placed::next_addr)
+    }
+
+    /// The full code footprint `[entry, end)`.
+    pub fn code_range(&self) -> AddrRange {
+        AddrRange::new(self.entry, self.end_addr())
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Resolves `addr` to the instruction starting at that address.
+    pub fn fetch(&self, addr: u64) -> Option<&Placed> {
+        self.by_addr.get(&addr).map(|&i| &self.insts[i])
+    }
+
+    /// Address bound to a symbol (label name), if present.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols as `(name, addr)` pairs.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.symbols.iter().map(|(n, &a)| (n.as_str(), a))
+    }
+
+    /// Iterates the placed instructions in address order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Placed> {
+        self.insts.iter()
+    }
+
+    /// Returns the address range covered by a named region, defined by the
+    /// symbols `name` (start) and `name.end` (end), as emitted by
+    /// [`crate::Assembler::begin_region`]/[`crate::Assembler::end_region`].
+    pub fn region(&self, name: &str) -> Option<AddrRange> {
+        let start = self.symbol(name)?;
+        let end = self.symbol(&format!("{name}.end"))?;
+        Some(AddrRange::new(start, end))
+    }
+}
+
+impl<'a> IntoIterator for &'a Program {
+    type Item = &'a Placed;
+    type IntoIter = std::slice::Iter<'a, Placed>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.insts {
+            writeln!(f, "{:#010x}:  {}", p.addr, p.inst)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_range_basics() {
+        let r = AddrRange::with_len(0x100, 0x40);
+        assert_eq!(r.len(), 0x40);
+        assert!(r.contains(0x100));
+        assert!(r.contains(0x13f));
+        assert!(!r.contains(0x140));
+        assert!(!r.is_empty());
+        assert!(AddrRange::new(4, 4).is_empty());
+    }
+
+    #[test]
+    fn addr_range_overlap() {
+        let a = AddrRange::new(0x100, 0x200);
+        assert!(a.overlaps(&AddrRange::new(0x1ff, 0x300)));
+        assert!(!a.overlaps(&AddrRange::new(0x200, 0x300)));
+        assert!(a.overlaps(&AddrRange::new(0x0, 0x101)));
+        assert!(!a.overlaps(&AddrRange::new(0, 0x100)));
+    }
+
+    #[test]
+    fn addr_range_blocks_align_down() {
+        let r = AddrRange::new(0x130, 0x1c1);
+        let blocks: Vec<u64> = r.blocks(64).collect();
+        assert_eq!(blocks, vec![0x100, 0x140, 0x180, 0x1c0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "end precedes start")]
+    fn addr_range_rejects_inverted() {
+        let _ = AddrRange::new(0x10, 0x0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Architectural register definitions.
+
+use std::fmt;
+
+/// A general-purpose 64-bit architectural register.
+///
+/// Sixteen GPRs, named after their x86-64 counterparts. All scalar
+/// integer macro-ops in mx86 operate on the full 64-bit register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Gpr {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Gpr {
+    /// All sixteen GPRs in index order.
+    pub const ALL: [Gpr; 16] = [
+        Gpr::Rax,
+        Gpr::Rcx,
+        Gpr::Rdx,
+        Gpr::Rbx,
+        Gpr::Rsp,
+        Gpr::Rbp,
+        Gpr::Rsi,
+        Gpr::Rdi,
+        Gpr::R8,
+        Gpr::R9,
+        Gpr::R10,
+        Gpr::R11,
+        Gpr::R12,
+        Gpr::R13,
+        Gpr::R14,
+        Gpr::R15,
+    ];
+
+    /// Number of architectural GPRs.
+    pub const COUNT: usize = 16;
+
+    /// The register's architectural index in `0..16`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a register from its architectural index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    #[inline]
+    pub const fn from_index(index: usize) -> Gpr {
+        assert!(index < 16, "GPR index out of range");
+        Gpr::ALL[index]
+    }
+
+    /// Whether encoding this register requires an extension prefix
+    /// (the upper eight registers, mirroring x86's REX.B/REX.R bit).
+    #[inline]
+    pub const fn needs_rex(self) -> bool {
+        (self as u8) >= 8
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Gpr::Rax => "rax",
+            Gpr::Rcx => "rcx",
+            Gpr::Rdx => "rdx",
+            Gpr::Rbx => "rbx",
+            Gpr::Rsp => "rsp",
+            Gpr::Rbp => "rbp",
+            Gpr::Rsi => "rsi",
+            Gpr::Rdi => "rdi",
+            Gpr::R8 => "r8",
+            Gpr::R9 => "r9",
+            Gpr::R10 => "r10",
+            Gpr::R11 => "r11",
+            Gpr::R12 => "r12",
+            Gpr::R13 => "r13",
+            Gpr::R14 => "r14",
+            Gpr::R15 => "r15",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A 128-bit packed vector (XMM) register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Xmm(u8);
+
+impl Xmm {
+    /// Number of architectural XMM registers.
+    pub const COUNT: usize = 16;
+
+    /// Builds an XMM register from its architectural index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    #[inline]
+    pub const fn new(index: u8) -> Xmm {
+        assert!(index < 16, "XMM index out of range");
+        Xmm(index)
+    }
+
+    /// The register's architectural index in `0..16`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// All sixteen XMM registers in index order.
+    pub fn all() -> impl Iterator<Item = Xmm> {
+        (0..16).map(Xmm)
+    }
+}
+
+impl fmt::Display for Xmm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xmm{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_roundtrip() {
+        for (i, r) in Gpr::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Gpr::from_index(i), *r);
+        }
+    }
+
+    #[test]
+    fn gpr_rex() {
+        assert!(!Gpr::Rax.needs_rex());
+        assert!(!Gpr::Rdi.needs_rex());
+        assert!(Gpr::R8.needs_rex());
+        assert!(Gpr::R15.needs_rex());
+    }
+
+    #[test]
+    fn gpr_display() {
+        assert_eq!(Gpr::Rax.to_string(), "rax");
+        assert_eq!(Gpr::R11.to_string(), "r11");
+    }
+
+    #[test]
+    #[should_panic(expected = "GPR index out of range")]
+    fn gpr_bad_index_panics() {
+        let _ = Gpr::from_index(16);
+    }
+
+    #[test]
+    fn xmm_roundtrip() {
+        for i in 0..16u8 {
+            let x = Xmm::new(i);
+            assert_eq!(x.index(), i as usize);
+            assert_eq!(x.to_string(), format!("xmm{i}"));
+        }
+        assert_eq!(Xmm::all().count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "XMM index out of range")]
+    fn xmm_bad_index_panics() {
+        let _ = Xmm::new(16);
+    }
+}

@@ -1,0 +1,171 @@
+//! Functional micro-op semantics shared by both simulation engines.
+
+use crate::machine::Flags;
+use mx86_isa::{AluOp, VecOp};
+
+/// Computes a scalar ALU operation and its resulting flags.
+pub fn alu(op: AluOp, a: u64, b: u64) -> (u64, Flags) {
+    let (res, cf, of) = match op {
+        AluOp::Add => {
+            let (r, c) = a.overflowing_add(b);
+            let o = (a as i64).overflowing_add(b as i64).1;
+            (r, c, o)
+        }
+        AluOp::Sub => {
+            let (r, c) = a.overflowing_sub(b);
+            let o = (a as i64).overflowing_sub(b as i64).1;
+            (r, c, o)
+        }
+        AluOp::And => (a & b, false, false),
+        AluOp::Or => (a | b, false, false),
+        AluOp::Xor => (a ^ b, false, false),
+        AluOp::Shl => (a.wrapping_shl((b & 63) as u32), false, false),
+        AluOp::Shr => (a.wrapping_shr((b & 63) as u32), false, false),
+        AluOp::Sar => ((a as i64).wrapping_shr((b & 63) as u32) as u64, false, false),
+    };
+    let flags = Flags { zf: res == 0, sf: (res as i64) < 0, cf, of };
+    (res, flags)
+}
+
+/// Computes a 64-bit multiply and its flags (CF/OF on signed overflow).
+pub fn mul(a: u64, b: u64) -> (u64, Flags) {
+    let res = a.wrapping_mul(b);
+    let wide = (a as i64 as i128) * (b as i64 as i128);
+    let overflow = wide != (res as i64 as i128);
+    (
+        res,
+        Flags { zf: res == 0, sf: (res as i64) < 0, cf: overflow, of: overflow },
+    )
+}
+
+/// Packed 128-bit vector ALU semantics over (low, high) halves — the VPU's
+/// reference behavior, which devectorized flows must match exactly.
+pub fn valu(op: VecOp, x: (u64, u64), y: (u64, u64)) -> (u64, u64) {
+    (valu_half(op, x.0, y.0), valu_half(op, x.1, y.1))
+}
+
+fn valu_half(op: VecOp, x: u64, y: u64) -> u64 {
+    match op {
+        VecOp::PAnd => x & y,
+        VecOp::POr => x | y,
+        VecOp::PXor => x ^ y,
+        VecOp::PAddQ => x.wrapping_add(y),
+        VecOp::PAddB | VecOp::PAddW | VecOp::PAddD | VecOp::PSubB | VecOp::PSubD
+        | VecOp::PMullW | VecOp::PMullD => int_lanes(op, x, y),
+        VecOp::AddPs | VecOp::SubPs | VecOp::MulPs => f32_lanes(op, x, y),
+        VecOp::AddPd | VecOp::MulPd => {
+            let (a, b) = (f64::from_bits(x), f64::from_bits(y));
+            let r = if op == VecOp::AddPd { a + b } else { a * b };
+            r.to_bits()
+        }
+    }
+}
+
+fn int_lanes(op: VecOp, x: u64, y: u64) -> u64 {
+    let w = op.element_bytes() as u64;
+    let lanes = 8 / w;
+    let mask = if w == 8 { u64::MAX } else { (1u64 << (w * 8)) - 1 };
+    let mut out = 0u64;
+    for l in 0..lanes {
+        let sh = l * w * 8;
+        let a = (x >> sh) & mask;
+        let b = (y >> sh) & mask;
+        let v = match op {
+            VecOp::PAddB | VecOp::PAddW | VecOp::PAddD => a.wrapping_add(b) & mask,
+            VecOp::PSubB | VecOp::PSubD => a.wrapping_sub(b) & mask,
+            VecOp::PMullW | VecOp::PMullD => a.wrapping_mul(b) & mask,
+            _ => unreachable!("non-integer op in int_lanes"),
+        };
+        out |= v << sh;
+    }
+    out
+}
+
+fn f32_lanes(op: VecOp, x: u64, y: u64) -> u64 {
+    let mut out = 0u64;
+    for l in 0..2u64 {
+        let sh = l * 32;
+        let a = f32::from_bits((x >> sh) as u32);
+        let b = f32::from_bits((y >> sh) as u32);
+        let r = match op {
+            VecOp::AddPs => a + b,
+            VecOp::SubPs => a - b,
+            VecOp::MulPs => a * b,
+            _ => unreachable!("non-f32 op in f32_lanes"),
+        };
+        out |= u64::from(r.to_bits()) << sh;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sets_carry_and_overflow() {
+        let (r, f) = alu(AluOp::Add, u64::MAX, 1);
+        assert_eq!(r, 0);
+        assert!(f.zf && f.cf && !f.of);
+
+        let (_, f) = alu(AluOp::Add, i64::MAX as u64, 1);
+        assert!(f.of && !f.cf);
+    }
+
+    #[test]
+    fn sub_sets_borrow() {
+        let (r, f) = alu(AluOp::Sub, 1, 2);
+        assert_eq!(r as i64, -1);
+        assert!(f.cf && f.sf && !f.zf);
+        let (_, f) = alu(AluOp::Sub, 5, 5);
+        assert!(f.zf && !f.cf);
+    }
+
+    #[test]
+    fn logic_clears_carry() {
+        let (r, f) = alu(AluOp::Xor, 0xF0, 0x0F);
+        assert_eq!(r, 0xFF);
+        assert!(!f.cf && !f.of && !f.zf);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(alu(AluOp::Shl, 1, 64).0, 1, "shift amount masked to 0");
+        assert_eq!(alu(AluOp::Shr, 0x100, 4).0, 0x10);
+        assert_eq!(alu(AluOp::Sar, (-8i64) as u64, 1).0 as i64, -4);
+    }
+
+    #[test]
+    fn mul_overflow_flags() {
+        let (_, f) = mul(3, 4);
+        assert!(!f.cf);
+        let (_, f) = mul(u64::MAX / 2, 4);
+        assert!(f.cf && f.of);
+    }
+
+    #[test]
+    fn packed_byte_add_wraps_per_lane() {
+        let r = valu(VecOp::PAddB, (0xFF01_FF01, 0), (0x0101_0101, 0));
+        assert_eq!(r.0, 0x0002_0002);
+    }
+
+    #[test]
+    fn packed_float_lanes() {
+        let x = (f32::to_bits(1.5) as u64) | ((f32::to_bits(2.0) as u64) << 32);
+        let y = (f32::to_bits(0.5) as u64) | ((f32::to_bits(3.0) as u64) << 32);
+        let r = valu(VecOp::MulPs, (x, 0), (y, 0));
+        assert_eq!(r.0 & 0xFFFF_FFFF, u64::from(f32::to_bits(0.75)));
+        assert_eq!(r.0 >> 32, u64::from(f32::to_bits(6.0)));
+    }
+
+    #[test]
+    fn packed_double() {
+        let r = valu(
+            VecOp::AddPd,
+            (2.5f64.to_bits(), 1.0f64.to_bits()),
+            (0.5f64.to_bits(), (-1.0f64).to_bits()),
+        );
+        assert_eq!(f64::from_bits(r.0), 3.0);
+        assert_eq!(f64::from_bits(r.1), 0.0);
+    }
+}

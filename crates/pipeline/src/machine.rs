@@ -1,0 +1,248 @@
+//! Architectural state and flat memory.
+
+use csd_uops::UReg;
+use mx86_isa::{Cc, Gpr, Xmm};
+use std::collections::HashMap;
+
+/// The architectural flags produced by flag-writing µops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Carry flag.
+    pub cf: bool,
+    /// Overflow flag.
+    pub of: bool,
+}
+
+impl Flags {
+    /// Evaluates a condition code against these flags.
+    pub fn eval(&self, cc: Cc) -> bool {
+        cc.eval(self.zf, self.sf, self.cf, self.of)
+    }
+}
+
+/// Architectural plus decoder-internal register state.
+///
+/// The scalar/vector *temporaries* belong to the decoder, not the ISA: they
+/// are scratch space for µop flows (including decoy and devectorized flows)
+/// and are unobservable from software.
+#[derive(Debug, Clone)]
+pub struct ArchState {
+    /// General-purpose registers.
+    pub gprs: [u64; Gpr::COUNT],
+    /// 128-bit vector registers as (low, high) 64-bit halves.
+    pub xmms: [(u64, u64); Xmm::COUNT],
+    /// Architectural flags.
+    pub flags: Flags,
+    /// Decoder-internal scalar temporaries.
+    pub tmps: [u64; UReg::TMP_COUNT],
+    /// Decoder-internal vector temporaries.
+    pub vtmps: [(u64, u64); UReg::VTMP_COUNT],
+    /// Program counter.
+    pub rip: u64,
+}
+
+impl ArchState {
+    /// Zeroed state starting at `entry`.
+    pub fn new(entry: u64) -> ArchState {
+        ArchState {
+            gprs: [0; Gpr::COUNT],
+            xmms: [(0, 0); Xmm::COUNT],
+            flags: Flags::default(),
+            tmps: [0; UReg::TMP_COUNT],
+            vtmps: [(0, 0); UReg::VTMP_COUNT],
+            rip: entry,
+        }
+    }
+
+    /// Reads a 64-bit register (low half for vector registers).
+    pub fn read(&self, r: UReg) -> u64 {
+        match r {
+            UReg::Gpr(g) => self.gprs[g.index()],
+            UReg::Tmp(i) => self.tmps[i as usize],
+            UReg::Xmm(x) => self.xmms[x.index()].0,
+            UReg::VTmp(i) => self.vtmps[i as usize].0,
+        }
+    }
+
+    /// Writes a 64-bit register (low half for vector registers).
+    pub fn write(&mut self, r: UReg, v: u64) {
+        match r {
+            UReg::Gpr(g) => self.gprs[g.index()] = v,
+            UReg::Tmp(i) => self.tmps[i as usize] = v,
+            UReg::Xmm(x) => self.xmms[x.index()].0 = v,
+            UReg::VTmp(i) => self.vtmps[i as usize].0 = v,
+        }
+    }
+
+    /// Reads a full 128-bit vector register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not a vector register.
+    pub fn read_v(&self, r: UReg) -> (u64, u64) {
+        match r {
+            UReg::Xmm(x) => self.xmms[x.index()],
+            UReg::VTmp(i) => self.vtmps[i as usize],
+            other => panic!("{other} is not a vector register"),
+        }
+    }
+
+    /// Writes a full 128-bit vector register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not a vector register.
+    pub fn write_v(&mut self, r: UReg, v: (u64, u64)) {
+        match r {
+            UReg::Xmm(x) => self.xmms[x.index()] = v,
+            UReg::VTmp(i) => self.vtmps[i as usize] = v,
+            other => panic!("{other} is not a vector register"),
+        }
+    }
+
+    /// Convenience accessor for a GPR.
+    pub fn gpr(&self, g: Gpr) -> u64 {
+        self.gprs[g.index()]
+    }
+
+    /// Convenience setter for a GPR.
+    pub fn set_gpr(&mut self, g: Gpr, v: u64) {
+        self.gprs[g.index()] = v;
+    }
+}
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Sparse, byte-addressed flat memory. Unmapped bytes read as zero.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = v;
+    }
+
+    /// Reads `len` (≤ 8) bytes little-endian.
+    pub fn read_le(&self, addr: u64, len: u64) -> u64 {
+        debug_assert!(len <= 8);
+        let mut v = 0u64;
+        for i in 0..len {
+            v |= u64::from(self.read_u8(addr + i)) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `len` (≤ 8) bytes of `v` little-endian.
+    pub fn write_le(&mut self, addr: u64, len: u64, v: u64) {
+        debug_assert!(len <= 8);
+        for i in 0..len {
+            self.write_u8(addr + i, (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a 128-bit value as (low, high) halves.
+    pub fn read_u128(&self, addr: u64) -> (u64, u64) {
+        (self.read_le(addr, 8), self.read_le(addr + 8, 8))
+    }
+
+    /// Writes a 128-bit value from (low, high) halves.
+    pub fn write_u128(&mut self, addr: u64, v: (u64, u64)) {
+        self.write_le(addr, 8, v.0);
+        self.write_le(addr + 8, 8, v.1);
+    }
+
+    /// Copies a byte slice into memory at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+
+    /// Reads `len` bytes into a vector.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len as u64).map(|i| self.read_u8(addr + i)).collect()
+    }
+
+    /// Number of mapped pages (diagnostics).
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_roundtrip_le() {
+        let mut m = Memory::new();
+        m.write_le(0x1000, 8, 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read_le(0x1000, 8), 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read_le(0x1000, 4), 0x89AB_CDEF);
+        assert_eq!(m.read_u8(0x1000), 0xEF);
+        assert_eq!(m.read_u8(0x1007), 0x01);
+    }
+
+    #[test]
+    fn unmapped_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_le(0xDEAD_0000, 8), 0);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        m.write_le(0xFFC, 8, u64::MAX);
+        assert_eq!(m.read_le(0xFFC, 8), u64::MAX);
+        assert_eq!(m.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        let mut m = Memory::new();
+        m.write_u128(0x40, (1, 2));
+        assert_eq!(m.read_u128(0x40), (1, 2));
+    }
+
+    #[test]
+    fn state_vector_halves() {
+        let mut s = ArchState::new(0);
+        s.write_v(UReg::Xmm(Xmm::new(3)), (0xAA, 0xBB));
+        assert_eq!(s.read(UReg::Xmm(Xmm::new(3))), 0xAA);
+        s.write(UReg::Xmm(Xmm::new(3)), 0xCC);
+        assert_eq!(s.read_v(UReg::Xmm(Xmm::new(3))), (0xCC, 0xBB));
+    }
+
+    #[test]
+    fn temps_are_separate_from_gprs() {
+        let mut s = ArchState::new(0);
+        s.write(UReg::Tmp(0), 7);
+        assert_eq!(s.gpr(Gpr::Rax), 0);
+        assert_eq!(s.read(UReg::Tmp(0)), 7);
+    }
+}

@@ -1,0 +1,253 @@
+//! The micro-op cache (paper §III-A/B).
+//!
+//! An 8-way set-associative structure holding up to 1536 µops as lines of
+//! six fused µops, indexed by 32-byte code window. Two constraints from the
+//! real design are kept (paper §III-B): a 32-byte window may occupy at most
+//! three ways, and instructions longer than six fused µops are not cached.
+//!
+//! CSD extends each way's tag with *context bits* identifying the decoder
+//! (translation mode) that produced it: a window cached under one context
+//! does not hit under another, creating (intentional) context conflict
+//! misses instead of stale-translation streaming.
+
+use csd::ContextId;
+
+/// Statistics for the µop cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UopCacheStats {
+    /// Window lookups.
+    pub lookups: u64,
+    /// Window hits (same window, same context).
+    pub hits: u64,
+    /// Lookups that found the window cached under a *different* context
+    /// (counted as misses; the paper's artificial conflict misses).
+    pub context_conflicts: u64,
+    /// Windows inserted.
+    pub inserts: u64,
+    /// Windows rejected as uncacheable (over-long or custom flows).
+    pub rejected: u64,
+}
+
+impl UopCacheStats {
+    /// Hit rate over lookups, if any.
+    pub fn hit_rate(&self) -> Option<f64> {
+        (self.lookups > 0).then(|| self.hits as f64 / self.lookups as f64)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    window: u64,
+    ctx: ContextId,
+    ways_used: usize,
+    fused_uops: u32,
+    stamp: u64,
+}
+
+/// The micro-op cache model.
+///
+/// Timing- and occupancy-only: the µop *content* always comes from the decode path
+/// (translations are deterministic), so the cache tracks which windows are
+/// resident, under which context, and how many ways they occupy.
+#[derive(Debug, Clone)]
+pub struct UopCache {
+    sets: Vec<Vec<Entry>>,
+    ways: usize,
+    line_uops: usize,
+    max_lines: usize,
+    clock: u64,
+    stats: UopCacheStats,
+}
+
+impl UopCache {
+    /// A µop cache with `sets` sets of `ways` ways, `line_uops` fused µops
+    /// per line, and at most `max_lines` lines per window.
+    pub fn new(sets: usize, ways: usize, line_uops: usize, max_lines: usize) -> UopCache {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        UopCache {
+            sets: vec![Vec::new(); sets],
+            ways,
+            line_uops,
+            max_lines,
+            clock: 0,
+            stats: UopCacheStats::default(),
+        }
+    }
+
+    /// The 32-byte window address of a PC.
+    pub fn window_of(pc: u64) -> u64 {
+        pc >> 5
+    }
+
+    fn set_of(&self, window: u64) -> usize {
+        (window as usize) & (self.sets.len() - 1)
+    }
+
+    /// Looks up a window under a context. A hit means the front end can
+    /// stream this window's µops without the legacy pipeline.
+    pub fn lookup(&mut self, window: u64, ctx: ContextId) -> bool {
+        self.stats.lookups += 1;
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(window);
+        let mut same_window_other_ctx = false;
+        for e in &mut self.sets[set] {
+            if e.window == window {
+                if e.ctx == ctx {
+                    e.stamp = clock;
+                    self.stats.hits += 1;
+                    return true;
+                }
+                same_window_other_ctx = true;
+            }
+        }
+        if same_window_other_ctx {
+            self.stats.context_conflicts += 1;
+        }
+        false
+    }
+
+    /// Inserts a decoded window. `fused_uops` is the window's total fused
+    /// µop count; `cacheable` is false if any instruction's translation was
+    /// not allowed in the µop cache.
+    pub fn insert(&mut self, window: u64, ctx: ContextId, fused_uops: u32, cacheable: bool) {
+        let lines = (fused_uops as usize).div_ceil(self.line_uops).max(1);
+        if !cacheable || lines > self.max_lines {
+            self.stats.rejected += 1;
+            // An uncacheable rebuild invalidates any stale copy.
+            let set = self.set_of(window);
+            self.sets[set].retain(|e| !(e.window == window && e.ctx == ctx));
+            return;
+        }
+        self.clock += 1;
+        let stamp = self.clock;
+        let set_idx = self.set_of(window);
+        let set = &mut self.sets[set_idx];
+        set.retain(|e| !(e.window == window && e.ctx == ctx));
+        let used: usize = set.iter().map(|e| e.ways_used).sum();
+        let mut free = self.ways - used;
+        while free < lines {
+            // Evict the LRU entry.
+            let (lru_idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .expect("set cannot be empty while short on ways");
+            free += set[lru_idx].ways_used;
+            set.remove(lru_idx);
+        }
+        set.push(Entry { window, ctx, ways_used: lines, fused_uops, stamp });
+        self.stats.inserts += 1;
+    }
+
+    /// Invalidates everything (e.g. on microcode update).
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &UopCacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (contents untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = UopCacheStats::default();
+    }
+
+    /// Total µops currently resident (diagnostics).
+    pub fn resident_uops(&self) -> u32 {
+        self.sets.iter().flatten().map(|e| e.fused_uops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> UopCache {
+        UopCache::new(32, 8, 6, 3)
+    }
+
+    #[test]
+    fn miss_then_hit_same_context() {
+        let mut c = cache();
+        assert!(!c.lookup(0x40, ContextId::Native));
+        c.insert(0x40, ContextId::Native, 10, true);
+        assert!(c.lookup(0x40, ContextId::Native));
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn context_mismatch_is_a_conflict_miss() {
+        let mut c = cache();
+        c.insert(0x40, ContextId::Native, 6, true);
+        assert!(!c.lookup(0x40, ContextId::Devectorize));
+        assert_eq!(c.stats().context_conflicts, 1);
+        // Both contexts may co-reside (the paper's co-location benefit).
+        c.insert(0x40, ContextId::Devectorize, 6, true);
+        assert!(c.lookup(0x40, ContextId::Native));
+        assert!(c.lookup(0x40, ContextId::Devectorize));
+    }
+
+    #[test]
+    fn windows_over_three_lines_are_rejected() {
+        let mut c = cache();
+        c.insert(0x40, ContextId::Native, 19, true); // 4 lines
+        assert!(!c.lookup(0x40, ContextId::Native));
+        assert_eq!(c.stats().rejected, 1);
+        c.insert(0x41, ContextId::Native, 18, true); // exactly 3 lines
+        assert!(c.lookup(0x41, ContextId::Native));
+    }
+
+    #[test]
+    fn uncacheable_insert_purges_stale_copy() {
+        let mut c = cache();
+        c.insert(0x40, ContextId::Native, 6, true);
+        assert!(c.lookup(0x40, ContextId::Native));
+        c.insert(0x40, ContextId::Native, 6, false);
+        assert!(!c.lookup(0x40, ContextId::Native), "stale window must go");
+    }
+
+    #[test]
+    fn set_pressure_evicts_lru() {
+        let mut c = cache();
+        // Windows mapping to the same set: stride = 32 sets.
+        let w = |i: u64| 0x100 + i * 32;
+        for i in 0..4 {
+            c.insert(w(i), ContextId::Native, 12, true); // 2 ways each
+        }
+        // 8 ways full; touch w(0) so w(1) is LRU.
+        assert!(c.lookup(w(0), ContextId::Native));
+        c.insert(w(4), ContextId::Native, 12, true);
+        assert!(c.lookup(w(0), ContextId::Native));
+        assert!(!c.lookup(w(1), ContextId::Native), "LRU window evicted");
+        assert!(c.lookup(w(4), ContextId::Native));
+    }
+
+    #[test]
+    fn reinsert_updates_entry_without_duplication() {
+        let mut c = cache();
+        c.insert(0x40, ContextId::Native, 6, true);
+        c.insert(0x40, ContextId::Native, 12, true);
+        assert_eq!(c.resident_uops(), 12);
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = cache();
+        c.insert(0x40, ContextId::Native, 6, true);
+        c.flush();
+        assert!(!c.lookup(0x40, ContextId::Native));
+        assert_eq!(c.resident_uops(), 0);
+    }
+
+    #[test]
+    fn window_of_pc() {
+        assert_eq!(UopCache::window_of(0x1000), 0x80);
+        assert_eq!(UopCache::window_of(0x101F), 0x80);
+        assert_eq!(UopCache::window_of(0x1020), 0x81);
+    }
+}

@@ -1,0 +1,268 @@
+//! Per-unit energy accounting.
+
+use crate::gating::GatingParams;
+
+/// A power-accounted unit of the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unit {
+    /// The vector processing unit (SIMD execution array) — the gating
+    /// target of the paper's second case study.
+    Vpu,
+    /// Scalar integer ALUs.
+    ScalarAlu,
+    /// Load/store unit (AGU + L1D access energy).
+    Lsu,
+    /// Legacy decode pipeline (length decoder + decoders + MSROM).
+    LegacyDecode,
+    /// Micro-op cache (delivering already-translated µops).
+    UopCache,
+    /// Everything else (rename, ROB, scheduler, commit, register files),
+    /// charged per µop plus a base leakage.
+    Core,
+}
+
+impl Unit {
+    /// All units, in stable order.
+    pub const ALL: [Unit; 6] = [
+        Unit::Vpu,
+        Unit::ScalarAlu,
+        Unit::Lsu,
+        Unit::LegacyDecode,
+        Unit::UopCache,
+        Unit::Core,
+    ];
+
+    /// Stable index in `0..6`.
+    pub const fn index(self) -> usize {
+        match self {
+            Unit::Vpu => 0,
+            Unit::ScalarAlu => 1,
+            Unit::Lsu => 2,
+            Unit::LegacyDecode => 3,
+            Unit::UopCache => 4,
+            Unit::Core => 5,
+        }
+    }
+
+    /// Human-readable name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Unit::Vpu => "vpu",
+            Unit::ScalarAlu => "scalar-alu",
+            Unit::Lsu => "lsu",
+            Unit::LegacyDecode => "legacy-decode",
+            Unit::UopCache => "uop-cache",
+            Unit::Core => "core",
+        }
+    }
+}
+
+/// Energy constants for one unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitEnergy {
+    /// Dynamic energy per operation, picojoules.
+    pub dyn_pj_per_op: f64,
+    /// Leakage energy per (un-gated) cycle, picojoules.
+    pub leak_pj_cycle: f64,
+}
+
+/// Energy constants for the whole core (32 nm-class magnitudes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyParams {
+    /// Per-unit constants, indexed by [`Unit::index`].
+    pub units: [UnitEnergy; 6],
+    /// Gating model for the VPU.
+    pub vpu_gating: GatingParams,
+}
+
+impl Default for EnergyParams {
+    fn default() -> EnergyParams {
+        let mut units = [UnitEnergy { dyn_pj_per_op: 0.0, leak_pj_cycle: 0.0 }; 6];
+        units[Unit::Vpu.index()] = UnitEnergy { dyn_pj_per_op: 60.0, leak_pj_cycle: 36.0 };
+        units[Unit::ScalarAlu.index()] = UnitEnergy { dyn_pj_per_op: 7.0, leak_pj_cycle: 6.0 };
+        units[Unit::Lsu.index()] = UnitEnergy { dyn_pj_per_op: 25.0, leak_pj_cycle: 8.0 };
+        units[Unit::LegacyDecode.index()] =
+            UnitEnergy { dyn_pj_per_op: 10.0, leak_pj_cycle: 4.0 };
+        units[Unit::UopCache.index()] = UnitEnergy { dyn_pj_per_op: 3.0, leak_pj_cycle: 2.0 };
+        units[Unit::Core.index()] = UnitEnergy { dyn_pj_per_op: 6.0, leak_pj_cycle: 45.0 };
+        EnergyParams { units, vpu_gating: GatingParams::default() }
+    }
+}
+
+/// Activity counters accumulated by a simulation, consumed by
+/// [`EnergyModel::breakdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Activity {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Operations charged to each unit, indexed by [`Unit::index`].
+    pub ops: [u64; 6],
+    /// Cycles during which the VPU was power-gated.
+    pub vpu_gated_cycles: u64,
+    /// Number of gate/ungate pairs the VPU went through.
+    pub vpu_gate_transitions: u64,
+}
+
+impl Activity {
+    /// A fresh activity record over `cycles` cycles.
+    pub fn new(cycles: u64) -> Activity {
+        Activity { cycles, ..Activity::default() }
+    }
+
+    /// Adds `n` operations to `unit`.
+    pub fn add_ops(&mut self, unit: Unit, n: u64) {
+        self.ops[unit.index()] += n;
+    }
+
+    /// Operations charged to `unit`.
+    pub fn ops(&self, unit: Unit) -> u64 {
+        self.ops[unit.index()]
+    }
+
+    /// Accumulates another activity record into this one.
+    pub fn merge(&mut self, other: &Activity) {
+        self.cycles += other.cycles;
+        for i in 0..self.ops.len() {
+            self.ops[i] += other.ops[i];
+        }
+        self.vpu_gated_cycles += other.vpu_gated_cycles;
+        self.vpu_gate_transitions += other.vpu_gate_transitions;
+    }
+}
+
+/// Per-unit energy totals, picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Dynamic energy per unit, indexed by [`Unit::index`].
+    pub dynamic_pj: [f64; 6],
+    /// Leakage energy per unit.
+    pub leakage_pj: [f64; 6],
+    /// Gate/ungate switching overhead (VPU).
+    pub gating_overhead_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.dynamic_pj.iter().sum::<f64>()
+            + self.leakage_pj.iter().sum::<f64>()
+            + self.gating_overhead_pj
+    }
+
+    /// Dynamic energy of one unit.
+    pub fn dynamic(&self, u: Unit) -> f64 {
+        self.dynamic_pj[u.index()]
+    }
+
+    /// Leakage energy of one unit.
+    pub fn leakage(&self, u: Unit) -> f64 {
+        self.leakage_pj[u.index()]
+    }
+}
+
+/// Converts activity counts into energy.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyModel {
+    params: EnergyParams,
+}
+
+impl EnergyModel {
+    /// A model with explicit parameters.
+    pub fn new(params: EnergyParams) -> EnergyModel {
+        EnergyModel { params }
+    }
+
+    /// The model's parameters.
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    /// Computes the energy breakdown for an activity record.
+    ///
+    /// The VPU leaks fully during un-gated cycles and residually (through
+    /// the header transistor) during gated cycles; every other unit leaks
+    /// for all cycles. Each gate/ungate pair is charged the Hu-model
+    /// overhead.
+    pub fn breakdown(&self, a: &Activity) -> EnergyBreakdown {
+        let mut out = EnergyBreakdown::default();
+        for u in Unit::ALL {
+            let ue = self.params.units[u.index()];
+            out.dynamic_pj[u.index()] = a.ops(u) as f64 * ue.dyn_pj_per_op;
+            out.leakage_pj[u.index()] = match u {
+                Unit::Vpu => {
+                    let gated = a.vpu_gated_cycles.min(a.cycles) as f64;
+                    let ungated = a.cycles as f64 - gated;
+                    ungated * ue.leak_pj_cycle
+                        + gated * ue.leak_pj_cycle * self.params.vpu_gating.header_leak_frac
+                }
+                _ => a.cycles as f64 * ue.leak_pj_cycle,
+            };
+        }
+        out.gating_overhead_pj =
+            a.vpu_gate_transitions as f64 * self.params.vpu_gating.overhead_pj();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gating_saves_vpu_leakage() {
+        let m = EnergyModel::default();
+        let mut never_gated = Activity::new(10_000);
+        never_gated.add_ops(Unit::ScalarAlu, 5000);
+
+        let mut gated = never_gated;
+        gated.vpu_gated_cycles = 9_000;
+        gated.vpu_gate_transitions = 1;
+
+        let e0 = m.breakdown(&never_gated);
+        let e1 = m.breakdown(&gated);
+        assert!(e1.leakage(Unit::Vpu) < e0.leakage(Unit::Vpu));
+        assert!(e1.total_pj() < e0.total_pj());
+    }
+
+    #[test]
+    fn thrashing_transitions_cost_energy() {
+        let m = EnergyModel::default();
+        let mut few = Activity::new(10_000);
+        few.vpu_gated_cycles = 5_000;
+        few.vpu_gate_transitions = 2;
+        let mut many = few;
+        many.vpu_gate_transitions = 500;
+        assert!(m.breakdown(&many).total_pj() > m.breakdown(&few).total_pj());
+    }
+
+    #[test]
+    fn dynamic_scales_with_ops() {
+        let m = EnergyModel::default();
+        let mut a = Activity::new(100);
+        a.add_ops(Unit::Vpu, 10);
+        let e10 = m.breakdown(&a).dynamic(Unit::Vpu);
+        a.add_ops(Unit::Vpu, 10);
+        let e20 = m.breakdown(&a).dynamic(Unit::Vpu);
+        assert!((e20 - 2.0 * e10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Activity::new(10);
+        a.add_ops(Unit::Lsu, 3);
+        let mut b = Activity::new(20);
+        b.add_ops(Unit::Lsu, 4);
+        b.vpu_gated_cycles = 5;
+        a.merge(&b);
+        assert_eq!(a.cycles, 30);
+        assert_eq!(a.ops(Unit::Lsu), 7);
+        assert_eq!(a.vpu_gated_cycles, 5);
+    }
+
+    #[test]
+    fn unit_indexing_is_stable() {
+        for (i, u) in Unit::ALL.iter().enumerate() {
+            assert_eq!(u.index(), i);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Power-gating overhead model (Hu et al. / Laurenzano et al.).
+
+/// Cycles needed to power the vector unit back on (Laurenzano et al.,
+/// as adopted by the paper).
+pub const VPU_WAKE_CYCLES: u64 = 30;
+
+/// Parameters of the sleep-transistor gating model for one unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatingParams {
+    /// Ratio of sleep-transistor area to unit area (`W_H`). The paper uses
+    /// a conservative 0.20; literature spans 0.05–0.20.
+    pub w_h: f64,
+    /// Per-cycle switching energy of the unit at activity factor 1
+    /// (`E_cycle / α`), in picojoules.
+    pub e_cycle_alpha_pj: f64,
+    /// Unit leakage energy per un-gated cycle, in picojoules.
+    pub leak_pj_cycle: f64,
+    /// Residual leakage through the header transistor while gated, as a
+    /// fraction of normal leakage.
+    pub header_leak_frac: f64,
+    /// Cycles from the wake decision until the unit is usable.
+    pub wake_cycles: u64,
+}
+
+impl Default for GatingParams {
+    fn default() -> GatingParams {
+        GatingParams {
+            w_h: 0.20,
+            e_cycle_alpha_pj: 200.0,
+            leak_pj_cycle: 36.0,
+            header_leak_frac: 0.10,
+            wake_cycles: VPU_WAKE_CYCLES,
+        }
+    }
+}
+
+impl GatingParams {
+    /// Energy overhead of one gate/ungate pair:
+    /// `E_overhead ≈ 2 · W_H · E_cycle/α` (picojoules).
+    pub fn overhead_pj(&self) -> f64 {
+        2.0 * self.w_h * self.e_cycle_alpha_pj
+    }
+
+    /// Leakage saved per gated cycle (normal minus residual header
+    /// leakage), in picojoules.
+    pub fn saved_pj_per_gated_cycle(&self) -> f64 {
+        self.leak_pj_cycle * (1.0 - self.header_leak_frac)
+    }
+
+    /// Break-even time: gated cycles needed so that saved leakage equals
+    /// the on/off overhead. Gating intervals shorter than this *cost*
+    /// energy.
+    pub fn break_even_cycles(&self) -> u64 {
+        (self.overhead_pj() / self.saved_pj_per_gated_cycle()).ceil() as u64
+    }
+
+    /// Net energy effect (positive = saved) of one gating interval of
+    /// `gated_cycles`, in picojoules.
+    pub fn interval_net_pj(&self, gated_cycles: u64) -> f64 {
+        gated_cycles as f64 * self.saved_pj_per_gated_cycle() - self.overhead_pj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_follows_hu_equation() {
+        let g = GatingParams::default();
+        assert!((g.overhead_pj() - 2.0 * 0.20 * 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn break_even_is_positive_and_consistent() {
+        let g = GatingParams::default();
+        let be = g.break_even_cycles();
+        assert!(be >= 1);
+        assert!(g.interval_net_pj(be) >= 0.0);
+        assert!(g.interval_net_pj(be.saturating_sub(1)) < 0.0);
+    }
+
+    #[test]
+    fn short_intervals_lose_energy() {
+        let g = GatingParams::default();
+        assert!(g.interval_net_pj(0) < 0.0);
+        assert!(g.interval_net_pj(100_000) > 0.0);
+    }
+
+    #[test]
+    fn higher_wh_raises_break_even() {
+        let lo = GatingParams { w_h: 0.05, ..GatingParams::default() };
+        let hi = GatingParams { w_h: 0.20, ..GatingParams::default() };
+        assert!(hi.break_even_cycles() >= lo.break_even_cycles());
+    }
+}

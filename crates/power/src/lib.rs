@@ -1,0 +1,39 @@
+//! # csd-power — unit-level energy accounting and power-gating model
+//!
+//! A McPAT-flavoured per-unit energy model (32 nm-class constants) plus the
+//! power-gating overhead model the paper uses (Hu et al.):
+//!
+//! ```text
+//! E_overhead ≈ 2 · W_H · (E_cycle / α)
+//! ```
+//!
+//! where `W_H` is the ratio of sleep-transistor area to unit area (the
+//! paper uses the conservative 0.20 end of the 0.05–0.20 literature range)
+//! and `E_cycle/α` is the unit's per-cycle switching energy at activity
+//! factor 1. The *break-even time* is the number of gated cycles needed for
+//! saved leakage to amortize one on/off pair, and the VPU wake latency is
+//! 30 cycles (Laurenzano et al.), during which CSD keeps executing
+//! devectorized µops instead of stalling.
+//!
+//! Absolute joules are calibrated to plausible 32 nm magnitudes, not to the
+//! authors' exact McPAT tables (unavailable); all paper results consumed
+//! from this model are *relative* (normalized energy, percentage savings),
+//! which the shape of the model preserves.
+//!
+//! ```
+//! use csd_power::{EnergyModel, Activity, Unit};
+//!
+//! let model = EnergyModel::default();
+//! let mut a = Activity::new(1_000);
+//! a.add_ops(Unit::ScalarAlu, 800);
+//! let e = model.breakdown(&a);
+//! assert!(e.total_pj() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod energy;
+mod gating;
+
+pub use energy::{Activity, EnergyBreakdown, EnergyModel, EnergyParams, Unit, UnitEnergy};
+pub use gating::{GatingParams, VPU_WAKE_CYCLES};

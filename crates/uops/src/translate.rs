@@ -1,0 +1,328 @@
+//! Static table-driven macro-op → micro-op translation.
+
+use crate::uop::{UMem, Uop, UopKind};
+use crate::ureg::UReg;
+use mx86_isa::{AluOp, Inst, RegImm, Width};
+
+/// Instructions that decompose into more than this many µops are
+/// microsequenced by the microcode ROM instead of the decoders
+/// (the paper: "complex instructions that decompose into more than four
+/// micro-ops are microsequenced by a microcode ROM").
+pub const MSROM_THRESHOLD: usize = 4;
+
+/// Number of µops in the microsequenced divide flow.
+pub const DIV_UOP_COUNT: usize = 8;
+
+/// Which decode resource a translation requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecoderClass {
+    /// One µop: any of the four decoders can translate it.
+    Simple,
+    /// Two to four µops: only the complex decoder (decoder 0).
+    Complex,
+    /// More than four µops: the microcode ROM sequencer.
+    Msrom,
+}
+
+/// The result of translating one macro-op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Translation {
+    /// The µop flow, in program order.
+    pub uops: Vec<Uop>,
+    /// Number of µops that occupy front-end storage (µop cache ways); for
+    /// custom translations with micro-loops this is the *static* loop body,
+    /// smaller than the dynamic `uops` stream.
+    pub static_uops: usize,
+    /// Whether the flow may be cached in the micro-op cache. Flows longer
+    /// than six fused µops are not cacheable (µop-cache line limit).
+    pub cacheable: bool,
+    /// Whether the flow was produced by the microcode ROM.
+    pub from_msrom: bool,
+}
+
+impl Translation {
+    /// Builds a plain translation where all µops are static and cacheable.
+    pub fn plain(uops: Vec<Uop>) -> Translation {
+        let n = uops.len();
+        Translation {
+            uops,
+            static_uops: n,
+            cacheable: true,
+            from_msrom: n > MSROM_THRESHOLD,
+        }
+    }
+
+    /// The decode resource required.
+    pub fn decoder_class(&self) -> DecoderClass {
+        if self.from_msrom || self.static_uops > MSROM_THRESHOLD {
+            DecoderClass::Msrom
+        } else if self.static_uops > 1 {
+            DecoderClass::Complex
+        } else {
+            DecoderClass::Simple
+        }
+    }
+}
+
+fn ri_to_operands(u: Uop, src: RegImm) -> Uop {
+    match src {
+        RegImm::Reg(r) => u.src2(UReg::Gpr(r)),
+        RegImm::Imm(i) => u.imm(i),
+    }
+}
+
+/// Translates a macro-op into its *native* µop flow.
+///
+/// `next_pc` is the address of the following instruction (needed for
+/// `call`'s pushed return address). This is the static translation the
+/// paper's legacy decode pipeline performs; context-sensitive decoding
+/// replaces or augments this flow for instructions it intercepts.
+pub fn translate(inst: &Inst, next_pc: u64) -> Translation {
+    use UopKind as K;
+    let t0 = UReg::Tmp(0);
+    let t7 = UReg::Tmp(7);
+    let vt0 = UReg::VTmp(0);
+
+    let uops = match *inst {
+        Inst::Nop { .. } => vec![Uop::new(K::Nop)],
+        Inst::MovRR { dst, src } => {
+            vec![Uop::new(K::Mov).dst(dst.into()).src1(src.into())]
+        }
+        Inst::MovRI { dst, imm } => vec![Uop::new(K::MovImm).dst(dst.into()).imm(imm)],
+        Inst::Load { dst, mem, width } => {
+            vec![Uop::new(K::Ld).dst(dst.into()).mem(UMem::from_mem(mem, width))]
+        }
+        Inst::Store { mem, src, width } => {
+            vec![Uop::new(K::St).src1(src.into()).mem(UMem::from_mem(mem, width))]
+        }
+        Inst::Lea { dst, mem } => {
+            vec![Uop::new(K::Lea).dst(dst.into()).mem(UMem::from_mem(mem, Width::B8))]
+        }
+        Inst::Alu { op, dst, src } => {
+            let u = Uop::new(K::Alu(op)).dst(dst.into()).src1(dst.into());
+            vec![ri_to_operands(u, src)]
+        }
+        Inst::AluLoad { op, dst, mem, width } => vec![
+            Uop::new(K::Ld).dst(t0).mem(UMem::from_mem(mem, width)),
+            Uop::new(K::Alu(op)).dst(dst.into()).src1(dst.into()).src2(t0),
+        ],
+        Inst::AluStore { op, mem, src, width } => {
+            let m = UMem::from_mem(mem, width);
+            let alu = Uop::new(K::Alu(op)).dst(t0).src1(t0);
+            vec![
+                Uop::new(K::Ld).dst(t0).mem(m),
+                ri_to_operands(alu, src),
+                Uop::new(K::St).src1(t0).mem(m),
+            ]
+        }
+        Inst::Mul { dst, src } => {
+            let u = Uop::new(K::Mul).dst(dst.into()).src1(dst.into());
+            vec![ri_to_operands(u, src)]
+        }
+        Inst::Div { src } => return translate_div(src),
+        Inst::Cmp { a, b } => {
+            let u = Uop::new(K::Alu(AluOp::Sub)).src1(a.into());
+            vec![ri_to_operands(u, b)]
+        }
+        Inst::Test { a, b } => {
+            let u = Uop::new(K::Alu(AluOp::And)).src1(a.into());
+            vec![ri_to_operands(u, b)]
+        }
+        Inst::Jmp { target } => vec![Uop::new(K::JmpImm).imm(target as i64)],
+        Inst::Jcc { cc, target } => vec![Uop::new(K::Br(cc)).imm(target as i64)],
+        Inst::JmpInd { reg } => vec![Uop::new(K::JmpReg).src1(reg.into())],
+        Inst::Call { target } => vec![
+            Uop::new(K::PushImm).imm(next_pc as i64),
+            Uop::new(K::JmpImm).imm(target as i64),
+        ],
+        Inst::Ret => vec![
+            Uop::new(K::Pop).dst(t7),
+            Uop::new(K::JmpReg).src1(t7),
+        ],
+        Inst::Push { src } => vec![Uop::new(K::Push).src1(src.into())],
+        Inst::Pop { dst } => vec![Uop::new(K::Pop).dst(dst.into())],
+        Inst::VLoad { dst, mem } => {
+            vec![Uop::new(K::VLd).dst(dst.into()).mem(UMem::from_mem(mem, Width::B16))]
+        }
+        Inst::VStore { mem, src } => {
+            vec![Uop::new(K::VSt).src1(src.into()).mem(UMem::from_mem(mem, Width::B16))]
+        }
+        Inst::VMovRR { dst, src } => {
+            vec![Uop::new(K::VMov).dst(dst.into()).src1(src.into())]
+        }
+        Inst::VAlu { op, dst, src } => {
+            vec![Uop::new(K::VAlu(op)).dst(dst.into()).src1(dst.into()).src2(src.into())]
+        }
+        Inst::VAluLoad { op, dst, mem } => vec![
+            Uop::new(K::VLd).dst(vt0).mem(UMem::from_mem(mem, Width::B16)),
+            Uop::new(K::VAlu(op)).dst(dst.into()).src1(dst.into()).src2(vt0),
+        ],
+        Inst::VMovToGpr { dst, src } => {
+            vec![Uop::new(K::VExtractQ).dst(dst.into()).src1(src.into()).imm(0)]
+        }
+        Inst::VMovFromGpr { dst, src } => {
+            vec![Uop::new(K::VInsertQ).dst(dst.into()).src1(src.into()).imm(0)]
+        }
+        Inst::Clflush { mem } => {
+            vec![Uop::new(K::Clflush).mem(UMem::from_mem(mem, Width::B1))]
+        }
+        Inst::Rdtsc => vec![Uop::new(K::Rdtsc).dst(UReg::Gpr(mx86_isa::Gpr::Rax))],
+        Inst::Wrmsr { msr, src } => {
+            vec![Uop::new(K::Wrmsr).src1(src.into()).imm(i64::from(msr))]
+        }
+        Inst::Rdmsr { dst, msr } => {
+            vec![Uop::new(K::Rdmsr).dst(dst.into()).imm(i64::from(msr))]
+        }
+        Inst::Halt => vec![Uop::new(K::Halt)],
+    };
+    Translation::plain(uops)
+}
+
+/// The microsequenced divide flow: RAX ← RDX:RAX / src, RDX ← remainder.
+///
+/// Modeled as an 8-µop MSROM flow (operand staging, quotient, remainder,
+/// sequencer slots), matching the order of magnitude of real x86 divides.
+fn translate_div(src: mx86_isa::Gpr) -> Translation {
+    use UopKind as K;
+    let rax = UReg::Gpr(mx86_isa::Gpr::Rax);
+    let rdx = UReg::Gpr(mx86_isa::Gpr::Rdx);
+    let t0 = UReg::Tmp(0);
+    let t1 = UReg::Tmp(1);
+    let mut uops = vec![
+        Uop::new(K::Mov).dst(t0).src1(rax),
+        Uop::new(K::Mov).dst(t1).src1(rdx),
+        Uop::new(K::DivQ).dst(rax).src1(t0).src2(src.into()),
+        Uop::new(K::DivR).dst(rdx).src1(t0).src2(src.into()),
+    ];
+    // Sequencer slots: the MSROM streams in fixed-width groups; pad to the
+    // modeled flow length.
+    while uops.len() < DIV_UOP_COUNT {
+        uops.push(Uop::new(K::Nop));
+    }
+    let mut t = Translation::plain(uops);
+    t.from_msrom = true;
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx86_isa::{Cc, Gpr, MemRef, VecOp, Xmm};
+
+    fn uop_count(i: Inst) -> usize {
+        translate(&i, 0x100).uops.len()
+    }
+
+    #[test]
+    fn simple_ops_are_one_uop() {
+        assert_eq!(uop_count(Inst::MovRR { dst: Gpr::Rax, src: Gpr::Rbx }), 1);
+        assert_eq!(uop_count(Inst::MovRI { dst: Gpr::Rax, imm: 7 }), 1);
+        assert_eq!(
+            uop_count(Inst::Load { dst: Gpr::Rax, mem: MemRef::abs(0), width: Width::B8 }),
+            1
+        );
+        assert_eq!(uop_count(Inst::Jcc { cc: Cc::Eq, target: 0 }), 1);
+        assert_eq!(
+            uop_count(Inst::VAlu { op: VecOp::PAddB, dst: Xmm::new(0), src: Xmm::new(1) }),
+            1
+        );
+    }
+
+    #[test]
+    fn load_op_is_two_uops_complex() {
+        let t = translate(
+            &Inst::AluLoad {
+                op: AluOp::Xor,
+                dst: Gpr::Rax,
+                mem: MemRef::base(Gpr::Rbx),
+                width: Width::B4,
+            },
+            0x100,
+        );
+        assert_eq!(t.uops.len(), 2);
+        assert_eq!(t.decoder_class(), DecoderClass::Complex);
+        assert!(t.uops[0].kind.is_load());
+        assert_eq!(t.uops[0].dst, Some(UReg::Tmp(0)));
+    }
+
+    #[test]
+    fn rmw_is_three_uops() {
+        let t = translate(
+            &Inst::AluStore {
+                op: AluOp::Add,
+                mem: MemRef::abs(0x100),
+                src: RegImm::Imm(1),
+                width: Width::B8,
+            },
+            0x100,
+        );
+        assert_eq!(t.uops.len(), 3);
+        assert_eq!(t.decoder_class(), DecoderClass::Complex);
+    }
+
+    #[test]
+    fn div_is_microsequenced() {
+        let t = translate(&Inst::Div { src: Gpr::Rbx }, 0x100);
+        assert_eq!(t.uops.len(), DIV_UOP_COUNT);
+        assert!(t.from_msrom);
+        assert_eq!(t.decoder_class(), DecoderClass::Msrom);
+    }
+
+    #[test]
+    fn call_pushes_return_address() {
+        let t = translate(&Inst::Call { target: 0x4000 }, 0x1005);
+        assert_eq!(t.uops.len(), 2);
+        assert_eq!(t.uops[0].kind, UopKind::PushImm);
+        assert_eq!(t.uops[0].imm, Some(0x1005));
+        assert_eq!(t.uops[1].imm, Some(0x4000));
+    }
+
+    #[test]
+    fn ret_pops_through_temp() {
+        let t = translate(&Inst::Ret, 0x1001);
+        assert_eq!(t.uops.len(), 2);
+        assert_eq!(t.uops[0].dst, Some(UReg::Tmp(7)));
+        assert_eq!(t.uops[1].kind, UopKind::JmpReg);
+    }
+
+    #[test]
+    fn cmp_has_no_destination() {
+        let t = translate(&Inst::Cmp { a: Gpr::Rax, b: RegImm::Imm(5) }, 0);
+        assert_eq!(t.uops.len(), 1);
+        assert_eq!(t.uops[0].dst, None);
+        assert!(t.uops[0].kind.writes_flags());
+    }
+
+    #[test]
+    fn all_native_translations_validate() {
+        let insts = [
+            Inst::Nop { len: 3 },
+            Inst::MovRR { dst: Gpr::Rax, src: Gpr::Rbx },
+            Inst::Load { dst: Gpr::Rax, mem: MemRef::abs(8), width: Width::B8 },
+            Inst::Store { mem: MemRef::abs(8), src: Gpr::Rax, width: Width::B8 },
+            Inst::AluStore {
+                op: AluOp::Or,
+                mem: MemRef::abs(8),
+                src: RegImm::Reg(Gpr::Rcx),
+                width: Width::B8,
+            },
+            Inst::Div { src: Gpr::Rcx },
+            Inst::Call { target: 64 },
+            Inst::Ret,
+            Inst::VAluLoad { op: VecOp::MulPs, dst: Xmm::new(2), mem: MemRef::abs(64) },
+            Inst::Clflush { mem: MemRef::abs(0x40) },
+            Inst::Wrmsr { msr: 0x10, src: Gpr::Rax },
+        ];
+        for i in insts {
+            for u in translate(&i, 0x10).uops {
+                u.validate().unwrap_or_else(|e| panic!("{i}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn native_translations_never_produce_decoys() {
+        let i = Inst::Load { dst: Gpr::Rax, mem: MemRef::abs(8), width: Width::B8 };
+        assert!(translate(&i, 0).uops.iter().all(|u| !u.is_decoy()));
+    }
+}

@@ -1,0 +1,484 @@
+//! Micro-op format.
+
+use crate::ureg::UReg;
+use mx86_isa::{AluOp, Cc, Scale, VecOp, Width};
+use std::fmt;
+
+/// A memory operand at the micro-op level.
+///
+/// Unlike the macro-op [`mx86_isa::MemRef`], the base and index may be
+/// decoder-internal temporaries — decoy loads address sensitive ranges
+/// through temporaries so no architectural register is disturbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UMem {
+    /// Base register, if any.
+    pub base: Option<UReg>,
+    /// Index register and scale, if any.
+    pub index: Option<(UReg, Scale)>,
+    /// Constant displacement.
+    pub disp: i64,
+    /// Access width.
+    pub width: Width,
+}
+
+impl UMem {
+    /// An absolute address operand.
+    pub const fn abs(addr: u64, width: Width) -> UMem {
+        UMem {
+            base: None,
+            index: None,
+            disp: addr as i64,
+            width,
+        }
+    }
+
+    /// A base-register operand.
+    pub const fn base(base: UReg, width: Width) -> UMem {
+        UMem {
+            base: Some(base),
+            index: None,
+            disp: 0,
+            width,
+        }
+    }
+
+    /// A base + displacement operand.
+    pub const fn base_disp(base: UReg, disp: i64, width: Width) -> UMem {
+        UMem {
+            base: Some(base),
+            index: None,
+            disp,
+            width,
+        }
+    }
+
+    /// Converts a macro-op memory operand.
+    pub fn from_mem(m: mx86_isa::MemRef, width: Width) -> UMem {
+        UMem {
+            base: m.base.map(UReg::Gpr),
+            index: m.index.map(|(r, s)| (UReg::Gpr(r), s)),
+            disp: m.disp,
+            width,
+        }
+    }
+
+    /// Computes the effective address given a register-read closure.
+    pub fn effective_address(&self, mut read: impl FnMut(UReg) -> u64) -> u64 {
+        let mut addr = self.disp as u64;
+        if let Some(b) = self.base {
+            addr = addr.wrapping_add(read(b));
+        }
+        if let Some((i, s)) = self.index {
+            addr = addr.wrapping_add(read(i).wrapping_mul(s.factor()));
+        }
+        addr
+    }
+}
+
+impl fmt::Display for UMem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut wrote = false;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            wrote = true;
+        }
+        if let Some((i, s)) = self.index {
+            if wrote {
+                write!(f, " + ")?;
+            }
+            write!(f, "{i}*{s}")?;
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote {
+                write!(f, " + {:#x}", self.disp)?;
+            } else {
+                write!(f, "{:#x}", self.disp)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// Which cache a decoy micro-op targets.
+///
+/// Stealth-mode decoys sweeping a *data* decoy range load through the L1D
+/// path; decoys sweeping an *instruction* range are fetch-touch micro-ops
+/// that load the target line through the L1I path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecoyTarget {
+    /// Load through the data-cache path.
+    Data,
+    /// Touch through the instruction-cache path.
+    Inst,
+}
+
+/// Scalar floating-point operation (used by devectorized float flows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FOp {
+    /// Floating add.
+    Add,
+    /// Floating subtract.
+    Sub,
+    /// Floating multiply.
+    Mul,
+}
+
+/// Scalar floating-point operand width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FWidth {
+    /// Single precision (f32 bit pattern in the low 32 bits).
+    S,
+    /// Double precision (f64 bit pattern).
+    D,
+}
+
+/// The operation performed by a micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UopKind {
+    /// No operation (also used as a microsequencer slot).
+    Nop,
+    /// `dst ← src1` register move.
+    Mov,
+    /// `dst ← imm`.
+    MovImm,
+    /// `dst ← src1 op src2|imm`; writes flags. A `dst` of `None` is a
+    /// compare/test (flags only).
+    Alu(AluOp),
+    /// `dst ← src1 * src2|imm`; writes flags.
+    Mul,
+    /// Scalar float op on GPR/temp bit patterns:
+    /// `dst ← src1 op src2` (no flags).
+    FAlu(FOp, FWidth),
+    /// Divide step: `dst ← src1 / src2` (quotient). Microsequenced.
+    DivQ,
+    /// Divide step: `dst ← src1 % src2` (remainder). Microsequenced.
+    DivR,
+    /// `dst ← [mem]` scalar load.
+    Ld,
+    /// `[mem] ← src1` scalar store.
+    St,
+    /// `dst ← &mem` address generation without access.
+    Lea,
+    /// Conditional branch to `imm` (absolute); reads flags.
+    Br(Cc),
+    /// Unconditional branch to `imm` (absolute).
+    JmpImm,
+    /// Unconditional branch to the address in `src1`.
+    JmpReg,
+    /// Push `imm` (used for call return addresses): `[rsp-8] ← imm; rsp -= 8`.
+    PushImm,
+    /// Push `src1`: `[rsp-8] ← src1; rsp -= 8`.
+    Push,
+    /// Pop into `dst`: `dst ← [rsp]; rsp += 8`.
+    Pop,
+    /// Packed vector ALU: `dst ← src1 op src2` (128-bit).
+    VAlu(VecOp),
+    /// Vector load: `dst ← [mem]` (128-bit).
+    VLd,
+    /// Vector store: `[mem] ← src1` (128-bit).
+    VSt,
+    /// Vector register move.
+    VMov,
+    /// `dst(gpr/tmp) ← half `imm` of src1(xmm/vtmp)` — scalar extract.
+    VExtractQ,
+    /// `dst(xmm/vtmp).half imm ← src1(gpr/tmp)` — scalar insert.
+    VInsertQ,
+    /// Flush the cache line containing the effective address of `mem`.
+    Clflush,
+    /// `dst ← cycle counter`.
+    Rdtsc,
+    /// Write MSR number `imm` from `src1` (privileged).
+    Wrmsr,
+    /// `dst ← MSR number imm` (privileged).
+    Rdmsr,
+    /// Stop the core.
+    Halt,
+}
+
+impl UopKind {
+    /// Whether the µop reads memory.
+    pub const fn is_load(self) -> bool {
+        matches!(self, UopKind::Ld | UopKind::VLd | UopKind::Pop)
+    }
+
+    /// Whether the µop writes memory.
+    pub const fn is_store(self) -> bool {
+        matches!(
+            self,
+            UopKind::St | UopKind::VSt | UopKind::Push | UopKind::PushImm
+        )
+    }
+
+    /// Whether the µop is a control transfer.
+    pub const fn is_branch(self) -> bool {
+        matches!(self, UopKind::Br(_) | UopKind::JmpImm | UopKind::JmpReg)
+    }
+
+    /// Whether the µop executes on the vector unit.
+    pub const fn is_vector_exec(self) -> bool {
+        matches!(self, UopKind::VAlu(_))
+    }
+
+    /// Whether the µop writes the flags register.
+    pub const fn writes_flags(self) -> bool {
+        matches!(self, UopKind::Alu(_) | UopKind::Mul)
+    }
+}
+
+/// A single micro-op.
+///
+/// The operand fields are interpreted per [`UopKind`]; unused fields are
+/// `None`. `decoy` marks micro-ops injected by stealth-mode translation;
+/// they must never name an architectural destination (enforced by
+/// [`Uop::validate`] and checked by property tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Uop {
+    /// Operation.
+    pub kind: UopKind,
+    /// Destination register.
+    pub dst: Option<UReg>,
+    /// First source register.
+    pub src1: Option<UReg>,
+    /// Second source register.
+    pub src2: Option<UReg>,
+    /// Immediate operand (ALU immediate, branch target, MSR number,
+    /// extract/insert half index).
+    pub imm: Option<i64>,
+    /// Memory operand.
+    pub mem: Option<UMem>,
+    /// If set, this is a decoy micro-op injected by stealth translation,
+    /// targeting the given cache path.
+    pub decoy: Option<DecoyTarget>,
+}
+
+impl Uop {
+    /// A µop with only a kind; builder methods fill the rest.
+    pub const fn new(kind: UopKind) -> Uop {
+        Uop {
+            kind,
+            dst: None,
+            src1: None,
+            src2: None,
+            imm: None,
+            mem: None,
+            decoy: None,
+        }
+    }
+
+    /// Sets the destination register.
+    pub const fn dst(mut self, r: UReg) -> Uop {
+        self.dst = Some(r);
+        self
+    }
+
+    /// Sets the first source register.
+    pub const fn src1(mut self, r: UReg) -> Uop {
+        self.src1 = Some(r);
+        self
+    }
+
+    /// Sets the second source register.
+    pub const fn src2(mut self, r: UReg) -> Uop {
+        self.src2 = Some(r);
+        self
+    }
+
+    /// Sets the immediate operand.
+    pub const fn imm(mut self, v: i64) -> Uop {
+        self.imm = Some(v);
+        self
+    }
+
+    /// Sets the memory operand.
+    pub const fn mem(mut self, m: UMem) -> Uop {
+        self.mem = Some(m);
+        self
+    }
+
+    /// Marks the µop as a data-cache decoy.
+    pub const fn decoy(mut self) -> Uop {
+        self.decoy = Some(DecoyTarget::Data);
+        self
+    }
+
+    /// Marks the µop as an instruction-cache decoy.
+    pub const fn decoy_inst(mut self) -> Uop {
+        self.decoy = Some(DecoyTarget::Inst);
+        self
+    }
+
+    /// Whether the µop is a decoy of either flavor.
+    pub const fn is_decoy(&self) -> bool {
+        self.decoy.is_some()
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant:
+    /// - loads/stores must carry a memory operand;
+    /// - branches must carry a target (immediate or register);
+    /// - decoy µops must not write architectural registers or memory.
+    pub fn validate(&self) -> Result<(), String> {
+        if (self.kind.is_load() || self.kind.is_store() || self.kind == UopKind::Clflush)
+            && self.mem.is_none()
+            && !matches!(self.kind, UopKind::Push | UopKind::PushImm | UopKind::Pop)
+        {
+            return Err(format!("{self}: memory µop without memory operand"));
+        }
+        match self.kind {
+            UopKind::Br(_) | UopKind::JmpImm if self.imm.is_none() => {
+                return Err(format!("{self}: direct branch without target"));
+            }
+            UopKind::JmpReg if self.src1.is_none() => {
+                return Err(format!("{self}: indirect branch without source"));
+            }
+            _ => {}
+        }
+        if self.decoy.is_some() {
+            if let Some(d) = self.dst {
+                if d.is_architectural() {
+                    return Err(format!("{self}: decoy µop writes architectural register"));
+                }
+            }
+            if self.kind.is_store() {
+                return Err(format!("{self}: decoy µop writes memory"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Uop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.decoy {
+            Some(DecoyTarget::Data) => write!(f, "decoy.")?,
+            Some(DecoyTarget::Inst) => write!(f, "idecoy.")?,
+            None => {}
+        }
+        match self.kind {
+            UopKind::Nop => write!(f, "unop")?,
+            UopKind::Mov | UopKind::MovImm | UopKind::VMov => write!(f, "umov")?,
+            UopKind::Alu(op) => write!(f, "u{op}")?,
+            UopKind::Mul => write!(f, "umul")?,
+            UopKind::FAlu(op, w) => {
+                let o = match op { FOp::Add => "fadd", FOp::Sub => "fsub", FOp::Mul => "fmul" };
+                let ww = match w { FWidth::S => "s", FWidth::D => "d" };
+                write!(f, "u{o}{ww}")?;
+            }
+            UopKind::DivQ => write!(f, "udivq")?,
+            UopKind::DivR => write!(f, "udivr")?,
+            UopKind::Ld => write!(f, "uld")?,
+            UopKind::St => write!(f, "ust")?,
+            UopKind::Lea => write!(f, "ulea")?,
+            UopKind::Br(cc) => write!(f, "ubr_{cc}")?,
+            UopKind::JmpImm | UopKind::JmpReg => write!(f, "ujmp")?,
+            UopKind::PushImm | UopKind::Push => write!(f, "upush")?,
+            UopKind::Pop => write!(f, "upop")?,
+            UopKind::VAlu(op) => write!(f, "u{op}")?,
+            UopKind::VLd => write!(f, "uvld")?,
+            UopKind::VSt => write!(f, "uvst")?,
+            UopKind::VExtractQ => write!(f, "uvextr")?,
+            UopKind::VInsertQ => write!(f, "uvins")?,
+            UopKind::Clflush => write!(f, "uflush")?,
+            UopKind::Rdtsc => write!(f, "urdtsc")?,
+            UopKind::Wrmsr => write!(f, "uwrmsr")?,
+            UopKind::Rdmsr => write!(f, "urdmsr")?,
+            UopKind::Halt => write!(f, "uhlt")?,
+        }
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+        }
+        if let Some(s) = self.src1 {
+            write!(f, ", {s}")?;
+        }
+        if let Some(s) = self.src2 {
+            write!(f, ", {s}")?;
+        }
+        if let Some(m) = self.mem {
+            write!(f, ", {m}")?;
+        }
+        if let Some(i) = self.imm {
+            write!(f, ", {i:#x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx86_isa::Gpr;
+
+    #[test]
+    fn umem_effective_address_with_temps() {
+        let m = UMem::base_disp(UReg::Tmp(0), 0x4000, Width::B8);
+        let ea = m.effective_address(|r| match r {
+            UReg::Tmp(0) => 0x40,
+            _ => unreachable!(),
+        });
+        assert_eq!(ea, 0x4040);
+    }
+
+    #[test]
+    fn decoy_with_temp_dst_is_valid() {
+        let u = Uop::new(UopKind::Ld)
+            .dst(UReg::Tmp(1))
+            .mem(UMem::abs(0x1000, Width::B1))
+            .decoy();
+        assert!(u.validate().is_ok());
+    }
+
+    #[test]
+    fn decoy_with_arch_dst_is_invalid() {
+        let u = Uop::new(UopKind::Ld)
+            .dst(UReg::Gpr(Gpr::Rax))
+            .mem(UMem::abs(0x1000, Width::B1))
+            .decoy();
+        assert!(u.validate().is_err());
+    }
+
+    #[test]
+    fn decoy_store_is_invalid() {
+        let u = Uop::new(UopKind::St)
+            .src1(UReg::Tmp(0))
+            .mem(UMem::abs(0x1000, Width::B8))
+            .decoy();
+        assert!(u.validate().is_err());
+    }
+
+    #[test]
+    fn branch_needs_target() {
+        let u = Uop::new(UopKind::JmpImm);
+        assert!(u.validate().is_err());
+        assert!(u.imm(0x10).validate().is_ok());
+    }
+
+    #[test]
+    fn load_needs_mem() {
+        assert!(Uop::new(UopKind::Ld).dst(UReg::Tmp(0)).validate().is_err());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(UopKind::Ld.is_load());
+        assert!(UopKind::Pop.is_load());
+        assert!(UopKind::PushImm.is_store());
+        assert!(UopKind::Br(Cc::Eq).is_branch());
+        assert!(UopKind::VAlu(VecOp::PXor).is_vector_exec());
+        assert!(!UopKind::VLd.is_vector_exec());
+        assert!(UopKind::Alu(AluOp::Add).writes_flags());
+    }
+
+    #[test]
+    fn display_smoke() {
+        let u = Uop::new(UopKind::Ld)
+            .dst(UReg::Tmp(1))
+            .mem(UMem::base_disp(UReg::Tmp(0), 0x4000, Width::B1))
+            .decoy();
+        assert_eq!(u.to_string(), "decoy.uld t1, [t0 + 0x4000]");
+    }
+}

@@ -1,0 +1,49 @@
+//! The paper's Figure 7a in miniature: a PRIME+PROBE first-round attack
+//! on T-table AES recovers 4 bits of every key byte — until stealth-mode
+//! translation is switched on.
+//!
+//! ```sh
+//! cargo run --release --example aes_side_channel
+//! ```
+
+use csd_repro::attack::{aes_attack, AesAttackConfig, AttackMethod, Defense};
+use csd_repro::crypto::{AesKeySize, AesVictim, CipherDir};
+
+fn main() {
+    let key: Vec<u8> = vec![
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+        0x4f, 0x3c,
+    ];
+    let victim = AesVictim::new(AesKeySize::K128, CipherDir::Encrypt, &key);
+    println!("victim: OpenSSL-style T-table AES-128, secret key installed\n");
+
+    for (label, defense) in [
+        ("attacking the undefended victim", Defense::None),
+        ("attacking with CSD stealth mode enabled", Defense::stealth_default()),
+    ] {
+        println!("== {label} ==");
+        let cfg = AesAttackConfig {
+            method: AttackMethod::PrimeProbe,
+            trials_per_candidate: 64,
+            defense,
+            ..AesAttackConfig::default()
+        };
+        let out = aes_attack(&victim, &cfg);
+        print!("recovered high nibbles: ");
+        for r in &out.recovered {
+            match r {
+                Some(n) => print!("{n:x} "),
+                None => print!("? "),
+            }
+        }
+        println!(
+            "\ntrue high nibbles:      {}",
+            out.truth.iter().map(|n| format!("{n:x} ")).collect::<String>()
+        );
+        println!(
+            "=> {} of 128 key bits leaked after {} encryptions\n",
+            out.bits_recovered(),
+            out.encryptions
+        );
+    }
+}

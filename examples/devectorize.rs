@@ -1,0 +1,50 @@
+//! Case study II in miniature: selective devectorization lets the VPU
+//! stay power-gated through phases of intermittent vector activity,
+//! saving energy with almost no performance loss.
+//!
+//! ```sh
+//! cargo run --release --example devectorize
+//! ```
+
+use csd_repro::core::{CsdConfig, VpuPolicy};
+use csd_repro::pipeline::{Core, CoreConfig, SimMode, StepOutcome};
+use csd_repro::power::{EnergyModel, Unit};
+use csd_repro::workloads::Workload;
+
+fn main() {
+    let workload = Workload::by_name("gamess").expect("suite benchmark");
+    println!("workload: synthetic '{}' (moderate, bursty vector activity)\n", workload.name());
+
+    let model = EnergyModel::default();
+    for (label, policy) in [
+        ("always-on            ", VpuPolicy::AlwaysOn),
+        ("conventional gating  ", VpuPolicy::Conventional { idle_gate_cycles: 400 }),
+        ("csd devectorization  ", VpuPolicy::default()),
+    ] {
+        let csd_cfg = CsdConfig { vpu_policy: policy, ..CsdConfig::default() };
+        let mut core = Core::new(
+            CoreConfig::default(),
+            csd_cfg,
+            workload.program().clone(),
+            SimMode::Cycle,
+        );
+        workload.install(&mut core);
+        assert_eq!(core.run(100_000_000), StepOutcome::Halted);
+
+        let act = core.activity();
+        let energy = model.breakdown(&act);
+        let gate = core.engine().gate().stats();
+        println!(
+            "{label}: cycles={:>7}  energy={:>7.2} uJ  vpu-leak={:>6.2} uJ  gated={:>5.1}%  \
+             wake-stalls={:>4}  devectorized={}",
+            core.stats().cycles,
+            energy.total_pj() / 1e6,
+            energy.leakage(Unit::Vpu) / 1e6,
+            100.0 * gate.gated_fraction(),
+            gate.wake_stall_cycles,
+            gate.vec_powering_on + gate.vec_gated,
+        );
+    }
+    println!("\nCSD keeps the unit gated longer than conventional gating, never stalls");
+    println!("for a wake, and pays only the µop expansion of the scalarized flows.");
+}

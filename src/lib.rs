@@ -1,0 +1,20 @@
+//! Umbrella crate for the CSD reproduction workspace.
+//!
+//! Re-exports the public APIs of every member crate so examples and
+//! integration tests can `use csd_repro::...` uniformly.
+//!
+//! ```
+//! use csd_repro::isa::Gpr;
+//! assert_eq!(Gpr::Rax.index(), 0);
+//! ```
+
+pub use csd as core;
+pub use csd_attack as attack;
+pub use csd_cache as cache;
+pub use csd_crypto as crypto;
+pub use csd_dift as dift;
+pub use csd_pipeline as pipeline;
+pub use csd_power as power;
+pub use csd_uops as uops;
+pub use csd_workloads as workloads;
+pub use mx86_isa as isa;

@@ -1,0 +1,224 @@
+//! Property-based tests over the core data structures and invariants.
+
+use csd_repro::core::{CsdConfig, CsdEngine, msr};
+use csd_repro::isa::{
+    AddrRange, AluOp, Assembler, Cc, Gpr, Inst, MemRef, Placed, RegImm, Scale, VecOp, Width,
+    Xmm, MAX_INST_LEN,
+};
+use csd_repro::pipeline::{valu, Core, CoreConfig, SimMode, StepOutcome};
+use csd_repro::uops::{fuse_slots, fused_len_of, translate};
+use proptest::prelude::*;
+
+/// Re-exported helper (fusion::fused_len) under a stable name for tests.
+fn fused_len(uops: &[csd_repro::uops::Uop]) -> usize {
+    fused_len_of(uops)
+}
+
+fn arb_gpr() -> impl Strategy<Value = Gpr> {
+    (0usize..16).prop_map(Gpr::from_index)
+}
+
+fn arb_xmm() -> impl Strategy<Value = Xmm> {
+    (0u8..16).prop_map(Xmm::new)
+}
+
+fn arb_mem() -> impl Strategy<Value = MemRef> {
+    (arb_gpr(), proptest::option::of(arb_gpr()), -512i64..512).prop_map(|(b, i, d)| MemRef {
+        base: Some(b),
+        index: i.map(|r| (r, Scale::S4)),
+        disp: d,
+    })
+}
+
+fn arb_vecop() -> impl Strategy<Value = VecOp> {
+    prop_oneof![
+        Just(VecOp::PAddB),
+        Just(VecOp::PAddW),
+        Just(VecOp::PAddD),
+        Just(VecOp::PAddQ),
+        Just(VecOp::PSubB),
+        Just(VecOp::PSubD),
+        Just(VecOp::PAnd),
+        Just(VecOp::POr),
+        Just(VecOp::PXor),
+        Just(VecOp::PMullW),
+        Just(VecOp::PMullD),
+        Just(VecOp::AddPs),
+        Just(VecOp::SubPs),
+        Just(VecOp::MulPs),
+        Just(VecOp::AddPd),
+        Just(VecOp::MulPd),
+    ]
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (1u32..15).prop_map(|len| Inst::Nop { len }),
+        (arb_gpr(), arb_gpr()).prop_map(|(dst, src)| Inst::MovRR { dst, src }),
+        (arb_gpr(), any::<i64>()).prop_map(|(dst, imm)| Inst::MovRI { dst, imm }),
+        (arb_gpr(), arb_mem()).prop_map(|(dst, mem)| Inst::Load { dst, mem, width: Width::B8 }),
+        (arb_gpr(), arb_mem()).prop_map(|(src, mem)| Inst::Store { mem, src, width: Width::B8 }),
+        (arb_gpr(), arb_gpr()).prop_map(|(dst, src)| Inst::Alu {
+            op: AluOp::Xor,
+            dst,
+            src: RegImm::Reg(src)
+        }),
+        (arb_gpr(), arb_mem()).prop_map(|(dst, mem)| Inst::AluLoad {
+            op: AluOp::Add,
+            dst,
+            mem,
+            width: Width::B4
+        }),
+        (arb_mem(), -100i64..100).prop_map(|(mem, i)| Inst::AluStore {
+            op: AluOp::Or,
+            mem,
+            src: RegImm::Imm(i),
+            width: Width::B8
+        }),
+        arb_gpr().prop_map(|src| Inst::Div { src }),
+        (arb_vecop(), arb_xmm(), arb_xmm()).prop_map(|(op, dst, src)| Inst::VAlu {
+            op,
+            dst,
+            src
+        }),
+        Just(Inst::Ret),
+        (0u64..1 << 30).prop_map(|t| Inst::Call { target: t }),
+        arb_gpr().prop_map(|src| Inst::Push { src }),
+        arb_gpr().prop_map(|dst| Inst::Pop { dst }),
+    ]
+}
+
+proptest! {
+    /// Every instruction encodes within x86's 1..=15 byte bounds.
+    #[test]
+    fn encoding_lengths_in_bounds(inst in arb_inst()) {
+        prop_assert!((1..=MAX_INST_LEN).contains(&inst.len()));
+    }
+
+    /// Every native translation yields at least one µop, all structurally
+    /// valid, none decoys.
+    #[test]
+    fn translations_are_valid(inst in arb_inst(), pc in 0u64..1 << 30) {
+        let t = translate(&inst, pc);
+        prop_assert!(!t.uops.is_empty());
+        for u in &t.uops {
+            prop_assert!(u.validate().is_ok(), "{u}: invalid");
+            prop_assert!(!u.is_decoy());
+        }
+    }
+
+    /// Fusion never grows a flow and never shrinks it below half.
+    #[test]
+    fn fusion_bounds(inst in arb_inst()) {
+        let t = translate(&inst, 0);
+        let fused = fused_len(&t.uops);
+        prop_assert!(fused <= t.uops.len());
+        prop_assert!(fused * 2 >= t.uops.len());
+        prop_assert_eq!(fused, fuse_slots(&t.uops).len());
+    }
+
+    /// Condition codes and their inversions partition flag space.
+    #[test]
+    fn cc_inversion(bits in 0u8..16) {
+        let (zf, sf, cf, of) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0);
+        for cc in Cc::ALL {
+            prop_assert_ne!(cc.eval(zf, sf, cf, of), cc.invert().eval(zf, sf, cf, of));
+        }
+    }
+
+    /// Stealth decoy µops never name an architectural destination and
+    /// never store, for arbitrary decoy ranges.
+    #[test]
+    fn decoys_never_touch_architectural_state(
+        start in (0u64..1 << 20).prop_map(|x| x << 6),
+        blocks in 1u64..32,
+    ) {
+        let mut engine = CsdEngine::new(CsdConfig::default());
+        engine.write_msr(msr::MSR_DATA_RANGE_BASE, start);
+        engine.write_msr(msr::MSR_DATA_RANGE_BASE + 1, start + blocks * 64);
+        engine.write_msr(msr::MSR_CSD_CTL, msr::CTL_STEALTH | msr::CTL_DIFT_TRIGGER);
+        let p = Placed {
+            addr: 0x1000,
+            inst: Inst::Load { dst: Gpr::Rax, mem: MemRef::base(Gpr::Rbx), width: Width::B8 },
+        };
+        let out = engine.decode(&p, true);
+        let decoys: Vec<_> = out.translation.uops.iter().filter(|u| u.is_decoy()).collect();
+        prop_assert_eq!(decoys.len() as u64, 1 + 3 * blocks);
+        for u in decoys {
+            prop_assert!(u.validate().is_ok());
+            if let Some(d) = u.dst {
+                prop_assert!(!d.is_architectural());
+            }
+            prop_assert!(!u.kind.is_store());
+        }
+    }
+
+    /// Devectorized vector arithmetic is bit-exact with the VPU for
+    /// arbitrary packed operands: run the same program under AlwaysOn and
+    /// an immediately-gating CSD policy and compare results.
+    #[test]
+    fn devectorization_is_semantics_preserving(
+        op in arb_vecop(),
+        a_lo in any::<u64>(), a_hi in any::<u64>(),
+        b_lo in any::<u64>(), b_hi in any::<u64>(),
+    ) {
+        let build = || {
+            let mut asm = Assembler::new(0x1000);
+            asm.mov_ri(Gpr::Rbx, 0x8000);
+            asm.vload(Xmm::new(0), MemRef::base(Gpr::Rbx));
+            asm.vload(Xmm::new(1), MemRef::base(Gpr::Rbx).with_disp(16));
+            for _ in 0..260 {
+                asm.alu_ri(AluOp::Add, Gpr::Rax, 1); // force gating
+            }
+            asm.valu(op, Xmm::new(0), Xmm::new(1));
+            asm.vstore(MemRef::base(Gpr::Rbx).with_disp(32), Xmm::new(0));
+            asm.halt();
+            asm.finish().unwrap()
+        };
+        let run = |policy| {
+            let cfg = CsdConfig { vpu_policy: policy, ..CsdConfig::default() };
+            let mut core =
+                Core::new(CoreConfig::default(), cfg, build(), SimMode::Functional);
+            core.mem.write_u128(0x8000, (a_lo, a_hi));
+            core.mem.write_u128(0x8010, (b_lo, b_hi));
+            prop_assert_eq!(core.run(10_000), StepOutcome::Halted);
+            Ok(core.mem.read_u128(0x8020))
+        };
+        let on = run(csd_repro::core::VpuPolicy::AlwaysOn)?;
+        let devec = run(csd_repro::core::VpuPolicy::default())?;
+        prop_assert_eq!(on, devec, "{}: scalarized result differs", op);
+        // And both match the reference packed semantics.
+        prop_assert_eq!(on, valu(op, (a_lo, a_hi), (b_lo, b_hi)));
+    }
+
+    /// Address ranges: block iteration covers exactly the touched lines.
+    #[test]
+    fn range_blocks_cover(start in 0u64..1 << 20, len in 1u64..4096) {
+        let r = AddrRange::with_len(start, len);
+        let blocks: Vec<u64> = r.blocks(64).collect();
+        prop_assert!(!blocks.is_empty());
+        for b in &blocks {
+            prop_assert_eq!(b % 64, 0);
+        }
+        prop_assert!(blocks[0] <= start && start < blocks[0] + 64);
+        let last = blocks[blocks.len() - 1];
+        prop_assert!(last < r.end && r.end <= last + 64);
+    }
+
+    /// Assembled programs are contiguous with resolvable fetches.
+    #[test]
+    fn programs_are_contiguous(insts in proptest::collection::vec(arb_inst(), 1..40)) {
+        let mut a = Assembler::new(0x4000);
+        for i in &insts {
+            a.emit(*i);
+        }
+        let p = a.finish().unwrap();
+        let mut expect = 0x4000;
+        for placed in &p {
+            prop_assert_eq!(placed.addr, expect);
+            prop_assert!(p.fetch(placed.addr).is_some());
+            expect = placed.next_addr();
+        }
+        prop_assert_eq!(p.end_addr(), expect);
+    }
+}
