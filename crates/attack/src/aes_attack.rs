@@ -19,8 +19,7 @@ use crate::harness::{victim_core, Defense};
 use crate::probe::{AttackMethod, FlushReload, PrimeProbe, ProbeKind};
 use csd_crypto::{AesVictim, Victim};
 use csd_pipeline::SimMode;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use csd_telemetry::SplitMix64;
 
 /// Attack parameters.
 #[derive(Debug, Clone, Copy)]
@@ -94,7 +93,7 @@ impl AesAttackOutcome {
 /// Panics if the victim faults (victim programs are known-terminating).
 pub fn aes_attack(victim: &AesVictim, cfg: &AesAttackConfig) -> AesAttackOutcome {
     let mut core = victim_core(victim, SimMode::Functional, cfg.defense);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::new(cfg.seed);
     let line = cfg.monitored_line;
     let mut encryptions = 0u64;
 
@@ -116,8 +115,8 @@ pub fn aes_attack(victim: &AesVictim, cfg: &AesAttackConfig) -> AesAttackOutcome
             let mut touched = 0usize;
             for _ in 0..cfg.trials_per_candidate {
                 let mut pt = [0u8; 16];
-                rng.fill(&mut pt[..]);
-                pt[p] = ((g ^ line as u8) << 4) | (rng.gen::<u8>() & 0x0f);
+                rng.fill_bytes(&mut pt[..]);
+                pt[p] = ((g ^ line as u8) << 4) | (rng.next_u8() & 0x0f);
 
                 match cfg.method {
                     AttackMethod::FlushReload => {
@@ -145,10 +144,19 @@ pub fn aes_attack(victim: &AesVictim, cfg: &AesAttackConfig) -> AesAttackOutcome
 
         // Recover: the unique candidate with a perfect touch rate.
         let perfect: Vec<u8> = (0..16u8).filter(|&g| rates[g as usize] >= 1.0).collect();
-        recovered.push(if perfect.len() == 1 { Some(perfect[0]) } else { None });
+        recovered.push(if perfect.len() == 1 {
+            Some(perfect[0])
+        } else {
+            None
+        });
     }
 
-    AesAttackOutcome { touch_rates, recovered, truth, encryptions }
+    AesAttackOutcome {
+        touch_rates,
+        recovered,
+        truth,
+        encryptions,
+    }
 }
 
 #[cfg(test)]
@@ -167,7 +175,10 @@ mod tests {
     #[test]
     fn prime_probe_recovers_key_nibbles_without_defense() {
         let v = test_victim();
-        let cfg = AesAttackConfig { trials_per_candidate: 80, ..AesAttackConfig::default() };
+        let cfg = AesAttackConfig {
+            trials_per_candidate: 80,
+            ..AesAttackConfig::default()
+        };
         let out = aes_attack(&v, &cfg);
         assert!(
             out.correct_positions() >= 14,

@@ -21,14 +21,19 @@ pub enum Defense {
 impl Defense {
     /// The paper's default deployment (1000-cycle watchdog).
     pub fn stealth_default() -> Defense {
-        Defense::Stealth { watchdog_period: 1000 }
+        Defense::Stealth {
+            watchdog_period: 1000,
+        }
     }
 }
 
 /// Builds a core around `victim` in the given simulation mode, installs
 /// its data and taint, and (optionally) configures the stealth defense.
 pub fn victim_core(victim: &dyn Victim, mode: SimMode, defense: Defense) -> Core {
-    let cfg = CoreConfig { dift_enabled: true, ..CoreConfig::default() };
+    let cfg = CoreConfig {
+        dift_enabled: true,
+        ..CoreConfig::default()
+    };
     let mut core = Core::new(cfg, CsdConfig::default(), victim.program().clone(), mode);
     victim.install(&mut core);
     if let Defense::Stealth { watchdog_period } = defense {

@@ -36,4 +36,6 @@ mod rsa_attack;
 pub use aes_attack::{aes_attack, AesAttackConfig, AesAttackOutcome};
 pub use harness::{victim_core, Defense};
 pub use probe::{AttackMethod, FlushReload, PrimeProbe, ProbeKind, ProbeOutcome};
-pub use rsa_attack::{calibrate, rsa_attack, RsaAttackConfig, RsaAttackOutcome, RsaTrace, TraceSample};
+pub use rsa_attack::{
+    calibrate, rsa_attack, RsaAttackConfig, RsaAttackOutcome, RsaTrace, TraceSample,
+};

@@ -60,7 +60,11 @@ impl FlushReload {
         let cfg = hier.config();
         let hit_threshold =
             cfg.l1i.latency + cfg.l2.latency + cfg.llc.latency + cfg.memory_latency / 2;
-        FlushReload { target, kind, hit_threshold }
+        FlushReload {
+            target,
+            kind,
+            hit_threshold,
+        }
     }
 
     /// The monitored line address.
@@ -113,7 +117,11 @@ impl PrimeProbe {
         let lines = (0..cfg.ways as u64)
             .map(|w| Self::ATTACKER_BASE + set * cfg.line_bytes as u64 + w * stride)
             .collect();
-        PrimeProbe { lines, kind, l1_hit_latency: cfg.latency }
+        PrimeProbe {
+            lines,
+            kind,
+            l1_hit_latency: cfg.latency,
+        }
     }
 
     /// The attacker's eviction-set lines.
@@ -143,7 +151,10 @@ impl PrimeProbe {
                 evictions += 1;
             }
         }
-        ProbeOutcome { latency, victim_touched: evictions > 0 }
+        ProbeOutcome {
+            latency,
+            victim_touched: evictions > 0,
+        }
     }
 }
 

@@ -140,17 +140,38 @@ pub fn rsa_attack(victim: &RsaVictim, cfg: &RsaAttackConfig) -> RsaAttackOutcome
     let trace = match cfg.method {
         AttackMethod::FlushReload => {
             let fr = FlushReload::new(target, ProbeKind::Inst, core.hierarchy());
-            run_trace(victim, &mut core, interval, |h| fr.reset(h), |h| fr.probe(h))
+            run_trace(
+                victim,
+                &mut core,
+                interval,
+                |h| fr.reset(h),
+                |h| fr.probe(h),
+            )
         }
         AttackMethod::PrimeProbe => {
             let pp = PrimeProbe::new(target, ProbeKind::Inst, core.hierarchy());
-            run_trace(victim, &mut core, interval, |h| pp.reset(h), |h| pp.probe(h))
+            run_trace(
+                victim,
+                &mut core,
+                interval,
+                |h| pp.reset(h),
+                |h| pp.probe(h),
+            )
         }
     };
 
     let recovered = decode_bits(&trace, ts, tm);
-    let truth: Vec<bool> = (0..64).rev().map(|b| (victim.exponent() >> b) & 1 == 1).collect();
-    RsaAttackOutcome { trace, recovered, truth, ts, tm }
+    let truth: Vec<bool> = (0..64)
+        .rev()
+        .map(|b| (victim.exponent() >> b) & 1 == 1)
+        .collect();
+    RsaAttackOutcome {
+        trace,
+        recovered,
+        truth,
+        ts,
+        tm,
+    }
 }
 
 fn run_trace(
@@ -179,7 +200,11 @@ fn run_trace(
             StepOutcome::Fault(pc) => panic!("victim faulted at {pc:#x}"),
         }
     }
-    RsaTrace { samples, start_cycle, end_cycle: core.cycles() }
+    RsaTrace {
+        samples,
+        start_cycle,
+        end_cycle: core.cycles(),
+    }
 }
 
 /// Decodes multiply-invocation timestamps into exponent bits.
@@ -193,24 +218,25 @@ fn decode_bits(trace: &RsaTrace, ts: u64, tm: u64) -> Vec<bool> {
         return vec![false; 64];
     }
     // Leading zeros before the first multiply.
-    let lead = events[0].saturating_sub(trace.start_cycle).saturating_sub(iter1);
-    for _ in 0..round_div(lead, ts) {
-        bits.push(false);
-    }
+    let lead = events[0]
+        .saturating_sub(trace.start_cycle)
+        .saturating_sub(iter1);
+    bits.extend(std::iter::repeat_n(false, round_div(lead, ts) as usize));
     bits.push(true);
     for w in events.windows(2) {
         let gap = w[1] - w[0];
         let zeros = round_div(gap.saturating_sub(iter1), ts);
-        for _ in 0..zeros {
-            bits.push(false);
-        }
+        bits.extend(std::iter::repeat_n(false, zeros as usize));
         bits.push(true);
     }
     // Trailing zeros after the last multiply.
-    let tail = trace.end_cycle.saturating_sub(*events.last().expect("non-empty"));
-    for _ in 0..round_div(tail.saturating_sub(ts / 2), ts) {
-        bits.push(false);
-    }
+    let tail = trace
+        .end_cycle
+        .saturating_sub(*events.last().expect("non-empty"));
+    bits.extend(std::iter::repeat_n(
+        false,
+        round_div(tail.saturating_sub(ts / 2), ts) as usize,
+    ));
     bits.resize(64, false);
     bits.truncate(64);
     bits
@@ -239,7 +265,10 @@ mod tests {
     #[test]
     fn prime_probe_recovers_the_exponent() {
         let v = RsaVictim::new(EXP, MODULUS);
-        let cfg = RsaAttackConfig { method: AttackMethod::PrimeProbe, ..Default::default() };
+        let cfg = RsaAttackConfig {
+            method: AttackMethod::PrimeProbe,
+            ..Default::default()
+        };
         let out = rsa_attack(&v, &cfg);
         assert!(
             out.correct_bits() >= 60,
@@ -262,10 +291,17 @@ mod tests {
             let cfg = RsaAttackConfig {
                 method,
                 probe_interval: Some(interval),
-                defense: Defense::Stealth { watchdog_period: interval / 2 },
+                defense: Defense::Stealth {
+                    watchdog_period: interval / 2,
+                },
             };
             let out = rsa_attack(&v, &cfg);
-            let touched = out.trace.samples.iter().filter(|s| s.multiply_touched).count();
+            let touched = out
+                .trace
+                .samples
+                .iter()
+                .filter(|s| s.multiply_touched)
+                .count();
             let rate = touched as f64 / out.trace.samples.len() as f64;
             assert!(
                 rate > 0.9,

@@ -1,37 +1,47 @@
 //! Devectorization benchmarks: scalarization translation cost and the
 //! end-to-end policy comparison on a short workload.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use csd::{Devectorizer, VpuPolicy};
+use csd_bench::microbench::{bench, black_box};
 use csd_bench::run_devec;
 use csd_uops::translate;
 use csd_workloads::Workload;
 use mx86_isa::{Inst, VecOp, Xmm};
 
-fn bench_scalarize(c: &mut Criterion) {
+fn bench_scalarize() {
     for op in [VecOp::PAddB, VecOp::PMullW, VecOp::MulPs, VecOp::PXor] {
-        let inst = Inst::VAlu { op, dst: Xmm::new(0), src: Xmm::new(1) };
+        let inst = Inst::VAlu {
+            op,
+            dst: Xmm::new(0),
+            src: Xmm::new(1),
+        };
         let native = translate(&inst, 0);
-        c.bench_function(&format!("devectorize/{op}"), |b| {
-            let mut d = Devectorizer::new();
-            b.iter(|| black_box(d.devectorize(black_box(&inst), &native)))
+        let mut d = Devectorizer::new();
+        bench(&format!("devectorize/{op}"), || {
+            black_box(d.devectorize(black_box(&inst), &native))
         });
     }
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn bench_policies() {
     let w = Workload::with_scale(
-        csd_workloads::specs().into_iter().find(|s| s.name == "gamess").unwrap(),
+        csd_workloads::specs()
+            .into_iter()
+            .find(|s| s.name == "gamess")
+            .unwrap(),
         0.05,
     );
-    for (name, policy) in
-        [("always-on", VpuPolicy::AlwaysOn), ("csd-devec", VpuPolicy::default())]
-    {
-        c.bench_function(&format!("gamess/{name}"), |b| {
-            b.iter(|| run_devec(black_box(&w), policy))
+    for (name, policy) in [
+        ("always-on", VpuPolicy::AlwaysOn),
+        ("csd-devec", VpuPolicy::default()),
+    ] {
+        bench(&format!("gamess/{name}"), || {
+            run_devec(black_box(&w), policy)
         });
     }
 }
 
-criterion_group!(benches, bench_scalarize, bench_policies);
-criterion_main!(benches);
+fn main() {
+    bench_scalarize();
+    bench_policies();
+}

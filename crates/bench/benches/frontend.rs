@@ -1,63 +1,85 @@
 //! Front-end microbenchmarks: static translation, fusion, and the CSD
 //! decode path with stealth translation armed.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use csd::{msr, CsdConfig, CsdEngine};
+use csd_bench::microbench::{bench, black_box};
 use csd_uops::{fuse_slots, translate};
 use mx86_isa::{AluOp, Gpr, Inst, MemRef, Placed, RegImm, VecOp, Width, Xmm};
 
 fn inst_mix() -> Vec<Inst> {
     vec![
-        Inst::MovRI { dst: Gpr::Rax, imm: 42 },
-        Inst::Load { dst: Gpr::Rbx, mem: MemRef::base(Gpr::Rax), width: Width::B8 },
-        Inst::AluLoad { op: AluOp::Xor, dst: Gpr::Rcx, mem: MemRef::abs(0x100), width: Width::B4 },
-        Inst::AluStore { op: AluOp::Add, mem: MemRef::abs(0x200), src: RegImm::Imm(1), width: Width::B8 },
-        Inst::VAlu { op: VecOp::PAddB, dst: Xmm::new(0), src: Xmm::new(1) },
+        Inst::MovRI {
+            dst: Gpr::Rax,
+            imm: 42,
+        },
+        Inst::Load {
+            dst: Gpr::Rbx,
+            mem: MemRef::base(Gpr::Rax),
+            width: Width::B8,
+        },
+        Inst::AluLoad {
+            op: AluOp::Xor,
+            dst: Gpr::Rcx,
+            mem: MemRef::abs(0x100),
+            width: Width::B4,
+        },
+        Inst::AluStore {
+            op: AluOp::Add,
+            mem: MemRef::abs(0x200),
+            src: RegImm::Imm(1),
+            width: Width::B8,
+        },
+        Inst::VAlu {
+            op: VecOp::PAddB,
+            dst: Xmm::new(0),
+            src: Xmm::new(1),
+        },
         Inst::Div { src: Gpr::Rdx },
         Inst::Call { target: 0x4000 },
         Inst::Ret,
     ]
 }
 
-fn bench_translate(c: &mut Criterion) {
+fn bench_translate() {
     let mix = inst_mix();
-    c.bench_function("translate/inst-mix", |b| {
-        b.iter(|| {
-            for i in &mix {
-                black_box(translate(black_box(i), 0x1000));
-            }
-        })
+    bench("translate/inst-mix", || {
+        for i in &mix {
+            black_box(translate(black_box(i), 0x1000));
+        }
     });
-    c.bench_function("fuse/inst-mix", |b| {
-        let flows: Vec<_> = mix.iter().map(|i| translate(i, 0x1000).uops).collect();
-        b.iter(|| {
-            for f in &flows {
-                black_box(fuse_slots(black_box(f)));
-            }
-        })
+    let flows: Vec<_> = mix.iter().map(|i| translate(i, 0x1000).uops).collect();
+    bench("fuse/inst-mix", || {
+        for f in &flows {
+            black_box(fuse_slots(black_box(f)));
+        }
     });
 }
 
-fn bench_csd_decode(c: &mut Criterion) {
+fn bench_csd_decode() {
     let tainted_load = Placed {
         addr: 0x1000,
-        inst: Inst::Load { dst: Gpr::Rax, mem: MemRef::base(Gpr::Rbx), width: Width::B4 },
+        inst: Inst::Load {
+            dst: Gpr::Rax,
+            mem: MemRef::base(Gpr::Rbx),
+            width: Width::B4,
+        },
     };
-    c.bench_function("csd-decode/native", |b| {
-        let mut e = CsdEngine::new(CsdConfig::default());
-        b.iter(|| black_box(e.decode(black_box(&tainted_load), false)))
+    let mut e = CsdEngine::new(CsdConfig::default());
+    bench("csd-decode/native", || {
+        black_box(e.decode(black_box(&tainted_load), false))
     });
-    c.bench_function("csd-decode/stealth-sweep-64-lines", |b| {
-        let mut e = CsdEngine::new(CsdConfig::default());
-        e.write_msr(msr::MSR_DATA_RANGE_BASE, 0x2_0000);
-        e.write_msr(msr::MSR_DATA_RANGE_BASE + 1, 0x2_1000);
-        e.write_msr(msr::MSR_CSD_CTL, msr::CTL_STEALTH | msr::CTL_DIFT_TRIGGER);
-        b.iter(|| {
-            e.tick(10_000); // watchdog re-arm so every decode sweeps
-            black_box(e.decode(black_box(&tainted_load), true))
-        })
+
+    let mut e = CsdEngine::new(CsdConfig::default());
+    e.write_msr(msr::MSR_DATA_RANGE_BASE, 0x2_0000);
+    e.write_msr(msr::MSR_DATA_RANGE_BASE + 1, 0x2_1000);
+    e.write_msr(msr::MSR_CSD_CTL, msr::CTL_STEALTH | msr::CTL_DIFT_TRIGGER);
+    bench("csd-decode/stealth-sweep-64-lines", || {
+        e.tick(10_000); // watchdog re-arm so every decode sweeps
+        black_box(e.decode(black_box(&tainted_load), true))
     });
 }
 
-criterion_group!(benches, bench_translate, bench_csd_decode);
-criterion_main!(benches);
+fn main() {
+    bench_translate();
+    bench_csd_decode();
+}

@@ -1,30 +1,29 @@
 //! Security-path benchmarks: one AES encryption with and without the
 //! stealth defense, and one PRIME+PROBE trial.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use csd_attack::{victim_core, Defense, PrimeProbe, ProbeKind};
+use csd_bench::microbench::bench;
 use csd_crypto::{AesKeySize, AesVictim, CipherDir, Victim};
 use csd_pipeline::SimMode;
 
-fn bench_aes(c: &mut Criterion) {
+fn main() {
     let key: Vec<u8> = (0..16).collect();
     let v = AesVictim::new(AesKeySize::K128, CipherDir::Encrypt, &key);
-    for (name, defense) in [("plain", Defense::None), ("stealth", Defense::stealth_default())] {
-        c.bench_function(&format!("aes-block/{name}"), |b| {
-            let mut core = victim_core(&v, SimMode::Functional, defense);
-            b.iter(|| v.run_once(&mut core, &[7u8; 16]))
+    for (name, defense) in [
+        ("plain", Defense::None),
+        ("stealth", Defense::stealth_default()),
+    ] {
+        let mut core = victim_core(&v, SimMode::Functional, defense);
+        bench(&format!("aes-block/{name}"), || {
+            v.run_once(&mut core, &[7u8; 16])
         });
     }
-    c.bench_function("prime-probe-trial", |b| {
-        let mut core = victim_core(&v, SimMode::Functional, Defense::None);
-        let pp = PrimeProbe::new(v.table_line(0, 4), ProbeKind::Data, core.hierarchy());
-        b.iter(|| {
-            pp.reset(core.hierarchy_mut());
-            v.run_once(&mut core, &[3u8; 16]);
-            pp.probe(core.hierarchy_mut())
-        })
+
+    let mut core = victim_core(&v, SimMode::Functional, Defense::None);
+    let pp = PrimeProbe::new(v.table_line(0, 4), ProbeKind::Data, core.hierarchy());
+    bench("prime-probe-trial", || {
+        pp.reset(core.hierarchy_mut());
+        v.run_once(&mut core, &[3u8; 16]);
+        pp.probe(core.hierarchy_mut())
     });
 }
-
-criterion_group!(benches, bench_aes);
-criterion_main!(benches);

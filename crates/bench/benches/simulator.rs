@@ -1,7 +1,7 @@
 //! Whole-simulator throughput: cycle-level and functional stepping.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use csd::CsdConfig;
+use csd_bench::microbench::bench_throughput;
 use csd_pipeline::{Core, CoreConfig, SimMode};
 use mx86_isa::{AluOp, Assembler, Cc, Gpr, MemRef, Program};
 
@@ -20,25 +20,20 @@ fn loop_program(iters: i64) -> Program {
     a.finish().unwrap()
 }
 
-fn bench_engines(c: &mut Criterion) {
+fn main() {
     const ITERS: i64 = 2_000;
-    let mut g = c.benchmark_group("simulator");
-    g.throughput(Throughput::Elements(5 * ITERS as u64));
-    for (name, mode) in [("functional", SimMode::Functional), ("cycle", SimMode::Cycle)] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut core = Core::new(
-                    CoreConfig::default(),
-                    CsdConfig::default(),
-                    loop_program(ITERS),
-                    mode,
-                );
-                core.run(u64::MAX)
-            })
+    for (name, mode) in [
+        ("simulator/functional", SimMode::Functional),
+        ("simulator/cycle", SimMode::Cycle),
+    ] {
+        bench_throughput(name, 5 * ITERS as u64, || {
+            let mut core = Core::new(
+                CoreConfig::default(),
+                CsdConfig::default(),
+                loop_program(ITERS),
+                mode,
+            );
+            core.run(u64::MAX)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_engines);
-criterion_main!(benches);

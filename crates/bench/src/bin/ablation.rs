@@ -10,16 +10,29 @@ use csd_workloads::Workload;
 fn main() {
     println!("== Ablation 1: devectorization threshold sweep (namd) ==\n");
     let w = Workload::with_scale(
-        csd_workloads::specs().into_iter().find(|s| s.name == "namd").unwrap(),
+        csd_workloads::specs()
+            .into_iter()
+            .find(|s| s.name == "namd")
+            .unwrap(),
         0.3,
     );
     let widths = [16, 10, 12, 12];
     println!(
         "{}",
-        row(&["low/high", "cycles", "energy(uJ)", "gated"].map(String::from).to_vec(), &widths)
+        row(
+            &["low/high", "cycles", "energy(uJ)", "gated"].map(String::from),
+            &widths
+        )
     );
     for (low, high) in [(1, 8), (4, 24), (8, 48), (16, 96)] {
-        let r = run_devec_thresholds(&w, DevecThresholds { window: 256, low, high });
+        let r = run_devec_thresholds(
+            &w,
+            DevecThresholds {
+                window: 256,
+                low,
+                high,
+            },
+        );
         println!(
             "{}",
             row(
@@ -37,7 +50,10 @@ fn main() {
     println!("\n== Ablation 2: µop-cache 3-lines-per-window constraint ==\n");
     let victims = csd_bench::security_victims();
     for max_lines in [3usize, 8] {
-        let cfg = CoreConfig { uop_cache_max_lines_per_window: max_lines, ..CoreConfig::opt() };
+        let cfg = CoreConfig {
+            uop_cache_max_lines_per_window: max_lines,
+            ..CoreConfig::opt()
+        };
         let m = run_security(victims[0].as_ref(), true, cfg, 6, DEFAULT_WATCHDOG);
         println!(
             "max {} lines/window: uop$ hit rate {:.1}%  cycles {}",

@@ -9,7 +9,10 @@ use csd::{msr, CsdConfig, CsdEngine};
 use csd_crypto::{AesKeySize, AesVictim, CipherDir, Victim};
 
 fn main() {
-    let n: usize = std::env::args().filter_map(|a| a.parse().ok()).next().unwrap_or(12);
+    let n: usize = std::env::args()
+        .filter_map(|a| a.parse().ok())
+        .next()
+        .unwrap_or(12);
     let key: Vec<u8> = (0..16).collect();
     let v = AesVictim::new(AesKeySize::K128, CipherDir::Encrypt, &key);
 

@@ -10,8 +10,8 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(96);
     let key: Vec<u8> = vec![
-        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
-        0x4f, 0x3c,
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
     ];
     let victim = AesVictim::new(AesKeySize::K128, CipherDir::Encrypt, &key);
 

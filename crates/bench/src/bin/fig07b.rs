@@ -13,18 +13,23 @@ fn main() {
     let victim = RsaVictim::new(0xB7E1_5163_0000_F36D, 1_000_003);
 
     println!("== Figure 7b: {method:?} on RSA (square-and-multiply) ==\n");
-    for (label, defense_of) in [
-        ("no defense", None),
-        ("stealth mode", Some(())),
-    ] {
-        let base = rsa_attack(&victim, &RsaAttackConfig { method, ..Default::default() });
+    for (label, defense_of) in [("no defense", None), ("stealth mode", Some(()))] {
+        let base = rsa_attack(
+            &victim,
+            &RsaAttackConfig {
+                method,
+                ..Default::default()
+            },
+        );
         let interval = base.ts + base.tm / 2;
         let cfg = RsaAttackConfig {
             method,
             probe_interval: defense_of.map(|_| interval),
             defense: match defense_of {
                 None => Defense::None,
-                Some(()) => Defense::Stealth { watchdog_period: interval / 2 },
+                Some(()) => Defense::Stealth {
+                    watchdog_period: interval / 2,
+                },
             },
         };
         let out = rsa_attack(&victim, &cfg);

@@ -17,9 +17,7 @@ fn main() {
     println!(
         "{}",
         row(
-            &["bench", "noopt", "opt", "uop$ base", "uop$ stealth"]
-                .map(String::from)
-                .to_vec(),
+            &["bench", "noopt", "opt", "uop$ base", "uop$ stealth"].map(String::from),
             &widths
         )
     );
@@ -54,7 +52,15 @@ fn main() {
         let nf_st = mean(noopt.iter().map(|r| r.stealth.uop_cache_hit_rate));
         let f_base = mean(opt.iter().map(|r| r.base.uop_cache_hit_rate));
         let f_st = mean(opt.iter().map(|r| r.stealth.uop_cache_hit_rate));
-        println!("\nµop cache hit rate (no fusion): {:.1}% -> {:.1}% with CSD (paper: 44% -> 39%)", 100.0*nf_base, 100.0*nf_st);
-        println!("µop cache hit rate (fusion):    {:.1}% -> {:.1}% with CSD (paper: 43% -> 42%)", 100.0*f_base, 100.0*f_st);
+        println!(
+            "\nµop cache hit rate (no fusion): {:.1}% -> {:.1}% with CSD (paper: 44% -> 39%)",
+            100.0 * nf_base,
+            100.0 * nf_st
+        );
+        println!(
+            "µop cache hit rate (fusion):    {:.1}% -> {:.1}% with CSD (paper: 43% -> 42%)",
+            100.0 * f_base,
+            100.0 * f_st
+        );
     }
 }

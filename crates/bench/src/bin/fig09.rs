@@ -9,7 +9,10 @@ fn main() {
     let widths = [14, 12, 12, 12];
     println!(
         "{}",
-        row(&["bench", "base uops", "csd uops", "expansion"].map(String::from).to_vec(), &widths)
+        row(
+            &["bench", "base uops", "csd uops", "expansion"].map(String::from),
+            &widths
+        )
     );
     for r in &rows {
         println!(

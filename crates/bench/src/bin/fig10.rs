@@ -8,7 +8,10 @@ fn main() {
     println!("== Figure 10: D-cache MPKI, baseline vs stealth ==\n");
     let rows = security_sweep(&CoreConfig::opt(), 48, DEFAULT_WATCHDOG);
     let widths = [14, 12, 12];
-    println!("{}", row(&["bench", "base", "stealth"].map(String::from).to_vec(), &widths));
+    println!(
+        "{}",
+        row(&["bench", "base", "stealth"].map(String::from), &widths)
+    );
     for r in &rows {
         println!(
             "{}",

@@ -7,13 +7,19 @@ use csd_pipeline::CoreConfig;
 fn main() {
     println!("== Figure 11: watchdog-period sweep ==\n");
     let widths = [10, 14];
-    println!("{}", row(&["period", "avg slowdown"].map(String::from).to_vec(), &widths));
+    println!(
+        "{}",
+        row(&["period", "avg slowdown"].map(String::from), &widths)
+    );
     for period in [1000u64, 2000, 4000, 6000, 8000, 10000] {
         let rows = security_sweep(&CoreConfig::opt(), 24, period);
         let avg = mean(rows.iter().map(|r| r.slowdown()));
         println!(
             "{}",
-            row(&[period.to_string(), format!("{:+.2}%", 100.0 * (avg - 1.0))], &widths)
+            row(
+                &[period.to_string(), format!("{:+.2}%", 100.0 * (avg - 1.0))],
+                &widths
+            )
         );
     }
     println!("\npaper: overhead decreases monotonically as the watchdog slows");

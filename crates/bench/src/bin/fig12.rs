@@ -6,21 +6,34 @@ use csd_bench::{energy_split, mean, row, run_devec, CONVENTIONAL_IDLE_GATE};
 use csd_workloads::suite;
 
 fn main() {
-    let scale: f64 = std::env::args().filter_map(|s| s.parse().ok()).next().unwrap_or(0.5);
+    let scale: f64 = std::env::args()
+        .filter_map(|s| s.parse().ok())
+        .next()
+        .unwrap_or(0.5);
     println!("== Figure 12: normalized energy, conventional PG vs CSD devectorization ==\n");
     let widths = [10, 12, 12, 12, 12];
     println!(
         "{}",
         row(
-            &["bench", "conv total", "csd total", "csd vpu-dyn", "csd vpu-stat"]
-                .map(String::from)
-                .to_vec(),
+            &[
+                "bench",
+                "conv total",
+                "csd total",
+                "csd vpu-dyn",
+                "csd vpu-stat"
+            ]
+            .map(String::from),
             &widths
         )
     );
     let mut savings = Vec::new();
     for w in suite(scale) {
-        let conv = run_devec(&w, VpuPolicy::Conventional { idle_gate_cycles: CONVENTIONAL_IDLE_GATE });
+        let conv = run_devec(
+            &w,
+            VpuPolicy::Conventional {
+                idle_gate_cycles: CONVENTIONAL_IDLE_GATE,
+            },
+        );
         let csd = run_devec(&w, VpuPolicy::default());
         let norm = csd.total_energy() / conv.total_energy();
         let (vdyn, vstat, _) = energy_split(&csd.energy);

@@ -5,12 +5,18 @@ use csd_bench::{mean, policies, row, run_devec};
 use csd_workloads::suite;
 
 fn main() {
-    let scale: f64 = std::env::args().filter_map(|s| s.parse().ok()).next().unwrap_or(0.5);
+    let scale: f64 = std::env::args()
+        .filter_map(|s| s.parse().ok())
+        .next()
+        .unwrap_or(0.5);
     println!("== Figure 13: normalized execution time by VPU policy ==\n");
     let widths = [10, 12, 12, 12];
     println!(
         "{}",
-        row(&["bench", "always-on", "conv", "csd"].map(String::from).to_vec(), &widths)
+        row(
+            &["bench", "always-on", "conv", "csd"].map(String::from),
+            &widths
+        )
     );
     let mut conv_norm = Vec::new();
     let mut csd_norm = Vec::new();

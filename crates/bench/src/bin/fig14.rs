@@ -5,12 +5,18 @@ use csd_bench::{policies, row, run_devec};
 use csd_workloads::suite;
 
 fn main() {
-    let scale: f64 = std::env::args().filter_map(|s| s.parse().ok()).next().unwrap_or(0.5);
+    let scale: f64 = std::env::args()
+        .filter_map(|s| s.parse().ok())
+        .next()
+        .unwrap_or(0.5);
     println!("== Figure 14: dynamic micro-op counts by VPU policy ==\n");
     let widths = [10, 12, 12, 12];
     println!(
         "{}",
-        row(&["bench", "always-on", "conv", "csd"].map(String::from).to_vec(), &widths)
+        row(
+            &["bench", "always-on", "conv", "csd"].map(String::from),
+            &widths
+        )
     );
     for w in suite(scale) {
         let runs: Vec<_> = policies().iter().map(|(_, p)| run_devec(&w, *p)).collect();

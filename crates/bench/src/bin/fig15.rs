@@ -5,14 +5,24 @@ use csd_bench::{mean, row, run_devec, CONVENTIONAL_IDLE_GATE};
 use csd_workloads::suite;
 
 fn main() {
-    let scale: f64 = std::env::args().filter_map(|s| s.parse().ok()).next().unwrap_or(0.5);
+    let scale: f64 = std::env::args()
+        .filter_map(|s| s.parse().ok())
+        .next()
+        .unwrap_or(0.5);
     println!("== Figure 15: VPU power-gated time fraction ==\n");
     let widths = [10, 12, 12];
-    println!("{}", row(&["bench", "conv", "csd"].map(String::from).to_vec(), &widths));
+    println!(
+        "{}",
+        row(&["bench", "conv", "csd"].map(String::from), &widths)
+    );
     let mut fracs = Vec::new();
     for w in suite(scale) {
-        let conv =
-            run_devec(&w, VpuPolicy::Conventional { idle_gate_cycles: CONVENTIONAL_IDLE_GATE });
+        let conv = run_devec(
+            &w,
+            VpuPolicy::Conventional {
+                idle_gate_cycles: CONVENTIONAL_IDLE_GATE,
+            },
+        );
         let csd = run_devec(&w, VpuPolicy::default());
         fracs.push(csd.gate.gated_fraction());
         println!(

@@ -2,20 +2,21 @@
 //! under CSD — on the powered VPU, devectorized while waking, or
 //! devectorized while gated.
 
-use csd_bench::{row, run_devec};
 use csd::VpuPolicy;
+use csd_bench::{row, run_devec};
 use csd_workloads::suite;
 
 fn main() {
-    let scale: f64 = std::env::args().filter_map(|s| s.parse().ok()).next().unwrap_or(0.5);
+    let scale: f64 = std::env::args()
+        .filter_map(|s| s.parse().ok())
+        .next()
+        .unwrap_or(0.5);
     println!("== Figure 16: vector-instruction execution breakdown under CSD ==\n");
     let widths = [10, 12, 13, 13, 10];
     println!(
         "{}",
         row(
-            &["bench", "powered-on", "powering-on", "power-gated", "total"]
-                .map(String::from)
-                .to_vec(),
+            &["bench", "powered-on", "powering-on", "power-gated", "total"].map(String::from),
             &widths
         )
     );
@@ -37,5 +38,7 @@ fn main() {
             )
         );
     }
-    println!("\npaper: bwaves/milc devectorize while waking; omnetpp runs nearly all vector ops gated");
+    println!(
+        "\npaper: bwaves/milc devectorize while waking; omnetpp runs nearly all vector ops gated"
+    );
 }

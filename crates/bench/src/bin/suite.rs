@@ -1,0 +1,96 @@
+//! The parallel experiment suite: every `EXPERIMENTS.md` figure/table in
+//! one run, one JSON report, and a tolerance-band verdict.
+//!
+//! ```text
+//! cargo run --release -p csd-bench --bin suite -- [--jobs N] [--seed S] [--quick] [--out PATH]
+//! ```
+//!
+//! Exits non-zero if any headline metric drifts outside its declared
+//! band (full profile only).
+
+use csd_bench::suite::{run_suite, SuiteConfig};
+use std::time::Instant;
+
+fn main() {
+    let mut jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut seed = 0xC5D_2018;
+    let mut quick = false;
+    let mut out_path = "BENCH_suite.json".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs a positive integer"));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: suite [--jobs N] [--seed S] [--quick] [--out PATH]\n\
+                     Runs the full figure grid and writes the JSON report (default\n\
+                     BENCH_suite.json). --quick runs a down-scaled smoke grid without\n\
+                     tolerance checks."
+                );
+                return;
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let cfg = if quick {
+        SuiteConfig::quick(seed, jobs)
+    } else {
+        SuiteConfig::full(seed, jobs)
+    };
+    eprintln!(
+        "suite: profile={} root_seed={:#x} jobs={}",
+        cfg.profile, cfg.root_seed, cfg.jobs
+    );
+    let t0 = Instant::now();
+    let report = run_suite(&cfg);
+    let elapsed = t0.elapsed();
+
+    std::fs::write(&out_path, report.json.pretty()).unwrap_or_else(|e| {
+        die(&format!("writing {out_path}: {e}"));
+    });
+    eprintln!("suite: wrote {out_path} in {:.1}s", elapsed.as_secs_f64());
+
+    for c in &report.checks {
+        eprintln!(
+            "  [{}] {:<42} {:>12.5}  in [{}, {}]",
+            if c.pass() { "ok" } else { "FAIL" },
+            c.name,
+            c.value,
+            c.lo,
+            c.hi
+        );
+    }
+    let failed = report.failed_checks();
+    if !failed.is_empty() {
+        eprintln!(
+            "suite: {} check(s) outside tolerance: {}",
+            failed.len(),
+            failed.join(", ")
+        );
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("suite: {msg}");
+    std::process::exit(2);
+}

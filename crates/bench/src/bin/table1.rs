@@ -7,24 +7,48 @@ fn main() {
     println!("== Table I: baseline core (Sandy-Bridge-style) ==\n");
     println!("fetch width           : {} B/cycle", c.fetch_bytes);
     println!("macro-op queue        : {} entries", c.macro_op_queue);
-    println!("decoders              : {} (1 complex + {} simple), {} uops/cycle",
-        c.decoders, c.decoders - 1, c.decode_width_uops);
+    println!(
+        "decoders              : {} (1 complex + {} simple), {} uops/cycle",
+        c.decoders,
+        c.decoders - 1,
+        c.decode_width_uops
+    );
     println!("MSROM                 : {} uops/cycle", c.msrom_width_uops);
     println!("micro-op cache        : {} uops, {}-way, {} sets, {} fused uops/line, <= {} lines per 32B window",
         c.uop_cache_uops, c.uop_cache_ways, c.uop_cache_sets(), c.uop_cache_line_uops,
         c.uop_cache_max_lines_per_window);
-    println!("dispatch / commit     : {} / {} uops/cycle", c.dispatch_width, c.commit_width);
+    println!(
+        "dispatch / commit     : {} / {} uops/cycle",
+        c.dispatch_width, c.commit_width
+    );
     println!("ROB                   : {} entries", c.rob_entries);
-    println!("issue ports           : {} ALU, {} load, {} store, {} vector",
-        c.alu_units, c.load_units, c.store_units, c.vector_units);
+    println!(
+        "issue ports           : {} ALU, {} load, {} store, {} vector",
+        c.alu_units, c.load_units, c.store_units, c.vector_units
+    );
     println!("mispredict penalty    : {} cycles", c.mispredict_penalty);
     let h = c.hierarchy;
-    println!("L1I/L1D               : {} KiB {}-way, {}-cycle",
-        h.l1i.size_bytes / 1024, h.l1i.ways, h.l1i.latency);
-    println!("L2                    : {} KiB {}-way, {}-cycle",
-        h.l2.size_bytes / 1024, h.l2.ways, h.l2.latency);
-    println!("LLC                   : {} MiB {}-way, {}-cycle (inclusive)",
-        h.llc.size_bytes / 1024 / 1024, h.llc.ways, h.llc.latency);
+    println!(
+        "L1I/L1D               : {} KiB {}-way, {}-cycle",
+        h.l1i.size_bytes / 1024,
+        h.l1i.ways,
+        h.l1i.latency
+    );
+    println!(
+        "L2                    : {} KiB {}-way, {}-cycle",
+        h.l2.size_bytes / 1024,
+        h.l2.ways,
+        h.l2.latency
+    );
+    println!(
+        "LLC                   : {} MiB {}-way, {}-cycle (inclusive)",
+        h.llc.size_bytes / 1024 / 1024,
+        h.llc.ways,
+        h.llc.latency
+    );
     println!("memory                : {} cycles", h.memory_latency);
-    println!("VPU wake latency      : {} cycles", csd_power::VPU_WAKE_CYCLES);
+    println!(
+        "VPU wake latency      : {} cycles",
+        csd_power::VPU_WAKE_CYCLES
+    );
 }

@@ -1,11 +1,14 @@
 //! # csd-bench — the figure/table reproduction harness
 //!
 //! One function per experiment family, shared by the `fig*` binaries
-//! (`cargo run --release -p csd-bench --bin fig08`) and the Criterion
-//! benches. Each binary prints the same rows/series the paper reports;
-//! `EXPERIMENTS.md` records paper-vs-measured values.
+//! (`cargo run --release -p csd-bench --bin fig08`), the `suite` runner,
+//! and the micro-benchmarks. Each binary prints the same rows/series the
+//! paper reports; `EXPERIMENTS.md` records paper-vs-measured values.
 
 #![warn(missing_docs)]
+
+pub mod microbench;
+pub mod suite;
 
 use csd::{CsdConfig, DevecThresholds, VpuPolicy};
 use csd_crypto::{
@@ -13,9 +16,8 @@ use csd_crypto::{
 };
 use csd_pipeline::{Core, CoreConfig, SimMode, SimStats, StepOutcome};
 use csd_power::{Activity, EnergyBreakdown, EnergyModel, Unit};
+use csd_telemetry::{Json, SplitMix64, ToJson};
 use csd_workloads::Workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The paper's default watchdog period (cycles).
 pub const DEFAULT_WATCHDOG: u64 = 1000;
@@ -30,14 +32,34 @@ pub fn security_victims() -> Vec<Box<dyn Victim>> {
     let aes_key: Vec<u8> = (0..16).map(|i| i * 11 + 3).collect();
     let rij_key: Vec<u8> = (0..32).map(|i| i * 7 + 5).collect();
     vec![
-        Box::new(AesVictim::new(AesKeySize::K128, CipherDir::Encrypt, &aes_key)),
-        Box::new(AesVictim::new(AesKeySize::K128, CipherDir::Decrypt, &aes_key)),
+        Box::new(AesVictim::new(
+            AesKeySize::K128,
+            CipherDir::Encrypt,
+            &aes_key,
+        )),
+        Box::new(AesVictim::new(
+            AesKeySize::K128,
+            CipherDir::Decrypt,
+            &aes_key,
+        )),
         Box::new(RsaVictim::named("rsa-enc", 65_537, 1_000_003)),
-        Box::new(RsaVictim::named("rsa-dec", 0xC3A5_55AA_0F0F_1234, 1_000_003)),
+        Box::new(RsaVictim::named(
+            "rsa-dec",
+            0xC3A5_55AA_0F0F_1234,
+            1_000_003,
+        )),
         Box::new(BlowfishVictim::new(CipherDir::Encrypt, b"BF-SECRET-KEY")),
         Box::new(BlowfishVictim::new(CipherDir::Decrypt, b"BF-SECRET-KEY")),
-        Box::new(AesVictim::new(AesKeySize::K256, CipherDir::Encrypt, &rij_key)),
-        Box::new(AesVictim::new(AesKeySize::K256, CipherDir::Decrypt, &rij_key)),
+        Box::new(AesVictim::new(
+            AesKeySize::K256,
+            CipherDir::Encrypt,
+            &rij_key,
+        )),
+        Box::new(AesVictim::new(
+            AesKeySize::K256,
+            CipherDir::Decrypt,
+            &rij_key,
+        )),
     ]
 }
 
@@ -71,13 +93,47 @@ pub fn run_security(
     blocks: usize,
     watchdog: u64,
 ) -> SecMetrics {
-    let cfg = CoreConfig { dift_enabled: true, ..core_cfg };
-    let mut core = Core::new(cfg, CsdConfig::default(), victim.program().clone(), SimMode::Cycle);
+    run_security_seeded(
+        victim,
+        stealth,
+        core_cfg,
+        blocks,
+        watchdog,
+        0xBEEF ^ blocks as u64,
+    )
+}
+
+/// [`run_security`] with an explicit input-stream seed. The suite runner
+/// derives one seed per `(pipeline, victim)` pair from its root seed, so
+/// the base and stealth runs of a datapoint see identical plaintexts and
+/// their ratio is noise-free.
+///
+/// # Panics
+///
+/// Panics if the victim faults.
+pub fn run_security_seeded(
+    victim: &dyn Victim,
+    stealth: bool,
+    core_cfg: CoreConfig,
+    blocks: usize,
+    watchdog: u64,
+    seed: u64,
+) -> SecMetrics {
+    let cfg = CoreConfig {
+        dift_enabled: true,
+        ..core_cfg
+    };
+    let mut core = Core::new(
+        cfg,
+        CsdConfig::default(),
+        victim.program().clone(),
+        SimMode::Cycle,
+    );
     victim.install(&mut core);
     if stealth {
         enable_stealth_for(victim, &mut core, watchdog);
     }
-    let mut rng = StdRng::seed_from_u64(0xBEEF ^ blocks as u64);
+    let mut rng = SplitMix64::new(seed);
     let mut input = vec![0u8; victim.input_len()];
 
     // Warm-up long enough for the sparse table touches of the baseline to
@@ -85,14 +141,14 @@ pub fn run_security(
     // stealth look *faster* (the paper's "prefetching effect", which
     // should only mute, not invert, the cost).
     for _ in 0..12 {
-        rng.fill(&mut input[..]);
+        rng.fill_bytes(&mut input[..]);
         victim.run_once(&mut core, &input);
     }
     let s0 = *core.stats();
     let h0 = core.hierarchy().stats();
     let u0 = *core.uop_cache_stats();
     for _ in 0..blocks {
-        rng.fill(&mut input[..]);
+        rng.fill_bytes(&mut input[..]);
         victim.run_once(&mut core, &input);
     }
     let s1 = *core.stats();
@@ -109,7 +165,24 @@ pub fn run_security(
         uops: s1.uops - s0.uops,
         decoy_uops: s1.decoy_uops - s0.decoy_uops,
         l1d_mpki: l1d.mpki(insts),
-        uop_cache_hit_rate: if lookups > 0 { hits as f64 / lookups as f64 } else { 0.0 },
+        uop_cache_hit_rate: if lookups > 0 {
+            hits as f64 / lookups as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+impl ToJson for SecMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycles", Json::from(self.cycles)),
+            ("insts", Json::from(self.insts)),
+            ("uops", Json::from(self.uops)),
+            ("decoy_uops", Json::from(self.decoy_uops)),
+            ("l1d_mpki", Json::from(self.l1d_mpki)),
+            ("uop_cache_hit_rate", Json::from(self.uop_cache_hit_rate)),
+        ])
     }
 }
 
@@ -182,7 +255,12 @@ pub fn mean(xs: impl IntoIterator<Item = f64>) -> f64 {
 pub fn policies() -> [(&'static str, VpuPolicy); 3] {
     [
         ("always-on", VpuPolicy::AlwaysOn),
-        ("conventional", VpuPolicy::Conventional { idle_gate_cycles: CONVENTIONAL_IDLE_GATE }),
+        (
+            "conventional",
+            VpuPolicy::Conventional {
+                idle_gate_cycles: CONVENTIONAL_IDLE_GATE,
+            },
+        ),
         ("csd-devec", VpuPolicy::CsdDevec(DevecThresholds::default())),
     ]
 }
@@ -207,13 +285,44 @@ impl DevecRun {
     }
 }
 
+impl ToJson for SecurityRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("base", self.base.to_json()),
+            ("stealth", self.stealth.to_json()),
+            ("slowdown", Json::from(self.slowdown())),
+            ("uop_expansion", Json::from(self.uop_expansion())),
+        ])
+    }
+}
+
+impl ToJson for DevecRun {
+    fn to_json(&self) -> Json {
+        let (vpu_dyn, vpu_static, rest) = energy_split(&self.energy);
+        Json::obj([
+            ("stats", self.stats.to_json()),
+            ("gate", self.gate.to_json()),
+            ("activity", self.activity.to_json()),
+            ("energy", self.energy.to_json()),
+            ("total_pj", Json::from(self.total_energy())),
+            ("vpu_dynamic_pj", Json::from(vpu_dyn)),
+            ("vpu_static_pj", Json::from(vpu_static)),
+            ("rest_pj", Json::from(rest)),
+        ])
+    }
+}
+
 /// Runs `workload` under `policy` on the cycle engine.
 ///
 /// # Panics
 ///
 /// Panics if the workload faults or exceeds the instruction budget.
 pub fn run_devec(workload: &Workload, policy: VpuPolicy) -> DevecRun {
-    let csd_cfg = CsdConfig { vpu_policy: policy, ..CsdConfig::default() };
+    let csd_cfg = CsdConfig {
+        vpu_policy: policy,
+        ..CsdConfig::default()
+    };
     let mut core = Core::new(
         CoreConfig::default(),
         csd_cfg,
@@ -225,7 +334,12 @@ pub fn run_devec(workload: &Workload, policy: VpuPolicy) -> DevecRun {
     assert_eq!(out, StepOutcome::Halted, "{} must halt", workload.name());
     let activity = core.activity();
     let energy = EnergyModel::default().breakdown(&activity);
-    DevecRun { stats: *core.stats(), gate: *core.engine().gate().stats(), activity, energy }
+    DevecRun {
+        stats: *core.stats(),
+        gate: *core.engine().gate().stats(),
+        activity,
+        energy,
+    }
 }
 
 /// Runs one workload under a custom threshold configuration (the
@@ -273,13 +387,19 @@ mod tests {
         assert!(stealth.decoy_uops > 0);
         assert!(stealth.cycles > base.cycles);
         let slowdown = stealth.cycles as f64 / base.cycles as f64;
-        assert!(slowdown < 1.5, "stealth slowdown should be modest, got {slowdown}");
+        assert!(
+            slowdown < 1.5,
+            "stealth slowdown should be modest, got {slowdown}"
+        );
     }
 
     #[test]
     fn devec_saves_energy_on_a_scalar_workload() {
         let w = Workload::with_scale(
-            csd_workloads::specs().into_iter().find(|s| s.name == "gcc").unwrap(),
+            csd_workloads::specs()
+                .into_iter()
+                .find(|s| s.name == "gcc")
+                .unwrap(),
             0.1,
         );
         let on = run_devec(&w, VpuPolicy::AlwaysOn);

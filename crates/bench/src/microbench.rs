@@ -1,0 +1,80 @@
+//! Minimal in-tree micro-benchmark harness.
+//!
+//! The workspace builds offline, so the `harness = false` bench targets
+//! use this module instead of an external framework. The protocol is the
+//! classic one: measure a single call to pick an iteration count that
+//! fills a ~50 ms sample, take several samples, and report the fastest
+//! (least-noise) per-iteration time. Results go to stdout; `cargo bench`
+//! exits zero regardless of timings — these are for eyeballing relative
+//! cost, not for CI gating.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget for one timing sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(50);
+/// Samples per benchmark; the fastest wins.
+const SAMPLES: u32 = 5;
+
+/// Times `f` and prints one `name  ns/iter` line.
+///
+/// Returns the best-sample per-iteration time so callers can derive
+/// throughput figures.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Duration {
+    // Warm-up + calibration: how many iterations fill one sample budget?
+    let once = {
+        let t = Instant::now();
+        black_box(f());
+        t.elapsed().max(Duration::from_nanos(1))
+    };
+    let iters = (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u32;
+
+    let mut best = Duration::MAX;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(t.elapsed() / iters);
+    }
+    println!(
+        "{name:<44} {:>12}/iter  ({iters} iters/sample)",
+        fmt_duration(best)
+    );
+    best
+}
+
+/// Like [`bench`], but also reports throughput for `elems` logical
+/// elements processed per call.
+pub fn bench_throughput<R>(name: &str, elems: u64, f: impl FnMut() -> R) -> Duration {
+    let per_iter = bench(name, f);
+    let per_sec = elems as f64 / per_iter.as_secs_f64();
+    println!(
+        "{:<44} {:>14.2} Melem/s",
+        format!("{name} (throughput)"),
+        per_sec / 1e6
+    );
+    per_iter
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_time() {
+        let d = bench("selftest/noop-ish", || std::hint::black_box(1u64 + 1));
+        assert!(d > Duration::ZERO);
+    }
+}

@@ -1,0 +1,915 @@
+//! The parallel experiment-suite runner behind `--bin suite`.
+//!
+//! Enumerates every figure/table of `EXPERIMENTS.md` as an independent
+//! *task*, runs the tasks on a `std::thread` worker pool, and assembles
+//! one deterministic JSON report (`BENCH_suite.json`).
+//!
+//! Determinism contract: each task derives its own input seed from the
+//! suite's root seed and the task's *label* (never from scheduling
+//! order), results are re-assembled in grid order, and the report
+//! carries no timestamps or host details — so the same root seed
+//! produces a byte-identical report at any `--jobs` setting.
+
+use crate::{mean, policies, run_security_seeded, security_victims, SecurityRow, DEFAULT_WATCHDOG};
+use csd_attack::{aes_attack, rsa_attack, AesAttackConfig, AttackMethod, Defense, RsaAttackConfig};
+use csd_crypto::RsaVictim;
+use csd_pipeline::CoreConfig;
+use csd_telemetry::{derive_seed, Json, ToJson};
+use csd_workloads::{specs, Workload};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Knobs for one suite invocation.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Root seed every per-task seed is derived from.
+    pub root_seed: u64,
+    /// Worker threads (clamped to at least one).
+    pub jobs: usize,
+    /// Measured operations per security datapoint (figures 8–10).
+    pub sec_blocks: usize,
+    /// Measured operations per watchdog-sweep datapoint (figure 11).
+    pub wd_blocks: usize,
+    /// Watchdog periods swept by figure 11, in cycles.
+    pub wd_periods: Vec<u64>,
+    /// PRIME+PROBE encryptions per candidate nibble (figure 7a).
+    pub aes_trials: usize,
+    /// Workload scale for the devectorization family (figures 12–16).
+    pub devec_scale: f64,
+    /// Evaluate tolerance bands (`checks` section; off for smoke runs).
+    pub checks: bool,
+    /// Profile name echoed into the report (`full` / `quick`).
+    pub profile: &'static str,
+}
+
+impl SuiteConfig {
+    /// The full figure grid at publication fidelity.
+    pub fn full(root_seed: u64, jobs: usize) -> SuiteConfig {
+        SuiteConfig {
+            root_seed,
+            jobs,
+            sec_blocks: 48,
+            wd_blocks: 24,
+            wd_periods: vec![1000, 2000, 4000, 6000, 8000, 10_000],
+            aes_trials: 80,
+            devec_scale: 0.5,
+            checks: true,
+            profile: "full",
+        }
+    }
+
+    /// A down-scaled grid for CI smoke tests and the determinism
+    /// property test; tolerance checks are disabled (the bands assume
+    /// full-fidelity runs).
+    pub fn quick(root_seed: u64, jobs: usize) -> SuiteConfig {
+        SuiteConfig {
+            root_seed,
+            jobs,
+            sec_blocks: 2,
+            wd_blocks: 2,
+            wd_periods: vec![1000, 4000],
+            aes_trials: 3,
+            devec_scale: 0.05,
+            checks: false,
+            profile: "quick",
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("profile", Json::from(self.profile)),
+            ("root_seed", Json::from(self.root_seed)),
+            ("sec_blocks", Json::from(self.sec_blocks as u64)),
+            ("wd_blocks", Json::from(self.wd_blocks as u64)),
+            (
+                "wd_periods",
+                Json::Arr(self.wd_periods.iter().map(|p| Json::from(*p)).collect()),
+            ),
+            ("aes_trials", Json::from(self.aes_trials as u64)),
+            ("devec_scale", Json::from(self.devec_scale)),
+        ])
+    }
+}
+
+/// One tolerance-band evaluation over a headline metric.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Stable identifier, e.g. `fig08_opt_avg_slowdown`.
+    pub name: &'static str,
+    /// Measured value.
+    pub value: f64,
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+impl Check {
+    /// Whether the value sits inside the band.
+    pub fn pass(&self) -> bool {
+        self.value >= self.lo && self.value <= self.hi
+    }
+}
+
+impl ToJson for Check {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name)),
+            ("value", Json::from(self.value)),
+            ("lo", Json::from(self.lo)),
+            ("hi", Json::from(self.hi)),
+            ("pass", Json::from(self.pass())),
+        ])
+    }
+}
+
+/// Everything one suite run produced.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// The full nested report (serialize with [`Json::pretty`]).
+    pub json: Json,
+    /// Tolerance checks evaluated (empty when `checks` was off).
+    pub checks: Vec<Check>,
+}
+
+impl SuiteReport {
+    /// Names of the checks whose value fell outside its band.
+    pub fn failed_checks(&self) -> Vec<&'static str> {
+        self.checks
+            .iter()
+            .filter(|c| !c.pass())
+            .map(|c| c.name)
+            .collect()
+    }
+}
+
+/// A unit of work: a stable label (which also salts the seed) plus the
+/// closure computing that datapoint.
+struct Task {
+    label: String,
+    run: Box<dyn Fn(u64) -> Json + Send + Sync>,
+}
+
+fn task(label: String, run: impl Fn(u64) -> Json + Send + Sync + 'static) -> Task {
+    Task {
+        label,
+        run: Box::new(run),
+    }
+}
+
+/// A named pipeline-configuration constructor.
+type Pipeline = (&'static str, fn() -> CoreConfig);
+
+/// The two pipeline configurations of the security figures.
+fn pipelines() -> [Pipeline; 2] {
+    [("opt", CoreConfig::opt), ("noopt", CoreConfig::no_opt)]
+}
+
+fn victim_names() -> Vec<String> {
+    security_victims().iter().map(|v| v.name()).collect()
+}
+
+fn build_tasks(cfg: &SuiteConfig) -> Vec<Task> {
+    let mut tasks = Vec::new();
+    let names = victim_names();
+
+    // -- Figures 8/9/10: {opt, noopt} × victim, base and stealth on the
+    //    same plaintext stream so the ratio is noise-free.
+    let blocks = cfg.sec_blocks;
+    for (cfg_name, mk) in pipelines() {
+        for (vi, name) in names.iter().enumerate() {
+            tasks.push(task(format!("sec/{cfg_name}/{name}"), move |seed| {
+                let victims = security_victims();
+                let v = victims[vi].as_ref();
+                let row = SecurityRow {
+                    name: v.name(),
+                    base: run_security_seeded(v, false, mk(), blocks, DEFAULT_WATCHDOG, seed),
+                    stealth: run_security_seeded(v, true, mk(), blocks, DEFAULT_WATCHDOG, seed),
+                };
+                row.to_json()
+            }));
+        }
+    }
+
+    // -- Figure 11: watchdog-period sweep per victim (optimized pipeline).
+    let wd_blocks = cfg.wd_blocks;
+    let periods = cfg.wd_periods.clone();
+    for (vi, name) in names.iter().enumerate() {
+        let periods = periods.clone();
+        tasks.push(task(format!("wd/{name}"), move |seed| {
+            let victims = security_victims();
+            let v = victims[vi].as_ref();
+            let base = run_security_seeded(
+                v,
+                false,
+                CoreConfig::opt(),
+                wd_blocks,
+                DEFAULT_WATCHDOG,
+                seed,
+            );
+            let mut rows = Vec::new();
+            for &period in &periods {
+                let stealth =
+                    run_security_seeded(v, true, CoreConfig::opt(), wd_blocks, period, seed);
+                let slowdown = stealth.cycles as f64 / base.cycles as f64;
+                rows.push(Json::obj([
+                    ("period", Json::from(period)),
+                    ("stealth", stealth.to_json()),
+                    ("slowdown", Json::from(slowdown)),
+                ]));
+            }
+            Json::obj([
+                ("name", Json::from(v.name().as_str())),
+                ("base", base.to_json()),
+                ("periods", Json::Arr(rows)),
+            ])
+        }));
+    }
+
+    // -- Figure 7a: PRIME+PROBE on AES, undefended vs stealth. Both legs
+    //    share the family-derived plaintext seed so only the defense
+    //    differs.
+    let trials = cfg.aes_trials;
+    let aes_seed_root = cfg.root_seed;
+    for leg in ["undefended", "stealth"] {
+        let stealth = leg == "stealth";
+        tasks.push(task(format!("attack/aes-pp/{leg}"), move |_seed| {
+            let attack_cfg = AesAttackConfig {
+                method: AttackMethod::PrimeProbe,
+                trials_per_candidate: trials,
+                seed: derive_seed(aes_seed_root, "attack/aes-pp"),
+                defense: if stealth {
+                    Defense::stealth_default()
+                } else {
+                    Defense::None
+                },
+                ..AesAttackConfig::default()
+            };
+            let out = aes_attack(&fig07a_victim(), &attack_cfg);
+            let pos0: Vec<Json> = out.touch_rates[0].iter().map(|r| Json::from(*r)).collect();
+            Json::obj([
+                ("encryptions", Json::from(out.encryptions)),
+                (
+                    "correct_positions",
+                    Json::from(out.correct_positions() as u64),
+                ),
+                ("bits_recovered", Json::from(out.bits_recovered() as u64)),
+                ("pos0_touch_rates", Json::Arr(pos0)),
+            ])
+        }));
+    }
+
+    // -- Figure 7b: FLUSH+RELOAD and PRIME+PROBE on RSA. The attack is
+    //    fully deterministic (fixed exponent, calibrated probe interval),
+    //    so no seed is consumed. The stealth leg mirrors the `fig07b`
+    //    binary: calibrate the interval from an undefended run, then
+    //    probe the defended victim at that cadence.
+    for (mname, method) in [
+        ("rsa-fr", AttackMethod::FlushReload),
+        ("rsa-pp", AttackMethod::PrimeProbe),
+    ] {
+        for leg in ["undefended", "stealth"] {
+            let stealth = leg == "stealth";
+            tasks.push(task(format!("attack/{mname}/{leg}"), move |_seed| {
+                let victim = fig07b_victim();
+                let base = rsa_attack(
+                    &victim,
+                    &RsaAttackConfig {
+                        method,
+                        ..Default::default()
+                    },
+                );
+                let out = if stealth {
+                    let interval = base.ts + base.tm / 2;
+                    rsa_attack(
+                        &victim,
+                        &RsaAttackConfig {
+                            method,
+                            probe_interval: Some(interval),
+                            defense: Defense::Stealth {
+                                watchdog_period: interval / 2,
+                            },
+                        },
+                    )
+                } else {
+                    base
+                };
+                Json::obj([
+                    ("samples", Json::from(out.trace.samples.len() as u64)),
+                    ("correct_bits", Json::from(out.correct_bits() as u64)),
+                    ("ts", Json::from(out.ts)),
+                    ("tm", Json::from(out.tm)),
+                ])
+            }));
+        }
+    }
+
+    // -- Figures 12–16: workload × VPU policy. Workload generation is
+    //    seeded by its spec, so these tasks are deterministic by
+    //    construction.
+    let scale = cfg.devec_scale;
+    for spec in specs() {
+        let wname = spec.name;
+        for (pi, (pname, _)) in policies().iter().enumerate() {
+            tasks.push(task(format!("devec/{wname}/{pname}"), move |_seed| {
+                let w = Workload::with_scale(
+                    specs().into_iter().find(|s| s.name == wname).unwrap(),
+                    scale,
+                );
+                let (pname, policy) = policies()[pi];
+                let run = crate::run_devec(&w, policy);
+                Json::obj([
+                    ("workload", Json::from(wname)),
+                    ("policy", Json::from(pname)),
+                    ("run", run.to_json()),
+                ])
+            }));
+        }
+    }
+
+    // -- Table I: the baseline machine description.
+    tasks.push(task("table1".to_string(), |_seed| table1_json()));
+
+    tasks
+}
+
+fn fig07a_victim() -> csd_crypto::AesVictim {
+    let key: Vec<u8> = vec![
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
+    ];
+    csd_crypto::AesVictim::new(
+        csd_crypto::AesKeySize::K128,
+        csd_crypto::CipherDir::Encrypt,
+        &key,
+    )
+}
+
+fn fig07b_victim() -> RsaVictim {
+    RsaVictim::new(0xB7E1_5163_0000_F36D, 1_000_003)
+}
+
+fn table1_json() -> Json {
+    let c = CoreConfig::default();
+    let h = &c.hierarchy;
+    let cache = |l: &csd_cache::CacheConfig| {
+        Json::obj([
+            ("size_bytes", Json::from(l.size_bytes)),
+            ("ways", Json::from(l.ways)),
+            ("line_bytes", Json::from(l.line_bytes)),
+            ("latency", Json::from(l.latency)),
+        ])
+    };
+    Json::obj([
+        ("fetch_bytes", Json::from(c.fetch_bytes)),
+        ("macro_op_queue", Json::from(c.macro_op_queue)),
+        ("decoders", Json::from(c.decoders)),
+        ("decode_width_uops", Json::from(c.decode_width_uops)),
+        ("msrom_width_uops", Json::from(c.msrom_width_uops)),
+        ("uop_cache_uops", Json::from(c.uop_cache_uops)),
+        ("uop_cache_ways", Json::from(c.uop_cache_ways)),
+        ("uop_cache_sets", Json::from(c.uop_cache_sets())),
+        ("uop_cache_line_uops", Json::from(c.uop_cache_line_uops)),
+        (
+            "uop_cache_max_lines_per_window",
+            Json::from(c.uop_cache_max_lines_per_window),
+        ),
+        ("dispatch_width", Json::from(c.dispatch_width)),
+        ("commit_width", Json::from(c.commit_width)),
+        ("rob_entries", Json::from(c.rob_entries)),
+        ("alu_units", Json::from(c.alu_units)),
+        ("load_units", Json::from(c.load_units)),
+        ("store_units", Json::from(c.store_units)),
+        ("vector_units", Json::from(c.vector_units)),
+        ("mispredict_penalty", Json::from(c.mispredict_penalty)),
+        ("l1i", cache(&h.l1i)),
+        ("l1d", cache(&h.l1d)),
+        ("l2", cache(&h.l2)),
+        ("llc", cache(&h.llc)),
+        ("memory_latency", Json::from(h.memory_latency)),
+        ("vpu_wake_cycles", Json::from(csd_power::VPU_WAKE_CYCLES)),
+    ])
+}
+
+/// Runs the whole grid on `cfg.jobs` worker threads and assembles the
+/// report. Deterministic for a fixed config (any job count).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the underlying experiment faulted).
+pub fn run_suite(cfg: &SuiteConfig) -> SuiteReport {
+    let tasks = build_tasks(cfg);
+    let n = tasks.len();
+    let slots: Vec<Mutex<Option<Json>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = cfg.jobs.max(1).min(n);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let t = &tasks[i];
+                let seed = derive_seed(cfg.root_seed, &t.label);
+                let out = (t.run)(seed);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    let results = Results {
+        labels: tasks.into_iter().map(|t| t.label).collect(),
+        values: slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("worker completed every claimed task")
+            })
+            .collect(),
+    };
+    assemble(cfg, &results)
+}
+
+struct Results {
+    labels: Vec<String>,
+    values: Vec<Json>,
+}
+
+impl Results {
+    fn get(&self, label: &str) -> &Json {
+        let i = self
+            .labels
+            .iter()
+            .position(|l| l == label)
+            .unwrap_or_else(|| panic!("no task labelled {label}"));
+        &self.values[i]
+    }
+}
+
+fn num(j: &Json, path: &[&str]) -> f64 {
+    let mut cur = j;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("missing member {key} on path {path:?}"));
+    }
+    cur.as_f64()
+        .unwrap_or_else(|| panic!("non-numeric member at path {path:?}"))
+}
+
+fn assemble(cfg: &SuiteConfig, results: &Results) -> SuiteReport {
+    let names = victim_names();
+
+    // Family sections, in grid order.
+    let mut security = Json::Obj(Vec::new());
+    for (cfg_name, _) in pipelines() {
+        let rows: Vec<Json> = names
+            .iter()
+            .map(|n| results.get(&format!("sec/{cfg_name}/{n}")).clone())
+            .collect();
+        security.push_member(cfg_name, Json::Arr(rows));
+    }
+    let watchdog = Json::Arr(
+        names
+            .iter()
+            .map(|n| results.get(&format!("wd/{n}")).clone())
+            .collect(),
+    );
+    let mut attacks = Json::Obj(Vec::new());
+    for (key, fam) in [
+        ("aes_prime_probe", "aes-pp"),
+        ("rsa_flush_reload", "rsa-fr"),
+        ("rsa_prime_probe", "rsa-pp"),
+    ] {
+        attacks.push_member(
+            key,
+            Json::obj([
+                (
+                    "undefended",
+                    results.get(&format!("attack/{fam}/undefended")).clone(),
+                ),
+                (
+                    "stealth",
+                    results.get(&format!("attack/{fam}/stealth")).clone(),
+                ),
+            ]),
+        );
+    }
+    let workload_names: Vec<&'static str> = specs().iter().map(|s| s.name).collect();
+    let mut devec = Json::Obj(Vec::new());
+    for w in &workload_names {
+        let mut per = Json::Obj(Vec::new());
+        for (pname, _) in policies() {
+            per.push_member(
+                pname,
+                results
+                    .get(&format!("devec/{w}/{pname}"))
+                    .get("run")
+                    .unwrap()
+                    .clone(),
+            );
+        }
+        devec.push_member(*w, per);
+    }
+
+    // Figure summaries.
+    let sec_avgs = |cfg_name: &str, metric: &str| -> (Vec<Json>, f64) {
+        let per: Vec<Json> = names
+            .iter()
+            .map(|n| {
+                let r = results.get(&format!("sec/{cfg_name}/{n}"));
+                Json::obj([
+                    ("name", Json::from(n.as_str())),
+                    (metric, Json::from(num(r, &[metric]))),
+                ])
+            })
+            .collect();
+        let avg = mean(
+            names
+                .iter()
+                .map(|n| num(results.get(&format!("sec/{cfg_name}/{n}")), &[metric])),
+        );
+        (per, avg)
+    };
+
+    let mut figures = Json::Obj(Vec::new());
+
+    let aes_und = results.get("attack/aes-pp/undefended");
+    let aes_ste = results.get("attack/aes-pp/stealth");
+    figures.push_member(
+        "fig07a",
+        Json::obj([
+            ("undefended", aes_und.clone()),
+            ("stealth", aes_ste.clone()),
+        ]),
+    );
+    figures.push_member(
+        "fig07b",
+        Json::obj([
+            (
+                "flush_reload",
+                attacks.get("rsa_flush_reload").unwrap().clone(),
+            ),
+            (
+                "prime_probe",
+                attacks.get("rsa_prime_probe").unwrap().clone(),
+            ),
+        ]),
+    );
+
+    let mut fig08 = Json::Obj(Vec::new());
+    let mut fig09 = Json::Obj(Vec::new());
+    for (cfg_name, _) in pipelines() {
+        let (per_s, avg_s) = sec_avgs(cfg_name, "slowdown");
+        fig08.push_member(
+            cfg_name,
+            Json::obj([
+                ("per", Json::Arr(per_s)),
+                ("avg_slowdown", Json::from(avg_s)),
+            ]),
+        );
+        let (per_e, avg_e) = sec_avgs(cfg_name, "uop_expansion");
+        fig09.push_member(
+            cfg_name,
+            Json::obj([
+                ("per", Json::Arr(per_e)),
+                ("avg_uop_expansion", Json::from(avg_e)),
+            ]),
+        );
+    }
+    figures.push_member("fig08", fig08);
+    figures.push_member("fig09", fig09);
+
+    let fig10_per: Vec<Json> = names
+        .iter()
+        .map(|n| {
+            let r = results.get(&format!("sec/opt/{n}"));
+            Json::obj([
+                ("name", Json::from(n.as_str())),
+                ("base_l1d_mpki", Json::from(num(r, &["base", "l1d_mpki"]))),
+                (
+                    "stealth_l1d_mpki",
+                    Json::from(num(r, &["stealth", "l1d_mpki"])),
+                ),
+            ])
+        })
+        .collect();
+    figures.push_member(
+        "fig10",
+        Json::obj([
+            (
+                "avg_base_l1d_mpki",
+                Json::from(mean(names.iter().map(|n| {
+                    num(results.get(&format!("sec/opt/{n}")), &["base", "l1d_mpki"])
+                }))),
+            ),
+            (
+                "avg_stealth_l1d_mpki",
+                Json::from(mean(names.iter().map(|n| {
+                    num(
+                        results.get(&format!("sec/opt/{n}")),
+                        &["stealth", "l1d_mpki"],
+                    )
+                }))),
+            ),
+            ("per", Json::Arr(fig10_per)),
+        ]),
+    );
+
+    let fig11_series: Vec<Json> = cfg
+        .wd_periods
+        .iter()
+        .enumerate()
+        .map(|(pi, period)| {
+            let avg = mean(names.iter().map(|n| {
+                let r = results.get(&format!("wd/{n}"));
+                let periods = r.get("periods").unwrap().as_arr().unwrap();
+                num(&periods[pi], &["slowdown"])
+            }));
+            Json::obj([
+                ("period", Json::from(*period)),
+                ("avg_slowdown", Json::from(avg)),
+            ])
+        })
+        .collect();
+    figures.push_member("fig11", Json::Arr(fig11_series));
+
+    let run_of = |w: &str, p: &str| results.get(&format!("devec/{w}/{p}")).get("run").unwrap();
+    let fig12_per: Vec<Json> = workload_names
+        .iter()
+        .map(|w| {
+            let conv = num(run_of(w, "conventional"), &["total_pj"]);
+            let csd = num(run_of(w, "csd-devec"), &["total_pj"]);
+            Json::obj([
+                ("name", Json::from(*w)),
+                (
+                    "always_on_pj",
+                    Json::from(num(run_of(w, "always-on"), &["total_pj"])),
+                ),
+                ("conventional_pj", Json::from(conv)),
+                ("csd_pj", Json::from(csd)),
+                ("saving_vs_conventional", Json::from(1.0 - csd / conv)),
+            ])
+        })
+        .collect();
+    let savings: Vec<f64> = workload_names
+        .iter()
+        .map(|w| {
+            1.0 - num(run_of(w, "csd-devec"), &["total_pj"])
+                / num(run_of(w, "conventional"), &["total_pj"])
+        })
+        .collect();
+    figures.push_member(
+        "fig12",
+        Json::obj([
+            (
+                "avg_saving_vs_conventional",
+                Json::from(mean(savings.iter().copied())),
+            ),
+            (
+                "workloads_with_positive_saving",
+                Json::from(savings.iter().filter(|s| **s > 0.0).count() as u64),
+            ),
+            ("per", Json::Arr(fig12_per)),
+        ]),
+    );
+
+    let cycle_ratio = |w: &str, p: &str, q: &str| {
+        num(run_of(w, p), &["stats", "cycles"]) / num(run_of(w, q), &["stats", "cycles"])
+    };
+    figures.push_member(
+        "fig13",
+        Json::obj([
+            (
+                "avg_csd_over_always_on",
+                Json::from(mean(
+                    workload_names
+                        .iter()
+                        .map(|w| cycle_ratio(w, "csd-devec", "always-on")),
+                )),
+            ),
+            (
+                "avg_csd_over_conventional",
+                Json::from(mean(
+                    workload_names
+                        .iter()
+                        .map(|w| cycle_ratio(w, "csd-devec", "conventional")),
+                )),
+            ),
+        ]),
+    );
+    figures.push_member(
+        "fig14",
+        Json::obj([(
+            "avg_uop_expansion_csd_over_always_on",
+            Json::from(
+                mean(workload_names.iter().map(|w| {
+                    num(run_of(w, "csd-devec"), &["stats", "uops"])
+                        / num(run_of(w, "always-on"), &["stats", "uops"])
+                })) - 1.0,
+            ),
+        )]),
+    );
+
+    let gated_fraction = |w: &str| num(run_of(w, "csd-devec"), &["gate", "gated_fraction"]);
+    let fig15_per: Vec<Json> = workload_names
+        .iter()
+        .map(|w| {
+            Json::obj([
+                ("name", Json::from(*w)),
+                ("gated_fraction", Json::from(gated_fraction(w))),
+            ])
+        })
+        .collect();
+    figures.push_member(
+        "fig15",
+        Json::obj([
+            (
+                "avg_gated_fraction",
+                Json::from(mean(workload_names.iter().map(|w| gated_fraction(w)))),
+            ),
+            ("per", Json::Arr(fig15_per)),
+        ]),
+    );
+
+    let fig16_per: Vec<Json> = workload_names
+        .iter()
+        .map(|w| {
+            let g = run_of(w, "csd-devec").get("gate").unwrap();
+            let total =
+                num(g, &["on_cycles"]) + num(g, &["waking_cycles"]) + num(g, &["gated_cycles"]);
+            let frac = |k: &str| {
+                if total > 0.0 {
+                    num(g, &[k]) / total
+                } else {
+                    0.0
+                }
+            };
+            Json::obj([
+                ("name", Json::from(*w)),
+                ("on_fraction", Json::from(frac("on_cycles"))),
+                ("waking_fraction", Json::from(frac("waking_cycles"))),
+                ("gated_fraction", Json::from(frac("gated_cycles"))),
+            ])
+        })
+        .collect();
+    figures.push_member("fig16", Json::Arr(fig16_per));
+    figures.push_member("table1", results.get("table1").clone());
+
+    // Tolerance bands over the headline metrics (EXPERIMENTS.md).
+    let checks = if cfg.checks {
+        let first = cfg.wd_periods.first().copied().unwrap_or(0);
+        let last = cfg.wd_periods.last().copied().unwrap_or(0);
+        let wd_slowdown = |period: u64| {
+            let pi = cfg.wd_periods.iter().position(|p| *p == period).unwrap();
+            mean(names.iter().map(|n| {
+                let r = results.get(&format!("wd/{n}"));
+                num(
+                    &r.get("periods").unwrap().as_arr().unwrap()[pi],
+                    &["slowdown"],
+                )
+            }))
+        };
+        vec![
+            Check {
+                name: "fig07a_undefended_bits",
+                value: num(aes_und, &["bits_recovered"]),
+                lo: 56.0,
+                hi: 128.0,
+            },
+            Check {
+                name: "fig07a_stealth_bits",
+                value: num(aes_ste, &["bits_recovered"]),
+                lo: 0.0,
+                hi: 0.0,
+            },
+            Check {
+                name: "fig07b_fr_undefended_bits",
+                value: num(results.get("attack/rsa-fr/undefended"), &["correct_bits"]),
+                lo: 60.0,
+                hi: 64.0,
+            },
+            Check {
+                name: "fig07b_fr_stealth_bits",
+                value: num(results.get("attack/rsa-fr/stealth"), &["correct_bits"]),
+                lo: 0.0,
+                hi: 45.0,
+            },
+            Check {
+                name: "fig08_opt_avg_slowdown",
+                value: mean(
+                    names
+                        .iter()
+                        .map(|n| num(results.get(&format!("sec/opt/{n}")), &["slowdown"])),
+                ),
+                lo: 1.0,
+                hi: 1.15,
+            },
+            Check {
+                name: "fig09_opt_avg_uop_expansion",
+                value: mean(
+                    names
+                        .iter()
+                        .map(|n| num(results.get(&format!("sec/opt/{n}")), &["uop_expansion"])),
+                ),
+                lo: 0.0,
+                hi: 0.35,
+            },
+            Check {
+                name: "fig11_slowdown_longest_minus_shortest",
+                value: wd_slowdown(last) - wd_slowdown(first),
+                lo: -0.5,
+                hi: 0.005,
+            },
+            Check {
+                name: "fig12_avg_saving_vs_conventional",
+                value: mean(savings.iter().copied()),
+                lo: 0.005,
+                hi: 0.20,
+            },
+            Check {
+                name: "fig13_avg_csd_over_conventional_cycles",
+                value: mean(
+                    workload_names
+                        .iter()
+                        .map(|w| cycle_ratio(w, "csd-devec", "conventional")),
+                ),
+                lo: 0.90,
+                hi: 1.05,
+            },
+            Check {
+                name: "fig15_avg_gated_fraction",
+                value: mean(workload_names.iter().map(|w| gated_fraction(w))),
+                lo: 0.5,
+                hi: 1.0,
+            },
+        ]
+    } else {
+        Vec::new()
+    };
+
+    let json = Json::obj([
+        ("suite", cfg.to_json()),
+        ("security", security),
+        ("watchdog", watchdog),
+        ("attacks", attacks),
+        ("devec", devec),
+        ("figures", figures),
+        (
+            "checks",
+            Json::Arr(checks.iter().map(|c| c.to_json()).collect()),
+        ),
+    ]);
+    SuiteReport { json, checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_every_family() {
+        let cfg = SuiteConfig::quick(1, 1);
+        let tasks = build_tasks(&cfg);
+        assert_eq!(tasks.len(), 16 + 8 + 2 + 4 + 30 + 1);
+        let labels: Vec<&str> = tasks.iter().map(|t| t.label.as_str()).collect();
+        assert!(labels.contains(&"sec/opt/aes-enc"));
+        assert!(labels.contains(&"sec/noopt/rijndael-dec"));
+        assert!(labels.contains(&"wd/rsa-dec"));
+        assert!(labels.contains(&"attack/aes-pp/stealth"));
+        assert!(labels.contains(&"attack/rsa-pp/undefended"));
+        assert!(labels.contains(&"devec/namd/csd-devec"));
+        assert!(labels.contains(&"table1"));
+        // Labels are unique: each is a distinct seed-derivation domain.
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), labels.len());
+    }
+
+    #[test]
+    fn check_band_logic() {
+        let c = Check {
+            name: "x",
+            value: 1.0,
+            lo: 0.5,
+            hi: 1.0,
+        };
+        assert!(c.pass());
+        let c = Check {
+            name: "x",
+            value: 1.01,
+            lo: 0.5,
+            hi: 1.0,
+        };
+        assert!(!c.pass());
+    }
+
+    #[test]
+    fn table1_reports_the_default_machine() {
+        let t = table1_json();
+        assert_eq!(t.get("rob_entries").and_then(Json::as_u64), Some(168));
+        assert!(t.get("l1d").and_then(|l| l.get("size_bytes")).is_some());
+    }
+}

@@ -26,7 +26,10 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (non-power-of-two sets or
     /// line size, or capacity not divisible by `ways * line_bytes`).
     pub fn sets(&self) -> usize {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let sets = self.size_bytes / (self.ways * self.line_bytes);
         assert!(
             sets * self.ways * self.line_bytes == self.size_bytes,
@@ -171,8 +174,7 @@ impl Cache {
     }
 
     fn addr_of(&self, set: usize, tag: u64) -> u64 {
-        (tag << (self.set_shift + self.sets.trailing_zeros()))
-            | ((set as u64) << self.set_shift)
+        (tag << (self.set_shift + self.sets.trailing_zeros())) | ((set as u64) << self.set_shift)
     }
 
     /// Removes the line containing `addr`. Returns whether it was present.

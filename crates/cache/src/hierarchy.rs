@@ -153,18 +153,27 @@ impl Hierarchy {
         };
         let mut latency = l1.config().latency;
         if l1.access(addr, write) {
-            return AccessResult { latency, level: HitLevel::L1 };
+            return AccessResult {
+                latency,
+                level: HitLevel::L1,
+            };
         }
         latency += self.l2.config().latency;
         if self.l2.access(addr, write) {
             self.fill_l1(addr, kind, write);
-            return AccessResult { latency, level: HitLevel::L2 };
+            return AccessResult {
+                latency,
+                level: HitLevel::L2,
+            };
         }
         latency += self.llc.config().latency;
         if self.llc.access(addr, write) {
             self.l2.fill(addr, write);
             self.fill_l1(addr, kind, write);
-            return AccessResult { latency, level: HitLevel::Llc };
+            return AccessResult {
+                latency,
+                level: HitLevel::Llc,
+            };
         }
         latency += self.cfg.memory_latency;
         self.memory_accesses += 1;
@@ -175,7 +184,10 @@ impl Hierarchy {
         }
         self.l2.fill(addr, write);
         self.fill_l1(addr, kind, write);
-        AccessResult { latency, level: HitLevel::Memory }
+        AccessResult {
+            latency,
+            level: HitLevel::Memory,
+        }
     }
 
     fn fill_l1(&mut self, addr: u64, kind: AccessKind, write: bool) {

@@ -39,9 +39,7 @@ impl SetState {
                     bits: vec![false; ways.max(2) - 1],
                 }
             }
-            Replacement::Random => SetState::Random {
-                state: seed | 1,
-            },
+            Replacement::Random => SetState::Random { state: seed | 1 },
         }
     }
 

@@ -1,5 +1,7 @@
 //! Cache statistics.
 
+use csd_telemetry::{Json, ToJson};
+
 /// Counters for one cache level.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -42,6 +44,19 @@ impl CacheStats {
     }
 }
 
+impl ToJson for CacheStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("accesses", Json::from(self.accesses)),
+            ("hits", Json::from(self.hits)),
+            ("misses", Json::from(self.misses)),
+            ("evictions", Json::from(self.evictions)),
+            ("flushes", Json::from(self.flushes)),
+            ("hit_rate", Json::from(self.hit_rate())),
+        ])
+    }
+}
+
 /// Statistics for the whole hierarchy.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
@@ -55,6 +70,18 @@ pub struct HierarchyStats {
     pub llc: CacheStats,
     /// Accesses that went all the way to memory.
     pub memory_accesses: u64,
+}
+
+impl ToJson for HierarchyStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("l1i", self.l1i.to_json()),
+            ("l1d", self.l1d.to_json()),
+            ("l2", self.l2.to_json()),
+            ("llc", self.llc.to_json()),
+            ("memory_accesses", Json::from(self.memory_accesses)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -78,8 +105,20 @@ mod tests {
 
     #[test]
     fn delta_subtracts() {
-        let a = CacheStats { accesses: 5, hits: 3, misses: 2, evictions: 1, flushes: 0 };
-        let b = CacheStats { accesses: 9, hits: 6, misses: 3, evictions: 1, flushes: 2 };
+        let a = CacheStats {
+            accesses: 5,
+            hits: 3,
+            misses: 2,
+            evictions: 1,
+            flushes: 0,
+        };
+        let b = CacheStats {
+            accesses: 9,
+            hits: 6,
+            misses: 3,
+            evictions: 1,
+            flushes: 2,
+        };
         let d = b.delta(&a);
         assert_eq!(d.accesses, 4);
         assert_eq!(d.hits, 3);

@@ -20,7 +20,11 @@ pub struct DevecThresholds {
 
 impl Default for DevecThresholds {
     fn default() -> DevecThresholds {
-        DevecThresholds { window: 128, low: 1, high: 8 }
+        DevecThresholds {
+            window: 128,
+            low: 1,
+            high: 8,
+        }
     }
 }
 
@@ -51,7 +55,10 @@ impl CriticalityPredictor {
     ///
     /// Panics unless `low < high` and `window > 0`.
     pub fn new(thresholds: DevecThresholds) -> CriticalityPredictor {
-        assert!(thresholds.low < thresholds.high, "hysteresis requires low < high");
+        assert!(
+            thresholds.low < thresholds.high,
+            "hysteresis requires low < high"
+        );
         assert!(thresholds.window > 0, "window must be non-empty");
         CriticalityPredictor {
             thresholds,
@@ -117,7 +124,11 @@ mod tests {
 
     #[test]
     fn scalar_phase_requests_gating_at_window_end() {
-        let mut p = CriticalityPredictor::new(DevecThresholds { window: 8, low: 1, high: 4 });
+        let mut p = CriticalityPredictor::new(DevecThresholds {
+            window: 8,
+            low: 1,
+            high: 4,
+        });
         let signals = run(&mut p, &[0; 8]);
         assert_eq!(signals[7], CriticalitySignal::Gate);
         assert!(signals[..7].iter().all(|&s| s == CriticalitySignal::None));
@@ -125,24 +136,44 @@ mod tests {
 
     #[test]
     fn vector_burst_wakes_immediately() {
-        let mut p = CriticalityPredictor::new(DevecThresholds { window: 100, low: 1, high: 4 });
+        let mut p = CriticalityPredictor::new(DevecThresholds {
+            window: 100,
+            low: 1,
+            high: 4,
+        });
         let signals = run(&mut p, &[0, 2, 2, 0]);
-        assert_eq!(signals[2], CriticalitySignal::Wake, "crossed high mid-window");
+        assert_eq!(
+            signals[2],
+            CriticalitySignal::Wake,
+            "crossed high mid-window"
+        );
     }
 
     #[test]
     fn wake_fires_once_per_window() {
-        let mut p = CriticalityPredictor::new(DevecThresholds { window: 100, low: 1, high: 2 });
+        let mut p = CriticalityPredictor::new(DevecThresholds {
+            window: 100,
+            low: 1,
+            high: 2,
+        });
         let signals = run(&mut p, &[2, 2, 2]);
         assert_eq!(
             signals,
-            vec![CriticalitySignal::Wake, CriticalitySignal::None, CriticalitySignal::None]
+            vec![
+                CriticalitySignal::Wake,
+                CriticalitySignal::None,
+                CriticalitySignal::None
+            ]
         );
     }
 
     #[test]
     fn moderate_activity_requests_nothing() {
-        let mut p = CriticalityPredictor::new(DevecThresholds { window: 8, low: 1, high: 10 });
+        let mut p = CriticalityPredictor::new(DevecThresholds {
+            window: 8,
+            low: 1,
+            high: 10,
+        });
         // weight 2 per window: above low, below high.
         let signals = run(&mut p, &[1, 0, 0, 1, 0, 0, 0, 0]);
         assert!(signals.iter().all(|&s| s == CriticalitySignal::None));
@@ -150,9 +181,13 @@ mod tests {
 
     #[test]
     fn window_resets_after_boundary() {
-        let mut p = CriticalityPredictor::new(DevecThresholds { window: 4, low: 0, high: 3 });
+        let mut p = CriticalityPredictor::new(DevecThresholds {
+            window: 4,
+            low: 0,
+            high: 3,
+        });
         run(&mut p, &[1, 1, 0, 0]); // weight 2: no gate (low=0), no wake
-        // New window: weight crosses high again → a fresh wake is allowed.
+                                    // New window: weight crosses high again → a fresh wake is allowed.
         let signals = run(&mut p, &[3, 0]);
         assert_eq!(signals[0], CriticalitySignal::Wake);
     }
@@ -160,6 +195,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "low < high")]
     fn rejects_inverted_thresholds() {
-        let _ = CriticalityPredictor::new(DevecThresholds { window: 4, low: 5, high: 5 });
+        let _ = CriticalityPredictor::new(DevecThresholds {
+            window: 4,
+            low: 5,
+            high: 5,
+        });
     }
 }

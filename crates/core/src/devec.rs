@@ -53,6 +53,18 @@ pub struct DevecStats {
     pub extra_uops: u64,
 }
 
+impl csd_telemetry::ToJson for DevecStats {
+    fn to_json(&self) -> csd_telemetry::Json {
+        csd_telemetry::Json::obj([
+            (
+                "devectorized_insts",
+                csd_telemetry::Json::from(self.devectorized_insts),
+            ),
+            ("extra_uops", csd_telemetry::Json::from(self.extra_uops)),
+        ])
+    }
+}
+
 /// The devectorizing custom decoder.
 ///
 /// Stateless except for statistics; the decision *when* to devectorize
@@ -103,9 +115,7 @@ impl Devectorizer {
     /// LSU and scalar ports regardless of VPU power state).
     pub fn devectorize(&mut self, inst: &Inst, native: &Translation) -> Option<Translation> {
         let uops = match *inst {
-            Inst::VAlu { op, dst, src } => {
-                self.valu_flow(op, dst, VSrc::Xmm(src), None)
-            }
+            Inst::VAlu { op, dst, src } => self.valu_flow(op, dst, VSrc::Xmm(src), None),
             Inst::VAluLoad { op, dst, mem } => {
                 let vt0 = UReg::VTmp(0);
                 let ld = Uop::new(UopKind::VLd)
@@ -167,8 +177,18 @@ fn extract_pair(v: &mut Vec<Uop>, src: UReg, lo: UReg, hi: UReg) {
 }
 
 fn insert_pair(v: &mut Vec<Uop>, dst: Xmm, lo: UReg, hi: UReg) {
-    v.push(Uop::new(UopKind::VInsertQ).dst(UReg::Xmm(dst)).src1(lo).imm(0));
-    v.push(Uop::new(UopKind::VInsertQ).dst(UReg::Xmm(dst)).src1(hi).imm(1));
+    v.push(
+        Uop::new(UopKind::VInsertQ)
+            .dst(UReg::Xmm(dst))
+            .src1(lo)
+            .imm(0),
+    );
+    v.push(
+        Uop::new(UopKind::VInsertQ)
+            .dst(UReg::Xmm(dst))
+            .src1(hi)
+            .imm(1),
+    );
 }
 
 /// Emits the scalar computation `x ← x op y` for one 64-bit half.
@@ -217,7 +237,11 @@ fn emit_half(v: &mut Vec<Uop>, op: VecOp, x: UReg, y: UReg) {
             });
         }
         VecOp::AddPd | VecOp::MulPd => {
-            let f = if op == VecOp::AddPd { FOp::Add } else { FOp::Mul };
+            let f = if op == VecOp::AddPd {
+                FOp::Add
+            } else {
+                FOp::Mul
+            };
             v.push(Uop::new(UopKind::FAlu(f, FWidth::D)).dst(x).src1(x).src2(y));
         }
     }
@@ -225,6 +249,7 @@ fn emit_half(v: &mut Vec<Uop>, op: VecOp, x: UReg, y: UReg) {
 
 /// Unrolled lane-wise computation over one 64-bit half: extract each lane
 /// of `x` and `y` by shift+mask, apply `op_emit`, reassemble into `x`.
+#[allow(clippy::too_many_arguments)] // scratch registers are individual by design
 fn emit_lanewise(
     v: &mut Vec<Uop>,
     x: UReg,
@@ -259,7 +284,11 @@ mod tests {
     use mx86_isa::Inst;
 
     fn devec(op: VecOp) -> Translation {
-        let inst = Inst::VAlu { op, dst: Xmm::new(0), src: Xmm::new(1) };
+        let inst = Inst::VAlu {
+            op,
+            dst: Xmm::new(0),
+            src: Xmm::new(1),
+        };
         let native = translate(&inst, 0);
         Devectorizer::new().devectorize(&inst, &native).unwrap()
     }
@@ -282,10 +311,18 @@ mod tests {
                     let half = u.imm.unwrap();
                     let v = match u.src1.unwrap() {
                         UReg::Xmm(x) if x.index() == 0 => {
-                            if half == 0 { xmm0.0 } else { xmm0.1 }
+                            if half == 0 {
+                                xmm0.0
+                            } else {
+                                xmm0.1
+                            }
                         }
                         UReg::Xmm(x) if x.index() == 1 => {
-                            if half == 0 { xmm1.0 } else { xmm1.1 }
+                            if half == 0 {
+                                xmm1.0
+                            } else {
+                                xmm1.1
+                            }
                         }
                         other => panic!("unexpected src {other}"),
                     };
@@ -442,7 +479,10 @@ mod tests {
             (b[0] | (b[1] << 32), b[2] | (b[3] << 32))
         };
         for (op, f) in [
-            (VecOp::AddPs, (|a: f32, b: f32| a + b) as fn(f32, f32) -> f32),
+            (
+                VecOp::AddPs,
+                (|a: f32, b: f32| a + b) as fn(f32, f32) -> f32,
+            ),
             (VecOp::SubPs, |a, b| a - b),
             (VecOp::MulPs, |a, b| a * b),
         ] {
@@ -475,17 +515,31 @@ mod tests {
 
     #[test]
     fn weight_scales_with_complexity() {
-        let simple = Inst::VAlu { op: VecOp::PXor, dst: Xmm::new(0), src: Xmm::new(1) };
-        let complex = Inst::VAlu { op: VecOp::PMullW, dst: Xmm::new(0), src: Xmm::new(1) };
+        let simple = Inst::VAlu {
+            op: VecOp::PXor,
+            dst: Xmm::new(0),
+            src: Xmm::new(1),
+        };
+        let complex = Inst::VAlu {
+            op: VecOp::PMullW,
+            dst: Xmm::new(0),
+            src: Xmm::new(1),
+        };
         assert!(Devectorizer::weight(&complex) > Devectorizer::weight(&simple));
-        let scalar = Inst::MovRI { dst: mx86_isa::Gpr::Rax, imm: 0 };
+        let scalar = Inst::MovRI {
+            dst: mx86_isa::Gpr::Rax,
+            imm: 0,
+        };
         assert_eq!(Devectorizer::weight(&scalar), 0);
     }
 
     #[test]
     fn loads_and_stores_pass_through() {
         let mut d = Devectorizer::new();
-        let ld = Inst::VLoad { dst: Xmm::new(0), mem: mx86_isa::MemRef::abs(0x100) };
+        let ld = Inst::VLoad {
+            dst: Xmm::new(0),
+            mem: mx86_isa::MemRef::abs(0x100),
+        };
         let native = translate(&ld, 0);
         assert!(d.devectorize(&ld, &native).is_none());
     }
@@ -493,7 +547,11 @@ mod tests {
     #[test]
     fn stats_track_expansion() {
         let mut d = Devectorizer::new();
-        let inst = Inst::VAlu { op: VecOp::PAddB, dst: Xmm::new(0), src: Xmm::new(1) };
+        let inst = Inst::VAlu {
+            op: VecOp::PAddB,
+            dst: Xmm::new(0),
+            src: Xmm::new(1),
+        };
         let native = translate(&inst, 0);
         let t = d.devectorize(&inst, &native).unwrap();
         assert_eq!(d.stats().devectorized_insts, 1);

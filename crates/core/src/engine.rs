@@ -2,12 +2,15 @@
 //! the pipeline integrates at its decoder stage.
 
 use crate::devec::Devectorizer;
-use crate::gating::{VectorDecision, VpuGateController, VpuPolicy};
+use crate::gating::{VectorDecision, VpuGateController, VpuPolicy, VpuState};
 use crate::mcu::{McuError, MicrocodeUpdate, MsromPatchTable, OpcodeClass, PrivilegeLevel};
 use crate::mode::{ContextId, VectorExecClass};
 use crate::msr::MsrFile;
 use crate::stealth::{StealthConfig, StealthTranslator};
 use csd_power::GatingParams;
+use csd_telemetry::{
+    DecodeEvent, EventSink, GateEvent, Json, SinkHandle, StealthWindowEvent, ToJson,
+};
 use csd_uops::{translate, Translation};
 use mx86_isa::Placed;
 
@@ -36,6 +39,18 @@ pub struct CsdStats {
     pub decoy_uops: u64,
     /// Microcode updates successfully applied.
     pub mcu_applied: u64,
+}
+
+impl ToJson for CsdStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("decoded_insts", Json::from(self.decoded_insts)),
+            ("custom_decoded", Json::from(self.custom_decoded)),
+            ("total_uops", Json::from(self.total_uops)),
+            ("decoy_uops", Json::from(self.decoy_uops)),
+            ("mcu_applied", Json::from(self.mcu_applied)),
+        ])
+    }
 }
 
 /// The result of decoding one macro-op through the engine.
@@ -78,6 +93,7 @@ pub struct CsdEngine {
     patches: MsromPatchTable,
     active_custom: Option<u8>,
     stats: CsdStats,
+    sink: SinkHandle,
 }
 
 impl CsdEngine {
@@ -91,6 +107,31 @@ impl CsdEngine {
             patches: MsromPatchTable::new(),
             active_custom: None,
             stats: CsdStats::default(),
+            sink: SinkHandle::new(),
+        }
+    }
+
+    /// Attaches an event sink; decode, gate, and stealth-window events
+    /// flow to it from now on. With no sink attached (the default) each
+    /// emission site costs a single `Option` test.
+    pub fn set_event_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sink.attach(sink);
+    }
+
+    /// Detaches and returns the current event sink, if any.
+    pub fn take_event_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        self.sink.detach()
+    }
+
+    /// Emits a [`GateEvent`] if the VPU's gated-ness changed since `was`.
+    fn emit_gate_delta(&mut self, was: VpuState) {
+        let now = self.gate.state();
+        if (was == VpuState::Gated) != (now == VpuState::Gated) {
+            let ev = GateEvent {
+                gated: now == VpuState::Gated,
+                transitions: self.gate.stats().gate_transitions,
+            };
+            self.sink.with(|s| s.on_gate(&ev));
         }
     }
 
@@ -146,7 +187,9 @@ impl CsdEngine {
     /// Advances time: watchdog countdown and VPU gate-state residency.
     pub fn tick(&mut self, cycles: u64) {
         self.stealth.tick(cycles);
+        let was = self.gate.state();
         self.gate.tick(cycles);
+        self.emit_gate_delta(was);
     }
 
     /// Whether the VPU is powered and usable this cycle.
@@ -179,6 +222,7 @@ impl CsdEngine {
         }
 
         // 2. VPU power management.
+        let gate_was = self.gate.state();
         if inst.is_vector() {
             let weight = Devectorizer::weight(inst);
             match self.gate.on_vector_inst(weight) {
@@ -200,6 +244,7 @@ impl CsdEngine {
         } else {
             self.gate.on_scalar_inst();
         }
+        self.emit_gate_delta(gate_was);
 
         // 3. Stealth-mode decoy injection (applies on top).
         if let Some(t) = self.stealth.on_decode(placed, &translation, tainted) {
@@ -207,15 +252,37 @@ impl CsdEngine {
             context = ContextId::Stealth;
         }
 
+        let uops = translation.uops.len() as u64;
+        let decoys = translation.uops.iter().filter(|u| u.is_decoy()).count() as u64;
         self.stats.decoded_insts += 1;
-        self.stats.total_uops += translation.uops.len() as u64;
-        self.stats.decoy_uops +=
-            translation.uops.iter().filter(|u| u.is_decoy()).count() as u64;
+        self.stats.total_uops += uops;
+        self.stats.decoy_uops += decoys;
         if context != ContextId::Native {
             self.stats.custom_decoded += 1;
         }
 
-        DecodeOutcome { translation, context, stall_cycles, vector_class }
+        let ev = DecodeEvent {
+            addr: placed.addr,
+            context: context.bit(),
+            uops: uops as u32,
+            decoy_uops: decoys as u32,
+            stall_cycles,
+        };
+        self.sink.with(|s| s.on_decode(&ev));
+        if context == ContextId::Stealth && decoys > 0 {
+            let ev = StealthWindowEvent {
+                addr: placed.addr,
+                decoy_uops: decoys as u32,
+            };
+            self.sink.with(|s| s.on_stealth_window(&ev));
+        }
+
+        DecodeOutcome {
+            translation,
+            context,
+            stall_cycles,
+            vector_class,
+        }
     }
 
     /// Engine-level counters.
@@ -254,15 +321,17 @@ impl Default for CsdEngine {
 mod tests {
     use super::*;
     use crate::criticality::DevecThresholds;
-    use crate::msr::{
-        CTL_DIFT_TRIGGER, CTL_STEALTH, MSR_CSD_CTL, MSR_DATA_RANGE_BASE,
-    };
+    use crate::msr::{CTL_DIFT_TRIGGER, CTL_STEALTH, MSR_CSD_CTL, MSR_DATA_RANGE_BASE};
     use mx86_isa::{Gpr, Inst, MemRef, VecOp, Width, Xmm};
 
     fn load_at(addr: u64) -> Placed {
         Placed {
             addr,
-            inst: Inst::Load { dst: Gpr::Rax, mem: MemRef::base(Gpr::Rbx), width: Width::B8 },
+            inst: Inst::Load {
+                dst: Gpr::Rax,
+                mem: MemRef::base(Gpr::Rbx),
+                width: Width::B8,
+            },
         }
     }
 
@@ -301,11 +370,21 @@ mod tests {
     #[test]
     fn devectorization_kicks_in_after_scalar_phase() {
         let cfg = CsdConfig {
-            vpu_policy: VpuPolicy::CsdDevec(DevecThresholds { window: 8, low: 1, high: 16 }),
+            vpu_policy: VpuPolicy::CsdDevec(DevecThresholds {
+                window: 8,
+                low: 1,
+                high: 16,
+            }),
             ..CsdConfig::default()
         };
         let mut e = CsdEngine::new(cfg);
-        let scalar = Placed { addr: 0, inst: Inst::MovRI { dst: Gpr::Rax, imm: 1 } };
+        let scalar = Placed {
+            addr: 0,
+            inst: Inst::MovRI {
+                dst: Gpr::Rax,
+                imm: 1,
+            },
+        };
         for _ in 0..8 {
             e.decode(&scalar, false);
         }
@@ -313,7 +392,11 @@ mod tests {
 
         let v = Placed {
             addr: 0x40,
-            inst: Inst::VAlu { op: VecOp::PAddB, dst: Xmm::new(0), src: Xmm::new(1) },
+            inst: Inst::VAlu {
+                op: VecOp::PAddB,
+                dst: Xmm::new(0),
+                src: Xmm::new(1),
+            },
         };
         let out = e.decode(&v, false);
         assert_eq!(out.context, ContextId::Devectorize);
@@ -325,14 +408,20 @@ mod tests {
     #[test]
     fn conventional_policy_stalls_instead_of_devectorizing() {
         let cfg = CsdConfig {
-            vpu_policy: VpuPolicy::Conventional { idle_gate_cycles: 10 },
+            vpu_policy: VpuPolicy::Conventional {
+                idle_gate_cycles: 10,
+            },
             ..CsdConfig::default()
         };
         let mut e = CsdEngine::new(cfg);
         e.tick(20); // idle → gated
         let v = Placed {
             addr: 0x40,
-            inst: Inst::VAlu { op: VecOp::PAddB, dst: Xmm::new(0), src: Xmm::new(1) },
+            inst: Inst::VAlu {
+                op: VecOp::PAddB,
+                dst: Xmm::new(0),
+                src: Xmm::new(1),
+            },
         };
         let out = e.decode(&v, false);
         assert_eq!(out.context, ContextId::Native);
@@ -344,17 +433,19 @@ mod tests {
     fn mcu_patch_replaces_translation_in_custom_mode() {
         let mut e = CsdEngine::default();
         let body = vec![Inst::Nop { len: 1 }, Inst::Nop { len: 1 }];
-        let mcu = MicrocodeUpdate::new(
-            1,
-            OpcodeClass::Nop,
-            ContextId::Custom(0),
-            false,
-            body,
+        let mcu = MicrocodeUpdate::new(1, OpcodeClass::Nop, ContextId::Custom(0), false, body);
+        assert!(e
+            .apply_microcode_update(&mcu, PrivilegeLevel::Kernel)
+            .unwrap());
+        assert_eq!(
+            e.apply_microcode_update(&mcu, PrivilegeLevel::Kernel),
+            Ok(false)
         );
-        assert!(e.apply_microcode_update(&mcu, PrivilegeLevel::Kernel).unwrap());
-        assert_eq!(e.apply_microcode_update(&mcu, PrivilegeLevel::Kernel), Ok(false));
 
-        let p = Placed { addr: 0, inst: Inst::Nop { len: 1 } };
+        let p = Placed {
+            addr: 0,
+            inst: Inst::Nop { len: 1 },
+        };
         // Custom mode inactive: native.
         assert_eq!(e.decode(&p, false).translation.uops.len(), 1);
         // Active: patched two-µop flow.
@@ -373,6 +464,81 @@ mod tests {
             Err(McuError::NotPrivileged)
         );
         assert_eq!(e.stats().mcu_applied, 0);
+    }
+
+    #[test]
+    fn event_sink_observes_decode_gate_and_stealth() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        #[derive(Default)]
+        struct Counts {
+            decodes: AtomicU64,
+            gates: AtomicU64,
+            stealth: AtomicU64,
+            decoys: AtomicU64,
+        }
+        struct Shared(Arc<Counts>);
+        impl csd_telemetry::EventSink for Shared {
+            fn on_decode(&mut self, ev: &csd_telemetry::DecodeEvent) {
+                self.0.decodes.fetch_add(1, Ordering::Relaxed);
+                self.0
+                    .decoys
+                    .fetch_add(u64::from(ev.decoy_uops), Ordering::Relaxed);
+            }
+            fn on_gate(&mut self, _ev: &csd_telemetry::GateEvent) {
+                self.0.gates.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_stealth_window(&mut self, ev: &csd_telemetry::StealthWindowEvent) {
+                self.0.stealth.fetch_add(1, Ordering::Relaxed);
+                assert!(ev.decoy_uops > 0);
+            }
+        }
+
+        let counts = Arc::new(Counts::default());
+        let cfg = CsdConfig {
+            vpu_policy: VpuPolicy::CsdDevec(DevecThresholds {
+                window: 8,
+                low: 1,
+                high: 16,
+            }),
+            ..CsdConfig::default()
+        };
+        let mut e = CsdEngine::new(cfg);
+        e.set_event_sink(Box::new(Shared(Arc::clone(&counts))));
+        e.write_msr(MSR_DATA_RANGE_BASE, 0x8000);
+        e.write_msr(MSR_DATA_RANGE_BASE + 1, 0x8000 + 2 * 64);
+        e.write_msr(MSR_CSD_CTL, CTL_STEALTH | CTL_DIFT_TRIGGER);
+
+        // Tainted load: decode + stealth window.
+        e.decode(&load_at(0x100), true);
+        // Scalar phase long enough to gate the VPU: gate event.
+        let scalar = Placed {
+            addr: 0,
+            inst: Inst::MovRI {
+                dst: Gpr::Rax,
+                imm: 1,
+            },
+        };
+        for _ in 0..8 {
+            e.decode(&scalar, false);
+        }
+
+        assert_eq!(counts.decodes.load(Ordering::Relaxed), 9);
+        assert_eq!(counts.stealth.load(Ordering::Relaxed), 1);
+        assert!(
+            counts.gates.load(Ordering::Relaxed) >= 1,
+            "gating must emit an event"
+        );
+        assert_eq!(counts.decoys.load(Ordering::Relaxed), e.stats().decoy_uops);
+        assert!(e.take_event_sink().is_some());
+        // Cloning an engine never drags the sink along.
+        e.set_event_sink(Box::new(Shared(Arc::clone(&counts))));
+        let cloned = e.clone();
+        let before = counts.decodes.load(Ordering::Relaxed);
+        let mut cloned = cloned;
+        cloned.decode(&load_at(0x200), false);
+        assert_eq!(counts.decodes.load(Ordering::Relaxed), before);
     }
 
     #[test]

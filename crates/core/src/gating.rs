@@ -5,6 +5,7 @@
 use crate::criticality::{CriticalityPredictor, CriticalitySignal, DevecThresholds};
 use crate::mode::VectorExecClass;
 use csd_power::GatingParams;
+use csd_telemetry::{Json, ToJson};
 
 /// The gating policy in force.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +98,22 @@ impl GateStats {
     /// Total vector instructions classified.
     pub fn vec_total(&self) -> u64 {
         self.vec_on + self.vec_powering_on + self.vec_gated
+    }
+}
+
+impl ToJson for GateStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("gated_cycles", Json::from(self.gated_cycles)),
+            ("waking_cycles", Json::from(self.waking_cycles)),
+            ("on_cycles", Json::from(self.on_cycles)),
+            ("gate_transitions", Json::from(self.gate_transitions)),
+            ("wake_stall_cycles", Json::from(self.wake_stall_cycles)),
+            ("vec_on", Json::from(self.vec_on)),
+            ("vec_powering_on", Json::from(self.vec_powering_on)),
+            ("vec_gated", Json::from(self.vec_gated)),
+            ("gated_fraction", Json::from(self.gated_fraction())),
+        ])
     }
 }
 
@@ -222,7 +239,9 @@ impl VpuGateController {
                 }
                 VpuState::Gated => {
                     // Demand wake: stall for the full latency.
-                    self.state = VpuState::Waking { remaining: self.gating.wake_cycles };
+                    self.state = VpuState::Waking {
+                        remaining: self.gating.wake_cycles,
+                    };
                     self.stats.vec_on += 1;
                     self.stats.wake_stall_cycles += self.gating.wake_cycles;
                     VectorDecision::StallThenExecute(self.gating.wake_cycles)
@@ -268,7 +287,9 @@ impl VpuGateController {
             }
             CriticalitySignal::Wake => {
                 if self.state == VpuState::Gated {
-                    self.state = VpuState::Waking { remaining: self.gating.wake_cycles };
+                    self.state = VpuState::Waking {
+                        remaining: self.gating.wake_cycles,
+                    };
                 }
             }
         }
@@ -298,7 +319,9 @@ mod tests {
     #[test]
     fn conventional_gates_after_idle_and_stalls_on_demand() {
         let mut c = VpuGateController::new(
-            VpuPolicy::Conventional { idle_gate_cycles: 100 },
+            VpuPolicy::Conventional {
+                idle_gate_cycles: 100,
+            },
             GatingParams::default(),
         );
         c.tick(99);
@@ -318,7 +341,9 @@ mod tests {
     #[test]
     fn vector_use_resets_conventional_idle_counter() {
         let mut c = VpuGateController::new(
-            VpuPolicy::Conventional { idle_gate_cycles: 100 },
+            VpuPolicy::Conventional {
+                idle_gate_cycles: 100,
+            },
             GatingParams::default(),
         );
         c.tick(90);
@@ -350,7 +375,10 @@ mod tests {
         // Burst of vector weight crosses high=4 on the 4th inst.
         for _ in 0..3 {
             let d = c.on_vector_inst(1);
-            assert!(matches!(d, VectorDecision::Devectorize(VectorExecClass::PowerGated)));
+            assert!(matches!(
+                d,
+                VectorDecision::Devectorize(VectorExecClass::PowerGated)
+            ));
         }
         let d = c.on_vector_inst(1);
         assert_eq!(d, VectorDecision::Devectorize(VectorExecClass::PoweringOn));

@@ -140,10 +140,16 @@ impl fmt::Display for McuError {
             }
             McuError::ContainsBranch => write!(f, "MCU body may not contain control transfer"),
             McuError::AltersArchState => {
-                write!(f, "MCU body alters architectural state without header permission")
+                write!(
+                    f,
+                    "MCU body alters architectural state without header permission"
+                )
             }
             McuError::OpaqueFormat => {
-                write!(f, "only auto-translated (native-instruction) MCUs are modeled")
+                write!(
+                    f,
+                    "only auto-translated (native-instruction) MCUs are modeled"
+                )
             }
         }
     }
@@ -238,9 +244,10 @@ impl MicrocodeUpdate {
         if !self.header.allow_arch_writes {
             for inst in &self.body {
                 let t = translate(inst, 0);
-                let writes_arch = t.uops.iter().any(|u| {
-                    u.kind.is_store() || u.dst.is_some_and(|d| d.is_architectural())
-                });
+                let writes_arch = t
+                    .uops
+                    .iter()
+                    .any(|u| u.kind.is_store() || u.dst.is_some_and(|d| d.is_architectural()));
                 if writes_arch {
                     return Err(McuError::AltersArchState);
                 }
@@ -286,7 +293,8 @@ impl MsromPatchTable {
         match self.patches.get(&key) {
             Some((rev, _)) if *rev >= mcu.header.revision => false,
             _ => {
-                self.patches.insert(key, (mcu.header.revision, mcu.auto_translate()));
+                self.patches
+                    .insert(key, (mcu.header.revision, mcu.auto_translate()));
                 true
             }
         }
@@ -331,14 +339,19 @@ mod tests {
         mcu.verify(PrivilegeLevel::Kernel).unwrap();
         let mut table = MsromPatchTable::new();
         assert!(table.install(&mcu));
-        assert!(table.lookup(OpcodeClass::Nop, ContextId::Custom(0)).is_some());
+        assert!(table
+            .lookup(OpcodeClass::Nop, ContextId::Custom(0))
+            .is_some());
         assert!(table.lookup(OpcodeClass::Nop, ContextId::Native).is_none());
     }
 
     #[test]
     fn user_mode_is_rejected() {
         let mcu = MicrocodeUpdate::new(1, OpcodeClass::Nop, ContextId::Custom(0), false, vec![]);
-        assert_eq!(mcu.verify(PrivilegeLevel::User), Err(McuError::NotPrivileged));
+        assert_eq!(
+            mcu.verify(PrivilegeLevel::User),
+            Err(McuError::NotPrivileged)
+        );
     }
 
     #[test]
@@ -351,7 +364,10 @@ mod tests {
             counting_nop_body(),
         );
         mcu.body.push(Inst::Nop { len: 2 });
-        assert_eq!(mcu.verify(PrivilegeLevel::Kernel), Err(McuError::BadChecksum));
+        assert_eq!(
+            mcu.verify(PrivilegeLevel::Kernel),
+            Err(McuError::BadChecksum)
+        );
     }
 
     #[test]
@@ -363,7 +379,10 @@ mod tests {
             false,
             vec![Inst::Jmp { target: 0 }],
         );
-        assert_eq!(mcu.verify(PrivilegeLevel::Kernel), Err(McuError::ContainsBranch));
+        assert_eq!(
+            mcu.verify(PrivilegeLevel::Kernel),
+            Err(McuError::ContainsBranch)
+        );
     }
 
     #[test]
@@ -373,16 +392,25 @@ mod tests {
             OpcodeClass::Nop,
             ContextId::Custom(0),
             false,
-            vec![Inst::MovRI { dst: Gpr::Rax, imm: 1 }],
+            vec![Inst::MovRI {
+                dst: Gpr::Rax,
+                imm: 1,
+            }],
         );
-        assert_eq!(mcu.verify(PrivilegeLevel::Kernel), Err(McuError::AltersArchState));
+        assert_eq!(
+            mcu.verify(PrivilegeLevel::Kernel),
+            Err(McuError::AltersArchState)
+        );
 
         let declared = MicrocodeUpdate::new(
             1,
             OpcodeClass::Nop,
             ContextId::Custom(0),
             true,
-            vec![Inst::MovRI { dst: Gpr::Rax, imm: 1 }],
+            vec![Inst::MovRI {
+                dst: Gpr::Rax,
+                imm: 1,
+            }],
         );
         declared.verify(PrivilegeLevel::Kernel).unwrap();
     }
@@ -402,7 +430,10 @@ mod tests {
         let mut mcu =
             MicrocodeUpdate::new(1, OpcodeClass::Nop, ContextId::Custom(0), false, vec![]);
         mcu.header.auto_translate = false;
-        assert_eq!(mcu.verify(PrivilegeLevel::Kernel), Err(McuError::OpaqueFormat));
+        assert_eq!(
+            mcu.verify(PrivilegeLevel::Kernel),
+            Err(McuError::OpaqueFormat)
+        );
     }
 
     #[test]
@@ -420,7 +451,11 @@ mod tests {
         assert!(!table.install(&v1), "stale revision ignored");
         assert_eq!(table.len(), 1);
         assert_eq!(
-            table.lookup(OpcodeClass::Nop, ContextId::Custom(0)).unwrap().uops.len(),
+            table
+                .lookup(OpcodeClass::Nop, ContextId::Custom(0))
+                .unwrap()
+                .uops
+                .len(),
             1
         );
     }
@@ -440,8 +475,16 @@ mod tests {
 
     #[test]
     fn opcode_class_distinguishes_alu_ops() {
-        let add = Inst::Alu { op: AluOp::Add, dst: Gpr::Rax, src: mx86_isa::RegImm::Imm(1) };
-        let sub = Inst::Alu { op: AluOp::Sub, dst: Gpr::Rax, src: mx86_isa::RegImm::Imm(1) };
+        let add = Inst::Alu {
+            op: AluOp::Add,
+            dst: Gpr::Rax,
+            src: mx86_isa::RegImm::Imm(1),
+        };
+        let sub = Inst::Alu {
+            op: AluOp::Sub,
+            dst: Gpr::Rax,
+            src: mx86_isa::RegImm::Imm(1),
+        };
         assert_ne!(OpcodeClass::of(&add), OpcodeClass::of(&sub));
     }
 }

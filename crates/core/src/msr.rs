@@ -101,12 +101,16 @@ impl MsrFile {
 
     /// All configured decoy data ranges.
     pub fn data_ranges(&self) -> Vec<AddrRange> {
-        (0..DATA_RANGE_COUNT).filter_map(|i| self.data_range(i)).collect()
+        (0..DATA_RANGE_COUNT)
+            .filter_map(|i| self.data_range(i))
+            .collect()
     }
 
     /// All configured decoy instruction ranges.
     pub fn inst_ranges(&self) -> Vec<AddrRange> {
-        (0..INST_RANGE_COUNT).filter_map(|i| self.inst_range(i)).collect()
+        (0..INST_RANGE_COUNT)
+            .filter_map(|i| self.inst_range(i))
+            .collect()
     }
 
     /// All configured scratchpad PCs (non-zero entries).

@@ -34,7 +34,10 @@ pub struct StealthConfig {
 
 impl Default for StealthConfig {
     fn default() -> StealthConfig {
-        StealthConfig { line_bytes: 64, default_watchdog_period: 1000 }
+        StealthConfig {
+            line_bytes: 64,
+            default_watchdog_period: 1000,
+        }
     }
 }
 
@@ -49,6 +52,20 @@ pub struct StealthStats {
     pub sweeps: u64,
     /// Watchdog expirations (re-arms).
     pub watchdog_fires: u64,
+}
+
+impl csd_telemetry::ToJson for StealthStats {
+    fn to_json(&self) -> csd_telemetry::Json {
+        csd_telemetry::Json::obj([
+            ("triggers", csd_telemetry::Json::from(self.triggers)),
+            ("decoy_uops", csd_telemetry::Json::from(self.decoy_uops)),
+            ("sweeps", csd_telemetry::Json::from(self.sweeps)),
+            (
+                "watchdog_fires",
+                csd_telemetry::Json::from(self.watchdog_fires),
+            ),
+        ])
+    }
 }
 
 /// The stealth-mode custom decoder.
@@ -96,7 +113,11 @@ impl StealthTranslator {
         self.inst_ranges = msrs.inst_ranges();
         self.scratchpad_pcs = msrs.scratchpad_pcs();
         let p = msrs.watchdog_period();
-        self.watchdog_period = if p == 0 { self.cfg.default_watchdog_period } else { p };
+        self.watchdog_period = if p == 0 {
+            self.cfg.default_watchdog_period
+        } else {
+            p
+        };
         self.armed = self.enabled;
         self.watchdog_remaining = 0;
     }
@@ -138,9 +159,8 @@ impl StealthTranslator {
         if !self.armed() {
             return false;
         }
-        let sensitive_kind = placed.inst.is_load()
-            || placed.inst.is_store()
-            || placed.inst.is_branch();
+        let sensitive_kind =
+            placed.inst.is_load() || placed.inst.is_store() || placed.inst.is_branch();
         if !sensitive_kind {
             return false;
         }
@@ -154,9 +174,12 @@ impl StealthTranslator {
     /// On injection the translator disarms and starts the watchdog; all
     /// configured ranges are swept in this one translation (the paper's
     /// "deployed at the first decoded tainted load or branch encountered").
-    pub fn on_decode(&mut self, placed: &Placed, native: &Translation, tainted: bool)
-        -> Option<Translation>
-    {
+    pub fn on_decode(
+        &mut self,
+        placed: &Placed,
+        native: &Translation,
+        tainted: bool,
+    ) -> Option<Translation> {
         if !self.should_intercept(placed, tainted) {
             return None;
         }
@@ -215,18 +238,23 @@ impl StealthTranslator {
 
         // mov t0, Range.Size - CBS  (byte offset of the last block)
         out.push(mark(
-            Uop::new(UopKind::MovImm).dst(t0).imm(((blocks - 1) * line) as i64),
+            Uop::new(UopKind::MovImm)
+                .dst(t0)
+                .imm(((blocks - 1) * line) as i64),
         ));
         for _ in 0..blocks {
             // ld t1, [t0 + Range.Start]  (fuses with the following sub)
-            out.push(mark(
-                Uop::new(UopKind::Ld)
-                    .dst(t1)
-                    .mem(UMem::base_disp(t0, first as i64, Width::B1)),
-            ));
+            out.push(mark(Uop::new(UopKind::Ld).dst(t1).mem(UMem::base_disp(
+                t0,
+                first as i64,
+                Width::B1,
+            ))));
             // sub t0, CBS
             out.push(mark(
-                Uop::new(UopKind::Alu(AluOp::Sub)).dst(t0).src1(t0).imm(line as i64),
+                Uop::new(UopKind::Alu(AluOp::Sub))
+                    .dst(t0)
+                    .src1(t0)
+                    .imm(line as i64),
             ));
             // br_ge top (micro-loop back edge; unrolled here, so the
             // executor treats decoy branches as sequencing no-ops)
@@ -265,7 +293,11 @@ mod tests {
     fn tainted_load() -> Placed {
         Placed {
             addr: 0x1000,
-            inst: Inst::Load { dst: Gpr::Rax, mem: MemRef::base(Gpr::Rbx), width: Width::B4 },
+            inst: Inst::Load {
+                dst: Gpr::Rax,
+                mem: MemRef::base(Gpr::Rbx),
+                width: Width::B4,
+            },
         }
     }
 
@@ -281,7 +313,10 @@ mod tests {
         assert_eq!(decoys.len(), 1 + 4 * 3);
         let loads = decoys.iter().filter(|u| u.kind == UopKind::Ld).count();
         assert_eq!(loads, 4);
-        assert!(!t.cacheable, "expanded flow exceeds the µop-cache line limit");
+        assert!(
+            !t.cacheable,
+            "expanded flow exceeds the µop-cache line limit"
+        );
         assert_eq!(t.static_uops, native.static_uops + 4);
     }
 
@@ -344,7 +379,13 @@ mod tests {
     fn non_memory_instructions_pass_through() {
         let range = AddrRange::new(0x8000, 0x8040);
         let mut s = configured(&[range], &[]);
-        let p = Placed { addr: 0x1000, inst: Inst::MovRI { dst: Gpr::Rax, imm: 3 } };
+        let p = Placed {
+            addr: 0x1000,
+            inst: Inst::MovRI {
+                dst: Gpr::Rax,
+                imm: 3,
+            },
+        };
         let native = translate(&p.inst, p.next_addr());
         assert!(s.on_decode(&p, &native, true).is_none());
     }
@@ -361,7 +402,10 @@ mod tests {
 
         let p = tainted_load(); // at 0x1000
         let native = translate(&p.inst, p.next_addr());
-        assert!(s.on_decode(&p, &native, false).is_some(), "PC-marked trigger");
+        assert!(
+            s.on_decode(&p, &native, false).is_some(),
+            "PC-marked trigger"
+        );
     }
 
     #[test]

@@ -54,11 +54,15 @@ fn generate(size: AesKeySize, shift: [usize; 4], layout: &AesLayout) -> Program 
     a.symbol("aes_entry");
 
     // Round 0: s[c] = input[c] ^ rk[c].
-    for c in 0..4 {
-        a.load_w(S[c], MemRef::abs((layout.input + 4 * c as u64) as i64), Width::B4);
+    for (c, &sreg) in S.iter().enumerate() {
+        a.load_w(
+            sreg,
+            MemRef::abs((layout.input + 4 * c as u64) as i64),
+            Width::B4,
+        );
         a.alu_load(
             AluOp::Xor,
-            S[c],
+            sreg,
             MemRef::abs((layout.round_keys + 4 * c as u64) as i64),
             Width::B4,
         );
@@ -108,7 +112,11 @@ fn generate(size: AesKeySize, shift: [usize; 4], layout: &AesLayout) -> Program 
         }
         let rk = layout.round_keys + 4 * (4 * rounds + c) as u64;
         a.alu_load(AluOp::Xor, N[c], MemRef::abs(rk as i64), Width::B4);
-        a.store_w(MemRef::abs((layout.output + 4 * c as u64) as i64), N[c], Width::B4);
+        a.store_w(
+            MemRef::abs((layout.output + 4 * c as u64) as i64),
+            N[c],
+            Width::B4,
+        );
     }
     a.halt();
     a.finish().expect("AES program assembles")
@@ -265,8 +273,9 @@ mod tests {
                 let v = AesVictim::new(size, dir, &key);
                 let mut core = fresh_core(&v);
                 for seed in 0u8..4 {
-                    let input: Vec<u8> =
-                        (0..16).map(|i| seed.wrapping_mul(41).wrapping_add(i * 17)).collect();
+                    let input: Vec<u8> = (0..16)
+                        .map(|i| seed.wrapping_mul(41).wrapping_add(i * 17))
+                        .collect();
                     assert_eq!(
                         v.run_once(&mut core, &input),
                         v.reference(&input),
@@ -300,7 +309,10 @@ mod tests {
         let touched = (0..64)
             .filter(|&l| core.hierarchy().l1d().contains(AES_LAYOUT.tables + 64 * l))
             .count();
-        assert!(touched > 16, "a block encryption touches many table lines: {touched}");
+        assert!(
+            touched > 16,
+            "a block encryption touches many table lines: {touched}"
+        );
     }
 
     #[test]

@@ -177,7 +177,12 @@ fn generate(layout: &BlowfishLayout) -> Program {
     let mask32 = 0xFFFF_FFFFi64;
     for i in 0..ROUNDS {
         // l ^= P[i]
-        a.alu_load(AluOp::Xor, l, MemRef::abs((layout.p + 4 * i as u64) as i64), Width::B4);
+        a.alu_load(
+            AluOp::Xor,
+            l,
+            MemRef::abs((layout.p + 4 * i as u64) as i64),
+            Width::B4,
+        );
         // rbx = F(l)
         for (k, sh) in [(0usize, 24i64), (1, 16), (2, 8), (3, 0)] {
             a.mov_rr(Gpr::Rax, l);
@@ -214,8 +219,18 @@ fn generate(layout: &BlowfishLayout) -> Program {
     a.mov_rr(Gpr::Rdx, l);
     a.mov_rr(l, r);
     a.mov_rr(r, Gpr::Rdx);
-    a.alu_load(AluOp::Xor, r, MemRef::abs((layout.p + 4 * 16) as i64), Width::B4);
-    a.alu_load(AluOp::Xor, l, MemRef::abs((layout.p + 4 * 17) as i64), Width::B4);
+    a.alu_load(
+        AluOp::Xor,
+        r,
+        MemRef::abs((layout.p + 4 * 16) as i64),
+        Width::B4,
+    );
+    a.alu_load(
+        AluOp::Xor,
+        l,
+        MemRef::abs((layout.p + 4 * 17) as i64),
+        Width::B4,
+    );
     a.store_w(MemRef::abs(layout.output as i64), l, Width::B4);
     a.store_w(MemRef::abs((layout.output + 4) as i64), r, Width::B4);
     a.halt();
@@ -268,7 +283,8 @@ impl Victim for BlowfishVictim {
             }
         }
         for (i, &w) in self.bf.p_in_order(self.dir).iter().enumerate() {
-            core.mem.write_le(self.layout.p + 4 * i as u64, 4, u64::from(w));
+            core.mem
+                .write_le(self.layout.p + 4 * i as u64, 4, u64::from(w));
         }
         // P and S are key-derived secrets; tainting P suffices to taint
         // every S-box index.

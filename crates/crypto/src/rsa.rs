@@ -150,7 +150,9 @@ impl RsaVictim {
 
     /// The code range of the `multiply` routine (the FLUSH+RELOAD target).
     pub fn multiply_range(&self) -> AddrRange {
-        self.program.region("multiply").expect("multiply region exists")
+        self.program
+            .region("multiply")
+            .expect("multiply region exists")
     }
 
     /// The code range of the `square` routine.
@@ -202,7 +204,10 @@ impl Victim for RsaVictim {
     }
 
     fn collect(&self, core: &Core) -> Vec<u8> {
-        core.mem.read_le(self.layout.result, 8).to_le_bytes().to_vec()
+        core.mem
+            .read_le(self.layout.result, 8)
+            .to_le_bytes()
+            .to_vec()
     }
 
     fn input_len(&self) -> usize {
@@ -238,7 +243,11 @@ mod tests {
             SimMode::Functional,
         );
         v.install(&mut core);
-        u64::from_le_bytes(v.run_once(&mut core, &base.to_le_bytes()).try_into().unwrap())
+        u64::from_le_bytes(
+            v.run_once(&mut core, &base.to_le_bytes())
+                .try_into()
+                .unwrap(),
+        )
     }
 
     #[test]
@@ -270,7 +279,10 @@ mod tests {
         assert_eq!(run(&v, 5), modpow_u128(5, 13, 497));
         let v = RsaVictim::new(0xDEAD_BEEF_CAFE, 4_294_967_291);
         for base in [3u64, 65_537, 123_456_789] {
-            assert_eq!(v.modexp(base), modpow_u128(u128::from(base), v.exponent(), 4_294_967_291));
+            assert_eq!(
+                v.modexp(base),
+                modpow_u128(u128::from(base), v.exponent(), 4_294_967_291)
+            );
         }
     }
 

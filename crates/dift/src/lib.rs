@@ -80,7 +80,10 @@ pub struct Dift {
 impl Dift {
     /// Fresh, enabled DIFT state with nothing tainted.
     pub fn new() -> Dift {
-        Dift { enabled: true, ..Dift::default() }
+        Dift {
+            enabled: true,
+            ..Dift::default()
+        }
     }
 
     /// Enables or disables tracking. While disabled, propagation is a
@@ -173,8 +176,7 @@ impl Dift {
             return ev;
         }
         let src_taint = |d: &Dift| {
-            uop.src1.is_some_and(|r| d.reg_tainted(r))
-                || uop.src2.is_some_and(|r| d.reg_tainted(r))
+            uop.src1.is_some_and(|r| d.reg_tainted(r)) || uop.src2.is_some_and(|r| d.reg_tainted(r))
         };
         match uop.kind {
             UopKind::Nop | UopKind::Halt | UopKind::Rdtsc | UopKind::Clflush => {}
@@ -191,14 +193,17 @@ impl Dift {
                     self.set_reg(d, t || keep);
                 }
             }
-            UopKind::Alu(_) | UopKind::Mul | UopKind::FAlu(..) | UopKind::DivQ
-            | UopKind::DivR | UopKind::VAlu(_) => {
+            UopKind::Alu(_)
+            | UopKind::Mul
+            | UopKind::FAlu(..)
+            | UopKind::DivQ
+            | UopKind::DivR
+            | UopKind::VAlu(_) => {
                 let t = src_taint(self);
                 if let Some(d) = uop.dst {
                     self.set_reg(d, t);
                 }
-                if uop.kind.writes_flags() || matches!(uop.kind, UopKind::DivQ | UopKind::DivR)
-                {
+                if uop.kind.writes_flags() || matches!(uop.kind, UopKind::DivQ | UopKind::DivR) {
                     self.flags = t;
                 }
             }
@@ -270,7 +275,9 @@ mod tests {
     use mx86_isa::{AluOp, Cc, Width};
 
     fn ld(dst: UReg, addr: u64) -> Uop {
-        Uop::new(UopKind::Ld).dst(dst).mem(UMem::abs(addr, Width::B8))
+        Uop::new(UopKind::Ld)
+            .dst(dst)
+            .mem(UMem::abs(addr, Width::B8))
     }
 
     #[test]
@@ -315,7 +322,9 @@ mod tests {
     fn tainted_compare_then_branch_is_tainted_branch() {
         let mut d = Dift::new();
         d.taint_reg(UReg::Gpr(Gpr::Rax));
-        let cmp = Uop::new(UopKind::Alu(AluOp::Sub)).src1(UReg::Gpr(Gpr::Rax)).imm(0);
+        let cmp = Uop::new(UopKind::Alu(AluOp::Sub))
+            .src1(UReg::Gpr(Gpr::Rax))
+            .imm(0);
         d.propagate(&cmp, None);
         let br = Uop::new(UopKind::Br(Cc::Ne)).imm(0x40);
         let ev = d.propagate(&br, None);
@@ -326,7 +335,9 @@ mod tests {
     #[test]
     fn untainted_branch_does_not_trigger() {
         let mut d = Dift::new();
-        let cmp = Uop::new(UopKind::Alu(AluOp::Sub)).src1(UReg::Gpr(Gpr::Rax)).imm(0);
+        let cmp = Uop::new(UopKind::Alu(AluOp::Sub))
+            .src1(UReg::Gpr(Gpr::Rax))
+            .imm(0);
         d.propagate(&cmp, None);
         let br = Uop::new(UopKind::Br(Cc::Ne)).imm(0x40);
         assert!(!d.propagate(&br, None).triggers_stealth());

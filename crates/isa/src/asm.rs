@@ -143,7 +143,7 @@ impl Assembler {
     /// Panics if `align` is not a power of two.
     pub fn align(&mut self, align: u64) {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
-        while self.pc % align != 0 {
+        while !self.pc.is_multiple_of(align) {
             let gap = align - (self.pc % align);
             let len = gap.min(15) as u32;
             self.nop(len);
@@ -165,7 +165,10 @@ impl Assembler {
 
     /// Emits a raw instruction.
     pub fn emit(&mut self, inst: Inst) -> &mut Self {
-        self.insts.push(Placed { addr: self.pc, inst });
+        self.insts.push(Placed {
+            addr: self.pc,
+            inst,
+        });
         self.pc += u64::from(inst.len());
         self
     }
@@ -242,32 +245,56 @@ impl Assembler {
 
     /// `op dst, src` (register source).
     pub fn alu_rr(&mut self, op: AluOp, dst: Gpr, src: Gpr) -> &mut Self {
-        self.emit(Inst::Alu { op, dst, src: RegImm::Reg(src) })
+        self.emit(Inst::Alu {
+            op,
+            dst,
+            src: RegImm::Reg(src),
+        })
     }
 
     /// `op dst, imm`.
     pub fn alu_ri(&mut self, op: AluOp, dst: Gpr, imm: i64) -> &mut Self {
-        self.emit(Inst::Alu { op, dst, src: RegImm::Imm(imm) })
+        self.emit(Inst::Alu {
+            op,
+            dst,
+            src: RegImm::Imm(imm),
+        })
     }
 
     /// `op dst, <width> [mem]` — load-op form.
     pub fn alu_load(&mut self, op: AluOp, dst: Gpr, mem: MemRef, width: Width) -> &mut Self {
-        self.emit(Inst::AluLoad { op, dst, mem, width })
+        self.emit(Inst::AluLoad {
+            op,
+            dst,
+            mem,
+            width,
+        })
     }
 
     /// `op <width> [mem], src` — read-modify-write form.
     pub fn alu_store(&mut self, op: AluOp, mem: MemRef, src: RegImm, width: Width) -> &mut Self {
-        self.emit(Inst::AluStore { op, mem, src, width })
+        self.emit(Inst::AluStore {
+            op,
+            mem,
+            src,
+            width,
+        })
     }
 
     /// `imul dst, src`.
     pub fn mul_rr(&mut self, dst: Gpr, src: Gpr) -> &mut Self {
-        self.emit(Inst::Mul { dst, src: RegImm::Reg(src) })
+        self.emit(Inst::Mul {
+            dst,
+            src: RegImm::Reg(src),
+        })
     }
 
     /// `imul dst, imm`.
     pub fn mul_ri(&mut self, dst: Gpr, imm: i64) -> &mut Self {
-        self.emit(Inst::Mul { dst, src: RegImm::Imm(imm) })
+        self.emit(Inst::Mul {
+            dst,
+            src: RegImm::Imm(imm),
+        })
     }
 
     /// `div src` — RDX:RAX / src (microsequenced).
@@ -277,22 +304,34 @@ impl Assembler {
 
     /// `cmp a, b` (register).
     pub fn cmp_rr(&mut self, a: Gpr, b: Gpr) -> &mut Self {
-        self.emit(Inst::Cmp { a, b: RegImm::Reg(b) })
+        self.emit(Inst::Cmp {
+            a,
+            b: RegImm::Reg(b),
+        })
     }
 
     /// `cmp a, imm`.
     pub fn cmp_ri(&mut self, a: Gpr, imm: i64) -> &mut Self {
-        self.emit(Inst::Cmp { a, b: RegImm::Imm(imm) })
+        self.emit(Inst::Cmp {
+            a,
+            b: RegImm::Imm(imm),
+        })
     }
 
     /// `test a, b`.
     pub fn test_rr(&mut self, a: Gpr, b: Gpr) -> &mut Self {
-        self.emit(Inst::Test { a, b: RegImm::Reg(b) })
+        self.emit(Inst::Test {
+            a,
+            b: RegImm::Reg(b),
+        })
     }
 
     /// `test a, imm`.
     pub fn test_ri(&mut self, a: Gpr, imm: i64) -> &mut Self {
-        self.emit(Inst::Test { a, b: RegImm::Imm(imm) })
+        self.emit(Inst::Test {
+            a,
+            b: RegImm::Imm(imm),
+        })
     }
 
     /// `jmp label`.
@@ -418,8 +457,14 @@ mod tests {
         a.halt();
         let p = a.finish().unwrap();
 
-        let jcc = p.iter().find(|pl| matches!(pl.inst, Inst::Jcc { .. })).unwrap();
-        let jmp = p.iter().find(|pl| matches!(pl.inst, Inst::Jmp { .. })).unwrap();
+        let jcc = p
+            .iter()
+            .find(|pl| matches!(pl.inst, Inst::Jcc { .. }))
+            .unwrap();
+        let jmp = p
+            .iter()
+            .find(|pl| matches!(pl.inst, Inst::Jmp { .. }))
+            .unwrap();
         let halt = p.iter().find(|pl| matches!(pl.inst, Inst::Halt)).unwrap();
         assert_eq!(jcc.inst.direct_target(), Some(halt.addr));
         assert_eq!(jmp.inst.direct_target(), Some(0x1000));

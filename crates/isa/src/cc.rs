@@ -123,12 +123,7 @@ mod tests {
     fn inverted_condition_negates_eval() {
         for cc in Cc::ALL {
             for bits in 0..16u8 {
-                let (zf, sf, cf, of) = (
-                    bits & 1 != 0,
-                    bits & 2 != 0,
-                    bits & 4 != 0,
-                    bits & 8 != 0,
-                );
+                let (zf, sf, cf, of) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0);
                 assert_eq!(
                     cc.eval(zf, sf, cf, of),
                     !cc.invert().eval(zf, sf, cf, of),

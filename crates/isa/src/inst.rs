@@ -82,10 +82,15 @@ impl VecOp {
         match self {
             VecOp::PAddB | VecOp::PSubB => 1,
             VecOp::PAddW | VecOp::PMullW => 2,
-            VecOp::PAddD | VecOp::PSubD | VecOp::PMullD | VecOp::AddPs | VecOp::MulPs
+            VecOp::PAddD
+            | VecOp::PSubD
+            | VecOp::PMullD
+            | VecOp::AddPs
+            | VecOp::MulPs
             | VecOp::SubPs => 4,
-            VecOp::PAddQ | VecOp::AddPd | VecOp::MulPd | VecOp::PAnd | VecOp::POr
-            | VecOp::PXor => 8,
+            VecOp::PAddQ | VecOp::AddPd | VecOp::MulPd | VecOp::PAnd | VecOp::POr | VecOp::PXor => {
+                8
+            }
         }
     }
 
@@ -105,7 +110,10 @@ impl VecOp {
 
     /// Whether the op is a multiply (higher latency/energy class).
     pub const fn is_multiply(self) -> bool {
-        matches!(self, VecOp::PMullW | VecOp::PMullD | VecOp::MulPs | VecOp::MulPd)
+        matches!(
+            self,
+            VecOp::PMullW | VecOp::PMullD | VecOp::MulPs | VecOp::MulPd
+        )
     }
 }
 
@@ -413,6 +421,7 @@ impl Inst {
     /// The model mirrors x86 conventions: opcode + ModRM + optional SIB +
     /// displacement + immediate, REX-style prefix for high registers,
     /// 2-byte escape + prefix for vector ops.
+    #[allow(clippy::len_without_is_empty)] // an instruction is never empty
     pub fn len(&self) -> u32 {
         let len = match *self {
             Inst::Nop { len } => len,
@@ -525,9 +534,7 @@ impl Inst {
     /// The direct branch target, if this is a direct control transfer.
     pub fn direct_target(&self) -> Option<u64> {
         match *self {
-            Inst::Jmp { target } | Inst::Jcc { target, .. } | Inst::Call { target } => {
-                Some(target)
-            }
+            Inst::Jmp { target } | Inst::Jcc { target, .. } | Inst::Call { target } => Some(target),
             _ => None,
         }
     }
@@ -551,8 +558,18 @@ impl fmt::Display for Inst {
             Inst::Store { mem, src, width } => write!(f, "mov {width} {mem}, {src}"),
             Inst::Lea { dst, mem } => write!(f, "lea {dst}, {mem}"),
             Inst::Alu { op, dst, src } => write!(f, "{op} {dst}, {src}"),
-            Inst::AluLoad { op, dst, mem, width } => write!(f, "{op} {dst}, {width} {mem}"),
-            Inst::AluStore { op, mem, src, width } => write!(f, "{op} {width} {mem}, {src}"),
+            Inst::AluLoad {
+                op,
+                dst,
+                mem,
+                width,
+            } => write!(f, "{op} {dst}, {width} {mem}"),
+            Inst::AluStore {
+                op,
+                mem,
+                src,
+                width,
+            } => write!(f, "{op} {width} {mem}, {src}"),
             Inst::Mul { dst, src } => write!(f, "imul {dst}, {src}"),
             Inst::Div { src } => write!(f, "div {src}"),
             Inst::Cmp { a, b } => write!(f, "cmp {a}, {b}"),
@@ -589,14 +606,23 @@ mod tests {
     fn lengths_within_x86_bounds() {
         let insts = [
             Inst::Nop { len: 1 },
-            Inst::MovRR { dst: Gpr::Rax, src: Gpr::R15 },
-            Inst::MovRI { dst: Gpr::Rax, imm: i64::MAX },
+            Inst::MovRR {
+                dst: Gpr::Rax,
+                src: Gpr::R15,
+            },
+            Inst::MovRI {
+                dst: Gpr::Rax,
+                imm: i64::MAX,
+            },
             Inst::Load {
                 dst: Gpr::R9,
                 mem: MemRef::base_index(Gpr::Rax, Gpr::Rcx, Scale::S8).with_disp(0x1234_5678),
                 width: Width::B8,
             },
-            Inst::Jcc { cc: Cc::Lt, target: 0 },
+            Inst::Jcc {
+                cc: Cc::Lt,
+                target: 0,
+            },
             Inst::Div { src: Gpr::Rbx },
             Inst::VAluLoad {
                 op: VecOp::PAddB,
@@ -605,29 +631,52 @@ mod tests {
             },
         ];
         for i in insts {
-            assert!((1..=MAX_INST_LEN).contains(&i.len()), "{i}: len {}", i.len());
+            assert!(
+                (1..=MAX_INST_LEN).contains(&i.len()),
+                "{i}: len {}",
+                i.len()
+            );
         }
     }
 
     #[test]
     fn rex_prefix_lengthens_encoding() {
-        let lo = Inst::MovRR { dst: Gpr::Rax, src: Gpr::Rbx };
-        let hi = Inst::MovRR { dst: Gpr::Rax, src: Gpr::R12 };
+        let lo = Inst::MovRR {
+            dst: Gpr::Rax,
+            src: Gpr::Rbx,
+        };
+        let hi = Inst::MovRR {
+            dst: Gpr::Rax,
+            src: Gpr::R12,
+        };
         assert_eq!(hi.len(), lo.len() + 1);
     }
 
     #[test]
     fn immediate_size_affects_length() {
-        let short = Inst::MovRI { dst: Gpr::Rax, imm: 1 };
-        let mid = Inst::MovRI { dst: Gpr::Rax, imm: 0x1000 };
-        let long = Inst::MovRI { dst: Gpr::Rax, imm: 0x1_0000_0000 };
+        let short = Inst::MovRI {
+            dst: Gpr::Rax,
+            imm: 1,
+        };
+        let mid = Inst::MovRI {
+            dst: Gpr::Rax,
+            imm: 0x1000,
+        };
+        let long = Inst::MovRI {
+            dst: Gpr::Rax,
+            imm: 0x1_0000_0000,
+        };
         assert!(short.len() < mid.len());
         assert!(mid.len() < long.len());
     }
 
     #[test]
     fn classification() {
-        let ld = Inst::Load { dst: Gpr::Rax, mem: MemRef::abs(0), width: Width::B8 };
+        let ld = Inst::Load {
+            dst: Gpr::Rax,
+            mem: MemRef::abs(0),
+            width: Width::B8,
+        };
         assert!(ld.is_load() && !ld.is_store() && !ld.is_branch() && !ld.is_vector());
 
         let rmw = Inst::AluStore {
@@ -641,11 +690,18 @@ mod tests {
         let call = Inst::Call { target: 0x10 };
         assert!(call.is_branch() && call.is_store() && call.is_unconditional_branch());
 
-        let jcc = Inst::Jcc { cc: Cc::Eq, target: 0x10 };
+        let jcc = Inst::Jcc {
+            cc: Cc::Eq,
+            target: 0x10,
+        };
         assert!(jcc.is_branch() && !jcc.is_unconditional_branch());
         assert_eq!(jcc.direct_target(), Some(0x10));
 
-        let v = Inst::VAlu { op: VecOp::PXor, dst: Xmm::new(0), src: Xmm::new(1) };
+        let v = Inst::VAlu {
+            op: VecOp::PXor,
+            dst: Xmm::new(0),
+            src: Xmm::new(1),
+        };
         assert!(v.is_vector());
     }
 

@@ -13,7 +13,11 @@ pub struct PredictorConfig {
 
 impl Default for PredictorConfig {
     fn default() -> PredictorConfig {
-        PredictorConfig { gshare_bits: 12, btb_entries: 512, ras_depth: 16 }
+        PredictorConfig {
+            gshare_bits: 12,
+            btb_entries: 512,
+            ras_depth: 16,
+        }
     }
 }
 
@@ -156,7 +160,10 @@ mod tests {
                 late_misses += 1;
             }
         }
-        assert!(late_misses < 40, "history should capture alternation, got {late_misses}");
+        assert!(
+            late_misses < 40,
+            "history should capture alternation, got {late_misses}"
+        );
     }
 
     #[test]

@@ -18,8 +18,9 @@ use crate::uop_cache::{UopCache, UopCacheStats};
 use csd::{ContextId, CsdConfig, CsdEngine};
 use csd_cache::{AccessKind, Hierarchy};
 use csd_dift::{Dift, DIFT_L2_TAG_PENALTY};
-use csd_power::{Activity, Unit};
-use csd_uops::{fusion, DecoyTarget, UopKind, UReg, Uop};
+use csd_power::{Activity, EnergyModel, Unit};
+use csd_telemetry::{EventSink, Json, RetireEvent, SinkHandle, ToJson};
+use csd_uops::{fusion, DecoyTarget, UReg, Uop, UopKind};
 use mx86_isa::{Gpr, Inst, MemRef, Placed, Program};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -95,6 +96,28 @@ impl SimStats {
     }
 }
 
+impl ToJson for SimStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("insts", Json::from(self.insts)),
+            ("uops", Json::from(self.uops)),
+            ("fused_slots", Json::from(self.fused_slots)),
+            ("decoy_uops", Json::from(self.decoy_uops)),
+            ("vpu_uops", Json::from(self.vpu_uops)),
+            ("load_uops", Json::from(self.load_uops)),
+            ("store_uops", Json::from(self.store_uops)),
+            ("cycles", Json::from(self.cycles)),
+            ("uop_cache_insts", Json::from(self.uop_cache_insts)),
+            ("legacy_insts", Json::from(self.legacy_insts)),
+            ("msrom_insts", Json::from(self.msrom_insts)),
+            ("stall_cycles", Json::from(self.stall_cycles)),
+            ("halted", Json::from(self.halted)),
+            ("ipc", Json::from(self.ipc())),
+            ("upc", Json::from(self.upc())),
+        ])
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct WindowBuilder {
     window: u64,
@@ -120,6 +143,7 @@ pub struct Core {
     bp: BranchPredictor,
     ucache: UopCache,
     stats: SimStats,
+    sink: SinkHandle,
 
     // --- timing state (cycle mode) ---
     fe_time: f64,
@@ -162,6 +186,7 @@ impl Core {
             state: ArchState::new(entry),
             mem: Memory::new(),
             stats: SimStats::default(),
+            sink: SinkHandle::new(),
             fe_time: 0.0,
             last_dispatch: 0.0,
             last_commit: 0.0,
@@ -188,6 +213,20 @@ impl Core {
     /// The core configuration.
     pub fn config(&self) -> &CoreConfig {
         &self.cfg
+    }
+
+    /// Attaches an event sink to the core's retire stage. Decode-level
+    /// events come from the CSD engine's own sink
+    /// ([`CsdEngine::set_event_sink`] via [`Core::engine_mut`]). With no
+    /// sink attached (the default) the retire path pays one `Option`
+    /// test per macro-op.
+    pub fn set_event_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sink.attach(sink);
+    }
+
+    /// Detaches and returns the core's retire-stage sink, if any.
+    pub fn take_event_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        self.sink.detach()
     }
 
     /// The loaded program.
@@ -268,13 +307,39 @@ impl Core {
                 .uops
                 .saturating_sub(self.stats.vpu_uops + self.stats.load_uops + self.stats.store_uops),
         );
-        a.add_ops(Unit::LegacyDecode, self.stats.legacy_insts + self.stats.msrom_insts);
+        a.add_ops(
+            Unit::LegacyDecode,
+            self.stats.legacy_insts + self.stats.msrom_insts,
+        );
         a.add_ops(Unit::UopCache, self.stats.uop_cache_insts);
         a.add_ops(Unit::Core, self.stats.uops);
         let gs = self.engine.gate().stats();
         a.vpu_gated_cycles = gs.gated_cycles.min(a.cycles);
         a.vpu_gate_transitions = gs.gate_transitions;
         a
+    }
+
+    /// Every counter the simulator keeps, as one nested JSON report:
+    /// pipeline, CSD engine, stealth, devectorizer, gate residency, µop
+    /// cache, cache hierarchy, activity, and the default-model energy
+    /// breakdown. This is the per-run payload of `BENCH_suite.json`.
+    pub fn telemetry_report(&self) -> Json {
+        let e = &self.engine;
+        let activity = self.activity();
+        Json::obj([
+            ("sim", self.stats.to_json()),
+            ("csd", e.stats().to_json()),
+            ("stealth", e.stealth().stats().to_json()),
+            ("devec", e.devectorizer().stats().to_json()),
+            ("gate", e.gate().stats().to_json()),
+            ("uop_cache", self.ucache.stats().to_json()),
+            ("caches", self.hier.stats().to_json()),
+            ("activity", activity.to_json()),
+            (
+                "energy",
+                EnergyModel::default().breakdown(&activity).to_json(),
+            ),
+        ])
     }
 
     /// Executes one macro-op.
@@ -296,8 +361,10 @@ impl Core {
         while a <= last {
             let r = self.hier.access(a, AccessKind::InstFetch);
             if !r.l1_hit() {
-                fetch_penalty =
-                    f64::max(fetch_penalty, (r.latency - self.cfg.hierarchy.l1i.latency) as f64);
+                fetch_penalty = f64::max(
+                    fetch_penalty,
+                    (r.latency - self.cfg.hierarchy.l1i.latency) as f64,
+                );
             }
             a += line;
         }
@@ -332,6 +399,14 @@ impl Core {
             self.engine.tick(delta);
             self.last_tick = now;
         }
+
+        let ev = RetireEvent {
+            addr: placed.addr,
+            uops: out.translation.uops.len() as u32,
+            insts: self.stats.insts,
+            cycles: now,
+        };
+        self.sink.with(|s| s.on_retire(&ev));
 
         match next_pc {
             Some(FlowEnd::Halt) => {
@@ -395,7 +470,8 @@ impl Core {
         }
         let mem_tainted = |m: &MemRef| {
             m.base.is_some_and(|b| self.dift.reg_tainted(UReg::Gpr(b)))
-                || m.index.is_some_and(|(i, _)| self.dift.reg_tainted(UReg::Gpr(i)))
+                || m.index
+                    .is_some_and(|(i, _)| self.dift.reg_tainted(UReg::Gpr(i)))
         };
         match inst {
             Inst::Load { mem, .. }
@@ -412,7 +488,12 @@ impl Core {
     }
 
     /// Front-end delivery timing; returns the fused slot count.
-    fn front_end(&mut self, placed: &Placed, out: &csd::DecodeOutcome, fetch_penalty: f64) -> usize {
+    fn front_end(
+        &mut self,
+        placed: &Placed,
+        out: &csd::DecodeOutcome,
+        fetch_penalty: f64,
+    ) -> usize {
         let uops = &out.translation.uops;
         let mut fused = if self.cfg.fusion_enabled {
             fusion::fused_len(uops)
@@ -497,7 +578,12 @@ impl Core {
             }
             _ => {
                 self.finalize_window();
-                self.window_builder = Some(WindowBuilder { window, ctx, fused, cacheable });
+                self.window_builder = Some(WindowBuilder {
+                    window,
+                    ctx,
+                    fused,
+                    cacheable,
+                });
             }
         }
     }
@@ -572,7 +658,9 @@ impl Core {
                     };
                     let r = self.hier.access(ea, kind);
                     if let Some(d) = u.dst {
-                        let v = self.mem.read_le(ea, u.mem.map_or(1, |m| m.width.bytes().min(8)));
+                        let v = self
+                            .mem
+                            .read_le(ea, u.mem.map_or(1, |m| m.width.bytes().min(8)));
                         self.state.write(d, v);
                     }
                     (UopEffect::None, r.latency)
@@ -585,7 +673,10 @@ impl Core {
                 }
                 UopKind::Alu(op) => {
                     let a = u.src1.map_or(0, |r| self.state.read(r));
-                    let b = u.src2.map(|r| self.state.read(r)).unwrap_or(u.imm.unwrap_or(0) as u64);
+                    let b = u
+                        .src2
+                        .map(|r| self.state.read(r))
+                        .unwrap_or(u.imm.unwrap_or(0) as u64);
                     let (res, _) = exec::alu(op, a, b);
                     if let Some(d) = u.dst {
                         self.state.write(d, res);
@@ -610,7 +701,8 @@ impl Core {
                 self.dift.propagate(u, None);
             }
             UopKind::MovImm => {
-                self.state.write(u.dst.expect("movimm has dst"), u.imm.unwrap_or(0) as u64);
+                self.state
+                    .write(u.dst.expect("movimm has dst"), u.imm.unwrap_or(0) as u64);
                 self.dift.propagate(u, None);
             }
             UopKind::Alu(op) => {
@@ -678,7 +770,12 @@ impl Core {
                 if let Some(d) = u.dst {
                     self.state.write(d, res);
                 }
-                self.state.flags = Flags { zf: res == 0, sf: false, cf: false, of: false };
+                self.state.flags = Flags {
+                    zf: res == 0,
+                    sf: false,
+                    cf: false,
+                    of: false,
+                };
                 self.dift.propagate(u, None);
             }
             UopKind::Ld => {
@@ -905,11 +1002,17 @@ impl Core {
             _ => (self.cfg.alu_latency as f64, 1.0, &mut self.alu_ports),
         };
         // Acquire the earliest-free unit of the class.
-        let (idx, unit_free) = port
-            .iter()
-            .copied()
-            .enumerate()
-            .fold((0usize, f64::INFINITY), |acc, (i, t)| if t < acc.1 { (i, t) } else { acc });
+        let (idx, unit_free) =
+            port.iter()
+                .copied()
+                .enumerate()
+                .fold((0usize, f64::INFINITY), |acc, (i, t)| {
+                    if t < acc.1 {
+                        (i, t)
+                    } else {
+                        acc
+                    }
+                });
         let issue = f64::max(ready, unit_free);
         port[idx] = issue + occupy;
         let done = issue + lat.max(1.0);
@@ -929,18 +1032,14 @@ impl Core {
         // Branch resolution and redirect.
         if u.kind.is_branch() && !u.is_decoy() {
             if self.pending_mispredict {
-                self.fe_time =
-                    f64::max(self.fe_time, done + self.cfg.mispredict_penalty as f64);
+                self.fe_time = f64::max(self.fe_time, done + self.cfg.mispredict_penalty as f64);
                 self.pending_mispredict = false;
             }
             let _ = effect;
         }
 
         self.rob.push_back(done);
-        self.last_commit = f64::max(
-            done,
-            self.last_commit + 1.0 / self.cfg.commit_width as f64,
-        );
+        self.last_commit = f64::max(done, self.last_commit + 1.0 / self.cfg.commit_width as f64);
     }
 }
 

@@ -21,9 +21,18 @@ pub fn alu(op: AluOp, a: u64, b: u64) -> (u64, Flags) {
         AluOp::Xor => (a ^ b, false, false),
         AluOp::Shl => (a.wrapping_shl((b & 63) as u32), false, false),
         AluOp::Shr => (a.wrapping_shr((b & 63) as u32), false, false),
-        AluOp::Sar => ((a as i64).wrapping_shr((b & 63) as u32) as u64, false, false),
+        AluOp::Sar => (
+            (a as i64).wrapping_shr((b & 63) as u32) as u64,
+            false,
+            false,
+        ),
     };
-    let flags = Flags { zf: res == 0, sf: (res as i64) < 0, cf, of };
+    let flags = Flags {
+        zf: res == 0,
+        sf: (res as i64) < 0,
+        cf,
+        of,
+    };
     (res, flags)
 }
 
@@ -34,7 +43,12 @@ pub fn mul(a: u64, b: u64) -> (u64, Flags) {
     let overflow = wide != (res as i64 as i128);
     (
         res,
-        Flags { zf: res == 0, sf: (res as i64) < 0, cf: overflow, of: overflow },
+        Flags {
+            zf: res == 0,
+            sf: (res as i64) < 0,
+            cf: overflow,
+            of: overflow,
+        },
     )
 }
 
@@ -50,8 +64,13 @@ fn valu_half(op: VecOp, x: u64, y: u64) -> u64 {
         VecOp::POr => x | y,
         VecOp::PXor => x ^ y,
         VecOp::PAddQ => x.wrapping_add(y),
-        VecOp::PAddB | VecOp::PAddW | VecOp::PAddD | VecOp::PSubB | VecOp::PSubD
-        | VecOp::PMullW | VecOp::PMullD => int_lanes(op, x, y),
+        VecOp::PAddB
+        | VecOp::PAddW
+        | VecOp::PAddD
+        | VecOp::PSubB
+        | VecOp::PSubD
+        | VecOp::PMullW
+        | VecOp::PMullD => int_lanes(op, x, y),
         VecOp::AddPs | VecOp::SubPs | VecOp::MulPs => f32_lanes(op, x, y),
         VecOp::AddPd | VecOp::MulPd => {
             let (a, b) = (f64::from_bits(x), f64::from_bits(y));
@@ -64,7 +83,11 @@ fn valu_half(op: VecOp, x: u64, y: u64) -> u64 {
 fn int_lanes(op: VecOp, x: u64, y: u64) -> u64 {
     let w = op.element_bytes() as u64;
     let lanes = 8 / w;
-    let mask = if w == 8 { u64::MAX } else { (1u64 << (w * 8)) - 1 };
+    let mask = if w == 8 {
+        u64::MAX
+    } else {
+        (1u64 << (w * 8)) - 1
+    };
     let mut out = 0u64;
     for l in 0..lanes {
         let sh = l * w * 8;

@@ -35,6 +35,22 @@ impl UopCacheStats {
     }
 }
 
+impl csd_telemetry::ToJson for UopCacheStats {
+    fn to_json(&self) -> csd_telemetry::Json {
+        csd_telemetry::Json::obj([
+            ("lookups", csd_telemetry::Json::from(self.lookups)),
+            ("hits", csd_telemetry::Json::from(self.hits)),
+            (
+                "context_conflicts",
+                csd_telemetry::Json::from(self.context_conflicts),
+            ),
+            ("inserts", csd_telemetry::Json::from(self.inserts)),
+            ("rejected", csd_telemetry::Json::from(self.rejected)),
+            ("hit_rate", csd_telemetry::Json::from(self.hit_rate())),
+        ])
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Entry {
     window: u64,
@@ -136,7 +152,13 @@ impl UopCache {
             free += set[lru_idx].ways_used;
             set.remove(lru_idx);
         }
-        set.push(Entry { window, ctx, ways_used: lines, fused_uops, stamp });
+        set.push(Entry {
+            window,
+            ctx,
+            ways_used: lines,
+            fused_uops,
+            stamp,
+        });
         self.stats.inserts += 1;
     }
 

@@ -3,9 +3,7 @@
 
 use csd::{msr, CsdConfig, DevecThresholds, VpuPolicy};
 use csd_pipeline::{Core, CoreConfig, SimMode, StepOutcome};
-use mx86_isa::{
-    AluOp, Assembler, Cc, Gpr, MemRef, Program, Scale, VecOp, Width, Xmm,
-};
+use mx86_isa::{AluOp, Assembler, Cc, Gpr, MemRef, Program, Scale, VecOp, Width, Xmm};
 
 fn run_core(prog: Program, mode: SimMode) -> Core {
     let mut core = Core::new(CoreConfig::default(), CsdConfig::default(), prog, mode);
@@ -39,7 +37,12 @@ fn loads_and_stores_roundtrip_through_memory() {
     a.mov_ri(Gpr::Rax, 0xDEAD);
     a.store(MemRef::base(Gpr::Rbx), Gpr::Rax);
     a.load(Gpr::Rcx, MemRef::base(Gpr::Rbx));
-    a.alu_store(AluOp::Add, MemRef::base(Gpr::Rbx), mx86_isa::RegImm::Imm(1), Width::B8);
+    a.alu_store(
+        AluOp::Add,
+        MemRef::base(Gpr::Rbx),
+        mx86_isa::RegImm::Imm(1),
+        Width::B8,
+    );
     a.load(Gpr::Rdx, MemRef::base(Gpr::Rbx));
     a.halt();
     let core = run_core(a.finish().unwrap(), SimMode::Cycle);
@@ -91,9 +94,15 @@ fn table_lookup_with_index_scaling() {
     );
     a.halt();
     let prog = a.finish().unwrap();
-    let mut core = Core::new(CoreConfig::default(), CsdConfig::default(), prog, SimMode::Cycle);
+    let mut core = Core::new(
+        CoreConfig::default(),
+        CsdConfig::default(),
+        prog,
+        SimMode::Cycle,
+    );
     for i in 0..16u32 {
-        core.mem.write_le(0x8000 + u64::from(i) * 4, 4, u64::from(i * 100));
+        core.mem
+            .write_le(0x8000 + u64::from(i) * 4, 4, u64::from(i * 100));
     }
     assert_eq!(core.run(100), StepOutcome::Halted);
     assert_eq!(core.state.gpr(Gpr::Rax), 500);
@@ -123,9 +132,16 @@ fn vector_ops_execute_on_vpu() {
     a.vstore(MemRef::base(Gpr::Rbx).with_disp(32), Xmm::new(0));
     a.halt();
     let prog = a.finish().unwrap();
-    let mut core = Core::new(CoreConfig::default(), CsdConfig::default(), prog, SimMode::Cycle);
-    core.mem.write_u128(0x8000, (0x0102_0304_0506_0708, 0xFF00_FF00_FF00_FF00));
-    core.mem.write_u128(0x8010, (0x0101_0101_0101_0101, 0x0102_0102_0102_0102));
+    let mut core = Core::new(
+        CoreConfig::default(),
+        CsdConfig::default(),
+        prog,
+        SimMode::Cycle,
+    );
+    core.mem
+        .write_u128(0x8000, (0x0102_0304_0506_0708, 0xFF00_FF00_FF00_FF00));
+    core.mem
+        .write_u128(0x8010, (0x0101_0101_0101_0101, 0x0102_0102_0102_0102));
     assert_eq!(core.run(100), StepOutcome::Halted);
     assert_eq!(
         core.mem.read_u128(0x8020),
@@ -160,7 +176,10 @@ fn devectorized_results_match_vpu_results() {
 
     let mut on = Core::new(
         CoreConfig::default(),
-        CsdConfig { vpu_policy: VpuPolicy::AlwaysOn, ..CsdConfig::default() },
+        CsdConfig {
+            vpu_policy: VpuPolicy::AlwaysOn,
+            ..CsdConfig::default()
+        },
         build(),
         SimMode::Cycle,
     );
@@ -171,7 +190,11 @@ fn devectorized_results_match_vpu_results() {
     let mut devec = Core::new(
         CoreConfig::default(),
         CsdConfig {
-            vpu_policy: VpuPolicy::CsdDevec(DevecThresholds { window: 64, low: 0, high: 50 }),
+            vpu_policy: VpuPolicy::CsdDevec(DevecThresholds {
+                window: 64,
+                low: 0,
+                high: 50,
+            }),
             ..CsdConfig::default()
         },
         build(),
@@ -186,8 +209,14 @@ fn devectorized_results_match_vpu_results() {
         devec.mem.read_u128(0x8020),
         "scalarized flow must be semantically identical"
     );
-    assert!(devec.stats().vpu_uops < on.stats().vpu_uops, "devec avoided the VPU");
-    assert!(devec.stats().uops > on.stats().uops, "µop expansion is the cost");
+    assert!(
+        devec.stats().vpu_uops < on.stats().vpu_uops,
+        "devec avoided the VPU"
+    );
+    assert!(
+        devec.stats().uops > on.stats().uops,
+        "µop expansion is the cost"
+    );
     assert!(devec.engine().gate().stats().vec_gated > 0);
 }
 
@@ -206,10 +235,14 @@ fn stealth_mode_sweeps_decoy_ranges_without_touching_arch_state() {
     a.halt();
     let prog = a.finish().unwrap();
 
-    let cfg = CoreConfig { dift_enabled: true, ..CoreConfig::default() };
+    let cfg = CoreConfig {
+        dift_enabled: true,
+        ..CoreConfig::default()
+    };
     let mut core = Core::new(cfg, CsdConfig::default(), prog, SimMode::Functional);
     core.mem.write_le(0x8000, 8, 3); // the "key"
-    core.dift_mut().taint_memory(mx86_isa::AddrRange::new(0x8000, 0x8008));
+    core.dift_mut()
+        .taint_memory(mx86_isa::AddrRange::new(0x8000, 0x8008));
     // Decoy range: 4 cache lines at 0xA000.
     let e = core.engine_mut();
     e.write_msr(msr::MSR_DATA_RANGE_BASE, 0xA000);
@@ -239,8 +272,16 @@ fn stealth_mode_off_means_no_decoys() {
     a.mov_ri(Gpr::Rdx, 0xA000);
     a.load_w(Gpr::Rax, MemRef::base(Gpr::Rdx), Width::B1);
     a.halt();
-    let cfg = CoreConfig { dift_enabled: true, ..CoreConfig::default() };
-    let mut core = Core::new(cfg, CsdConfig::default(), a.finish().unwrap(), SimMode::Functional);
+    let cfg = CoreConfig {
+        dift_enabled: true,
+        ..CoreConfig::default()
+    };
+    let mut core = Core::new(
+        cfg,
+        CsdConfig::default(),
+        a.finish().unwrap(),
+        SimMode::Functional,
+    );
     assert_eq!(core.run(100), StepOutcome::Halted);
     assert_eq!(core.stats().decoy_uops, 0);
     assert!(!core.hierarchy().l1d().contains(0xA040));
@@ -276,7 +317,12 @@ fn uop_cache_accelerates_hot_loops() {
         a.finish().unwrap()
     };
     let opt = run_core(build(), SimMode::Cycle);
-    let mut no_opt = Core::new(CoreConfig::no_opt(), CsdConfig::default(), build(), SimMode::Cycle);
+    let mut no_opt = Core::new(
+        CoreConfig::no_opt(),
+        CsdConfig::default(),
+        build(),
+        SimMode::Cycle,
+    );
     assert_eq!(no_opt.run(1_000_000), StepOutcome::Halted);
 
     let hr = opt.uop_cache_stats().hit_rate().unwrap();
@@ -375,8 +421,12 @@ fn fault_on_wild_jump() {
     let mut a = Assembler::new(0x1000);
     a.mov_ri(Gpr::Rax, 0xDEAD_0000);
     a.jmp_ind(Gpr::Rax);
-    let mut core =
-        Core::new(CoreConfig::default(), CsdConfig::default(), a.finish().unwrap(), SimMode::Cycle);
+    let mut core = Core::new(
+        CoreConfig::default(),
+        CsdConfig::default(),
+        a.finish().unwrap(),
+        SimMode::Cycle,
+    );
     assert_eq!(core.run(10), StepOutcome::Fault(0xDEAD_0000));
 }
 

@@ -52,7 +52,10 @@ fn cache_misses_cost_cycles() {
 fn dift_penalty_slows_loads() {
     let base = run(CoreConfig::default(), memory_walker(16, 100));
     let dift = run(
-        CoreConfig { dift_enabled: true, ..CoreConfig::default() },
+        CoreConfig {
+            dift_enabled: true,
+            ..CoreConfig::default()
+        },
         memory_walker(16, 100),
     );
     assert!(
@@ -76,18 +79,27 @@ fn conventional_wake_stall_is_visible() {
         for _ in 0..600 {
             a.alu_ri(AluOp::Add, Gpr::Rax, 1);
         }
-        a.valu(mx86_isa::VecOp::PXor, mx86_isa::Xmm::new(0), mx86_isa::Xmm::new(0));
+        a.valu(
+            mx86_isa::VecOp::PXor,
+            mx86_isa::Xmm::new(0),
+            mx86_isa::Xmm::new(0),
+        );
         a.halt();
         a.finish().unwrap()
     };
     let mk = |policy| {
-        let cfg = CsdConfig { vpu_policy: policy, ..CsdConfig::default() };
+        let cfg = CsdConfig {
+            vpu_policy: policy,
+            ..CsdConfig::default()
+        };
         let mut c = Core::new(CoreConfig::default(), cfg, build(), SimMode::Cycle);
         assert_eq!(c.run(100_000), StepOutcome::Halted);
         c
     };
     let on = mk(VpuPolicy::AlwaysOn);
-    let conv = mk(VpuPolicy::Conventional { idle_gate_cycles: 50 });
+    let conv = mk(VpuPolicy::Conventional {
+        idle_gate_cycles: 50,
+    });
     assert!(conv.stats().stall_cycles >= 30, "demand wake must stall");
     assert!(conv.stats().cycles > on.stats().cycles);
 }
@@ -116,9 +128,13 @@ fn watchdog_period_paces_decoy_volume() {
         a.finish().unwrap()
     };
     let decoys_at = |period: u64| {
-        let cfg = CoreConfig { dift_enabled: true, ..CoreConfig::default() };
+        let cfg = CoreConfig {
+            dift_enabled: true,
+            ..CoreConfig::default()
+        };
         let mut c = Core::new(cfg, CsdConfig::default(), build(), SimMode::Cycle);
-        c.dift_mut().taint_memory(mx86_isa::AddrRange::new(0x7000, 0x7008));
+        c.dift_mut()
+            .taint_memory(mx86_isa::AddrRange::new(0x7000, 0x7008));
         let e = c.engine_mut();
         e.write_msr(msr::MSR_DATA_RANGE_BASE, 0x9000);
         e.write_msr(msr::MSR_DATA_RANGE_BASE + 1, 0x9000 + 4 * 64);

@@ -1,6 +1,7 @@
 //! Per-unit energy accounting.
 
 use crate::gating::GatingParams;
+use csd_telemetry::{Json, ToJson};
 
 /// A power-accounted unit of the core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,15 +78,38 @@ pub struct EnergyParams {
 
 impl Default for EnergyParams {
     fn default() -> EnergyParams {
-        let mut units = [UnitEnergy { dyn_pj_per_op: 0.0, leak_pj_cycle: 0.0 }; 6];
-        units[Unit::Vpu.index()] = UnitEnergy { dyn_pj_per_op: 60.0, leak_pj_cycle: 36.0 };
-        units[Unit::ScalarAlu.index()] = UnitEnergy { dyn_pj_per_op: 7.0, leak_pj_cycle: 6.0 };
-        units[Unit::Lsu.index()] = UnitEnergy { dyn_pj_per_op: 25.0, leak_pj_cycle: 8.0 };
-        units[Unit::LegacyDecode.index()] =
-            UnitEnergy { dyn_pj_per_op: 10.0, leak_pj_cycle: 4.0 };
-        units[Unit::UopCache.index()] = UnitEnergy { dyn_pj_per_op: 3.0, leak_pj_cycle: 2.0 };
-        units[Unit::Core.index()] = UnitEnergy { dyn_pj_per_op: 6.0, leak_pj_cycle: 45.0 };
-        EnergyParams { units, vpu_gating: GatingParams::default() }
+        let mut units = [UnitEnergy {
+            dyn_pj_per_op: 0.0,
+            leak_pj_cycle: 0.0,
+        }; 6];
+        units[Unit::Vpu.index()] = UnitEnergy {
+            dyn_pj_per_op: 60.0,
+            leak_pj_cycle: 36.0,
+        };
+        units[Unit::ScalarAlu.index()] = UnitEnergy {
+            dyn_pj_per_op: 7.0,
+            leak_pj_cycle: 6.0,
+        };
+        units[Unit::Lsu.index()] = UnitEnergy {
+            dyn_pj_per_op: 25.0,
+            leak_pj_cycle: 8.0,
+        };
+        units[Unit::LegacyDecode.index()] = UnitEnergy {
+            dyn_pj_per_op: 10.0,
+            leak_pj_cycle: 4.0,
+        };
+        units[Unit::UopCache.index()] = UnitEnergy {
+            dyn_pj_per_op: 3.0,
+            leak_pj_cycle: 2.0,
+        };
+        units[Unit::Core.index()] = UnitEnergy {
+            dyn_pj_per_op: 6.0,
+            leak_pj_cycle: 45.0,
+        };
+        EnergyParams {
+            units,
+            vpu_gating: GatingParams::default(),
+        }
     }
 }
 
@@ -106,7 +130,10 @@ pub struct Activity {
 impl Activity {
     /// A fresh activity record over `cycles` cycles.
     pub fn new(cycles: u64) -> Activity {
-        Activity { cycles, ..Activity::default() }
+        Activity {
+            cycles,
+            ..Activity::default()
+        }
     }
 
     /// Adds `n` operations to `unit`.
@@ -127,6 +154,24 @@ impl Activity {
         }
         self.vpu_gated_cycles += other.vpu_gated_cycles;
         self.vpu_gate_transitions += other.vpu_gate_transitions;
+    }
+}
+
+impl ToJson for Activity {
+    fn to_json(&self) -> Json {
+        let mut ops = Json::Obj(Vec::new());
+        for u in Unit::ALL {
+            ops.push_member(u.name(), Json::from(self.ops(u)));
+        }
+        Json::obj([
+            ("cycles", Json::from(self.cycles)),
+            ("ops", ops),
+            ("vpu_gated_cycles", Json::from(self.vpu_gated_cycles)),
+            (
+                "vpu_gate_transitions",
+                Json::from(self.vpu_gate_transitions),
+            ),
+        ])
     }
 }
 
@@ -157,6 +202,23 @@ impl EnergyBreakdown {
     /// Leakage energy of one unit.
     pub fn leakage(&self, u: Unit) -> f64 {
         self.leakage_pj[u.index()]
+    }
+}
+
+impl ToJson for EnergyBreakdown {
+    fn to_json(&self) -> Json {
+        let mut dynamic = Json::Obj(Vec::new());
+        let mut leakage = Json::Obj(Vec::new());
+        for u in Unit::ALL {
+            dynamic.push_member(u.name(), Json::from(self.dynamic(u)));
+            leakage.push_member(u.name(), Json::from(self.leakage(u)));
+        }
+        Json::obj([
+            ("dynamic_pj", dynamic),
+            ("leakage_pj", leakage),
+            ("gating_overhead_pj", Json::from(self.gating_overhead_pj)),
+            ("total_pj", Json::from(self.total_pj())),
+        ])
     }
 }
 

@@ -89,8 +89,14 @@ mod tests {
 
     #[test]
     fn higher_wh_raises_break_even() {
-        let lo = GatingParams { w_h: 0.05, ..GatingParams::default() };
-        let hi = GatingParams { w_h: 0.20, ..GatingParams::default() };
+        let lo = GatingParams {
+            w_h: 0.05,
+            ..GatingParams::default()
+        };
+        let hi = GatingParams {
+            w_h: 0.20,
+            ..GatingParams::default()
+        };
         assert!(hi.break_even_cycles() >= lo.break_even_cycles());
     }
 }

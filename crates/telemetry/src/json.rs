@@ -1,0 +1,308 @@
+//! A small JSON document model with a deterministic serializer.
+//!
+//! Object members keep their insertion order, numbers keep their integer
+//! vs float identity, and floats render with Rust's shortest-roundtrip
+//! formatting — so the same data always serializes to byte-identical
+//! text. That property is load-bearing: the experiment suite asserts that
+//! two runs with the same root seed produce byte-identical
+//! `BENCH_suite.json`, which makes the artifact diffable across commits.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (most simulator counters).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float. Non-finite values serialize as `null` (JSON has no NaN).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; members serialize in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(members: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Appends a member to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn push_member(&mut self, key: impl Into<String>, value: Json) {
+        match self {
+            Json::Obj(members) => members.push((key.into(), value)),
+            other => panic!("push_member on non-object {other:?}"),
+        }
+    }
+
+    /// Looks up a member of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, coercing integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::F64(v) => Some(v),
+            Json::U64(v) => Some(v as f64),
+            Json::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::U64(v) => Some(v),
+            Json::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with 2-space indentation, trailing newline — the format
+    /// of `BENCH_suite.json`.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1);
+            }),
+            Json::Obj(members) => {
+                write_seq(out, indent, depth, '{', '}', members.len(), |out, i| {
+                    let (k, v) = &members[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                })
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+/// Shortest-roundtrip float formatting; non-finite values become `null`.
+/// Integral floats gain a `.0` so they stay floats on re-parse.
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into the telemetry report tree. Implemented by every
+/// counter struct in the workspace (`SimStats`, `CsdStats`, cache and
+/// energy statistics, …).
+pub trait ToJson {
+    /// The value as a JSON subtree.
+    fn to_json(&self) -> Json;
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::U64(u64::from(v))
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::I64(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_is_deterministic_and_ordered() {
+        let doc = Json::obj([
+            ("b", Json::from(1u64)),
+            (
+                "a",
+                Json::arr([Json::from(0.5), Json::from(-3i64), Json::Null]),
+            ),
+        ]);
+        assert_eq!(doc.dump(), r#"{"b":1,"a":[0.5,-3,null]}"#);
+        assert_eq!(doc.dump(), doc.clone().dump());
+    }
+
+    #[test]
+    fn floats_round_trip_and_nan_is_null() {
+        assert_eq!(Json::from(0.1).dump(), "0.1");
+        assert_eq!(Json::from(2.0).dump(), "2.0");
+        assert_eq!(Json::from(f64::NAN).dump(), "null");
+        assert_eq!(Json::from(f64::INFINITY).dump(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(Json::from("a\"b\\c\n").dump(), r#""a\"b\\c\n""#);
+        assert_eq!(Json::from("\u{1}").dump(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = Json::obj([("x", Json::from(3u64)), ("s", Json::from("hi"))]);
+        assert_eq!(doc.get("x").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(doc.get("x").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("hi"));
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn pretty_prints_with_indentation() {
+        let doc = Json::obj([("a", Json::arr([Json::from(1u64)]))]);
+        assert_eq!(doc.pretty(), "{\n  \"a\": [\n    1\n  ]\n}\n");
+        assert_eq!(Json::obj::<String>([]).pretty(), "{}\n");
+    }
+}

@@ -1,0 +1,36 @@
+//! # csd-telemetry — the unified telemetry layer
+//!
+//! Every counter struct in the workspace (`SimStats`, `CsdStats`, cache
+//! and energy statistics, …) serializes through this crate into one
+//! nested, machine-readable report, and every simulator component can
+//! expose fine-grained events through a zero-cost-when-disabled hook
+//! trait. The crate is dependency-free by design: the container image
+//! cannot reach a crates.io registry, so JSON emission, deterministic
+//! seeding, and event plumbing are all implemented in-tree.
+//!
+//! Three pieces:
+//!
+//! - [`json`] — a small JSON document model ([`Json`]) with a
+//!   *deterministic* serializer (stable key order, shortest-roundtrip
+//!   float formatting) and the [`ToJson`] trait the workspace's counter
+//!   structs implement. Same data ⇒ byte-identical output, which is what
+//!   lets `BENCH_suite.json` be diffed across runs and commits.
+//! - [`rng`] — [`SplitMix64`](rng::SplitMix64), the workspace's
+//!   deterministic PRNG, plus [`derive_seed`](rng::derive_seed) for
+//!   deriving independent per-task streams from one root seed.
+//! - [`events`] — the [`EventSink`](events::EventSink) hook trait
+//!   (decode / retire / gate / stealth-window events) and the
+//!   [`SinkHandle`](events::SinkHandle) container the pipeline embeds so
+//!   tracing can be attached without touching the hot path when disabled.
+
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod json;
+pub mod rng;
+
+pub use events::{
+    CountingSink, DecodeEvent, EventSink, GateEvent, RetireEvent, SinkHandle, StealthWindowEvent,
+};
+pub use json::{Json, ToJson};
+pub use rng::{derive_seed, SplitMix64};

@@ -25,12 +25,18 @@ pub struct Slot {
 impl Slot {
     /// A slot holding a single µop.
     pub const fn single(u: Uop) -> Slot {
-        Slot { first: u, second: None }
+        Slot {
+            first: u,
+            second: None,
+        }
     }
 
     /// A slot holding a fused pair.
     pub const fn fused(a: Uop, b: Uop) -> Slot {
-        Slot { first: a, second: Some(b) }
+        Slot {
+            first: a,
+            second: Some(b),
+        }
     }
 
     /// Number of unfused µops in the slot.
@@ -121,8 +127,8 @@ pub fn macro_fuse(cmp: Uop, br: Uop) -> Slot {
 mod tests {
     use super::*;
     use crate::translate::translate;
-    use crate::ureg::UReg;
     use crate::uop::UMem;
+    use crate::ureg::UReg;
     use mx86_isa::{AluOp, Cc, Gpr, MemRef, RegImm, Width};
 
     #[test]
@@ -144,7 +150,9 @@ mod tests {
 
     #[test]
     fn independent_uops_do_not_fuse() {
-        let a = Uop::new(UopKind::Ld).dst(UReg::Tmp(0)).mem(UMem::abs(0, Width::B8));
+        let a = Uop::new(UopKind::Ld)
+            .dst(UReg::Tmp(0))
+            .mem(UMem::abs(0, Width::B8));
         let b = Uop::new(UopKind::Alu(AluOp::Add))
             .dst(UReg::Tmp(2))
             .src1(UReg::Tmp(2))
@@ -169,15 +177,25 @@ mod tests {
 
     #[test]
     fn stores_do_not_fuse_with_loads() {
-        let ld = Uop::new(UopKind::Ld).dst(UReg::Tmp(0)).mem(UMem::abs(0, Width::B8));
-        let st = Uop::new(UopKind::St).src1(UReg::Tmp(0)).mem(UMem::abs(8, Width::B8));
+        let ld = Uop::new(UopKind::Ld)
+            .dst(UReg::Tmp(0))
+            .mem(UMem::abs(0, Width::B8));
+        let st = Uop::new(UopKind::St)
+            .src1(UReg::Tmp(0))
+            .mem(UMem::abs(8, Width::B8));
         assert!(!can_micro_fuse(&ld, &st));
     }
 
     #[test]
     fn cmp_jcc_macro_fuses() {
-        let cmp = Inst::Cmp { a: Gpr::Rax, b: RegImm::Imm(0) };
-        let jcc = Inst::Jcc { cc: Cc::Eq, target: 0x40 };
+        let cmp = Inst::Cmp {
+            a: Gpr::Rax,
+            b: RegImm::Imm(0),
+        };
+        let jcc = Inst::Jcc {
+            cc: Cc::Eq,
+            target: 0x40,
+        };
         let jmp = Inst::Jmp { target: 0x40 };
         assert!(can_macro_fuse(&cmp, &jcc));
         assert!(!can_macro_fuse(&cmp, &jmp));

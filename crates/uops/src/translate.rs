@@ -90,23 +90,42 @@ pub fn translate(inst: &Inst, next_pc: u64) -> Translation {
         }
         Inst::MovRI { dst, imm } => vec![Uop::new(K::MovImm).dst(dst.into()).imm(imm)],
         Inst::Load { dst, mem, width } => {
-            vec![Uop::new(K::Ld).dst(dst.into()).mem(UMem::from_mem(mem, width))]
+            vec![Uop::new(K::Ld)
+                .dst(dst.into())
+                .mem(UMem::from_mem(mem, width))]
         }
         Inst::Store { mem, src, width } => {
-            vec![Uop::new(K::St).src1(src.into()).mem(UMem::from_mem(mem, width))]
+            vec![Uop::new(K::St)
+                .src1(src.into())
+                .mem(UMem::from_mem(mem, width))]
         }
         Inst::Lea { dst, mem } => {
-            vec![Uop::new(K::Lea).dst(dst.into()).mem(UMem::from_mem(mem, Width::B8))]
+            vec![Uop::new(K::Lea)
+                .dst(dst.into())
+                .mem(UMem::from_mem(mem, Width::B8))]
         }
         Inst::Alu { op, dst, src } => {
             let u = Uop::new(K::Alu(op)).dst(dst.into()).src1(dst.into());
             vec![ri_to_operands(u, src)]
         }
-        Inst::AluLoad { op, dst, mem, width } => vec![
+        Inst::AluLoad {
+            op,
+            dst,
+            mem,
+            width,
+        } => vec![
             Uop::new(K::Ld).dst(t0).mem(UMem::from_mem(mem, width)),
-            Uop::new(K::Alu(op)).dst(dst.into()).src1(dst.into()).src2(t0),
+            Uop::new(K::Alu(op))
+                .dst(dst.into())
+                .src1(dst.into())
+                .src2(t0),
         ],
-        Inst::AluStore { op, mem, src, width } => {
+        Inst::AluStore {
+            op,
+            mem,
+            src,
+            width,
+        } => {
             let m = UMem::from_mem(mem, width);
             let alu = Uop::new(K::Alu(op)).dst(t0).src1(t0);
             vec![
@@ -135,33 +154,48 @@ pub fn translate(inst: &Inst, next_pc: u64) -> Translation {
             Uop::new(K::PushImm).imm(next_pc as i64),
             Uop::new(K::JmpImm).imm(target as i64),
         ],
-        Inst::Ret => vec![
-            Uop::new(K::Pop).dst(t7),
-            Uop::new(K::JmpReg).src1(t7),
-        ],
+        Inst::Ret => vec![Uop::new(K::Pop).dst(t7), Uop::new(K::JmpReg).src1(t7)],
         Inst::Push { src } => vec![Uop::new(K::Push).src1(src.into())],
         Inst::Pop { dst } => vec![Uop::new(K::Pop).dst(dst.into())],
         Inst::VLoad { dst, mem } => {
-            vec![Uop::new(K::VLd).dst(dst.into()).mem(UMem::from_mem(mem, Width::B16))]
+            vec![Uop::new(K::VLd)
+                .dst(dst.into())
+                .mem(UMem::from_mem(mem, Width::B16))]
         }
         Inst::VStore { mem, src } => {
-            vec![Uop::new(K::VSt).src1(src.into()).mem(UMem::from_mem(mem, Width::B16))]
+            vec![Uop::new(K::VSt)
+                .src1(src.into())
+                .mem(UMem::from_mem(mem, Width::B16))]
         }
         Inst::VMovRR { dst, src } => {
             vec![Uop::new(K::VMov).dst(dst.into()).src1(src.into())]
         }
         Inst::VAlu { op, dst, src } => {
-            vec![Uop::new(K::VAlu(op)).dst(dst.into()).src1(dst.into()).src2(src.into())]
+            vec![Uop::new(K::VAlu(op))
+                .dst(dst.into())
+                .src1(dst.into())
+                .src2(src.into())]
         }
         Inst::VAluLoad { op, dst, mem } => vec![
-            Uop::new(K::VLd).dst(vt0).mem(UMem::from_mem(mem, Width::B16)),
-            Uop::new(K::VAlu(op)).dst(dst.into()).src1(dst.into()).src2(vt0),
+            Uop::new(K::VLd)
+                .dst(vt0)
+                .mem(UMem::from_mem(mem, Width::B16)),
+            Uop::new(K::VAlu(op))
+                .dst(dst.into())
+                .src1(dst.into())
+                .src2(vt0),
         ],
         Inst::VMovToGpr { dst, src } => {
-            vec![Uop::new(K::VExtractQ).dst(dst.into()).src1(src.into()).imm(0)]
+            vec![Uop::new(K::VExtractQ)
+                .dst(dst.into())
+                .src1(src.into())
+                .imm(0)]
         }
         Inst::VMovFromGpr { dst, src } => {
-            vec![Uop::new(K::VInsertQ).dst(dst.into()).src1(src.into()).imm(0)]
+            vec![Uop::new(K::VInsertQ)
+                .dst(dst.into())
+                .src1(src.into())
+                .imm(0)]
         }
         Inst::Clflush { mem } => {
             vec![Uop::new(K::Clflush).mem(UMem::from_mem(mem, Width::B1))]
@@ -215,15 +249,41 @@ mod tests {
 
     #[test]
     fn simple_ops_are_one_uop() {
-        assert_eq!(uop_count(Inst::MovRR { dst: Gpr::Rax, src: Gpr::Rbx }), 1);
-        assert_eq!(uop_count(Inst::MovRI { dst: Gpr::Rax, imm: 7 }), 1);
         assert_eq!(
-            uop_count(Inst::Load { dst: Gpr::Rax, mem: MemRef::abs(0), width: Width::B8 }),
+            uop_count(Inst::MovRR {
+                dst: Gpr::Rax,
+                src: Gpr::Rbx
+            }),
             1
         );
-        assert_eq!(uop_count(Inst::Jcc { cc: Cc::Eq, target: 0 }), 1);
         assert_eq!(
-            uop_count(Inst::VAlu { op: VecOp::PAddB, dst: Xmm::new(0), src: Xmm::new(1) }),
+            uop_count(Inst::MovRI {
+                dst: Gpr::Rax,
+                imm: 7
+            }),
+            1
+        );
+        assert_eq!(
+            uop_count(Inst::Load {
+                dst: Gpr::Rax,
+                mem: MemRef::abs(0),
+                width: Width::B8
+            }),
+            1
+        );
+        assert_eq!(
+            uop_count(Inst::Jcc {
+                cc: Cc::Eq,
+                target: 0
+            }),
+            1
+        );
+        assert_eq!(
+            uop_count(Inst::VAlu {
+                op: VecOp::PAddB,
+                dst: Xmm::new(0),
+                src: Xmm::new(1)
+            }),
             1
         );
     }
@@ -287,7 +347,13 @@ mod tests {
 
     #[test]
     fn cmp_has_no_destination() {
-        let t = translate(&Inst::Cmp { a: Gpr::Rax, b: RegImm::Imm(5) }, 0);
+        let t = translate(
+            &Inst::Cmp {
+                a: Gpr::Rax,
+                b: RegImm::Imm(5),
+            },
+            0,
+        );
         assert_eq!(t.uops.len(), 1);
         assert_eq!(t.uops[0].dst, None);
         assert!(t.uops[0].kind.writes_flags());
@@ -297,9 +363,20 @@ mod tests {
     fn all_native_translations_validate() {
         let insts = [
             Inst::Nop { len: 3 },
-            Inst::MovRR { dst: Gpr::Rax, src: Gpr::Rbx },
-            Inst::Load { dst: Gpr::Rax, mem: MemRef::abs(8), width: Width::B8 },
-            Inst::Store { mem: MemRef::abs(8), src: Gpr::Rax, width: Width::B8 },
+            Inst::MovRR {
+                dst: Gpr::Rax,
+                src: Gpr::Rbx,
+            },
+            Inst::Load {
+                dst: Gpr::Rax,
+                mem: MemRef::abs(8),
+                width: Width::B8,
+            },
+            Inst::Store {
+                mem: MemRef::abs(8),
+                src: Gpr::Rax,
+                width: Width::B8,
+            },
             Inst::AluStore {
                 op: AluOp::Or,
                 mem: MemRef::abs(8),
@@ -309,9 +386,18 @@ mod tests {
             Inst::Div { src: Gpr::Rcx },
             Inst::Call { target: 64 },
             Inst::Ret,
-            Inst::VAluLoad { op: VecOp::MulPs, dst: Xmm::new(2), mem: MemRef::abs(64) },
-            Inst::Clflush { mem: MemRef::abs(0x40) },
-            Inst::Wrmsr { msr: 0x10, src: Gpr::Rax },
+            Inst::VAluLoad {
+                op: VecOp::MulPs,
+                dst: Xmm::new(2),
+                mem: MemRef::abs(64),
+            },
+            Inst::Clflush {
+                mem: MemRef::abs(0x40),
+            },
+            Inst::Wrmsr {
+                msr: 0x10,
+                src: Gpr::Rax,
+            },
         ];
         for i in insts {
             for u in translate(&i, 0x10).uops {
@@ -322,7 +408,11 @@ mod tests {
 
     #[test]
     fn native_translations_never_produce_decoys() {
-        let i = Inst::Load { dst: Gpr::Rax, mem: MemRef::abs(8), width: Width::B8 };
+        let i = Inst::Load {
+            dst: Gpr::Rax,
+            mem: MemRef::abs(8),
+            width: Width::B8,
+        };
         assert!(translate(&i, 0).uops.iter().all(|u| !u.is_decoy()));
     }
 }

@@ -365,8 +365,15 @@ impl fmt::Display for Uop {
             UopKind::Alu(op) => write!(f, "u{op}")?,
             UopKind::Mul => write!(f, "umul")?,
             UopKind::FAlu(op, w) => {
-                let o = match op { FOp::Add => "fadd", FOp::Sub => "fsub", FOp::Mul => "fmul" };
-                let ww = match w { FWidth::S => "s", FWidth::D => "d" };
+                let o = match op {
+                    FOp::Add => "fadd",
+                    FOp::Sub => "fsub",
+                    FOp::Mul => "fmul",
+                };
+                let ww = match w {
+                    FWidth::S => "s",
+                    FWidth::D => "d",
+                };
                 write!(f, "u{o}{ww}")?;
             }
             UopKind::DivQ => write!(f, "udivq")?,

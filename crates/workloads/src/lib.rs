@@ -67,16 +67,116 @@ pub struct WorkloadSpec {
 /// The ten-benchmark suite used by the devectorization figures.
 pub fn specs() -> Vec<WorkloadSpec> {
     vec![
-        WorkloadSpec { name: "astar", phases: 8, scalar_trips: 160, vector_trips: 2, vector_duty: 0.0, mix: VecMix::SimpleInt, sprinkle: 64, repeats: 14, seed: 11 },
-        WorkloadSpec { name: "bwaves", phases: 8, scalar_trips: 60, vector_trips: 40, vector_duty: 0.5, mix: VecMix::Float, sprinkle: 48, repeats: 12, seed: 22 },
-        WorkloadSpec { name: "gamess", phases: 8, scalar_trips: 100, vector_trips: 25, vector_duty: 0.3, mix: VecMix::IntMul, sprinkle: 32, repeats: 12, seed: 33 },
-        WorkloadSpec { name: "gcc", phases: 8, scalar_trips: 150, vector_trips: 2, vector_duty: 0.0, mix: VecMix::SimpleInt, sprinkle: 80, repeats: 14, seed: 44 },
-        WorkloadSpec { name: "gobmk", phases: 8, scalar_trips: 150, vector_trips: 3, vector_duty: 0.0, mix: VecMix::SimpleInt, sprinkle: 64, repeats: 14, seed: 55 },
-        WorkloadSpec { name: "milc", phases: 8, scalar_trips: 70, vector_trips: 35, vector_duty: 0.45, mix: VecMix::Float, sprinkle: 40, repeats: 12, seed: 66 },
-        WorkloadSpec { name: "namd", phases: 8, scalar_trips: 40, vector_trips: 60, vector_duty: 0.85, mix: VecMix::Float, sprinkle: 48, repeats: 12, seed: 77 },
-        WorkloadSpec { name: "omnetpp", phases: 8, scalar_trips: 140, vector_trips: 4, vector_duty: 0.0, mix: VecMix::SimpleInt, sprinkle: 24, repeats: 14, seed: 88 },
-        WorkloadSpec { name: "sjeng", phases: 8, scalar_trips: 160, vector_trips: 2, vector_duty: 0.0, mix: VecMix::SimpleInt, sprinkle: 64, repeats: 14, seed: 99 },
-        WorkloadSpec { name: "zeusmp", phases: 8, scalar_trips: 90, vector_trips: 20, vector_duty: 0.35, mix: VecMix::IntMul, sprinkle: 32, repeats: 12, seed: 110 },
+        WorkloadSpec {
+            name: "astar",
+            phases: 8,
+            scalar_trips: 160,
+            vector_trips: 2,
+            vector_duty: 0.0,
+            mix: VecMix::SimpleInt,
+            sprinkle: 64,
+            repeats: 14,
+            seed: 11,
+        },
+        WorkloadSpec {
+            name: "bwaves",
+            phases: 8,
+            scalar_trips: 60,
+            vector_trips: 40,
+            vector_duty: 0.5,
+            mix: VecMix::Float,
+            sprinkle: 48,
+            repeats: 12,
+            seed: 22,
+        },
+        WorkloadSpec {
+            name: "gamess",
+            phases: 8,
+            scalar_trips: 100,
+            vector_trips: 25,
+            vector_duty: 0.3,
+            mix: VecMix::IntMul,
+            sprinkle: 32,
+            repeats: 12,
+            seed: 33,
+        },
+        WorkloadSpec {
+            name: "gcc",
+            phases: 8,
+            scalar_trips: 150,
+            vector_trips: 2,
+            vector_duty: 0.0,
+            mix: VecMix::SimpleInt,
+            sprinkle: 80,
+            repeats: 14,
+            seed: 44,
+        },
+        WorkloadSpec {
+            name: "gobmk",
+            phases: 8,
+            scalar_trips: 150,
+            vector_trips: 3,
+            vector_duty: 0.0,
+            mix: VecMix::SimpleInt,
+            sprinkle: 64,
+            repeats: 14,
+            seed: 55,
+        },
+        WorkloadSpec {
+            name: "milc",
+            phases: 8,
+            scalar_trips: 70,
+            vector_trips: 35,
+            vector_duty: 0.45,
+            mix: VecMix::Float,
+            sprinkle: 40,
+            repeats: 12,
+            seed: 66,
+        },
+        WorkloadSpec {
+            name: "namd",
+            phases: 8,
+            scalar_trips: 40,
+            vector_trips: 60,
+            vector_duty: 0.85,
+            mix: VecMix::Float,
+            sprinkle: 48,
+            repeats: 12,
+            seed: 77,
+        },
+        WorkloadSpec {
+            name: "omnetpp",
+            phases: 8,
+            scalar_trips: 140,
+            vector_trips: 4,
+            vector_duty: 0.0,
+            mix: VecMix::SimpleInt,
+            sprinkle: 24,
+            repeats: 14,
+            seed: 88,
+        },
+        WorkloadSpec {
+            name: "sjeng",
+            phases: 8,
+            scalar_trips: 160,
+            vector_trips: 2,
+            vector_duty: 0.0,
+            mix: VecMix::SimpleInt,
+            sprinkle: 64,
+            repeats: 14,
+            seed: 99,
+        },
+        WorkloadSpec {
+            name: "zeusmp",
+            phases: 8,
+            scalar_trips: 90,
+            vector_trips: 20,
+            vector_duty: 0.35,
+            mix: VecMix::IntMul,
+            sprinkle: 32,
+            repeats: 12,
+            seed: 110,
+        },
     ]
 }
 
@@ -147,13 +247,19 @@ impl Workload {
 
     /// The suite entry for `name`, if it exists.
     pub fn by_name(name: &str) -> Option<Workload> {
-        specs().into_iter().find(|s| s.name == name).map(Workload::new)
+        specs()
+            .into_iter()
+            .find(|s| s.name == name)
+            .map(Workload::new)
     }
 }
 
 /// Builds the full suite at the given scale.
 pub fn suite(scale: f64) -> Vec<Workload> {
-    specs().into_iter().map(|s| Workload::with_scale(s, scale)).collect()
+    specs()
+        .into_iter()
+        .map(|s| Workload::with_scale(s, scale))
+        .collect()
 }
 
 fn generate(spec: &WorkloadSpec) -> Program {
@@ -163,7 +269,7 @@ fn generate(spec: &WorkloadSpec) -> Program {
     a.mov_ri(Gpr::Rsp, 0x9_0000);
     a.mov_ri(Gpr::Rbp, DATA_BASE as i64); // array base
     a.mov_ri(Gpr::R15, i64::from(spec.repeats)); // outer counter
-    // Seed vector registers for the sprinkled ops.
+                                                 // Seed vector registers for the sprinkled ops.
     a.vload(Xmm::new(4), MemRef::base(Gpr::Rbp));
     a.vload(Xmm::new(5), MemRef::base(Gpr::Rbp).with_disp(16));
     a.mov_ri(Gpr::R14, 0); // sprinkle counter
@@ -210,7 +316,10 @@ fn emit_scalar_phase(a: &mut Assembler, spec: &WorkloadSpec, phase: u32, rng: &m
     a.jcc(Cc::Eq, skip);
     a.alu_ri(AluOp::Add, Gpr::Rbx, 1);
     a.bind(skip).expect("fresh skip label");
-    a.store(MemRef::base_index(Gpr::Rbp, Gpr::Rsi, Scale::S1).with_disp(0x8000), Gpr::Rax);
+    a.store(
+        MemRef::base_index(Gpr::Rbp, Gpr::Rsi, Scale::S1).with_disp(0x8000),
+        Gpr::Rax,
+    );
     // Intermittent vector activity: one isolated packed op every
     // `sprinkle` iterations.
     if spec.sprinkle > 0 {
@@ -251,8 +360,14 @@ fn emit_vector_phase(
     a.mov_ri(Gpr::Rcx, i64::from(trips));
     a.mov_ri(Gpr::Rdi, offset);
     a.bind(top).expect("fresh vector label");
-    a.vload(Xmm::new(0), MemRef::base_index(Gpr::Rbp, Gpr::Rdi, Scale::S1));
-    a.vload(Xmm::new(1), MemRef::base_index(Gpr::Rbp, Gpr::Rdi, Scale::S1).with_disp(16));
+    a.vload(
+        Xmm::new(0),
+        MemRef::base_index(Gpr::Rbp, Gpr::Rdi, Scale::S1),
+    );
+    a.vload(
+        Xmm::new(1),
+        MemRef::base_index(Gpr::Rbp, Gpr::Rdi, Scale::S1).with_disp(16),
+    );
     for (i, &op) in ops.iter().enumerate() {
         a.valu(op, Xmm::new((i % 2) as u8), Xmm::new(((i + 1) % 3) as u8));
     }
@@ -278,7 +393,10 @@ mod tests {
     use csd_pipeline::{CoreConfig, SimMode, StepOutcome};
 
     fn run(w: &Workload, policy: VpuPolicy) -> Core {
-        let csd_cfg = CsdConfig { vpu_policy: policy, ..CsdConfig::default() };
+        let csd_cfg = CsdConfig {
+            vpu_policy: policy,
+            ..CsdConfig::default()
+        };
         let mut core = Core::new(
             CoreConfig::default(),
             csd_cfg,
@@ -304,17 +422,20 @@ mod tests {
     fn workloads_halt_and_do_work() {
         for w in suite(0.1) {
             let core = run(&w, VpuPolicy::AlwaysOn);
-            assert!(core.stats().insts > 1_000, "{}: {}", w.name(), core.stats().insts);
+            assert!(
+                core.stats().insts > 1_000,
+                "{}: {}",
+                w.name(),
+                core.stats().insts
+            );
         }
     }
 
     #[test]
     fn vector_intensity_orders_as_characterized() {
         let vec_share = |name: &str| {
-            let w = Workload::with_scale(
-                specs().into_iter().find(|s| s.name == name).unwrap(),
-                0.2,
-            );
+            let w =
+                Workload::with_scale(specs().into_iter().find(|s| s.name == name).unwrap(), 0.2);
             let core = run(&w, VpuPolicy::AlwaysOn);
             core.stats().vpu_uops as f64 / core.stats().uops as f64
         };

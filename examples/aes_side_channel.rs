@@ -11,15 +11,18 @@ use csd_repro::crypto::{AesKeySize, AesVictim, CipherDir};
 
 fn main() {
     let key: Vec<u8> = vec![
-        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
-        0x4f, 0x3c,
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
     ];
     let victim = AesVictim::new(AesKeySize::K128, CipherDir::Encrypt, &key);
     println!("victim: OpenSSL-style T-table AES-128, secret key installed\n");
 
     for (label, defense) in [
         ("attacking the undefended victim", Defense::None),
-        ("attacking with CSD stealth mode enabled", Defense::stealth_default()),
+        (
+            "attacking with CSD stealth mode enabled",
+            Defense::stealth_default(),
+        ),
     ] {
         println!("== {label} ==");
         let cfg = AesAttackConfig {
@@ -38,7 +41,10 @@ fn main() {
         }
         println!(
             "\ntrue high nibbles:      {}",
-            out.truth.iter().map(|n| format!("{n:x} ")).collect::<String>()
+            out.truth
+                .iter()
+                .map(|n| format!("{n:x} "))
+                .collect::<String>()
         );
         println!(
             "=> {} of 128 key bits leaked after {} encryptions\n",

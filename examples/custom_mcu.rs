@@ -17,7 +17,11 @@ fn main() {
 
     // The update body is plain native code; the decoder auto-translates it
     // into µops and installs the optimized flow into the patch table.
-    let body = vec![Inst::Nop { len: 1 }, Inst::Nop { len: 1 }, Inst::Nop { len: 1 }];
+    let body = vec![
+        Inst::Nop { len: 1 },
+        Inst::Nop { len: 1 },
+        Inst::Nop { len: 1 },
+    ];
     let mcu = MicrocodeUpdate::new(1, OpcodeClass::Nop, ContextId::Custom(0), false, body);
 
     // User mode is rejected; the kernel path verifies header integrity.
@@ -27,11 +31,17 @@ fn main() {
     engine
         .apply_microcode_update(&mcu, PrivilegeLevel::Kernel)
         .expect("verified update installs");
-    println!("microcode update verified and installed ({} patch)", engine.patches().len());
+    println!(
+        "microcode update verified and installed ({} patch)",
+        engine.patches().len()
+    );
 
     // Tampering is caught by the checksum.
     let mut tampered = mcu.clone();
-    tampered.body.push(Inst::MovRI { dst: Gpr::Rax, imm: 0xbad });
+    tampered.body.push(Inst::MovRI {
+        dst: Gpr::Rax,
+        imm: 0xbad,
+    });
     println!(
         "tampered update rejected: {}",
         engine
@@ -41,7 +51,10 @@ fn main() {
 
     // Decode a nop in the native context, then switch the custom context
     // on: the translation changes instantly, with no pipeline change.
-    let nop = Placed { addr: 0x1000, inst: Inst::Nop { len: 1 } };
+    let nop = Placed {
+        addr: 0x1000,
+        inst: Inst::Nop { len: 1 },
+    };
     let native = engine.decode(&nop, false);
     engine.set_custom_mode(Some(0));
     let custom = engine.decode(&nop, false);

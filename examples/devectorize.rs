@@ -13,15 +13,26 @@ use csd_repro::workloads::Workload;
 
 fn main() {
     let workload = Workload::by_name("gamess").expect("suite benchmark");
-    println!("workload: synthetic '{}' (moderate, bursty vector activity)\n", workload.name());
+    println!(
+        "workload: synthetic '{}' (moderate, bursty vector activity)\n",
+        workload.name()
+    );
 
     let model = EnergyModel::default();
     for (label, policy) in [
         ("always-on            ", VpuPolicy::AlwaysOn),
-        ("conventional gating  ", VpuPolicy::Conventional { idle_gate_cycles: 400 }),
+        (
+            "conventional gating  ",
+            VpuPolicy::Conventional {
+                idle_gate_cycles: 400,
+            },
+        ),
         ("csd devectorization  ", VpuPolicy::default()),
     ] {
-        let csd_cfg = CsdConfig { vpu_policy: policy, ..CsdConfig::default() };
+        let csd_cfg = CsdConfig {
+            vpu_policy: policy,
+            ..CsdConfig::default()
+        };
         let mut core = Core::new(
             CoreConfig::default(),
             csd_cfg,

@@ -41,8 +41,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  ...\n");
 
     // Run natively on the cycle-accurate core.
-    let cfg = CoreConfig { dift_enabled: true, ..CoreConfig::default() };
-    let mut core = Core::new(cfg.clone(), CsdConfig::default(), program.clone(), SimMode::Cycle);
+    let cfg = CoreConfig {
+        dift_enabled: true,
+        ..CoreConfig::default()
+    };
+    let mut core = Core::new(
+        cfg.clone(),
+        CsdConfig::default(),
+        program.clone(),
+        SimMode::Cycle,
+    );
     core.mem.write_le(0x7000, 8, 5); // the secret
     for i in 0..16u64 {
         core.mem.write_le(0x8000 + 8 * i, 8, i * i);
@@ -67,7 +75,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..16u64 {
         secure.mem.write_le(0x8000 + 8 * i, 8, i * i);
     }
-    secure.dift_mut().taint_memory(AddrRange::new(0x7000, 0x7008));
+    secure
+        .dift_mut()
+        .taint_memory(AddrRange::new(0x7000, 0x7008));
     let e = secure.engine_mut();
     e.write_msr(msr::MSR_DATA_RANGE_BASE, 0x8000);
     e.write_msr(msr::MSR_DATA_RANGE_BASE + 1, 0x8080);

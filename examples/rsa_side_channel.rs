@@ -31,10 +31,17 @@ fn main() {
     let cfg = RsaAttackConfig {
         method: AttackMethod::FlushReload,
         probe_interval: Some(interval),
-        defense: Defense::Stealth { watchdog_period: interval / 2 },
+        defense: Defense::Stealth {
+            watchdog_period: interval / 2,
+        },
     };
     let defended = rsa_attack(&victim, &cfg);
-    let touched = defended.trace.samples.iter().filter(|s| s.multiply_touched).count();
+    let touched = defended
+        .trace
+        .samples
+        .iter()
+        .filter(|s| s.multiply_touched)
+        .count();
     println!("== with CSD stealth mode ==");
     println!(
         "probe intervals ending in a perceived hit: {touched}/{}",

@@ -15,6 +15,7 @@ pub use csd_crypto as crypto;
 pub use csd_dift as dift;
 pub use csd_pipeline as pipeline;
 pub use csd_power as power;
+pub use csd_telemetry as telemetry;
 pub use csd_uops as uops;
 pub use csd_workloads as workloads;
 pub use mx86_isa as isa;

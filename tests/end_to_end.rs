@@ -1,8 +1,7 @@
 //! Cross-crate end-to-end tests: the full CSD story on the full stack.
 
 use csd_repro::attack::{
-    aes_attack, rsa_attack, victim_core, AesAttackConfig, AttackMethod, Defense,
-    RsaAttackConfig,
+    aes_attack, rsa_attack, victim_core, AesAttackConfig, Defense, RsaAttackConfig,
 };
 use csd_repro::core::{CsdConfig, VpuPolicy};
 use csd_repro::crypto::{AesKeySize, AesVictim, BlowfishVictim, CipherDir, RsaVictim, Victim};
@@ -11,8 +10,7 @@ use csd_repro::power::EnergyModel;
 use csd_repro::workloads::Workload;
 
 const KEY128: [u8; 16] = [
-    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
-    0x3c,
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
 ];
 
 /// Stealth mode must never change what the victim computes — only what the
@@ -20,24 +18,36 @@ const KEY128: [u8; 16] = [
 #[test]
 fn stealth_preserves_victim_outputs_for_every_victim() {
     let victims: Vec<Box<dyn Victim>> = vec![
-        Box::new(AesVictim::new(AesKeySize::K128, CipherDir::Encrypt, &KEY128)),
-        Box::new(AesVictim::new(AesKeySize::K128, CipherDir::Decrypt, &KEY128)),
+        Box::new(AesVictim::new(
+            AesKeySize::K128,
+            CipherDir::Encrypt,
+            &KEY128,
+        )),
+        Box::new(AesVictim::new(
+            AesKeySize::K128,
+            CipherDir::Decrypt,
+            &KEY128,
+        )),
         Box::new(BlowfishVictim::new(CipherDir::Encrypt, b"E2E-KEY")),
         Box::new(RsaVictim::new(0xDEAD_BEEF, 65_521)),
     ];
     for v in &victims {
         let mut plain = victim_core(v.as_ref(), SimMode::Functional, Defense::None);
-        let mut defended =
-            victim_core(v.as_ref(), SimMode::Functional, Defense::stealth_default());
+        let mut defended = victim_core(v.as_ref(), SimMode::Functional, Defense::stealth_default());
         for seed in 0..3u8 {
-            let input: Vec<u8> =
-                (0..v.input_len() as u8).map(|i| i.wrapping_mul(31) ^ seed).collect();
+            let input: Vec<u8> = (0..v.input_len() as u8)
+                .map(|i| i.wrapping_mul(31) ^ seed)
+                .collect();
             let a = v.run_once(&mut plain, &input);
             let b = v.run_once(&mut defended, &input);
             assert_eq!(a, b, "{}: stealth changed the output", v.name());
             assert_eq!(a, v.reference(&input), "{}: wrong output", v.name());
         }
-        assert!(defended.stats().decoy_uops > 0, "{}: stealth never fired", v.name());
+        assert!(
+            defended.stats().decoy_uops > 0,
+            "{}: stealth never fired",
+            v.name()
+        );
     }
 }
 
@@ -67,7 +77,10 @@ fn the_full_security_story() {
     let aes = AesVictim::new(AesKeySize::K128, CipherDir::Encrypt, &KEY128);
     let undefended = aes_attack(
         &aes,
-        &AesAttackConfig { trials_per_candidate: 48, ..AesAttackConfig::default() },
+        &AesAttackConfig {
+            trials_per_candidate: 48,
+            ..AesAttackConfig::default()
+        },
     );
     assert!(undefended.bits_recovered() >= 48, "attack works undefended");
 
@@ -96,12 +109,21 @@ fn the_full_energy_story() {
     let mut gprs = Vec::new();
     for policy in [
         VpuPolicy::AlwaysOn,
-        VpuPolicy::Conventional { idle_gate_cycles: 400 },
+        VpuPolicy::Conventional {
+            idle_gate_cycles: 400,
+        },
         VpuPolicy::default(),
     ] {
-        let cfg = CsdConfig { vpu_policy: policy, ..CsdConfig::default() };
-        let mut core =
-            Core::new(CoreConfig::default(), cfg, w.program().clone(), SimMode::Cycle);
+        let cfg = CsdConfig {
+            vpu_policy: policy,
+            ..CsdConfig::default()
+        };
+        let mut core = Core::new(
+            CoreConfig::default(),
+            cfg,
+            w.program().clone(),
+            SimMode::Cycle,
+        );
         w.install(&mut core);
         assert_eq!(core.run(100_000_000), StepOutcome::Halted);
         energies.push(model.breakdown(&core.activity()).total_pj());
@@ -109,8 +131,14 @@ fn the_full_energy_story() {
     }
     assert_eq!(gprs[0], gprs[1]);
     assert_eq!(gprs[0], gprs[2]);
-    assert!(energies[2] < energies[1], "CSD beats conventional: {energies:?}");
-    assert!(energies[1] < energies[0], "conventional beats always-on: {energies:?}");
+    assert!(
+        energies[2] < energies[1],
+        "CSD beats conventional: {energies:?}"
+    );
+    assert!(
+        energies[1] < energies[0],
+        "conventional beats always-on: {energies:?}"
+    );
 }
 
 /// Re-running a victim with a different key through the same program must
