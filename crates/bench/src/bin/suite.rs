@@ -8,13 +8,13 @@
 //! Exits non-zero if any headline metric drifts outside its declared
 //! band (full profile only).
 
-use csd_bench::suite::{run_suite, SuiteConfig};
+use csd_bench::suite::{resolve_jobs, run_suite, SuiteConfig};
 use std::time::Instant;
 
 fn main() {
-    let mut jobs = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    // 0 means "auto": one worker per available hardware thread. The same
+    // convention applies when --jobs is omitted entirely.
+    let mut jobs = 0;
     let mut seed = 0xC5D_2018;
     let mut quick = false;
     let mut out_path = "BENCH_suite.json".to_string();
@@ -26,7 +26,7 @@ fn main() {
                 jobs = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--jobs needs a positive integer"));
+                    .unwrap_or_else(|| die("--jobs needs a non-negative integer (0 = auto)"));
             }
             "--seed" => {
                 seed = args
@@ -42,8 +42,9 @@ fn main() {
                 println!(
                     "usage: suite [--jobs N] [--seed S] [--quick] [--out PATH]\n\
                      Runs the full figure grid and writes the JSON report (default\n\
-                     BENCH_suite.json). --quick runs a down-scaled smoke grid without\n\
-                     tolerance checks."
+                     BENCH_suite.json). --jobs 0 (or omitted) uses one worker per\n\
+                     available hardware thread. --quick runs a down-scaled smoke grid\n\
+                     without tolerance checks."
                 );
                 return;
             }
@@ -58,7 +59,9 @@ fn main() {
     };
     eprintln!(
         "suite: profile={} root_seed={:#x} jobs={}",
-        cfg.profile, cfg.root_seed, cfg.jobs
+        cfg.profile,
+        cfg.root_seed,
+        resolve_jobs(cfg.jobs)
     );
     let t0 = Instant::now();
     let report = run_suite(&cfg);

@@ -64,7 +64,7 @@ pub fn security_victims() -> Vec<Box<dyn Victim>> {
 }
 
 /// Metrics from one security-benchmark run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SecMetrics {
     /// Cycles over the measured region.
     pub cycles: u64,
@@ -119,6 +119,92 @@ pub fn run_security_seeded(
     watchdog: u64,
     seed: u64,
 ) -> SecMetrics {
+    let mut core = security_core(victim, core_cfg);
+    if stealth {
+        enable_stealth_for(victim, &mut core, watchdog);
+    }
+    let mut rng = SplitMix64::new(seed);
+    let mut input = vec![0u8; victim.input_len()];
+    warm_up(&mut core, victim, &mut rng, &mut input);
+    measure_blocks(&mut core, victim, &mut rng, &mut input, blocks)
+}
+
+/// Both legs of one Figure 8/9/10 datapoint, forked from a single warmed
+/// checkpoint. The victim warms up once with stealth off, the core is
+/// snapshotted, the base leg measures from the live core, and the stealth
+/// leg restores the checkpoint (and a copy of the RNG, so both legs see
+/// the identical plaintext stream), arms stealth, and measures again —
+/// halving the warmup cost of [`run_security_seeded`] pairs.
+///
+/// # Panics
+///
+/// Panics if the victim faults.
+pub fn run_security_pair_seeded(
+    victim: &dyn Victim,
+    core_cfg: CoreConfig,
+    blocks: usize,
+    watchdog: u64,
+    seed: u64,
+) -> SecurityRow {
+    let mut core = security_core(victim, core_cfg);
+    let mut rng = SplitMix64::new(seed);
+    let mut input = vec![0u8; victim.input_len()];
+    warm_up(&mut core, victim, &mut rng, &mut input);
+    let ckpt = core.snapshot();
+    let fork_rng = rng;
+
+    let base = measure_blocks(&mut core, victim, &mut rng, &mut input, blocks);
+
+    core.restore(&ckpt);
+    let mut rng = fork_rng;
+    enable_stealth_for(victim, &mut core, watchdog);
+    let stealth = measure_blocks(&mut core, victim, &mut rng, &mut input, blocks);
+
+    SecurityRow {
+        name: victim.name(),
+        base,
+        stealth,
+    }
+}
+
+/// The Figure 11 sweep for one victim: a single warmed checkpoint, a base
+/// leg, and one stealth leg per watchdog period — each leg forked from the
+/// same snapshot with the same plaintext stream. Returns the base metrics
+/// and `(period, stealth metrics)` rows in sweep order.
+///
+/// # Panics
+///
+/// Panics if the victim faults.
+pub fn run_watchdog_sweep_seeded(
+    victim: &dyn Victim,
+    core_cfg: CoreConfig,
+    blocks: usize,
+    periods: &[u64],
+    seed: u64,
+) -> (SecMetrics, Vec<(u64, SecMetrics)>) {
+    let mut core = security_core(victim, core_cfg);
+    let mut rng = SplitMix64::new(seed);
+    let mut input = vec![0u8; victim.input_len()];
+    warm_up(&mut core, victim, &mut rng, &mut input);
+    let ckpt = core.snapshot();
+    let fork_rng = rng;
+
+    let base = measure_blocks(&mut core, victim, &mut rng, &mut input, blocks);
+
+    let mut rows = Vec::with_capacity(periods.len());
+    for &period in periods {
+        core.restore(&ckpt);
+        let mut rng = fork_rng;
+        enable_stealth_for(victim, &mut core, period);
+        let m = measure_blocks(&mut core, victim, &mut rng, &mut input, blocks);
+        rows.push((period, m));
+    }
+    (base, rows)
+}
+
+/// Builds the cycle-accurate, DIFT-enabled core every security experiment
+/// runs on, with `victim` installed.
+fn security_core(victim: &dyn Victim, core_cfg: CoreConfig) -> Core {
     let cfg = CoreConfig {
         dift_enabled: true,
         ..core_cfg
@@ -130,26 +216,34 @@ pub fn run_security_seeded(
         SimMode::Cycle,
     );
     victim.install(&mut core);
-    if stealth {
-        enable_stealth_for(victim, &mut core, watchdog);
-    }
-    let mut rng = SplitMix64::new(seed);
-    let mut input = vec![0u8; victim.input_len()];
+    core
+}
 
-    // Warm-up long enough for the sparse table touches of the baseline to
-    // fully populate the caches — otherwise decoy prefetching makes
-    // stealth look *faster* (the paper's "prefetching effect", which
-    // should only mute, not invert, the cost).
+/// Warm-up long enough for the sparse table touches of the baseline to
+/// fully populate the caches — otherwise decoy prefetching makes stealth
+/// look *faster* (the paper's "prefetching effect", which should only
+/// mute, not invert, the cost).
+fn warm_up(core: &mut Core, victim: &dyn Victim, rng: &mut SplitMix64, input: &mut [u8]) {
     for _ in 0..12 {
-        rng.fill_bytes(&mut input[..]);
-        victim.run_once(&mut core, &input);
+        rng.fill_bytes(input);
+        victim.run_once(core, input);
     }
+}
+
+/// Runs `blocks` operations and returns the metric deltas over them.
+fn measure_blocks(
+    core: &mut Core,
+    victim: &dyn Victim,
+    rng: &mut SplitMix64,
+    input: &mut [u8],
+    blocks: usize,
+) -> SecMetrics {
     let s0 = *core.stats();
     let h0 = core.hierarchy().stats();
     let u0 = *core.uop_cache_stats();
     for _ in 0..blocks {
-        rng.fill_bytes(&mut input[..]);
-        victim.run_once(&mut core, &input);
+        rng.fill_bytes(input);
+        victim.run_once(core, input);
     }
     let s1 = *core.stats();
     let h1 = core.hierarchy().stats();
@@ -391,6 +485,39 @@ mod tests {
             slowdown < 1.5,
             "stealth slowdown should be modest, got {slowdown}"
         );
+    }
+
+    #[test]
+    fn checkpoint_pair_base_matches_unforked_run() {
+        // The base leg of the checkpoint-forked pair must be bit-equal to
+        // the original warm-then-measure recipe: same construction, same
+        // warmup, same plaintext stream (a snapshot costs no model time).
+        let v = &security_victims()[0]; // aes-enc
+        let row = run_security_pair_seeded(v.as_ref(), CoreConfig::opt(), 2, DEFAULT_WATCHDOG, 77);
+        let solo = run_security_seeded(
+            v.as_ref(),
+            false,
+            CoreConfig::opt(),
+            2,
+            DEFAULT_WATCHDOG,
+            77,
+        );
+        assert_eq!(row.base, solo);
+        assert!(row.stealth.decoy_uops > 0, "stealth leg must arm decoys");
+        assert!(row.stealth.cycles > row.base.cycles);
+    }
+
+    #[test]
+    fn restored_forks_are_deterministic() {
+        // Restoring the same checkpoint twice with the same watchdog
+        // period must reproduce the stealth leg exactly — the snapshot
+        // carries the complete modeled machine.
+        let v = &security_victims()[4]; // blowfish-enc
+        let (base, rows) =
+            run_watchdog_sweep_seeded(v.as_ref(), CoreConfig::opt(), 2, &[1000, 1000, 4000], 9);
+        assert_eq!(rows[0].1, rows[1].1, "identical forks must agree");
+        assert!(rows[0].1.cycles > base.cycles);
+        assert!(rows[2].1.decoy_uops > 0);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Duration {
     best
 }
 
-/// Like [`bench`], but also reports throughput for `elems` logical
+/// Like [`fn@bench`], but also reports throughput for `elems` logical
 /// elements processed per call.
 pub fn bench_throughput<R>(name: &str, elems: u64, f: impl FnMut() -> R) -> Duration {
     let per_iter = bench(name, f);
@@ -74,7 +74,12 @@ mod tests {
 
     #[test]
     fn bench_reports_positive_time() {
-        let d = bench("selftest/noop-ish", || std::hint::black_box(1u64 + 1));
+        // The workload must be slow enough that per-iter time survives the
+        // integer division by the iteration count (a sub-ns body measures
+        // as 0 ns on a fast machine).
+        let d = bench("selftest/sum-1k", || {
+            (0..1_000u64).fold(0u64, |a, x| a ^ black_box(x))
+        });
         assert!(d > Duration::ZERO);
     }
 }

@@ -10,7 +10,10 @@
 //! carries no timestamps or host details — so the same root seed
 //! produces a byte-identical report at any `--jobs` setting.
 
-use crate::{mean, policies, run_security_seeded, security_victims, SecurityRow, DEFAULT_WATCHDOG};
+use crate::{
+    mean, policies, run_security_pair_seeded, run_watchdog_sweep_seeded, security_victims,
+    DEFAULT_WATCHDOG,
+};
 use csd_attack::{aes_attack, rsa_attack, AesAttackConfig, AttackMethod, Defense, RsaAttackConfig};
 use csd_crypto::RsaVictim;
 use csd_pipeline::CoreConfig;
@@ -24,7 +27,8 @@ use std::sync::Mutex;
 pub struct SuiteConfig {
     /// Root seed every per-task seed is derived from.
     pub root_seed: u64,
-    /// Worker threads (clamped to at least one).
+    /// Worker threads; `0` means one per available hardware thread
+    /// (see [`resolve_jobs`]).
     pub jobs: usize,
     /// Measured operations per security datapoint (figures 8–10).
     pub sec_blocks: usize,
@@ -173,25 +177,23 @@ fn build_tasks(cfg: &SuiteConfig) -> Vec<Task> {
     let mut tasks = Vec::new();
     let names = victim_names();
 
-    // -- Figures 8/9/10: {opt, noopt} × victim, base and stealth on the
-    //    same plaintext stream so the ratio is noise-free.
+    // -- Figures 8/9/10: {opt, noopt} × victim. Both legs fork from one
+    //    warmed checkpoint, so they share the plaintext stream (the ratio
+    //    is noise-free) and the warmup simulates only once.
     let blocks = cfg.sec_blocks;
     for (cfg_name, mk) in pipelines() {
         for (vi, name) in names.iter().enumerate() {
             tasks.push(task(format!("sec/{cfg_name}/{name}"), move |seed| {
                 let victims = security_victims();
                 let v = victims[vi].as_ref();
-                let row = SecurityRow {
-                    name: v.name(),
-                    base: run_security_seeded(v, false, mk(), blocks, DEFAULT_WATCHDOG, seed),
-                    stealth: run_security_seeded(v, true, mk(), blocks, DEFAULT_WATCHDOG, seed),
-                };
-                row.to_json()
+                run_security_pair_seeded(v, mk(), blocks, DEFAULT_WATCHDOG, seed).to_json()
             }));
         }
     }
 
     // -- Figure 11: watchdog-period sweep per victim (optimized pipeline).
+    //    One warmed checkpoint per victim; the base leg and every period's
+    //    stealth leg fork from it.
     let wd_blocks = cfg.wd_blocks;
     let periods = cfg.wd_periods.clone();
     for (vi, name) in names.iter().enumerate() {
@@ -199,25 +201,19 @@ fn build_tasks(cfg: &SuiteConfig) -> Vec<Task> {
         tasks.push(task(format!("wd/{name}"), move |seed| {
             let victims = security_victims();
             let v = victims[vi].as_ref();
-            let base = run_security_seeded(
-                v,
-                false,
-                CoreConfig::opt(),
-                wd_blocks,
-                DEFAULT_WATCHDOG,
-                seed,
-            );
-            let mut rows = Vec::new();
-            for &period in &periods {
-                let stealth =
-                    run_security_seeded(v, true, CoreConfig::opt(), wd_blocks, period, seed);
-                let slowdown = stealth.cycles as f64 / base.cycles as f64;
-                rows.push(Json::obj([
-                    ("period", Json::from(period)),
-                    ("stealth", stealth.to_json()),
-                    ("slowdown", Json::from(slowdown)),
-                ]));
-            }
+            let (base, sweep) =
+                run_watchdog_sweep_seeded(v, CoreConfig::opt(), wd_blocks, &periods, seed);
+            let rows: Vec<Json> = sweep
+                .into_iter()
+                .map(|(period, stealth)| {
+                    let slowdown = stealth.cycles as f64 / base.cycles as f64;
+                    Json::obj([
+                        ("period", Json::from(period)),
+                        ("stealth", stealth.to_json()),
+                        ("slowdown", Json::from(slowdown)),
+                    ])
+                })
+                .collect();
             Json::obj([
                 ("name", Json::from(v.name().as_str())),
                 ("base", base.to_json()),
@@ -402,7 +398,7 @@ pub fn run_suite(cfg: &SuiteConfig) -> SuiteReport {
     let n = tasks.len();
     let slots: Vec<Mutex<Option<Json>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    let workers = cfg.jobs.max(1).min(n);
+    let workers = resolve_jobs(cfg.jobs).min(n);
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
@@ -429,6 +425,19 @@ pub fn run_suite(cfg: &SuiteConfig) -> SuiteReport {
             .collect(),
     };
     assemble(cfg, &results)
+}
+
+/// Resolves a worker-count request: `0` (the "auto" convention shared by
+/// `--jobs 0` and an omitted flag) becomes one worker per available
+/// hardware thread; any other value passes through. Never returns zero.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
 }
 
 struct Results {
@@ -886,6 +895,33 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), labels.len());
+    }
+
+    #[test]
+    fn memoization_is_transparent_to_a_suite_task() {
+        // A fig08 datapoint — the exact closure body of `sec/opt/aes-enc`
+        // — must serialize to byte-identical JSON with decode memoization
+        // force-disabled, enabled memo being pure simulator bookkeeping.
+        let seed = derive_seed(0xC5D_2018, "sec/opt/aes-enc");
+        let victims = security_victims();
+        let v = victims[0].as_ref();
+        let on = run_security_pair_seeded(v, CoreConfig::opt(), 2, DEFAULT_WATCHDOG, seed)
+            .to_json()
+            .pretty();
+        let off_cfg = CoreConfig {
+            decode_memo_enabled: false,
+            ..CoreConfig::opt()
+        };
+        let off = run_security_pair_seeded(v, off_cfg, 2, DEFAULT_WATCHDOG, seed)
+            .to_json()
+            .pretty();
+        assert_eq!(on, off, "memoization must not perturb suite output");
+    }
+
+    #[test]
+    fn zero_jobs_resolves_to_available_parallelism() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
     }
 
     #[test]

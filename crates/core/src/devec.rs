@@ -85,6 +85,15 @@ impl Devectorizer {
         &self.stats
     }
 
+    /// Accounts one devectorized macro-op whose scalar flow has
+    /// `scalar_uops` µops replacing a `native_uops`-µop native translation.
+    /// Split out from [`Devectorizer::devectorize`] so a memoized decode
+    /// can replay the accounting without rebuilding the flow.
+    pub(crate) fn record(&mut self, scalar_uops: usize, native_uops: usize) {
+        self.stats.devectorized_insts += 1;
+        self.stats.extra_uops += scalar_uops.saturating_sub(native_uops) as u64;
+    }
+
     /// The criticality weight of a vector macro-op: one for simple
     /// instructions, more for those with a higher scalarized µop count
     /// (paper Figure 5).
@@ -133,8 +142,7 @@ impl Devectorizer {
         };
         debug_assert!(uops.iter().all(|u| u.validate().is_ok()));
 
-        self.stats.devectorized_insts += 1;
-        self.stats.extra_uops += uops.len().saturating_sub(native.uops.len()) as u64;
+        self.record(uops.len(), native.uops.len());
         let n = uops.len();
         Some(Translation {
             static_uops: n,

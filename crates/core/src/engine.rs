@@ -11,8 +11,9 @@ use csd_power::GatingParams;
 use csd_telemetry::{
     DecodeEvent, EventSink, GateEvent, Json, SinkHandle, StealthWindowEvent, ToJson,
 };
-use csd_uops::{translate, Translation};
+use csd_uops::{translate, DecodeMemo, MemoEntry, UopFlow};
 use mx86_isa::Placed;
+use std::sync::Arc;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Default)]
@@ -56,8 +57,10 @@ impl ToJson for CsdStats {
 /// The result of decoding one macro-op through the engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecodeOutcome {
-    /// The µop flow to execute.
-    pub translation: Translation,
+    /// The µop flow to execute: owned when freshly materialized, shared
+    /// when a memoized decode hands out the same allocation to every
+    /// dynamic instance of the instruction.
+    pub translation: UopFlow,
     /// The translation context that produced it (micro-op cache tag bits).
     pub context: ContextId,
     /// Pipeline stall imposed before execution (conventional VPU wake).
@@ -94,6 +97,9 @@ pub struct CsdEngine {
     active_custom: Option<u8>,
     stats: CsdStats,
     sink: SinkHandle,
+    /// Monotonically increasing decoder-context generation; see
+    /// [`CsdEngine::context_key`].
+    context_gen: u64,
 }
 
 impl CsdEngine {
@@ -108,7 +114,26 @@ impl CsdEngine {
             active_custom: None,
             stats: CsdStats::default(),
             sink: SinkHandle::new(),
+            context_gen: 0,
         }
+    }
+
+    /// The current decoder-context generation: a monotonically increasing
+    /// key that changes whenever anything that can influence translation
+    /// changes — an MSR write, a microcode update, a custom-mode switch, a
+    /// stealth-window arm/disarm, or a VPU gate-state change. Two decodes
+    /// of the same `(pc, tainted)` under the same key are guaranteed to
+    /// produce the same µop flow, which is what makes the key usable as a
+    /// memoization generation.
+    pub fn context_key(&self) -> u64 {
+        self.context_gen
+    }
+
+    /// Resets the context generation to zero, as on a freshly constructed
+    /// engine. Only meaningful alongside a full invalidation of anything
+    /// keyed by old generations (`Core::restart` clears its memo table).
+    pub fn reset_context_key(&mut self) {
+        self.context_gen = 0;
     }
 
     /// Attaches an event sink; decode, gate, and stealth-window events
@@ -143,6 +168,7 @@ impl CsdEngine {
         if MsrFile::is_csd_msr(msr) {
             self.stealth.configure(&self.msrs);
         }
+        self.context_gen += 1;
     }
 
     /// Reads an MSR.
@@ -159,11 +185,13 @@ impl CsdEngine {
     /// Re-snapshots decoder state from the MSR file.
     pub fn refresh(&mut self) {
         self.stealth.configure(&self.msrs);
+        self.context_gen += 1;
     }
 
     /// Activates (or deactivates) a custom MCU-installed translation mode.
     pub fn set_custom_mode(&mut self, mode: Option<u8>) {
         self.active_custom = mode;
+        self.context_gen += 1;
     }
 
     /// Applies a microcode update after verification.
@@ -181,14 +209,24 @@ impl CsdEngine {
         if installed {
             self.stats.mcu_applied += 1;
         }
+        self.context_gen += 1;
         Ok(installed)
     }
 
     /// Advances time: watchdog countdown and VPU gate-state residency.
+    /// A watchdog re-arm or a VPU state change bumps the context
+    /// generation (both alter what subsequent decodes produce).
     pub fn tick(&mut self, cycles: u64) {
+        let armed_was = self.stealth.armed();
         self.stealth.tick(cycles);
+        if self.stealth.armed() != armed_was {
+            self.context_gen += 1;
+        }
         let was = self.gate.state();
         self.gate.tick(cycles);
+        if self.gate.state() != was {
+            self.context_gen += 1;
+        }
         self.emit_gate_delta(was);
     }
 
@@ -205,24 +243,42 @@ impl CsdEngine {
     /// → devectorization (gate-controller decision) → stealth decoy
     /// injection on top of whatever translation resulted.
     pub fn decode(&mut self, placed: &Placed, tainted: bool) -> DecodeOutcome {
-        let inst = &placed.inst;
-        let native = translate(inst, placed.next_addr());
-        let mut translation = native.clone();
-        let mut context = ContextId::Native;
-        let mut stall_cycles = 0;
-        let mut vector_class = None;
+        self.decode_memo(placed, tainted, None)
+    }
 
+    /// Like [`CsdEngine::decode`], but consults (and feeds) a
+    /// [`DecodeMemo`] table keyed by `(pc, context_key, tainted)`.
+    ///
+    /// Memoization is semantically transparent: the *decision* phase —
+    /// gate-controller observation, stealth-interception check, statistics,
+    /// and event emission — runs on every decode; only the materialization
+    /// of the µop flow is cached. While the stealth defense is enabled the
+    /// table is bypassed entirely — window transitions and watchdog
+    /// re-arms roll the context key at data-dependent cycles, so no
+    /// cached line survives long enough to be reused — and a hit is
+    /// honored only when its context tag matches the freshly decided
+    /// context, so a gate-state flip triggered by this very decode falls
+    /// back to a full rebuild.
+    pub fn decode_memo(
+        &mut self,
+        placed: &Placed,
+        tainted: bool,
+        memo: Option<&mut DecodeMemo>,
+    ) -> DecodeOutcome {
+        let inst = &placed.inst;
+
+        // --- Decision phase: runs identically with or without the table.
         // 1. MCU-installed custom translation for the active custom mode.
-        if let Some(mode) = self.active_custom {
-            let ctx = ContextId::Custom(mode);
-            if let Some(patch) = self.patches.lookup(OpcodeClass::of(inst), ctx) {
-                translation = patch.clone();
-                context = ctx;
-            }
-        }
+        let patch_ctx = self
+            .active_custom
+            .map(ContextId::Custom)
+            .filter(|&ctx| self.patches.lookup(OpcodeClass::of(inst), ctx).is_some());
 
         // 2. VPU power management.
         let gate_was = self.gate.state();
+        let mut stall_cycles = 0;
+        let mut vector_class = None;
+        let mut devec_requested = false;
         if inst.is_vector() {
             let weight = Devectorizer::weight(inst);
             match self.gate.on_vector_inst(weight) {
@@ -235,28 +291,147 @@ impl CsdEngine {
                 }
                 VectorDecision::Devectorize(class) => {
                     vector_class = Some(class);
-                    if let Some(t) = self.devec.devectorize(inst, &native) {
-                        translation = t;
-                        context = ContextId::Devectorize;
-                    }
+                    devec_requested = true;
                 }
             }
         } else {
             self.gate.on_scalar_inst();
         }
         self.emit_gate_delta(gate_was);
+        if self.gate.state() != gate_was {
+            self.context_gen += 1;
+        }
 
-        // 3. Stealth-mode decoy injection (applies on top).
+        // --- Memo probe. The slot handle stays open across
+        // materialization so a miss can cache its result without hashing
+        // the key a second time. The whole table is bypassed while the
+        // stealth defense is enabled: its window transitions and watchdog
+        // re-arms bump the context generation at data-dependent cycles,
+        // rolling the key faster than any cached line can be reused, so
+        // probing and filling there is pure churn.
+        let mut slot = None;
+        if self.stealth.enabled() {
+            if let Some(m) = memo {
+                m.note_bypass();
+            }
+        } else if let Some(m) = memo {
+            let s = m.probe(placed.addr, self.context_gen, tainted);
+            if let Some(entry) = s.get() {
+                let decided = if devec_requested {
+                    ContextId::Devectorize
+                } else {
+                    patch_ctx.unwrap_or(ContextId::Native)
+                };
+                // A hit is only usable when its tag matches the context
+                // just decided on: a devectorize request must not honor a
+                // native-tagged flow (the devectorizer declines loads and
+                // stores), nor the other way around.
+                if entry.tag == decided.tag() {
+                    let translation = UopFlow::Shared(Arc::clone(&entry.translation));
+                    let (uops, decoys, native_uops) =
+                        (entry.uops, entry.decoy_uops, entry.native_uops);
+                    s.hit();
+                    if decided == ContextId::Devectorize {
+                        self.devec.record(uops as usize, native_uops as usize);
+                    }
+                    return self.finish_decode(
+                        placed,
+                        translation,
+                        decided,
+                        uops,
+                        decoys,
+                        stall_cycles,
+                        vector_class,
+                    );
+                }
+            }
+            slot = Some(s);
+        }
+
+        // --- Materialization (miss, bypass, or no table).
+        let native = translate(inst, placed.next_addr());
+        let native_len = native.uops.len() as u32;
+        let devectorized = if devec_requested {
+            self.devec.devectorize(inst, &native)
+        } else {
+            None
+        };
+        let (mut translation, mut context) = match devectorized {
+            Some(t) => (t, ContextId::Devectorize),
+            None => match patch_ctx {
+                Some(ctx) => (
+                    self.patches
+                        .lookup(OpcodeClass::of(inst), ctx)
+                        .expect("patch_ctx implies a patch")
+                        .clone(),
+                    ctx,
+                ),
+                None => (native, ContextId::Native),
+            },
+        };
+
+        // Stealth-mode decoy injection (applies on top). Injection disarms
+        // the window: a context transition.
         if let Some(t) = self.stealth.on_decode(placed, &translation, tainted) {
             translation = t;
             context = ContextId::Stealth;
+            self.context_gen += 1;
         }
 
-        let uops = translation.uops.len() as u64;
-        let decoys = translation.uops.iter().filter(|u| u.is_decoy()).count() as u64;
+        let uops = translation.uops.len() as u32;
+        let decoys = translation.uops.iter().filter(|u| u.is_decoy()).count() as u32;
+
+        // Only a flow headed into the table pays for shared ownership;
+        // everything else stays an owned, allocation-free handoff.
+        let flow = match slot {
+            Some(s) if context != ContextId::Stealth => {
+                let shared = Arc::new(translation);
+                s.fill(MemoEntry {
+                    translation: Arc::clone(&shared),
+                    tag: context.tag(),
+                    uops,
+                    decoy_uops: decoys,
+                    native_uops: native_len,
+                });
+                UopFlow::Shared(shared)
+            }
+            Some(s) => {
+                // Decoy injection happened on a decode the bypass did not
+                // catch (defensive: keep non-deterministic flows out of
+                // the table).
+                s.skip();
+                UopFlow::Owned(translation)
+            }
+            None => UopFlow::Owned(translation),
+        };
+
+        self.finish_decode(
+            placed,
+            flow,
+            context,
+            uops,
+            decoys,
+            stall_cycles,
+            vector_class,
+        )
+    }
+
+    /// Shared tail of memoized and full decodes: statistics, event
+    /// emission, and the outcome itself.
+    #[allow(clippy::too_many_arguments)] // internal seam between the two decode paths
+    fn finish_decode(
+        &mut self,
+        placed: &Placed,
+        translation: UopFlow,
+        context: ContextId,
+        uops: u32,
+        decoys: u32,
+        stall_cycles: u64,
+        vector_class: Option<VectorExecClass>,
+    ) -> DecodeOutcome {
         self.stats.decoded_insts += 1;
-        self.stats.total_uops += uops;
-        self.stats.decoy_uops += decoys;
+        self.stats.total_uops += u64::from(uops);
+        self.stats.decoy_uops += u64::from(decoys);
         if context != ContextId::Native {
             self.stats.custom_decoded += 1;
         }
@@ -264,15 +439,15 @@ impl CsdEngine {
         let ev = DecodeEvent {
             addr: placed.addr,
             context: context.bit(),
-            uops: uops as u32,
-            decoy_uops: decoys as u32,
+            uops,
+            decoy_uops: decoys,
             stall_cycles,
         };
         self.sink.with(|s| s.on_decode(&ev));
         if context == ContextId::Stealth && decoys > 0 {
             let ev = StealthWindowEvent {
                 addr: placed.addr,
-                decoy_uops: decoys as u32,
+                decoy_uops: decoys,
             };
             self.sink.with(|s| s.on_stealth_window(&ev));
         }
@@ -341,7 +516,7 @@ mod tests {
         let p = load_at(0x100);
         let out = e.decode(&p, false);
         assert_eq!(out.context, ContextId::Native);
-        assert_eq!(out.translation, translate(&p.inst, p.next_addr()));
+        assert_eq!(*out.translation, translate(&p.inst, p.next_addr()));
     }
 
     #[test]
@@ -539,6 +714,151 @@ mod tests {
         let mut cloned = cloned;
         cloned.decode(&load_at(0x200), false);
         assert_eq!(counts.decodes.load(Ordering::Relaxed), before);
+    }
+
+    /// Property: any MSR write or (verified) microcode update strictly
+    /// increases the context key, for arbitrary MSR indices and values.
+    #[test]
+    fn context_key_strictly_increases_on_msr_and_mcu() {
+        let mut rng = csd_telemetry::SplitMix64::new(0x00C0_FFEE);
+        let mut e = CsdEngine::default();
+        for i in 0..2_000u64 {
+            let before = e.context_key();
+            if i % 5 == 4 {
+                let mode = rng.next_u8() % 8;
+                let mcu = MicrocodeUpdate::new(
+                    i as u32 + 1,
+                    OpcodeClass::Nop,
+                    ContextId::Custom(mode),
+                    false,
+                    vec![Inst::Nop { len: 1 }],
+                );
+                e.apply_microcode_update(&mcu, PrivilegeLevel::Kernel)
+                    .unwrap();
+            } else {
+                e.write_msr(rng.next_u32(), rng.next_u64());
+            }
+            assert!(
+                e.context_key() > before,
+                "context key did not advance (step {i})"
+            );
+        }
+        // Rejected updates change nothing and must not bump the key.
+        let before = e.context_key();
+        let mcu = MicrocodeUpdate::new(1, OpcodeClass::Nop, ContextId::Custom(0), false, vec![]);
+        assert!(e
+            .apply_microcode_update(&mcu, PrivilegeLevel::User)
+            .is_err());
+        assert_eq!(e.context_key(), before);
+    }
+
+    #[test]
+    fn custom_mode_and_refresh_bump_context_key() {
+        let mut e = CsdEngine::default();
+        let k0 = e.context_key();
+        e.set_custom_mode(Some(3));
+        assert!(e.context_key() > k0);
+        let k1 = e.context_key();
+        e.refresh();
+        assert!(e.context_key() > k1);
+    }
+
+    /// The one transition `tick` can cause on a default engine is the
+    /// stealth watchdog re-arm; it must bump the key.
+    #[test]
+    fn watchdog_rearm_bumps_context_key() {
+        let mut e = CsdEngine::default();
+        e.write_msr(MSR_DATA_RANGE_BASE, 0x8000);
+        e.write_msr(MSR_DATA_RANGE_BASE + 1, 0x8000 + 64);
+        e.write_msr(MSR_CSD_CTL, CTL_STEALTH | CTL_DIFT_TRIGGER);
+        // Injection disarms: bump.
+        let k0 = e.context_key();
+        assert_eq!(e.decode(&load_at(0x100), true).context, ContextId::Stealth);
+        assert!(e.context_key() > k0);
+        // Watchdog expiry re-arms: bump.
+        let k1 = e.context_key();
+        e.tick(10_000);
+        assert!(e.context_key() > k1);
+    }
+
+    /// Memoization must be invisible: identical outcomes, statistics, and
+    /// sink-event counts across a mixed stealth/devec/custom decode
+    /// sequence, with hits actually occurring.
+    #[test]
+    fn memoized_decode_is_transparent() {
+        use csd_uops::DecodeMemo;
+
+        fn engine() -> CsdEngine {
+            let cfg = CsdConfig {
+                vpu_policy: VpuPolicy::CsdDevec(DevecThresholds {
+                    window: 8,
+                    low: 1,
+                    high: 16,
+                }),
+                ..CsdConfig::default()
+            };
+            let mut e = CsdEngine::new(cfg);
+            e.write_msr(MSR_DATA_RANGE_BASE, 0x8000);
+            e.write_msr(MSR_DATA_RANGE_BASE + 1, 0x8000 + 2 * 64);
+            e.write_msr(MSR_CSD_CTL, CTL_STEALTH | CTL_DIFT_TRIGGER);
+            e
+        }
+        let mut plain = engine();
+        let mut memoized = engine();
+        let mut memo = DecodeMemo::new();
+
+        let scalar = Placed {
+            addr: 0x10,
+            inst: Inst::MovRI {
+                dst: Gpr::Rax,
+                imm: 1,
+            },
+        };
+        let vector = Placed {
+            addr: 0x40,
+            inst: Inst::VAlu {
+                op: VecOp::PAddB,
+                dst: Xmm::new(0),
+                src: Xmm::new(1),
+            },
+        };
+        // Loop the same footprint several times: tainted loads (stealth
+        // fires on the first, then the window is disarmed), scalars (gate
+        // the VPU), vectors (devectorized once gated). Stealth enabled for
+        // the first half — every decode bypasses the table — then disabled
+        // by MSR write for the second half, where memoization engages.
+        for round in 0..12 {
+            if round == 6 {
+                plain.write_msr(MSR_CSD_CTL, CTL_DIFT_TRIGGER);
+                memoized.write_msr(MSR_CSD_CTL, CTL_DIFT_TRIGGER);
+            }
+            for (p, tainted) in [
+                (load_at(0x100), true),
+                (scalar, false),
+                (scalar, false),
+                (vector, false),
+                (load_at(0x100), false),
+            ] {
+                let a = plain.decode(&p, tainted);
+                let b = memoized.decode_memo(&p, tainted, Some(&mut memo));
+                assert_eq!(a.context, b.context, "round {round} @{:#x}", p.addr);
+                assert_eq!(*a.translation, *b.translation);
+                assert_eq!(a.stall_cycles, b.stall_cycles);
+                assert_eq!(a.vector_class, b.vector_class);
+            }
+            plain.tick(50);
+            memoized.tick(50);
+        }
+        assert_eq!(plain.stats(), memoized.stats());
+        assert_eq!(plain.stealth().stats(), memoized.stealth().stats());
+        assert_eq!(
+            plain.devectorizer().stats(),
+            memoized.devectorizer().stats()
+        );
+        assert_eq!(plain.gate().stats(), memoized.gate().stats());
+        assert_eq!(plain.context_key(), memoized.context_key());
+        assert!(memo.stats().hits > 0, "memo never hit: {:?}", memo.stats());
+        assert!(memo.stats().bypasses > 0, "stealth decode never bypassed");
     }
 
     #[test]

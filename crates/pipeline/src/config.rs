@@ -65,6 +65,11 @@ pub struct CoreConfig {
     pub uop_cache_enabled: bool,
     /// Whether micro-op fusion is modeled.
     pub fusion_enabled: bool,
+    /// Whether the simulation kernel memoizes decodes by
+    /// `(pc, context_key, tainted)`. Semantically transparent — purely a
+    /// simulator speedup, not part of the modeled machine — and can also
+    /// be force-disabled at runtime with `CSD_DECODE_MEMO=0`.
+    pub decode_memo_enabled: bool,
 }
 
 impl Default for CoreConfig {
@@ -99,6 +104,7 @@ impl Default for CoreConfig {
             uop_cache_max_lines_per_window: 3,
             uop_cache_enabled: true,
             fusion_enabled: true,
+            decode_memo_enabled: true,
         }
     }
 }

@@ -9,19 +9,29 @@
 //! through the same CSD decode path and the same cache hierarchy state —
 //! without the timing layer, for experiments whose results depend on
 //! architectural cache state rather than cycles (the side-channel studies).
+//!
+//! [`Core::step`] itself is a thin orchestrator over four explicit stage
+//! modules — [`crate::fetch`], [`crate::decode`], [`crate::execute`],
+//! [`crate::commit`] — connected by a per-instruction
+//! [`StageCtx`](crate::stage::StageCtx). The decode stage consults a
+//! context-keyed memoization table ([`csd_uops::DecodeMemo`]): the
+//! simulator-level analogue of the paper's context-tagged µop cache, keyed
+//! by `(pc, context_key, tainted)` and invalidated wholesale whenever
+//! [`CsdEngine::context_key`] advances.
 
 use crate::branch::BranchPredictor;
 use crate::config::CoreConfig;
-use crate::exec;
-use crate::machine::{ArchState, Flags, Memory};
+use crate::decode::WindowBuilder;
+use crate::machine::{ArchState, Memory};
 use crate::uop_cache::{UopCache, UopCacheStats};
-use csd::{ContextId, CsdConfig, CsdEngine};
-use csd_cache::{AccessKind, Hierarchy};
-use csd_dift::{Dift, DIFT_L2_TAG_PENALTY};
+use crate::{commit, decode, execute, fetch};
+use csd::{CsdConfig, CsdEngine};
+use csd_cache::Hierarchy;
+use csd_dift::Dift;
 use csd_power::{Activity, EnergyModel, Unit};
-use csd_telemetry::{EventSink, Json, RetireEvent, SinkHandle, ToJson};
-use csd_uops::{fusion, DecoyTarget, UReg, Uop, UopKind};
-use mx86_isa::{Gpr, Inst, MemRef, Placed, Program};
+use csd_telemetry::{EventSink, Json, SinkHandle, ToJson};
+use csd_uops::{DecodeMemo, MemoStats, UReg};
+use mx86_isa::Program;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -118,34 +128,33 @@ impl ToJson for SimStats {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct WindowBuilder {
-    window: u64,
-    ctx: ContextId,
-    fused: u32,
-    cacheable: bool,
+/// Counters for [`Core::snapshot`] / [`Core::restore`]. Deliberately kept
+/// *outside* the snapshot: restoring never rewinds them, so they count
+/// real checkpoint traffic over the core's whole lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Snapshots taken.
+    pub snapshots: u64,
+    /// Restores performed.
+    pub restores: u64,
 }
 
-/// The simulator core: program, architectural state, memory, caches, CSD
-/// engine, DIFT, branch prediction, and the timing model.
-#[derive(Debug)]
-pub struct Core {
-    cfg: CoreConfig,
-    mode: SimMode,
-    program: Program,
-    /// Architectural + decoder-internal register state.
-    pub state: ArchState,
-    /// Flat data/instruction memory.
-    pub mem: Memory,
+/// Everything [`Core::restore`] rewinds: architectural and decoder-internal
+/// registers, the memory image, the cache hierarchy, the CSD engine (MSRs,
+/// stealth/gate/devec state and statistics), DIFT, branch predictor, µop
+/// cache, simulation statistics, and the cycle-timing state. The program,
+/// configuration, simulation mode, event sinks, checkpoint counters, and
+/// the decode-memoization table stay with the live core.
+#[derive(Debug, Clone)]
+pub struct CoreSnapshot {
+    state: ArchState,
+    mem: Memory,
     hier: Hierarchy,
     engine: CsdEngine,
     dift: Dift,
     bp: BranchPredictor,
     ucache: UopCache,
     stats: SimStats,
-    sink: SinkHandle,
-
-    // --- timing state (cycle mode) ---
     fe_time: f64,
     last_dispatch: f64,
     last_commit: f64,
@@ -165,6 +174,62 @@ pub struct Core {
     halted: bool,
 }
 
+/// The simulator core: program, architectural state, memory, caches, CSD
+/// engine, DIFT, branch prediction, and the timing model.
+#[derive(Debug)]
+pub struct Core {
+    pub(crate) cfg: CoreConfig,
+    pub(crate) mode: SimMode,
+    pub(crate) program: Program,
+    /// Architectural + decoder-internal register state.
+    pub state: ArchState,
+    /// Flat data/instruction memory.
+    pub mem: Memory,
+    pub(crate) hier: Hierarchy,
+    pub(crate) engine: CsdEngine,
+    pub(crate) dift: Dift,
+    pub(crate) bp: BranchPredictor,
+    pub(crate) ucache: UopCache,
+    pub(crate) stats: SimStats,
+    pub(crate) sink: SinkHandle,
+
+    // --- simulation kernel (not part of the modeled machine) ---
+    pub(crate) memo: DecodeMemo,
+    pub(crate) memo_enabled: bool,
+    ckpt: CheckpointStats,
+
+    // --- timing state (cycle mode) ---
+    pub(crate) fe_time: f64,
+    pub(crate) last_dispatch: f64,
+    pub(crate) last_commit: f64,
+    pub(crate) sched: HashMap<UReg, f64>,
+    pub(crate) flags_ready: f64,
+    pub(crate) alu_ports: Vec<f64>,
+    pub(crate) load_ports: Vec<f64>,
+    pub(crate) store_ports: Vec<f64>,
+    pub(crate) vec_ports: Vec<f64>,
+    pub(crate) rob: VecDeque<f64>,
+    pub(crate) prev_from_uc: bool,
+    pub(crate) window_builder: Option<WindowBuilder>,
+    pub(crate) prev_fusable_cmp: bool,
+    pub(crate) pending_mispredict: bool,
+    pub(crate) last_tick: u64,
+    pub(crate) func_cycles: u64,
+    pub(crate) halted: bool,
+}
+
+/// Whether the `CSD_DECODE_MEMO` environment variable force-disables the
+/// decode-memoization table (`0`, `false`, `off`, or `no`).
+fn env_memo_enabled() -> bool {
+    match std::env::var("CSD_DECODE_MEMO") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off" | "no"
+        ),
+        Err(_) => true,
+    }
+}
+
 impl Core {
     /// Builds a core around a program.
     pub fn new(cfg: CoreConfig, csd_cfg: CsdConfig, program: Program, mode: SimMode) -> Core {
@@ -177,6 +242,7 @@ impl Core {
             cfg.uop_cache_line_uops,
             cfg.uop_cache_max_lines_per_window,
         );
+        let memo_enabled = cfg.decode_memo_enabled && env_memo_enabled();
         Core {
             hier: Hierarchy::new(cfg.hierarchy),
             engine: CsdEngine::new(csd_cfg),
@@ -187,6 +253,9 @@ impl Core {
             mem: Memory::new(),
             stats: SimStats::default(),
             sink: SinkHandle::new(),
+            memo: DecodeMemo::new(),
+            memo_enabled,
+            ckpt: CheckpointStats::default(),
             fe_time: 0.0,
             last_dispatch: 0.0,
             last_commit: 0.0,
@@ -274,6 +343,22 @@ impl Core {
         &self.stats
     }
 
+    /// Decode-memoization counters (hits, misses, bypasses).
+    pub fn memo_stats(&self) -> &MemoStats {
+        self.memo.stats()
+    }
+
+    /// Whether the decode-memoization table is active (configuration AND
+    /// the `CSD_DECODE_MEMO` environment toggle).
+    pub fn memo_enabled(&self) -> bool {
+        self.memo_enabled
+    }
+
+    /// Snapshot/restore counters.
+    pub fn checkpoint_stats(&self) -> &CheckpointStats {
+        &self.ckpt
+    }
+
     /// Current cycle count.
     pub fn cycles(&self) -> u64 {
         match self.mode {
@@ -290,10 +375,92 @@ impl Core {
     /// Rewinds the PC to the program entry and clears the halt latch so the
     /// program can run again. Caches, predictors, the µop cache, CSD state,
     /// statistics, and memory all persist — exactly what repeated victim
-    /// invocations (one per encryption) need.
+    /// invocations (one per encryption) need. The simulation kernel's
+    /// decode-memoization counters and context generation reset to their
+    /// fresh-core values (they are simulator bookkeeping, not machine
+    /// state), while the table's cached lines stay warm like any other
+    /// cache: restart changes no decoder configuration, so every line is
+    /// still valid, and the next run of a straight-line victim hits where
+    /// the first one filled.
     pub fn restart(&mut self) {
         self.state.rip = self.program.entry();
         self.halted = false;
+        self.memo.reset();
+        self.engine.reset_context_key();
+    }
+
+    /// Captures everything needed to resume simulation from this exact
+    /// point: the modeled machine in full (see [`CoreSnapshot`]). The
+    /// suite uses this to fast-forward a victim's warmup once and fork
+    /// attack variants from the checkpoint instead of re-simulating it.
+    pub fn snapshot(&mut self) -> CoreSnapshot {
+        self.ckpt.snapshots += 1;
+        CoreSnapshot {
+            state: self.state.clone(),
+            mem: self.mem.clone(),
+            hier: self.hier.clone(),
+            engine: self.engine.clone(),
+            dift: self.dift.clone(),
+            bp: self.bp.clone(),
+            ucache: self.ucache.clone(),
+            stats: self.stats,
+            fe_time: self.fe_time,
+            last_dispatch: self.last_dispatch,
+            last_commit: self.last_commit,
+            sched: self.sched.clone(),
+            flags_ready: self.flags_ready,
+            alu_ports: self.alu_ports.clone(),
+            load_ports: self.load_ports.clone(),
+            store_ports: self.store_ports.clone(),
+            vec_ports: self.vec_ports.clone(),
+            rob: self.rob.clone(),
+            prev_from_uc: self.prev_from_uc,
+            window_builder: self.window_builder,
+            prev_fusable_cmp: self.prev_fusable_cmp,
+            pending_mispredict: self.pending_mispredict,
+            last_tick: self.last_tick,
+            func_cycles: self.func_cycles,
+            halted: self.halted,
+        }
+    }
+
+    /// Rewinds the core to `snap`. Event sinks stay attached to the live
+    /// core (cloning an engine never drags a sink, so the snapshot holds
+    /// none), and the decode-memoization table is emptied: the restored
+    /// context generation may re-reach values the table already saw under
+    /// different machine state.
+    pub fn restore(&mut self, snap: &CoreSnapshot) {
+        self.ckpt.restores += 1;
+        self.state = snap.state.clone();
+        self.mem = snap.mem.clone();
+        self.hier = snap.hier.clone();
+        let sink = self.engine.take_event_sink();
+        self.engine = snap.engine.clone();
+        if let Some(s) = sink {
+            self.engine.set_event_sink(s);
+        }
+        self.dift = snap.dift.clone();
+        self.bp = snap.bp.clone();
+        self.ucache = snap.ucache.clone();
+        self.stats = snap.stats;
+        self.fe_time = snap.fe_time;
+        self.last_dispatch = snap.last_dispatch;
+        self.last_commit = snap.last_commit;
+        self.sched = snap.sched.clone();
+        self.flags_ready = snap.flags_ready;
+        self.alu_ports = snap.alu_ports.clone();
+        self.load_ports = snap.load_ports.clone();
+        self.store_ports = snap.store_ports.clone();
+        self.vec_ports = snap.vec_ports.clone();
+        self.rob = snap.rob.clone();
+        self.prev_from_uc = snap.prev_from_uc;
+        self.window_builder = snap.window_builder;
+        self.prev_fusable_cmp = snap.prev_fusable_cmp;
+        self.pending_mispredict = snap.pending_mispredict;
+        self.last_tick = snap.last_tick;
+        self.func_cycles = snap.func_cycles;
+        self.halted = snap.halted;
+        self.memo.clear_entries();
     }
 
     /// Per-unit activity for the energy model.
@@ -321,11 +488,14 @@ impl Core {
 
     /// Every counter the simulator keeps, as one nested JSON report:
     /// pipeline, CSD engine, stealth, devectorizer, gate residency, µop
-    /// cache, cache hierarchy, activity, and the default-model energy
-    /// breakdown. This is the per-run payload of `BENCH_suite.json`.
+    /// cache, cache hierarchy, activity, the default-model energy
+    /// breakdown, and the simulation kernel's own counters (context key,
+    /// decode memoization, checkpointing — see the README telemetry
+    /// schema).
     pub fn telemetry_report(&self) -> Json {
         let e = &self.engine;
         let activity = self.activity();
+        let m = self.memo.stats();
         Json::obj([
             ("sim", self.stats.to_json()),
             ("csd", e.stats().to_json()),
@@ -339,97 +509,45 @@ impl Core {
                 "energy",
                 EnergyModel::default().breakdown(&activity).to_json(),
             ),
+            (
+                "kernel",
+                Json::obj([
+                    ("context_key", Json::from(e.context_key())),
+                    (
+                        "decode_memo",
+                        Json::obj([
+                            ("enabled", Json::from(self.memo_enabled)),
+                            ("hits", Json::from(m.hits)),
+                            ("misses", Json::from(m.misses)),
+                            ("bypasses", Json::from(m.bypasses)),
+                            ("invalidations", Json::from(m.invalidations)),
+                            ("inserts", Json::from(m.inserts)),
+                        ]),
+                    ),
+                    (
+                        "checkpoint",
+                        Json::obj([
+                            ("snapshots", Json::from(self.ckpt.snapshots)),
+                            ("restores", Json::from(self.ckpt.restores)),
+                        ]),
+                    ),
+                ]),
+            ),
         ])
     }
 
-    /// Executes one macro-op.
+    /// Executes one macro-op through the four pipeline stages.
     pub fn step(&mut self) -> StepOutcome {
         if self.halted {
             return StepOutcome::Halted;
         }
-        let placed = match self.program.fetch(self.state.rip) {
-            Some(p) => *p,
-            None => return StepOutcome::Fault(self.state.rip),
+        let mut ctx = match fetch::run(self) {
+            Ok(ctx) => ctx,
+            Err(outcome) => return outcome,
         };
-
-        // 1. Instruction fetch: touch every line the encoding spans.
-        let line = self.cfg.hierarchy.l1i.line_bytes as u64;
-        let first = placed.addr & !(line - 1);
-        let last = (placed.addr + u64::from(placed.inst.len()) - 1) & !(line - 1);
-        let mut fetch_penalty = 0.0;
-        let mut a = first;
-        while a <= last {
-            let r = self.hier.access(a, AccessKind::InstFetch);
-            if !r.l1_hit() {
-                fetch_penalty = f64::max(
-                    fetch_penalty,
-                    (r.latency - self.cfg.hierarchy.l1i.latency) as f64,
-                );
-            }
-            a += line;
-        }
-
-        // 2. DIFT verdict for the trigger, then decode through CSD.
-        let tainted = self.macro_tainted(&placed.inst);
-        let out = self.engine.decode(&placed, tainted);
-        self.stats.stall_cycles += out.stall_cycles;
-
-        // 3. Front-end timing and µop-cache bookkeeping.
-        let fused_slots = self.front_end(&placed, &out, fetch_penalty);
-
-        // 4. Execute (and time) the µop flow.
-        let next_pc = self.execute_flow(&placed, &out.translation.uops, out.stall_cycles);
-
-        // 5. Retire.
-        self.stats.insts += 1;
-        self.stats.uops += out.translation.uops.len() as u64;
-        self.stats.fused_slots += fused_slots as u64;
-        self.stats.decoy_uops +=
-            out.translation.uops.iter().filter(|u| u.is_decoy()).count() as u64;
-        self.prev_fusable_cmp = matches!(placed.inst, Inst::Cmp { .. } | Inst::Test { .. });
-
-        if self.mode == SimMode::Functional {
-            self.func_cycles += out.translation.uops.len() as u64;
-        }
-
-        // 6. Advance the engine's notion of time (watchdog, gate residency).
-        let now = self.cycles();
-        let delta = now.saturating_sub(self.last_tick);
-        if delta > 0 {
-            self.engine.tick(delta);
-            self.last_tick = now;
-        }
-
-        let ev = RetireEvent {
-            addr: placed.addr,
-            uops: out.translation.uops.len() as u32,
-            insts: self.stats.insts,
-            cycles: now,
-        };
-        self.sink.with(|s| s.on_retire(&ev));
-
-        match next_pc {
-            Some(FlowEnd::Halt) => {
-                self.halted = true;
-                self.stats.halted = true;
-                self.finalize_window();
-                self.stats.cycles = self.cycles();
-                StepOutcome::Halted
-            }
-            Some(FlowEnd::Branch(t)) => {
-                // A taken control transfer ends µop-cache window building,
-                // even when the target lies in the same window.
-                self.finalize_window();
-                self.state.rip = t;
-                self.stats.cycles = self.cycles();
-                StepOutcome::Running
-            }
-            None => {
-                self.state.rip = placed.next_addr();
-                self.stats.cycles = self.cycles();
-                StepOutcome::Running
-            }
-        }
+        decode::run(self, &mut ctx);
+        execute::run(self, &mut ctx);
+        commit::run(self, ctx)
     }
 
     /// Runs until halt, fault, or `max_insts` retired. Returns the outcome
@@ -459,599 +577,4 @@ impl Core {
         }
         last
     }
-
-    // ------------------------------------------------------------------
-    // decode-time helpers
-    // ------------------------------------------------------------------
-
-    fn macro_tainted(&self, inst: &Inst) -> bool {
-        if !self.cfg.dift_enabled {
-            return false;
-        }
-        let mem_tainted = |m: &MemRef| {
-            m.base.is_some_and(|b| self.dift.reg_tainted(UReg::Gpr(b)))
-                || m.index
-                    .is_some_and(|(i, _)| self.dift.reg_tainted(UReg::Gpr(i)))
-        };
-        match inst {
-            Inst::Load { mem, .. }
-            | Inst::Store { mem, .. }
-            | Inst::AluLoad { mem, .. }
-            | Inst::AluStore { mem, .. }
-            | Inst::VLoad { mem, .. }
-            | Inst::VStore { mem, .. }
-            | Inst::VAluLoad { mem, .. } => mem_tainted(mem),
-            Inst::Jcc { .. } => self.dift.flags_tainted(),
-            Inst::JmpInd { reg } => self.dift.reg_tainted(UReg::Gpr(*reg)),
-            _ => false,
-        }
-    }
-
-    /// Front-end delivery timing; returns the fused slot count.
-    fn front_end(
-        &mut self,
-        placed: &Placed,
-        out: &csd::DecodeOutcome,
-        fetch_penalty: f64,
-    ) -> usize {
-        let uops = &out.translation.uops;
-        let mut fused = if self.cfg.fusion_enabled {
-            fusion::fused_len(uops)
-        } else {
-            uops.len()
-        };
-        // Macro-op fusion: a cmp/test immediately followed by jcc shares a
-        // slot; model as the jcc contributing zero additional slots.
-        if self.cfg.fusion_enabled
-            && self.prev_fusable_cmp
-            && matches!(placed.inst, Inst::Jcc { .. })
-        {
-            fused = fused.saturating_sub(1);
-        }
-
-        if self.mode == SimMode::Functional {
-            // Track µop-cache *occupancy* statistics even without timing.
-            if self.cfg.uop_cache_enabled {
-                let window = UopCache::window_of(placed.addr);
-                if self.ucache.lookup(window, out.context) {
-                    self.stats.uop_cache_insts += 1;
-                    self.finalize_window();
-                } else {
-                    self.count_legacy(&out.translation);
-                    self.build_window(window, out.context, fused as u32, out.translation.cacheable);
-                }
-            } else {
-                self.count_legacy(&out.translation);
-            }
-            return fused.max(1);
-        }
-
-        self.fe_time += fetch_penalty;
-        let from_uc = if self.cfg.uop_cache_enabled {
-            let window = UopCache::window_of(placed.addr);
-            if self.ucache.lookup(window, out.context) {
-                self.stats.uop_cache_insts += 1;
-                self.finalize_window();
-                true
-            } else {
-                self.count_legacy(&out.translation);
-                self.build_window(window, out.context, fused as u32, out.translation.cacheable);
-                false
-            }
-        } else {
-            self.count_legacy(&out.translation);
-            false
-        };
-
-        if from_uc != self.prev_from_uc {
-            self.fe_time += self.cfg.uop_cache_switch_penalty;
-        }
-        self.prev_from_uc = from_uc;
-
-        let cost = if from_uc {
-            fused.max(1) as f64 / self.cfg.uop_cache_width as f64
-        } else if out.translation.from_msrom {
-            // The MSROM sequencer takes over the decode slot entirely.
-            uops.len() as f64 / self.cfg.msrom_width_uops as f64 + 1.0
-        } else {
-            let decode = uops.len() as f64 / self.cfg.decode_width_uops as f64;
-            let length_decode = f64::from(placed.inst.len()) / self.cfg.fetch_bytes as f64;
-            decode.max(length_decode).max(0.25)
-        };
-        self.fe_time += cost;
-        fused.max(1)
-    }
-
-    fn count_legacy(&mut self, t: &csd_uops::Translation) {
-        if t.from_msrom {
-            self.stats.msrom_insts += 1;
-        } else {
-            self.stats.legacy_insts += 1;
-        }
-    }
-
-    fn build_window(&mut self, window: u64, ctx: ContextId, fused: u32, cacheable: bool) {
-        match &mut self.window_builder {
-            Some(b) if b.window == window && b.ctx == ctx => {
-                b.fused += fused;
-                b.cacheable &= cacheable;
-            }
-            _ => {
-                self.finalize_window();
-                self.window_builder = Some(WindowBuilder {
-                    window,
-                    ctx,
-                    fused,
-                    cacheable,
-                });
-            }
-        }
-    }
-
-    fn finalize_window(&mut self) {
-        if let Some(b) = self.window_builder.take() {
-            if self.cfg.uop_cache_enabled {
-                self.ucache.insert(b.window, b.ctx, b.fused, b.cacheable);
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // execution + back-end timing
-    // ------------------------------------------------------------------
-
-    fn execute_flow(&mut self, placed: &Placed, uops: &[Uop], stall: u64) -> Option<FlowEnd> {
-        let timing = self.mode == SimMode::Cycle;
-        let inst_ready = self.fe_time + stall as f64;
-        let mut end = None;
-        let mut slot_dispatch = inst_ready;
-
-        for (i, u) in uops.iter().enumerate() {
-            // Dispatch bandwidth: fused pairs share a slot.
-            let in_prev_slot = timing
-                && self.cfg.fusion_enabled
-                && i > 0
-                && fusion::can_micro_fuse(&uops[i - 1], u);
-            if timing && !in_prev_slot {
-                slot_dispatch = f64::max(
-                    inst_ready,
-                    self.last_dispatch + 1.0 / self.cfg.dispatch_width as f64,
-                );
-                self.last_dispatch = slot_dispatch;
-            }
-
-            let (effect, access_latency) = self.exec_uop(u, placed);
-
-            if timing {
-                self.time_uop(u, slot_dispatch, access_latency, &effect, placed);
-            }
-
-            match effect {
-                UopEffect::Halt => {
-                    end = Some(FlowEnd::Halt);
-                    break;
-                }
-                UopEffect::Branch(t) => {
-                    end = Some(FlowEnd::Branch(t));
-                    // A taken branch ends the flow (branch µops are last in
-                    // native flows; decoy branches never produce effects).
-                    break;
-                }
-                UopEffect::None => {}
-            }
-        }
-        end
-    }
-
-    /// Functionally executes one µop. Returns its control effect and, for
-    /// memory µops, the hierarchy access latency.
-    fn exec_uop(&mut self, u: &Uop, placed: &Placed) -> (UopEffect, u64) {
-        // Decoy µops: only the cache touch is real; dataflow stays in
-        // temporaries and flags/control are suppressed.
-        if let Some(target) = u.decoy {
-            return match u.kind {
-                UopKind::Ld => {
-                    let ea = self.ea(u);
-                    let kind = match target {
-                        DecoyTarget::Data => AccessKind::DataRead,
-                        DecoyTarget::Inst => AccessKind::InstFetch,
-                    };
-                    let r = self.hier.access(ea, kind);
-                    if let Some(d) = u.dst {
-                        let v = self
-                            .mem
-                            .read_le(ea, u.mem.map_or(1, |m| m.width.bytes().min(8)));
-                        self.state.write(d, v);
-                    }
-                    (UopEffect::None, r.latency)
-                }
-                UopKind::MovImm => {
-                    if let Some(d) = u.dst {
-                        self.state.write(d, u.imm.unwrap_or(0) as u64);
-                    }
-                    (UopEffect::None, 0)
-                }
-                UopKind::Alu(op) => {
-                    let a = u.src1.map_or(0, |r| self.state.read(r));
-                    let b = u
-                        .src2
-                        .map(|r| self.state.read(r))
-                        .unwrap_or(u.imm.unwrap_or(0) as u64);
-                    let (res, _) = exec::alu(op, a, b);
-                    if let Some(d) = u.dst {
-                        self.state.write(d, res);
-                    }
-                    (UopEffect::None, 0)
-                }
-                // Decoy branches are sequencing artifacts of the unrolled
-                // micro-loop: no control effect.
-                _ => (UopEffect::None, 0),
-            };
-        }
-
-        let dift_ea = |u: &Uop, ea: Option<u64>| ea.filter(|_| u.mem.is_some());
-        let mut effect = UopEffect::None;
-        let mut access_latency = 0u64;
-
-        match u.kind {
-            UopKind::Nop => {}
-            UopKind::Mov => {
-                let v = self.state.read(u.src1.expect("mov has src"));
-                self.state.write(u.dst.expect("mov has dst"), v);
-                self.dift.propagate(u, None);
-            }
-            UopKind::MovImm => {
-                self.state
-                    .write(u.dst.expect("movimm has dst"), u.imm.unwrap_or(0) as u64);
-                self.dift.propagate(u, None);
-            }
-            UopKind::Alu(op) => {
-                let a = u.src1.map_or(0, |r| self.state.read(r));
-                let b = u
-                    .src2
-                    .map(|r| self.state.read(r))
-                    .unwrap_or(u.imm.unwrap_or(0) as u64);
-                let (res, flags) = exec::alu(op, a, b);
-                if let Some(d) = u.dst {
-                    self.state.write(d, res);
-                }
-                self.state.flags = flags;
-                self.dift.propagate(u, None);
-            }
-            UopKind::Mul => {
-                let a = u.src1.map_or(0, |r| self.state.read(r));
-                let b = u
-                    .src2
-                    .map(|r| self.state.read(r))
-                    .unwrap_or(u.imm.unwrap_or(0) as u64);
-                let (res, flags) = exec::mul(a, b);
-                if let Some(d) = u.dst {
-                    self.state.write(d, res);
-                }
-                self.state.flags = flags;
-                self.dift.propagate(u, None);
-            }
-            UopKind::FAlu(op, w) => {
-                let a = self.state.read(u.src1.expect("falu src1"));
-                let b = self.state.read(u.src2.expect("falu src2"));
-                let res = match w {
-                    csd_uops::FWidth::S => {
-                        let (fa, fb) = (f32::from_bits(a as u32), f32::from_bits(b as u32));
-                        let r = match op {
-                            csd_uops::FOp::Add => fa + fb,
-                            csd_uops::FOp::Sub => fa - fb,
-                            csd_uops::FOp::Mul => fa * fb,
-                        };
-                        u64::from(r.to_bits())
-                    }
-                    csd_uops::FWidth::D => {
-                        let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
-                        let r = match op {
-                            csd_uops::FOp::Add => fa + fb,
-                            csd_uops::FOp::Sub => fa - fb,
-                            csd_uops::FOp::Mul => fa * fb,
-                        };
-                        r.to_bits()
-                    }
-                };
-                self.state.write(u.dst.expect("falu dst"), res);
-                self.dift.propagate(u, None);
-            }
-            UopKind::DivQ | UopKind::DivR => {
-                let a = self.state.read(u.src1.expect("div src1"));
-                let b = self.state.read(u.src2.expect("div src2"));
-                let res = if b == 0 {
-                    0
-                } else if u.kind == UopKind::DivQ {
-                    a / b
-                } else {
-                    a % b
-                };
-                if let Some(d) = u.dst {
-                    self.state.write(d, res);
-                }
-                self.state.flags = Flags {
-                    zf: res == 0,
-                    sf: false,
-                    cf: false,
-                    of: false,
-                };
-                self.dift.propagate(u, None);
-            }
-            UopKind::Ld => {
-                let ea = self.ea(u);
-                let w = u.mem.expect("load has mem").width.bytes();
-                let r = self.hier.access(ea, AccessKind::DataRead);
-                access_latency = r.latency + self.dift_penalty();
-                let v = self.mem.read_le(ea, w.min(8));
-                self.state.write(u.dst.expect("load has dst"), v);
-                self.dift.propagate(u, dift_ea(u, Some(ea)));
-                self.stats.load_uops += 1;
-            }
-            UopKind::St => {
-                let ea = self.ea(u);
-                let w = u.mem.expect("store has mem").width.bytes();
-                self.hier.access(ea, AccessKind::DataWrite);
-                let v = self.state.read(u.src1.expect("store has src"));
-                self.mem.write_le(ea, w.min(8), v);
-                self.dift.propagate(u, Some(ea));
-                self.stats.store_uops += 1;
-                access_latency = 1;
-            }
-            UopKind::Lea => {
-                let ea = self.ea(u);
-                self.state.write(u.dst.expect("lea has dst"), ea);
-                self.dift.propagate(u, None);
-            }
-            UopKind::VLd => {
-                let ea = self.ea(u);
-                let r = self.hier.access(ea, AccessKind::DataRead);
-                access_latency = r.latency + self.dift_penalty();
-                let v = self.mem.read_u128(ea);
-                self.state.write_v(u.dst.expect("vld has dst"), v);
-                self.dift.propagate(u, Some(ea));
-                self.stats.load_uops += 1;
-            }
-            UopKind::VSt => {
-                let ea = self.ea(u);
-                self.hier.access(ea, AccessKind::DataWrite);
-                let v = self.state.read_v(u.src1.expect("vst has src"));
-                self.mem.write_u128(ea, v);
-                self.dift.propagate(u, Some(ea));
-                self.stats.store_uops += 1;
-                access_latency = 1;
-            }
-            UopKind::VMov => {
-                let v = self.state.read_v(u.src1.expect("vmov src"));
-                self.state.write_v(u.dst.expect("vmov dst"), v);
-                self.dift.propagate(u, None);
-            }
-            UopKind::VAlu(op) => {
-                let a = self.state.read_v(u.src1.expect("valu src1"));
-                let b = self.state.read_v(u.src2.expect("valu src2"));
-                let r = exec::valu(op, a, b);
-                self.state.write_v(u.dst.expect("valu dst"), r);
-                self.dift.propagate(u, None);
-                self.stats.vpu_uops += 1;
-            }
-            UopKind::VExtractQ => {
-                let v = self.state.read_v(u.src1.expect("vextract src"));
-                let half = if u.imm.unwrap_or(0) == 0 { v.0 } else { v.1 };
-                self.state.write(u.dst.expect("vextract dst"), half);
-                self.dift.propagate(u, None);
-            }
-            UopKind::VInsertQ => {
-                let d = u.dst.expect("vinsert dst");
-                let mut v = self.state.read_v(d);
-                let s = self.state.read(u.src1.expect("vinsert src"));
-                if u.imm.unwrap_or(0) == 0 {
-                    v.0 = s;
-                } else {
-                    v.1 = s;
-                }
-                self.state.write_v(d, v);
-                self.dift.propagate(u, None);
-            }
-            UopKind::Br(cc) => {
-                let taken = self.state.flags.eval(cc);
-                self.dift.propagate(u, None);
-                let target = u.imm.expect("br has target") as u64;
-                let miss = self.bp.predict_conditional(placed.addr, taken);
-                if taken {
-                    effect = UopEffect::Branch(target);
-                }
-                self.pending_mispredict = miss;
-            }
-            UopKind::JmpImm => {
-                let target = u.imm.expect("jmp has target") as u64;
-                if matches!(placed.inst, Inst::Call { .. }) {
-                    self.bp.on_call(placed.next_addr());
-                }
-                effect = UopEffect::Branch(target);
-                self.pending_mispredict = false;
-            }
-            UopKind::JmpReg => {
-                let target = self.state.read(u.src1.expect("jmpreg src"));
-                let miss = match placed.inst {
-                    Inst::Ret => self.bp.predict_return(target),
-                    _ => self.bp.predict_indirect(placed.addr, target),
-                };
-                self.dift.propagate(u, None);
-                effect = UopEffect::Branch(target);
-                self.pending_mispredict = miss;
-            }
-            UopKind::PushImm | UopKind::Push => {
-                let rsp = self.state.gpr(Gpr::Rsp).wrapping_sub(8);
-                self.state.set_gpr(Gpr::Rsp, rsp);
-                self.hier.access(rsp, AccessKind::DataWrite);
-                let v = match u.kind {
-                    UopKind::PushImm => u.imm.unwrap_or(0) as u64,
-                    _ => self.state.read(u.src1.expect("push src")),
-                };
-                self.mem.write_le(rsp, 8, v);
-                self.dift.propagate(u, Some(rsp));
-                self.stats.store_uops += 1;
-                access_latency = 1;
-            }
-            UopKind::Pop => {
-                let rsp = self.state.gpr(Gpr::Rsp);
-                let r = self.hier.access(rsp, AccessKind::DataRead);
-                access_latency = r.latency + self.dift_penalty();
-                let v = self.mem.read_le(rsp, 8);
-                self.state.write(u.dst.expect("pop dst"), v);
-                self.state.set_gpr(Gpr::Rsp, rsp.wrapping_add(8));
-                self.dift.propagate(u, Some(rsp));
-                self.stats.load_uops += 1;
-            }
-            UopKind::Clflush => {
-                let ea = self.ea(u);
-                self.hier.flush(ea);
-                access_latency = 4;
-            }
-            UopKind::Rdtsc => {
-                let c = self.cycles();
-                self.state.write(u.dst.expect("rdtsc dst"), c);
-            }
-            UopKind::Wrmsr => {
-                let msr = u.imm.expect("wrmsr msr") as u32;
-                let v = self.state.read(u.src1.expect("wrmsr src"));
-                self.engine.write_msr(msr, v);
-            }
-            UopKind::Rdmsr => {
-                let msr = u.imm.expect("rdmsr msr") as u32;
-                let v = self.engine.read_msr(msr);
-                self.state.write(u.dst.expect("rdmsr dst"), v);
-            }
-            UopKind::Halt => {
-                effect = UopEffect::Halt;
-            }
-        }
-        (effect, access_latency)
-    }
-
-    fn dift_penalty(&self) -> u64 {
-        if self.cfg.dift_enabled {
-            DIFT_L2_TAG_PENALTY
-        } else {
-            0
-        }
-    }
-
-    fn ea(&mut self, u: &Uop) -> u64 {
-        let m = u.mem.expect("memory µop without operand");
-        m.effective_address(|r| self.state.read(r))
-    }
-
-    /// Back-end timing for one µop.
-    fn time_uop(
-        &mut self,
-        u: &Uop,
-        dispatch: f64,
-        access_latency: u64,
-        effect: &UopEffect,
-        _placed: &Placed,
-    ) {
-        // ROB occupancy: dispatch may not pass the completion of the µop
-        // rob_entries back.
-        let mut ready = dispatch;
-        if self.rob.len() >= self.cfg.rob_entries {
-            if let Some(head) = self.rob.pop_front() {
-                ready = f64::max(ready, head);
-            }
-        }
-        // Operand readiness.
-        for src in [u.src1, u.src2].into_iter().flatten() {
-            if let Some(&t) = self.sched.get(&src) {
-                ready = f64::max(ready, t);
-            }
-        }
-        if let Some(m) = u.mem {
-            for r in m.base.into_iter().chain(m.index.map(|(r, _)| r)) {
-                if let Some(&t) = self.sched.get(&r) {
-                    ready = f64::max(ready, t);
-                }
-            }
-        }
-        if matches!(u.kind, UopKind::Br(_)) {
-            ready = f64::max(ready, self.flags_ready);
-        }
-
-        // Port selection and latency.
-        let (lat, occupy, port): (f64, f64, &mut Vec<f64>) = match u.kind {
-            UopKind::Ld | UopKind::VLd | UopKind::Pop => {
-                (access_latency as f64, 1.0, &mut self.load_ports)
-            }
-            UopKind::St | UopKind::VSt | UopKind::Push | UopKind::PushImm => {
-                (1.0, 1.0, &mut self.store_ports)
-            }
-            UopKind::VAlu(op) => {
-                let l = if op.is_multiply() || op.is_float() {
-                    self.cfg.vec_mul_latency
-                } else {
-                    self.cfg.vec_latency
-                };
-                (l as f64, 1.0, &mut self.vec_ports)
-            }
-            UopKind::Mul => (self.cfg.mul_latency as f64, 1.0, &mut self.alu_ports),
-            UopKind::DivQ | UopKind::DivR => {
-                let l = self.cfg.div_latency as f64;
-                (l, l, &mut self.alu_ports)
-            }
-            UopKind::FAlu(..) => (self.cfg.falu_latency as f64, 1.0, &mut self.alu_ports),
-            UopKind::Clflush => (access_latency as f64, 1.0, &mut self.store_ports),
-            _ => (self.cfg.alu_latency as f64, 1.0, &mut self.alu_ports),
-        };
-        // Acquire the earliest-free unit of the class.
-        let (idx, unit_free) =
-            port.iter()
-                .copied()
-                .enumerate()
-                .fold((0usize, f64::INFINITY), |acc, (i, t)| {
-                    if t < acc.1 {
-                        (i, t)
-                    } else {
-                        acc
-                    }
-                });
-        let issue = f64::max(ready, unit_free);
-        port[idx] = issue + occupy;
-        let done = issue + lat.max(1.0);
-
-        // Writeback.
-        if let Some(d) = u.dst {
-            self.sched.insert(d, done);
-        }
-        if u.kind.writes_flags() && !u.is_decoy() {
-            self.flags_ready = done;
-        }
-        // Stack-pointer updates by push/pop.
-        if matches!(u.kind, UopKind::Push | UopKind::PushImm | UopKind::Pop) {
-            self.sched.insert(UReg::Gpr(Gpr::Rsp), done);
-        }
-
-        // Branch resolution and redirect.
-        if u.kind.is_branch() && !u.is_decoy() {
-            if self.pending_mispredict {
-                self.fe_time = f64::max(self.fe_time, done + self.cfg.mispredict_penalty as f64);
-                self.pending_mispredict = false;
-            }
-            let _ = effect;
-        }
-
-        self.rob.push_back(done);
-        self.last_commit = f64::max(done, self.last_commit + 1.0 / self.cfg.commit_width as f64);
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum UopEffect {
-    None,
-    Branch(u64),
-    Halt,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FlowEnd {
-    Branch(u64),
-    Halt,
 }

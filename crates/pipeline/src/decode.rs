@@ -1,0 +1,229 @@
+//! Decode stage: DIFT verdict, context-sensitive decode (with the
+//! context-keyed memoization table), and front-end delivery timing
+//! including µop-cache window bookkeeping.
+
+use crate::core::{Core, SimMode};
+use crate::stage::StageCtx;
+use crate::uop_cache::UopCache;
+use csd::{ContextId, DecodeOutcome};
+use csd_uops::{fusion, UReg};
+use mx86_isa::{Inst, MemRef, Placed};
+
+/// One µop-cache window being assembled as successive macro-ops decode
+/// under one context; finalized (inserted) when delivery switches away.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WindowBuilder {
+    window: u64,
+    ctx: ContextId,
+    fused: u32,
+    cacheable: bool,
+}
+
+/// Decodes the fetched macro-op: DIFT verdict, CSD decode (memoized when
+/// the core's table is enabled), stall accounting, and front-end timing.
+#[inline]
+pub(crate) fn run(core: &mut Core, ctx: &mut StageCtx) {
+    ctx.tainted = macro_tainted(core, &ctx.placed.inst);
+    let out = if core.memo_enabled {
+        core.engine
+            .decode_memo(&ctx.placed, ctx.tainted, Some(&mut core.memo))
+    } else {
+        core.engine.decode(&ctx.placed, ctx.tainted)
+    };
+    core.stats.stall_cycles += out.stall_cycles;
+    ctx.fused_slots = front_end(core, &ctx.placed, &out, ctx.fetch_penalty);
+    ctx.decode = Some(out);
+}
+
+/// The DIFT verdict that arms stealth interception: any address-forming
+/// source register tainted, or tainted flags for a conditional branch.
+fn macro_tainted(core: &Core, inst: &Inst) -> bool {
+    if !core.cfg.dift_enabled {
+        return false;
+    }
+    let mem_tainted = |m: &MemRef| {
+        m.base.is_some_and(|b| core.dift.reg_tainted(UReg::Gpr(b)))
+            || m.index
+                .is_some_and(|(i, _)| core.dift.reg_tainted(UReg::Gpr(i)))
+    };
+    match inst {
+        Inst::Load { mem, .. }
+        | Inst::Store { mem, .. }
+        | Inst::AluLoad { mem, .. }
+        | Inst::AluStore { mem, .. }
+        | Inst::VLoad { mem, .. }
+        | Inst::VStore { mem, .. }
+        | Inst::VAluLoad { mem, .. } => mem_tainted(mem),
+        Inst::Jcc { .. } => core.dift.flags_tainted(),
+        Inst::JmpInd { reg } => core.dift.reg_tainted(UReg::Gpr(*reg)),
+        _ => false,
+    }
+}
+
+/// Front-end delivery timing; returns the fused slot count.
+fn front_end(core: &mut Core, placed: &Placed, out: &DecodeOutcome, fetch_penalty: f64) -> usize {
+    let uops = &out.translation.uops;
+    let mut fused = if core.cfg.fusion_enabled {
+        fusion::fused_len(uops)
+    } else {
+        uops.len()
+    };
+    // Macro-op fusion: a cmp/test immediately followed by jcc shares a
+    // slot; model as the jcc contributing zero additional slots.
+    if core.cfg.fusion_enabled && core.prev_fusable_cmp && matches!(placed.inst, Inst::Jcc { .. }) {
+        fused = fused.saturating_sub(1);
+    }
+
+    if core.mode == SimMode::Functional {
+        // Track µop-cache *occupancy* statistics even without timing.
+        if core.cfg.uop_cache_enabled {
+            let window = UopCache::window_of(placed.addr);
+            if core.ucache.lookup(window, out.context) {
+                core.stats.uop_cache_insts += 1;
+                finalize_window(core);
+            } else {
+                count_legacy(core, &out.translation);
+                build_window(
+                    core,
+                    window,
+                    out.context,
+                    fused as u32,
+                    out.translation.cacheable,
+                );
+            }
+        } else {
+            count_legacy(core, &out.translation);
+        }
+        return fused.max(1);
+    }
+
+    core.fe_time += fetch_penalty;
+    let from_uc = if core.cfg.uop_cache_enabled {
+        let window = UopCache::window_of(placed.addr);
+        if core.ucache.lookup(window, out.context) {
+            core.stats.uop_cache_insts += 1;
+            finalize_window(core);
+            true
+        } else {
+            count_legacy(core, &out.translation);
+            build_window(
+                core,
+                window,
+                out.context,
+                fused as u32,
+                out.translation.cacheable,
+            );
+            false
+        }
+    } else {
+        count_legacy(core, &out.translation);
+        false
+    };
+
+    if from_uc != core.prev_from_uc {
+        core.fe_time += core.cfg.uop_cache_switch_penalty;
+    }
+    core.prev_from_uc = from_uc;
+
+    let cost = if from_uc {
+        fused.max(1) as f64 / core.cfg.uop_cache_width as f64
+    } else if out.translation.from_msrom {
+        // The MSROM sequencer takes over the decode slot entirely.
+        uops.len() as f64 / core.cfg.msrom_width_uops as f64 + 1.0
+    } else {
+        let decode = uops.len() as f64 / core.cfg.decode_width_uops as f64;
+        let length_decode = f64::from(placed.inst.len()) / core.cfg.fetch_bytes as f64;
+        decode.max(length_decode).max(0.25)
+    };
+    core.fe_time += cost;
+    fused.max(1)
+}
+
+fn count_legacy(core: &mut Core, t: &csd_uops::Translation) {
+    if t.from_msrom {
+        core.stats.msrom_insts += 1;
+    } else {
+        core.stats.legacy_insts += 1;
+    }
+}
+
+fn build_window(core: &mut Core, window: u64, ctx: ContextId, fused: u32, cacheable: bool) {
+    match &mut core.window_builder {
+        Some(b) if b.window == window && b.ctx == ctx => {
+            b.fused += fused;
+            b.cacheable &= cacheable;
+        }
+        _ => {
+            finalize_window(core);
+            core.window_builder = Some(WindowBuilder {
+                window,
+                ctx,
+                fused,
+                cacheable,
+            });
+        }
+    }
+}
+
+/// Flushes the in-progress µop-cache window into the cache (called when a
+/// taken branch or halt ends window building).
+pub(crate) fn finalize_window(core: &mut Core) {
+    if let Some(b) = core.window_builder.take() {
+        if core.cfg.uop_cache_enabled {
+            core.ucache.insert(b.window, b.ctx, b.fused, b.cacheable);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fetch;
+    use crate::{CoreConfig, SimMode};
+    use csd::CsdConfig;
+    use mx86_isa::{Assembler, Gpr};
+
+    fn core(memo: bool) -> Core {
+        let mut a = Assembler::new(0x1000);
+        a.mov_ri(Gpr::Rax, 7);
+        a.halt();
+        let cfg = CoreConfig {
+            decode_memo_enabled: memo,
+            ..CoreConfig::default()
+        };
+        Core::new(
+            cfg,
+            CsdConfig::default(),
+            a.finish().unwrap(),
+            SimMode::Cycle,
+        )
+    }
+
+    #[test]
+    fn decode_fills_the_context() {
+        let mut c = core(true);
+        let mut ctx = fetch::run(&mut c).unwrap();
+        run(&mut c, &mut ctx);
+        let out = ctx.outcome();
+        assert_eq!(out.context, ContextId::Native);
+        assert_eq!(out.translation.uops.len(), 1);
+        assert!(ctx.fused_slots >= 1);
+    }
+
+    #[test]
+    fn memoized_and_plain_decode_agree_per_stage() {
+        let mut with = core(true);
+        let mut without = core(false);
+        for _ in 0..3 {
+            let mut ca = fetch::run(&mut with).unwrap();
+            let mut cb = fetch::run(&mut without).unwrap();
+            run(&mut with, &mut ca);
+            run(&mut without, &mut cb);
+            assert_eq!(ca.outcome().context, cb.outcome().context);
+            assert_eq!(*ca.outcome().translation, *cb.outcome().translation);
+            assert_eq!(ca.fused_slots, cb.fused_slots);
+        }
+        assert_eq!(with.stats(), without.stats());
+        assert!(with.memo_stats().hits > 0, "repeat decode must hit");
+    }
+}

@@ -1,0 +1,80 @@
+//! Fetch stage: resolve the PC to a placed instruction and charge the
+//! L1I for every cache line the encoding spans.
+
+use crate::core::{Core, StepOutcome};
+use crate::stage::StageCtx;
+use csd_cache::AccessKind;
+
+/// Fetches the instruction at the current PC. Returns the stage context
+/// for the rest of the pipeline, or the fault outcome when the PC does
+/// not resolve to an instruction start.
+#[inline]
+pub(crate) fn run(core: &mut Core) -> Result<StageCtx, StepOutcome> {
+    let placed = match core.program.fetch(core.state.rip) {
+        Some(p) => *p,
+        None => return Err(StepOutcome::Fault(core.state.rip)),
+    };
+
+    // Touch every line the encoding spans; the penalty is the worst
+    // beyond-L1I latency among them (lines fill in parallel).
+    let line = core.cfg.hierarchy.l1i.line_bytes as u64;
+    let first = placed.addr & !(line - 1);
+    let last = (placed.addr + u64::from(placed.inst.len()) - 1) & !(line - 1);
+    let mut fetch_penalty = 0.0;
+    let mut a = first;
+    while a <= last {
+        let r = core.hier.access(a, AccessKind::InstFetch);
+        if !r.l1_hit() {
+            fetch_penalty = f64::max(
+                fetch_penalty,
+                (r.latency - core.cfg.hierarchy.l1i.latency) as f64,
+            );
+        }
+        a += line;
+    }
+    Ok(StageCtx::new(placed, fetch_penalty))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoreConfig, SimMode};
+    use csd::CsdConfig;
+    use mx86_isa::{Assembler, Gpr};
+
+    fn core() -> Core {
+        let mut a = Assembler::new(0x1000);
+        a.mov_ri(Gpr::Rax, 7);
+        a.halt();
+        Core::new(
+            CoreConfig::default(),
+            CsdConfig::default(),
+            a.finish().unwrap(),
+            SimMode::Cycle,
+        )
+    }
+
+    #[test]
+    fn fetch_resolves_the_entry_instruction() {
+        let mut c = core();
+        let ctx = run(&mut c).expect("entry fetch");
+        assert_eq!(ctx.placed.addr, 0x1000);
+        assert!(ctx.decode.is_none() && ctx.flow_end.is_none());
+    }
+
+    #[test]
+    fn cold_fetch_pays_a_penalty_warm_fetch_does_not() {
+        let mut c = core();
+        let cold = run(&mut c).unwrap();
+        assert!(cold.fetch_penalty > 0.0, "first touch misses L1I");
+        let warm = run(&mut c).unwrap();
+        assert_eq!(warm.fetch_penalty, 0.0, "second touch hits L1I");
+    }
+
+    #[test]
+    fn bad_pc_faults() {
+        let mut c = core();
+        c.state.rip = 0xDEAD;
+        assert_eq!(run(&mut c).unwrap_err(), StepOutcome::Fault(0xDEAD));
+    }
+}

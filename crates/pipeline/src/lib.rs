@@ -46,13 +46,18 @@
 #![warn(missing_docs)]
 
 mod branch;
+mod commit;
 mod config;
 mod core;
+mod decode;
 mod exec;
+mod execute;
+mod fetch;
 mod machine;
+mod stage;
 mod uop_cache;
 
-pub use crate::core::{Core, SimMode, SimStats, StepOutcome};
+pub use crate::core::{CheckpointStats, Core, CoreSnapshot, SimMode, SimStats, StepOutcome};
 pub use branch::{BranchPredictor, BranchStats, PredictorConfig};
 pub use config::CoreConfig;
 pub use exec::{alu, mul, valu};

@@ -1,0 +1,66 @@
+//! The stage-to-stage handoff record for one macro-op.
+//!
+//! [`Core::step`](crate::Core::step) is a thin orchestrator over four
+//! explicit stages — [`fetch`](crate::fetch), [`decode`](crate::decode),
+//! [`execute`](crate::execute), [`commit`](crate::commit) — and this
+//! context is the only value that travels between them. Each stage fills
+//! in the fields it owns; everything machine-wide stays on `Core`.
+
+use csd::DecodeOutcome;
+use mx86_isa::Placed;
+
+/// Per-macro-op pipeline context, created by fetch and consumed by commit.
+#[derive(Debug)]
+pub(crate) struct StageCtx {
+    /// The fetched instruction and its address.
+    pub placed: Placed,
+    /// Extra front-end latency from L1I misses during fetch.
+    pub fetch_penalty: f64,
+    /// DIFT verdict for the macro-op (filled by decode).
+    pub tainted: bool,
+    /// The CSD decode outcome (filled by decode).
+    pub decode: Option<DecodeOutcome>,
+    /// Fused issue slots the macro-op dispatches as (filled by decode).
+    pub fused_slots: usize,
+    /// How the µop flow ended control-wise (filled by execute).
+    pub flow_end: Option<FlowEnd>,
+}
+
+impl StageCtx {
+    /// A fresh context as the fetch stage hands it onward.
+    pub fn new(placed: Placed, fetch_penalty: f64) -> StageCtx {
+        StageCtx {
+            placed,
+            fetch_penalty,
+            tainted: false,
+            decode: None,
+            fused_slots: 0,
+            flow_end: None,
+        }
+    }
+
+    /// The decode outcome; panics if the decode stage has not run.
+    pub fn outcome(&self) -> &DecodeOutcome {
+        self.decode.as_ref().expect("decode stage ran")
+    }
+}
+
+/// The control effect of one executed µop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UopEffect {
+    /// Sequential flow.
+    None,
+    /// Taken control transfer to the target.
+    Branch(u64),
+    /// A `hlt` retired.
+    Halt,
+}
+
+/// How a macro-op's µop flow ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FlowEnd {
+    /// Taken control transfer to the target.
+    Branch(u64),
+    /// A `hlt` retired.
+    Halt,
+}

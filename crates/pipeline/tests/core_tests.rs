@@ -445,3 +445,89 @@ fn activity_accounts_all_uop_classes() {
     assert!(act.ops(csd_power::Unit::Core) >= 5);
     assert!(act.cycles > 0);
 }
+
+#[test]
+fn restarted_core_reports_like_a_fresh_one() {
+    let mut a = Assembler::new(0x1000);
+    a.mov_ri(Gpr::Rax, 7);
+    a.halt();
+    let prog = a.finish().unwrap();
+    let fresh = Core::new(
+        CoreConfig::default(),
+        CsdConfig::default(),
+        prog.clone(),
+        SimMode::Cycle,
+    );
+
+    // MSR writes advance the context generation without touching any
+    // modeled counter, so after restart() the whole report must be byte-
+    // identical to a never-used core's.
+    let mut core = Core::new(
+        CoreConfig::default(),
+        CsdConfig::default(),
+        prog.clone(),
+        SimMode::Cycle,
+    );
+    core.engine_mut().write_msr(msr::MSR_WATCHDOG_PERIOD, 512);
+    core.engine_mut().write_msr(0x9999, 1);
+    assert!(core.engine().context_key() > 0);
+    core.restart();
+    assert_eq!(
+        core.telemetry_report().pretty(),
+        fresh.telemetry_report().pretty(),
+        "restart must rewind kernel bookkeeping to fresh-core values"
+    );
+
+    // After real work the modeled counters persist across restart() by
+    // contract (caches stay warm, stats keep accumulating), but the
+    // kernel section — memo table and context key — must still match a
+    // fresh core byte for byte.
+    let mut worked = Core::new(
+        CoreConfig::default(),
+        CsdConfig::default(),
+        prog,
+        SimMode::Cycle,
+    );
+    assert_eq!(worked.run(1_000), StepOutcome::Halted);
+    assert!(worked.memo_stats().inserts > 0 || !worked.memo_enabled());
+    worked.restart();
+    let fresh_kernel = fresh.telemetry_report().get("kernel").unwrap().pretty();
+    let kernel = worked.telemetry_report().get("kernel").unwrap().pretty();
+    assert_eq!(kernel, fresh_kernel);
+}
+
+#[test]
+fn snapshot_restore_replays_identically() {
+    let mut a = Assembler::new(0x1000);
+    let top = a.fresh_label();
+    a.mov_ri(Gpr::Rax, 0);
+    a.mov_ri(Gpr::Rcx, 40);
+    a.bind(top).unwrap();
+    a.alu_ri(AluOp::Add, Gpr::Rax, 5);
+    a.alu_ri(AluOp::Sub, Gpr::Rcx, 1);
+    a.jcc(Cc::Ne, top);
+    a.halt();
+    let mut core = Core::new(
+        CoreConfig::default(),
+        CsdConfig::default(),
+        a.finish().unwrap(),
+        SimMode::Cycle,
+    );
+    for _ in 0..25 {
+        assert_eq!(core.step(), StepOutcome::Running);
+    }
+    let ckpt = core.snapshot();
+
+    assert_eq!(core.run(1_000_000), StepOutcome::Halted);
+    let end_stats = *core.stats();
+    let end_rax = core.state.gpr(Gpr::Rax);
+
+    core.restore(&ckpt);
+    assert_eq!(core.run(1_000_000), StepOutcome::Halted);
+    assert_eq!(core.stats().cycles, end_stats.cycles);
+    assert_eq!(core.stats().insts, end_stats.insts);
+    assert_eq!(core.stats().uops, end_stats.uops);
+    assert_eq!(core.state.gpr(Gpr::Rax), end_rax);
+    assert_eq!(core.checkpoint_stats().snapshots, 1);
+    assert_eq!(core.checkpoint_stats().restores, 1);
+}

@@ -15,13 +15,13 @@
 //!   float formatting) and the [`ToJson`] trait the workspace's counter
 //!   structs implement. Same data ⇒ byte-identical output, which is what
 //!   lets `BENCH_suite.json` be diffed across runs and commits.
-//! - [`rng`] — [`SplitMix64`](rng::SplitMix64), the workspace's
-//!   deterministic PRNG, plus [`derive_seed`](rng::derive_seed) for
-//!   deriving independent per-task streams from one root seed.
-//! - [`events`] — the [`EventSink`](events::EventSink) hook trait
-//!   (decode / retire / gate / stealth-window events) and the
-//!   [`SinkHandle`](events::SinkHandle) container the pipeline embeds so
-//!   tracing can be attached without touching the hot path when disabled.
+//! - [`rng`] — [`SplitMix64`], the workspace's deterministic PRNG, plus
+//!   [`derive_seed`] for deriving independent per-task streams from one
+//!   root seed.
+//! - [`events`] — the [`EventSink`] hook trait (decode / retire / gate /
+//!   stealth-window events) and the [`SinkHandle`] container the
+//!   pipeline embeds so tracing can be attached without touching the hot
+//!   path when disabled.
 
 #![warn(missing_docs)]
 

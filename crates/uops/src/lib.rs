@@ -28,11 +28,13 @@
 #![warn(missing_docs)]
 
 pub mod fusion;
+mod memo;
 mod translate;
 mod uop;
 mod ureg;
 
 pub use fusion::{can_macro_fuse, fuse_slots, fused_len as fused_len_of, Slot};
+pub use memo::{DecodeMemo, MemoEntry, MemoSlot, MemoStats, UopFlow};
 pub use translate::{translate, DecoderClass, Translation, DIV_UOP_COUNT, MSROM_THRESHOLD};
 pub use uop::{DecoyTarget, FOp, FWidth, UMem, Uop, UopKind};
 pub use ureg::UReg;
