@@ -36,12 +36,24 @@ const fn lane_mask(elem_bytes: u32) -> u64 {
     }
 }
 
+// All lane arithmetic suppresses flag writes: the vector macro-ops being
+// emulated never touch flags, so the scalar stand-in flow must not
+// either (a `cmp; paddb; jcc` sequence must branch identically with the
+// VPU gated or powered).
 fn alu(op: AluOp, dst: UReg, a: UReg, b: UReg) -> Uop {
-    Uop::new(UopKind::Alu(op)).dst(dst).src1(a).src2(b)
+    Uop::new(UopKind::Alu(op))
+        .dst(dst)
+        .src1(a)
+        .src2(b)
+        .suppress_flags()
 }
 
 fn alui(op: AluOp, dst: UReg, a: UReg, imm: u64) -> Uop {
-    Uop::new(UopKind::Alu(op)).dst(dst).src1(a).imm(imm as i64)
+    Uop::new(UopKind::Alu(op))
+        .dst(dst)
+        .src1(a)
+        .imm(imm as i64)
+        .suppress_flags()
 }
 
 /// Statistics for the devectorizer.
@@ -231,7 +243,13 @@ fn emit_half(v: &mut Vec<Uop>, op: VecOp, x: UReg, y: UReg) {
         }
         VecOp::PMullW | VecOp::PMullD => {
             emit_lanewise(v, x, y, t4, t5, t6, w, |vv, a, b| {
-                vv.push(Uop::new(UopKind::Mul).dst(a).src1(a).src2(b));
+                vv.push(
+                    Uop::new(UopKind::Mul)
+                        .dst(a)
+                        .src1(a)
+                        .src2(b)
+                        .suppress_flags(),
+                );
             });
         }
         VecOp::AddPs | VecOp::SubPs | VecOp::MulPs => {

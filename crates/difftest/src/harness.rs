@@ -1,0 +1,351 @@
+//! Cosimulation harness: runs one program through the cycle-level
+//! pipeline under every leg of the CSD mode matrix and compares the final
+//! architectural state, the retired-instruction partition, and the
+//! ordered store stream against the [`crate::reference`] interpreter.
+
+use crate::generator::{CODE_BASE, DATA_BASE, DATA_SIZE, STACK_TOP};
+use crate::reference::{RefCpu, RefOutcome, StoreRecord};
+use csd::{
+    msr, ContextId, CsdConfig, DevecThresholds, MicrocodeUpdate, OpcodeClass, PrivilegeLevel,
+    VpuPolicy,
+};
+use csd_pipeline::{Core, CoreConfig, SimMode};
+use csd_telemetry::{EventSink, StoreEvent};
+use mx86_isa::AddrRange as TaintRange;
+use mx86_isa::Program;
+use std::sync::{Arc, Mutex};
+
+/// Retirement budget per leg (applied identically to the reference).
+pub const MAX_INSTS: u64 = 200_000;
+
+/// One decoder configuration under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeLeg {
+    /// Stealth-mode decoy translation (and DIFT) enabled.
+    pub stealth: bool,
+    /// Selective devectorization (CSD VPU gating) enabled.
+    pub devec: bool,
+    /// Decode memoization enabled.
+    pub memo: bool,
+    /// µop cache enabled.
+    pub ucache: bool,
+    /// Cycle-level timing model (vs functional).
+    pub cycle: bool,
+    /// Snapshot mid-program, run to completion, restore, run again.
+    pub snapshot: bool,
+}
+
+impl ModeLeg {
+    /// Short leg name for reports: `s`tealth, `d`evec, `m`emo, `u`cache,
+    /// with a mode prefix.
+    pub fn name(&self) -> String {
+        let mut s = String::from(if self.cycle { "cyc" } else { "fun" });
+        if self.snapshot {
+            s.push_str("-snap");
+        }
+        s.push('-');
+        for (on, c) in [
+            (self.stealth, 's'),
+            (self.devec, 'd'),
+            (self.memo, 'm'),
+            (self.ucache, 'u'),
+        ] {
+            s.push(if on { c } else { '.' });
+        }
+        s
+    }
+}
+
+/// The full mode matrix: all 16 functional stealth × devec × memo ×
+/// µop-cache combinations, two cycle-accurate legs (everything off /
+/// everything on), and a snapshot/restore leg — 19 legs.
+pub fn mode_matrix() -> Vec<ModeLeg> {
+    let mut legs = Vec::new();
+    for bits in 0..16u32 {
+        legs.push(ModeLeg {
+            stealth: bits & 1 != 0,
+            devec: bits & 2 != 0,
+            memo: bits & 4 != 0,
+            ucache: bits & 8 != 0,
+            cycle: false,
+            snapshot: false,
+        });
+    }
+    for on in [false, true] {
+        legs.push(ModeLeg {
+            stealth: on,
+            devec: on,
+            memo: on,
+            ucache: on,
+            cycle: true,
+            snapshot: false,
+        });
+    }
+    legs.push(ModeLeg {
+        stealth: true,
+        devec: true,
+        memo: true,
+        ucache: true,
+        cycle: false,
+        snapshot: true,
+    });
+    legs
+}
+
+/// A deliberately corrupted translation, installed through the MCU
+/// auto-translation path. Used by tests to prove the harness catches and
+/// shrinks decoder bugs; `None` in normal operation.
+#[derive(Debug, Clone)]
+pub struct InjectedBug {
+    /// The macro-op class whose translation is replaced.
+    pub target: OpcodeClass,
+    /// The (wrong) replacement body.
+    pub body: Vec<mx86_isa::Inst>,
+}
+
+/// One observed divergence between a pipeline leg and the reference.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Leg that diverged.
+    pub leg: String,
+    /// What differed.
+    pub detail: String,
+}
+
+/// Result of cosimulating one program across the matrix.
+#[derive(Debug, Clone)]
+pub struct CosimResult {
+    /// Instructions the reference retired.
+    pub ref_insts: u64,
+    /// Divergences (empty = all legs agree with the reference).
+    pub divergences: Vec<Divergence>,
+}
+
+impl CosimResult {
+    /// Whether every leg matched the reference.
+    pub fn ok(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct StoreCollector(Arc<Mutex<Vec<StoreRecord>>>);
+
+impl EventSink for StoreCollector {
+    fn on_store(&mut self, ev: &StoreEvent) {
+        self.0.lock().unwrap().push(StoreRecord {
+            addr: ev.addr,
+            len: ev.len,
+            value: ev.value,
+        });
+    }
+}
+
+fn build_core(program: &Program, leg: &ModeLeg, bug: Option<&InjectedBug>) -> Core {
+    let cfg = CoreConfig {
+        dift_enabled: leg.stealth,
+        uop_cache_enabled: leg.ucache,
+        decode_memo_enabled: leg.memo,
+        ..CoreConfig::default()
+    };
+    let csd_cfg = CsdConfig {
+        vpu_policy: if leg.devec {
+            VpuPolicy::CsdDevec(DevecThresholds {
+                window: 8,
+                low: 1,
+                high: 16,
+            })
+        } else {
+            VpuPolicy::AlwaysOn
+        },
+        ..CsdConfig::default()
+    };
+    let mode = if leg.cycle {
+        SimMode::Cycle
+    } else {
+        SimMode::Functional
+    };
+    let mut core = Core::new(cfg, csd_cfg, program.clone(), mode);
+    if leg.stealth {
+        // Program the decoy ranges over a slice of the data region and
+        // the code head, taint the data region, and arm stealth with the
+        // DIFT trigger — the same recipe the crypto victims use.
+        let e = core.engine_mut();
+        e.write_msr(msr::MSR_DATA_RANGE_BASE, DATA_BASE);
+        e.write_msr(msr::MSR_DATA_RANGE_BASE + 1, DATA_BASE + 128);
+        e.write_msr(msr::MSR_INST_RANGE_BASE, CODE_BASE);
+        e.write_msr(msr::MSR_INST_RANGE_BASE + 1, CODE_BASE + 128);
+        e.write_msr(msr::MSR_WATCHDOG_PERIOD, 200);
+        e.write_msr(msr::MSR_CSD_CTL, msr::CTL_STEALTH | msr::CTL_DIFT_TRIGGER);
+        core.dift_mut()
+            .taint_memory(TaintRange::new(DATA_BASE, DATA_BASE + DATA_SIZE));
+    }
+    if let Some(b) = bug {
+        let update = MicrocodeUpdate::new(1, b.target, ContextId::Custom(0), true, b.body.clone());
+        core.engine_mut()
+            .apply_microcode_update(&update, PrivilegeLevel::Kernel)
+            .expect("injected MCU must verify");
+        core.engine_mut().set_custom_mode(Some(0));
+    }
+    core
+}
+
+fn compare(
+    core: &Core,
+    cpu: &RefCpu,
+    stores: Option<&[StoreRecord]>,
+    leg: &ModeLeg,
+) -> Vec<Divergence> {
+    let mut d = Vec::new();
+    let diverge = |detail: String| Divergence {
+        leg: leg.name(),
+        detail,
+    };
+    let stats = core.stats();
+    if !core.halted() {
+        d.push(diverge(format!(
+            "pipeline did not halt within {MAX_INSTS} insts (retired {})",
+            stats.insts
+        )));
+        return d;
+    }
+    if stats.insts != cpu.retired {
+        d.push(diverge(format!(
+            "retired {} insts, reference retired {}",
+            stats.insts, cpu.retired
+        )));
+    }
+    let part = stats.uop_cache_insts + stats.legacy_insts + stats.msrom_insts;
+    if part != stats.insts {
+        d.push(diverge(format!(
+            "retired-inst partition {} + {} + {} != {}",
+            stats.uop_cache_insts, stats.legacy_insts, stats.msrom_insts, stats.insts
+        )));
+    }
+    for (i, g) in mx86_isa::Gpr::ALL.iter().enumerate() {
+        let (got, want) = (core.state.gprs[i], cpu.gprs[i]);
+        if got != want {
+            d.push(diverge(format!(
+                "{g}: pipeline {got:#x}, reference {want:#x}"
+            )));
+        }
+    }
+    for i in 0..16 {
+        let (got, want) = (core.state.xmms[i], cpu.xmms[i]);
+        if got != want {
+            d.push(diverge(format!(
+                "xmm{i}: pipeline {got:?}, reference {want:?}"
+            )));
+        }
+    }
+    if core.state.flags != cpu.flags {
+        d.push(diverge(format!(
+            "flags: pipeline {:?}, reference {:?}",
+            core.state.flags, cpu.flags
+        )));
+    }
+    for (base, len, what) in [
+        (DATA_BASE, DATA_SIZE as usize, "data region"),
+        (STACK_TOP - 0x1000, 0x1000, "stack"),
+    ] {
+        let got = core.mem.read_bytes(base, len);
+        let want = cpu.mem.read_bytes(base, len);
+        if got != want {
+            let off = got.iter().zip(&want).position(|(a, b)| a != b).unwrap_or(0);
+            d.push(diverge(format!(
+                "{what} byte at {:#x}: pipeline {:#04x}, reference {:#04x}",
+                base + off as u64,
+                got[off],
+                want[off]
+            )));
+        }
+    }
+    if let Some(stores) = stores {
+        if stores != cpu.stores.as_slice() {
+            let n = stores
+                .iter()
+                .zip(&cpu.stores)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| stores.len().min(cpu.stores.len()));
+            d.push(diverge(format!(
+                "store stream differs at index {n}: pipeline {:?}, reference {:?} ({} vs {} stores)",
+                stores.get(n),
+                cpu.stores.get(n),
+                stores.len(),
+                cpu.stores.len()
+            )));
+        }
+    }
+    d
+}
+
+fn run_leg(
+    program: &Program,
+    leg: &ModeLeg,
+    cpu: &RefCpu,
+    bug: Option<&InjectedBug>,
+) -> Vec<Divergence> {
+    let mut core = build_core(program, leg, bug);
+    let stores = Arc::new(Mutex::new(Vec::new()));
+    core.set_event_sink(Box::new(StoreCollector(Arc::clone(&stores))));
+
+    if leg.snapshot {
+        // Run half the program, snapshot, finish; then rewind to the
+        // checkpoint and finish again. Both completions must match the
+        // reference (and therefore each other).
+        let half = cpu.retired / 2;
+        core.run(half.max(1));
+        let snap = core.snapshot();
+        core.run(MAX_INSTS);
+        let first = compare(&core, cpu, Some(&stores.lock().unwrap()), leg);
+        if !first.is_empty() {
+            return first;
+        }
+        core.restore(&snap);
+        core.run(MAX_INSTS);
+        // The restored run re-executes only the second half, so its
+        // collected store stream intentionally differs; the full-stream
+        // check above already pinned ordering. Compare architectural
+        // state and the retirement count only.
+        return compare(&core, cpu, None, leg);
+    }
+
+    core.run(MAX_INSTS);
+    let collected = stores.lock().unwrap().clone();
+    compare(&core, cpu, Some(&collected), leg)
+}
+
+/// Runs one program across `legs` and compares each against the
+/// reference interpreter.
+pub fn cosim(program: &Program, legs: &[ModeLeg], bug: Option<&InjectedBug>) -> CosimResult {
+    let mut cpu = RefCpu::new(program.entry());
+    let out = cpu.run(program, MAX_INSTS);
+    let mut divergences = Vec::new();
+    if out != RefOutcome::Halted {
+        // A program the reference cannot finish is not a usable input;
+        // report it as a (non-leg) divergence so generators/shrinkers
+        // reject it.
+        divergences.push(Divergence {
+            leg: "reference".into(),
+            detail: format!("reference outcome {out:?}"),
+        });
+        return CosimResult {
+            ref_insts: cpu.retired,
+            divergences,
+        };
+    }
+    for leg in legs {
+        divergences.extend(run_leg(program, leg, &cpu, bug));
+    }
+    CosimResult {
+        ref_insts: cpu.retired,
+        divergences,
+    }
+}
+
+/// Whether the reference itself can complete the program (used by the
+/// shrinker to reject variants that no longer terminate).
+pub fn reference_halts(program: &Program) -> bool {
+    let mut cpu = RefCpu::new(program.entry());
+    cpu.run(program, MAX_INSTS) == RefOutcome::Halted
+}

@@ -1,0 +1,33 @@
+//! # csd-difftest — differential cosimulation for the CSD pipeline
+//!
+//! CSD's premise is that decoder-level rewriting — stealth decoy
+//! injection, selective devectorization, microcode patches, decode
+//! memoization — is *semantics-preserving*. This crate proves it
+//! continuously:
+//!
+//! - [`mod@reference`]: an architectural interpreter executing mx86 macro-ops
+//!   directly (no µops, no timing, no caches) as the ground-truth oracle;
+//! - [`generator`]: a deterministic, SplitMix64-seeded random program
+//!   generator whose outputs always terminate;
+//! - [`harness`]: runs each program through the cycle-level pipeline
+//!   under every leg of the CSD mode matrix (stealth × devec × memo ×
+//!   µop-cache, functional and cycle timing, plus a snapshot/restore
+//!   leg) and compares final architectural state, the
+//!   retired-instruction partition, and the ordered store stream;
+//! - [`mod@shrink`]: greedily minimizes any diverging program to a small
+//!   reassemblable reproducer.
+//!
+//! The bounded entry point lives in `tests/`; the long-run fuzzer is the
+//! `difftest` binary (`--seed`, `--programs`, `--modes`).
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod harness;
+pub mod reference;
+pub mod shrink;
+
+pub use generator::{GenOp, GenProgram, Generator};
+pub use harness::{cosim, mode_matrix, CosimResult, Divergence, InjectedBug, ModeLeg};
+pub use reference::{RefCpu, RefOutcome, StoreRecord};
+pub use shrink::{shrink, Shrunk};

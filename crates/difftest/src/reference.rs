@@ -1,0 +1,395 @@
+//! Architectural reference interpreter for mx86.
+//!
+//! Executes macro-ops directly against flat architectural state — no
+//! µops, no timing, no caches, no CSD engine — and serves as the
+//! ground-truth oracle for differential cosimulation. Scalar and packed
+//! arithmetic reuse the pipeline's own [`csd_pipeline::alu`] /
+//! [`csd_pipeline::mul`] / [`csd_pipeline::valu`] helpers, so the two
+//! executions can only disagree through *decoding and sequencing*, which
+//! is exactly the surface CSD rewrites.
+//!
+//! The one deliberately pinned instruction is `rdtsc`: its result is the
+//! cycle counter, which no architectural model can predict, so the
+//! reference writes 0 and the program generator never emits it.
+
+use csd::MsrFile;
+use csd_pipeline::{alu, mul, valu, Flags, Memory};
+use mx86_isa::{Gpr, Inst, MemRef, Program, RegImm, Xmm};
+
+/// One architectural store, in program order. Mirrors
+/// [`csd_telemetry::StoreEvent`] (vector stores split into two 64-bit
+/// halves, low half first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreRecord {
+    /// Effective address.
+    pub addr: u64,
+    /// Bytes written (1–8).
+    pub len: u32,
+    /// Value written, truncated to `len` bytes.
+    pub value: u64,
+}
+
+/// Why the reference interpreter stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefOutcome {
+    /// Executed a `hlt`.
+    Halted,
+    /// Instruction budget exhausted before `hlt`.
+    Running,
+    /// `rip` left the program (no instruction starts at this address).
+    Fault(u64),
+}
+
+/// The reference machine: architectural registers, flags, flat memory,
+/// and an MSR file with the same store-verbatim/read-back-zero semantics
+/// as the CSD engine's.
+#[derive(Debug, Clone)]
+pub struct RefCpu {
+    /// General-purpose registers.
+    pub gprs: [u64; 16],
+    /// Vector registers as (low, high) 64-bit halves.
+    pub xmms: [(u64, u64); 16],
+    /// Architectural flags.
+    pub flags: Flags,
+    /// Flat data memory.
+    pub mem: Memory,
+    /// Model-specific registers (plain storage; the reference attaches no
+    /// behavior to CSD MSRs — they only reconfigure the *decoder*).
+    pub msrs: MsrFile,
+    /// Program counter.
+    pub rip: u64,
+    /// Retired macro-ops.
+    pub retired: u64,
+    /// Ordered stream of architectural stores.
+    pub stores: Vec<StoreRecord>,
+    halted: bool,
+}
+
+impl RefCpu {
+    /// A reference machine positioned at `entry` with zeroed state.
+    pub fn new(entry: u64) -> RefCpu {
+        RefCpu {
+            gprs: [0; 16],
+            xmms: [(0, 0); 16],
+            flags: Flags::default(),
+            mem: Memory::default(),
+            msrs: MsrFile::default(),
+            rip: entry,
+            retired: 0,
+            stores: Vec::new(),
+            halted: false,
+        }
+    }
+
+    /// Whether the machine has executed `hlt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn gpr(&self, r: Gpr) -> u64 {
+        self.gprs[r as usize]
+    }
+
+    fn set_gpr(&mut self, r: Gpr, v: u64) {
+        self.gprs[r as usize] = v;
+    }
+
+    fn xmm(&self, r: Xmm) -> (u64, u64) {
+        self.xmms[r.index()]
+    }
+
+    fn set_xmm(&mut self, r: Xmm, v: (u64, u64)) {
+        self.xmms[r.index()] = v;
+    }
+
+    fn regimm(&self, ri: RegImm) -> u64 {
+        match ri {
+            RegImm::Reg(r) => self.gpr(r),
+            RegImm::Imm(i) => i as u64,
+        }
+    }
+
+    fn ea(&self, m: MemRef) -> u64 {
+        let mut a = m.disp as u64;
+        if let Some(b) = m.base {
+            a = a.wrapping_add(self.gpr(b));
+        }
+        if let Some((i, s)) = m.index {
+            a = a.wrapping_add(self.gpr(i).wrapping_mul(s.factor()));
+        }
+        a
+    }
+
+    fn store(&mut self, addr: u64, len: u64, v: u64) {
+        self.mem.write_le(addr, len, v);
+        self.stores.push(StoreRecord {
+            addr,
+            len: len as u32,
+            value: if len >= 8 {
+                v
+            } else {
+                v & ((1u64 << (8 * len)) - 1)
+            },
+        });
+    }
+
+    fn push(&mut self, v: u64) {
+        let rsp = self.gpr(Gpr::Rsp).wrapping_sub(8);
+        self.set_gpr(Gpr::Rsp, rsp);
+        self.store(rsp, 8, v);
+    }
+
+    /// Executes one macro-op. A `Running` return means "keep stepping".
+    pub fn step(&mut self, program: &Program) -> RefOutcome {
+        if self.halted {
+            return RefOutcome::Halted;
+        }
+        let Some(placed) = program.fetch(self.rip) else {
+            return RefOutcome::Fault(self.rip);
+        };
+        let next = placed.next_addr();
+        let mut rip = next;
+        match placed.inst {
+            Inst::Nop { .. } | Inst::Clflush { .. } => {}
+            Inst::MovRR { dst, src } => {
+                let v = self.gpr(src);
+                self.set_gpr(dst, v);
+            }
+            Inst::MovRI { dst, imm } => self.set_gpr(dst, imm as u64),
+            Inst::Load { dst, mem, width } => {
+                let v = self.mem.read_le(self.ea(mem), width.bytes().min(8));
+                self.set_gpr(dst, v);
+            }
+            Inst::Store { mem, src, width } => {
+                let (a, v) = (self.ea(mem), self.gpr(src));
+                self.store(a, width.bytes().min(8), v);
+            }
+            Inst::Lea { dst, mem } => {
+                let a = self.ea(mem);
+                self.set_gpr(dst, a);
+            }
+            Inst::Alu { op, dst, src } => {
+                let (res, flags) = alu(op, self.gpr(dst), self.regimm(src));
+                self.set_gpr(dst, res);
+                self.flags = flags;
+            }
+            Inst::AluLoad {
+                op,
+                dst,
+                mem,
+                width,
+            } => {
+                let b = self.mem.read_le(self.ea(mem), width.bytes().min(8));
+                let (res, flags) = alu(op, self.gpr(dst), b);
+                self.set_gpr(dst, res);
+                self.flags = flags;
+            }
+            Inst::AluStore {
+                op,
+                mem,
+                src,
+                width,
+            } => {
+                let a = self.ea(mem);
+                let w = width.bytes().min(8);
+                let t = self.mem.read_le(a, w);
+                let (res, flags) = alu(op, t, self.regimm(src));
+                self.store(a, w, res);
+                self.flags = flags;
+            }
+            Inst::Mul { dst, src } => {
+                let (res, flags) = mul(self.gpr(dst), self.regimm(src));
+                self.set_gpr(dst, res);
+                self.flags = flags;
+            }
+            Inst::Div { src } => {
+                // Mirror the µop flow's staging exactly: the quotient
+                // lands in RAX before the remainder step re-reads the
+                // divisor, so `div rax` divides the *original* dividend by
+                // itself but computes the remainder against the quotient.
+                let a = self.gpr(Gpr::Rax);
+                let b0 = self.gpr(src);
+                let q = a.checked_div(b0).unwrap_or(0);
+                self.set_gpr(Gpr::Rax, q);
+                let b1 = self.gpr(src);
+                let r = a.checked_rem(b1).unwrap_or(0);
+                self.set_gpr(Gpr::Rdx, r);
+                self.flags = Flags {
+                    zf: r == 0,
+                    sf: false,
+                    cf: false,
+                    of: false,
+                };
+            }
+            Inst::Cmp { a, b } => {
+                let (_, flags) = alu(mx86_isa::AluOp::Sub, self.gpr(a), self.regimm(b));
+                self.flags = flags;
+            }
+            Inst::Test { a, b } => {
+                let (_, flags) = alu(mx86_isa::AluOp::And, self.gpr(a), self.regimm(b));
+                self.flags = flags;
+            }
+            Inst::Jmp { target } => rip = target,
+            Inst::Jcc { cc, target } => {
+                if self.flags.eval(cc) {
+                    rip = target;
+                }
+            }
+            Inst::JmpInd { reg } => rip = self.gpr(reg),
+            Inst::Call { target } => {
+                self.push(next);
+                rip = target;
+            }
+            Inst::Ret => {
+                let rsp = self.gpr(Gpr::Rsp);
+                let v = self.mem.read_le(rsp, 8);
+                self.set_gpr(Gpr::Rsp, rsp.wrapping_add(8));
+                rip = v;
+            }
+            Inst::Push { src } => {
+                let v = self.gpr(src);
+                self.push(v);
+            }
+            Inst::Pop { dst } => {
+                let rsp = self.gpr(Gpr::Rsp);
+                let v = self.mem.read_le(rsp, 8);
+                self.set_gpr(Gpr::Rsp, rsp.wrapping_add(8));
+                self.set_gpr(dst, v);
+            }
+            Inst::VLoad { dst, mem } => {
+                let v = self.mem.read_u128(self.ea(mem));
+                self.set_xmm(dst, v);
+            }
+            Inst::VStore { mem, src } => {
+                let (a, v) = (self.ea(mem), self.xmm(src));
+                self.mem.write_u128(a, v);
+                self.stores.push(StoreRecord {
+                    addr: a,
+                    len: 8,
+                    value: v.0,
+                });
+                self.stores.push(StoreRecord {
+                    addr: a.wrapping_add(8),
+                    len: 8,
+                    value: v.1,
+                });
+            }
+            Inst::VMovRR { dst, src } => {
+                let v = self.xmm(src);
+                self.set_xmm(dst, v);
+            }
+            Inst::VAlu { op, dst, src } => {
+                let v = valu(op, self.xmm(dst), self.xmm(src));
+                self.set_xmm(dst, v);
+            }
+            Inst::VAluLoad { op, dst, mem } => {
+                let b = self.mem.read_u128(self.ea(mem));
+                let v = valu(op, self.xmm(dst), b);
+                self.set_xmm(dst, v);
+            }
+            Inst::VMovToGpr { dst, src } => {
+                let v = self.xmm(src).0;
+                self.set_gpr(dst, v);
+            }
+            Inst::VMovFromGpr { dst, src } => {
+                let mut v = self.xmm(dst);
+                v.0 = self.gpr(src);
+                self.set_xmm(dst, v);
+            }
+            Inst::Rdtsc => self.set_gpr(Gpr::Rax, 0),
+            Inst::Wrmsr { msr, src } => {
+                let v = self.gpr(src);
+                self.msrs.write(msr, v);
+            }
+            Inst::Rdmsr { dst, msr } => {
+                let v = self.msrs.read(msr);
+                self.set_gpr(dst, v);
+            }
+            Inst::Halt => {
+                self.halted = true;
+                self.retired += 1;
+                return RefOutcome::Halted;
+            }
+        }
+        self.rip = rip;
+        self.retired += 1;
+        RefOutcome::Running
+    }
+
+    /// Steps until `hlt`, a fault, or `max_insts` retirements.
+    pub fn run(&mut self, program: &Program, max_insts: u64) -> RefOutcome {
+        while self.retired < max_insts {
+            match self.step(program) {
+                RefOutcome::Running => {}
+                end => return end,
+            }
+        }
+        RefOutcome::Running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx86_isa::{AluOp, Assembler, Cc};
+
+    #[test]
+    fn arithmetic_flags_and_branching() {
+        let mut a = Assembler::new(0x1000);
+        a.mov_ri(Gpr::Rax, 5);
+        a.alu_ri(AluOp::Sub, Gpr::Rax, 5);
+        let done = a.fresh_label();
+        a.jcc(Cc::Eq, done);
+        a.mov_ri(Gpr::Rbx, 99);
+        a.bind(done).unwrap();
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut cpu = RefCpu::new(p.entry());
+        assert_eq!(cpu.run(&p, 100), RefOutcome::Halted);
+        assert_eq!(cpu.gpr(Gpr::Rax), 0);
+        assert_eq!(cpu.gpr(Gpr::Rbx), 0, "jcc eq must skip the mov");
+        assert_eq!(cpu.retired, 4);
+    }
+
+    #[test]
+    fn call_ret_and_store_stream() {
+        let mut a = Assembler::new(0x1000);
+        a.mov_ri(Gpr::Rsp, 0x9000);
+        a.mov_ri(Gpr::Rax, 0x11);
+        let sub = a.fresh_label();
+        a.call(sub);
+        a.store(mx86_isa::MemRef::abs(0x5000), Gpr::Rax);
+        a.halt();
+        a.bind(sub).unwrap();
+        a.alu_ri(AluOp::Add, Gpr::Rax, 1);
+        a.ret();
+        let p = a.finish().unwrap();
+        let mut cpu = RefCpu::new(p.entry());
+        assert_eq!(cpu.run(&p, 100), RefOutcome::Halted);
+        assert_eq!(cpu.gpr(Gpr::Rax), 0x12);
+        assert_eq!(cpu.mem.read_le(0x5000, 8), 0x12);
+        // Two architectural stores: the call's return-address push and
+        // the explicit store.
+        assert_eq!(cpu.stores.len(), 2);
+        assert_eq!(cpu.stores[0].addr, 0x9000 - 8);
+        assert_eq!(
+            cpu.stores[1],
+            StoreRecord {
+                addr: 0x5000,
+                len: 8,
+                value: 0x12
+            }
+        );
+    }
+
+    #[test]
+    fn fault_on_misaligned_fetch() {
+        let mut a = Assembler::new(0x1000);
+        a.mov_ri(Gpr::Rax, 0x1001);
+        a.jmp_ind(Gpr::Rax);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut cpu = RefCpu::new(p.entry());
+        assert_eq!(cpu.run(&p, 100), RefOutcome::Fault(0x1001));
+    }
+}

@@ -1,0 +1,105 @@
+//! Greedy program shrinker.
+//!
+//! Given a diverging program (in generator IR form), repeatedly deletes
+//! chunks of instructions — largest chunks first, halving down to single
+//! instructions — keeping any deletion that still assembles, still halts
+//! in the reference, and still diverges. Labels are never deleted, so
+//! every surviving branch stays well-formed; a deletion that breaks
+//! termination (e.g. removing a loop counter's decrement) is rejected by
+//! the reference-halts check.
+
+use crate::generator::{GenOp, GenProgram};
+use crate::harness::{cosim, reference_halts, InjectedBug, ModeLeg};
+
+/// Outcome of shrinking a diverging program.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized program.
+    pub program: GenProgram,
+    /// Instructions in the minimized program.
+    pub insts: usize,
+    /// Deletion attempts made.
+    pub attempts: u64,
+}
+
+fn diverges(gp: &GenProgram, legs: &[ModeLeg], bug: Option<&InjectedBug>) -> bool {
+    let Ok(p) = gp.assemble() else {
+        return false;
+    };
+    if !reference_halts(&p) {
+        return false;
+    }
+    !cosim(&p, legs, bug).ok()
+}
+
+/// Greedily minimizes `gp`, which must diverge under `legs` (and `bug`,
+/// if injected). Returns the smallest variant found.
+pub fn shrink(gp: &GenProgram, legs: &[ModeLeg], bug: Option<&InjectedBug>) -> Shrunk {
+    let mut best = gp.clone();
+    let mut attempts = 0u64;
+    // Indices of deletable elements (labels must survive).
+    let deletable = |ops: &[GenOp]| -> Vec<usize> {
+        ops.iter()
+            .enumerate()
+            .filter(|(_, op)| !matches!(op, GenOp::Label(_)))
+            .map(|(i, _)| i)
+            .collect()
+    };
+
+    let mut chunk = deletable(&best.ops).len().max(1) / 2;
+    while chunk >= 1 {
+        let mut progress = true;
+        while progress {
+            progress = false;
+            let idxs = deletable(&best.ops);
+            let mut start = 0;
+            while start < idxs.len() {
+                let end = (start + chunk).min(idxs.len());
+                let remove: Vec<usize> = idxs[start..end].to_vec();
+                let candidate = GenProgram {
+                    ops: best
+                        .ops
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !remove.contains(i))
+                        .map(|(_, op)| *op)
+                        .collect(),
+                    labels: best.labels,
+                };
+                attempts += 1;
+                if diverges(&candidate, legs, bug) {
+                    best = candidate;
+                    progress = true;
+                    // idxs are stale after a deletion; restart the sweep.
+                    break;
+                }
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // Drop labels nothing references (cosmetic: shorter reproducers).
+    let referenced: Vec<usize> = best
+        .ops
+        .iter()
+        .filter_map(|op| match *op {
+            GenOp::JmpTo(l) | GenOp::JccTo(_, l) | GenOp::CallTo(l) | GenOp::MovLabelAddr(_, l) => {
+                Some(l)
+            }
+            _ => None,
+        })
+        .collect();
+    best.ops
+        .retain(|op| !matches!(op, GenOp::Label(l) if !referenced.contains(l)));
+
+    let insts = best.inst_count();
+    Shrunk {
+        program: best,
+        insts,
+        attempts,
+    }
+}

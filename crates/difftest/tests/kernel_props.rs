@@ -1,0 +1,178 @@
+//! Kernel-level properties of the decode-memo table and the context key:
+//! a memo hit must hand back a µop flow identical to a fresh
+//! translation for the same `(pc, context_key, tainted)` triple, and the
+//! context key must roll on every event that can change decode
+//! semantics — MSR writes, microcode updates, and VPU gate-state
+//! transitions.
+
+use csd::{
+    ContextId, CsdConfig, CsdEngine, DevecThresholds, MicrocodeUpdate, OpcodeClass, PrivilegeLevel,
+    VpuPolicy,
+};
+use csd_telemetry::SplitMix64;
+use csd_uops::{DecodeMemo, UopFlow};
+use mx86_isa::{Gpr, Inst, MemRef, Placed, VecOp, Width, Xmm};
+
+fn menu(addr: u64, pick: u64) -> Placed {
+    let inst = match pick % 4 {
+        0 => Inst::MovRI {
+            dst: Gpr::Rax,
+            imm: 0x1234 + (pick % 97) as i64,
+        },
+        1 => Inst::Load {
+            dst: Gpr::Rcx,
+            mem: MemRef::base(Gpr::Rbx),
+            width: Width::B8,
+        },
+        2 => Inst::Store {
+            mem: MemRef::base(Gpr::Rbx),
+            src: Gpr::Rdx,
+            width: Width::B4,
+        },
+        _ => Inst::VAlu {
+            op: VecOp::PAddB,
+            dst: Xmm::new(0),
+            src: Xmm::new(1),
+        },
+    };
+    Placed { addr, inst }
+}
+
+/// A memo hit yields a flow identical to what a fresh engine translates
+/// for the same `(pc, context_key, tainted)` — memoization changes the
+/// allocation strategy (shared vs owned), never the µops.
+#[test]
+fn memo_hit_flow_is_identical_to_fresh_translation() {
+    // AlwaysOn keeps the gate controller inert so the context key is
+    // stable across both passes and hits can actually occur.
+    let cfg = || CsdConfig {
+        vpu_policy: VpuPolicy::AlwaysOn,
+        ..CsdConfig::default()
+    };
+    let mut memoized = CsdEngine::new(cfg());
+    let mut fresh = CsdEngine::new(cfg());
+    let mut memo = DecodeMemo::new();
+    let mut rng = SplitMix64::new(0x3E30);
+
+    let placed: Vec<Placed> = (0..32)
+        .map(|i| menu(0x1000 + 16 * i, rng.next_u64()))
+        .collect();
+    // First pass fills the table.
+    for p in &placed {
+        memoized.decode_memo(p, false, Some(&mut memo));
+    }
+    assert_eq!(memo.stats().inserts as usize, placed.len());
+    // Second pass must hit, and every shared flow must equal the owned
+    // flow a memo-less engine materializes.
+    for p in &placed {
+        let hit = memoized.decode_memo(p, false, Some(&mut memo));
+        let own = fresh.decode(p, false);
+        assert!(
+            matches!(hit.translation, UopFlow::Shared(_)),
+            "revisiting {p:?} must hit the table"
+        );
+        assert!(
+            matches!(own.translation, UopFlow::Owned(_)),
+            "memo-less decode must own its flow"
+        );
+        assert_eq!(
+            hit.translation, own.translation,
+            "memo hit and fresh translation differ for {p:?}"
+        );
+        assert_eq!(hit.context, own.context);
+    }
+    assert_eq!(memo.stats().hits as usize, placed.len());
+}
+
+/// Any MSR write invalidates cached flows: the same pc misses after the
+/// write because the context key rolled. (Fills also hand out shared
+/// flows, so the counters — not the `UopFlow` variant — tell hit from
+/// refill.)
+#[test]
+fn msr_write_invalidates_memo_entries() {
+    let mut e = CsdEngine::new(CsdConfig {
+        vpu_policy: VpuPolicy::AlwaysOn,
+        ..CsdConfig::default()
+    });
+    let mut memo = DecodeMemo::new();
+    let p = menu(0x2000, 0);
+    e.decode_memo(&p, false, Some(&mut memo));
+    e.decode_memo(&p, false, Some(&mut memo));
+    assert_eq!(memo.stats().hits, 1, "revisit under the same key must hit");
+
+    e.write_msr(0x100, 42);
+    e.decode_memo(&p, false, Some(&mut memo));
+    assert_eq!(
+        memo.stats().hits,
+        1,
+        "stale entry must not survive an MSR write"
+    );
+    assert_eq!(memo.stats().invalidations, 1, "key roll flushes the table");
+    assert_eq!(memo.stats().misses, 2);
+}
+
+/// The context key strictly increases on every MSR write and every
+/// verified microcode update, for arbitrary indices and payloads.
+#[test]
+fn context_key_rolls_on_msr_writes_and_microcode_updates() {
+    let mut e = CsdEngine::default();
+    let mut rng = SplitMix64::new(0xC0FF);
+    for i in 0..256u64 {
+        let before = e.context_key();
+        if i % 4 == 3 {
+            let mcu = MicrocodeUpdate::new(
+                i as u32 + 1,
+                OpcodeClass::Nop,
+                ContextId::Custom(rng.next_u8() % 8),
+                false,
+                vec![Inst::Nop { len: 1 }],
+            );
+            e.apply_microcode_update(&mcu, PrivilegeLevel::Kernel)
+                .expect("valid update");
+        } else {
+            e.write_msr(rng.next_u32(), rng.next_u64());
+        }
+        assert!(e.context_key() > before, "context key stalled at step {i}");
+    }
+}
+
+/// Gate-state transitions roll the context key in both directions:
+/// scalar-phase power-gating under the CSD policy, and wake-up on a
+/// vector instruction under the conventional policy.
+#[test]
+fn context_key_rolls_on_gate_state_transitions() {
+    // Gate-off transition: eight scalar decodes under CsdDevec gate the
+    // VPU.
+    let mut e = CsdEngine::new(CsdConfig {
+        vpu_policy: VpuPolicy::CsdDevec(DevecThresholds {
+            window: 8,
+            low: 1,
+            high: 16,
+        }),
+        ..CsdConfig::default()
+    });
+    let k0 = e.context_key();
+    for i in 0..8 {
+        e.decode(&menu(0x3000 + 16 * i, 0), false);
+    }
+    assert!(!e.vpu_available(), "scalar phase must gate the VPU");
+    assert!(e.context_key() > k0, "gating transition must roll the key");
+
+    // Wake-up transition: a gated conventional VPU powers back on for a
+    // vector instruction during decode.
+    let mut e = CsdEngine::new(CsdConfig {
+        vpu_policy: VpuPolicy::Conventional {
+            idle_gate_cycles: 10,
+        },
+        ..CsdConfig::default()
+    });
+    e.tick(20);
+    assert!(!e.vpu_available(), "idle conventional VPU must gate");
+    let k1 = e.context_key();
+    let out = e.decode(&menu(0x4000, 3), false);
+    assert!(
+        out.stall_cycles > 0,
+        "gated conventional VPU must pay a wake-up stall"
+    );
+    assert!(e.context_key() > k1, "wake transition must roll the key");
+}

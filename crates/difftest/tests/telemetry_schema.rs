@@ -1,0 +1,62 @@
+//! Golden-file test pinning the telemetry JSON schema: the full key set
+//! and member ordering of `Core::telemetry_report()`. Downstream tooling
+//! (the experiment suite, CI byte-compares) parses this layout, so any
+//! schema change must be deliberate — update the golden file in the same
+//! commit that changes the report.
+
+use csd::CsdConfig;
+use csd_difftest::Generator;
+use csd_pipeline::{Core, CoreConfig, SimMode};
+use csd_telemetry::Json;
+
+const GOLDEN: &str = include_str!("golden/telemetry_schema.txt");
+
+/// Flattens the object tree into dotted key paths in declaration order.
+/// Leaves (numbers, strings, arrays) terminate a path; only objects
+/// recurse, so the golden file pins structure, not values.
+fn flatten(json: &Json, prefix: &str, out: &mut Vec<String>) {
+    if let Json::Obj(members) = json {
+        for (key, value) in members {
+            let path = if prefix.is_empty() {
+                key.clone()
+            } else {
+                format!("{prefix}.{key}")
+            };
+            out.push(path.clone());
+            flatten(value, &path, out);
+        }
+    }
+}
+
+#[test]
+fn telemetry_report_schema_matches_golden_file() {
+    let program = Generator::new(0x7E1E)
+        .program()
+        .assemble()
+        .expect("generated program assembles");
+    let cfg = CoreConfig {
+        uop_cache_enabled: true,
+        decode_memo_enabled: true,
+        ..CoreConfig::default()
+    };
+    let mut core = Core::new(cfg, CsdConfig::default(), program, SimMode::Cycle);
+    core.run(200_000);
+    assert!(core.halted());
+
+    let mut keys = Vec::new();
+    flatten(&core.telemetry_report(), "", &mut keys);
+    let got = keys.join("\n") + "\n";
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/telemetry_schema.txt"
+        );
+        std::fs::write(path, &got).expect("write golden file");
+        return;
+    }
+    assert_eq!(
+        got, GOLDEN,
+        "telemetry schema drifted from tests/golden/telemetry_schema.txt; \
+         if the change is intentional, regenerate the golden file"
+    );
+}

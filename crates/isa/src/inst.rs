@@ -382,7 +382,7 @@ pub enum Inst {
         src: Xmm,
     },
     /// `movq dst, src` — move a GPR into the low 64 bits of an XMM register
-    /// (upper half zeroed).
+    /// (upper half preserved, like a `pinsrq dst, src, 0`).
     VMovFromGpr {
         /// Destination vector register.
         dst: Xmm,

@@ -8,6 +8,7 @@ use crate::machine::Flags;
 use crate::stage::{FlowEnd, StageCtx, UopEffect};
 use csd_cache::AccessKind;
 use csd_dift::DIFT_L2_TAG_PENALTY;
+use csd_telemetry::StoreEvent;
 use csd_uops::{fusion, DecoyTarget, UReg, Uop, UopKind};
 use mx86_isa::{Gpr, Inst, Placed};
 
@@ -134,7 +135,9 @@ fn exec_uop(core: &mut Core, u: &Uop, placed: &Placed) -> (UopEffect, u64) {
             if let Some(d) = u.dst {
                 core.state.write(d, res);
             }
-            core.state.flags = flags;
+            if !u.no_flags {
+                core.state.flags = flags;
+            }
             core.dift.propagate(u, None);
         }
         UopKind::Mul => {
@@ -147,7 +150,9 @@ fn exec_uop(core: &mut Core, u: &Uop, placed: &Placed) -> (UopEffect, u64) {
             if let Some(d) = u.dst {
                 core.state.write(d, res);
             }
-            core.state.flags = flags;
+            if !u.no_flags {
+                core.state.flags = flags;
+            }
             core.dift.propagate(u, None);
         }
         UopKind::FAlu(op, w) => {
@@ -213,6 +218,7 @@ fn exec_uop(core: &mut Core, u: &Uop, placed: &Placed) -> (UopEffect, u64) {
             core.hier.access(ea, AccessKind::DataWrite);
             let v = core.state.read(u.src1.expect("store has src"));
             core.mem.write_le(ea, w.min(8), v);
+            emit_store(core, ea, w.min(8), v);
             core.dift.propagate(u, Some(ea));
             core.stats.store_uops += 1;
             access_latency = 1;
@@ -236,6 +242,8 @@ fn exec_uop(core: &mut Core, u: &Uop, placed: &Placed) -> (UopEffect, u64) {
             core.hier.access(ea, AccessKind::DataWrite);
             let v = core.state.read_v(u.src1.expect("vst has src"));
             core.mem.write_u128(ea, v);
+            emit_store(core, ea, 8, v.0);
+            emit_store(core, ea.wrapping_add(8), 8, v.1);
             core.dift.propagate(u, Some(ea));
             core.stats.store_uops += 1;
             access_latency = 1;
@@ -300,14 +308,17 @@ fn exec_uop(core: &mut Core, u: &Uop, placed: &Placed) -> (UopEffect, u64) {
             core.pending_mispredict = miss;
         }
         UopKind::PushImm | UopKind::Push => {
-            let rsp = core.state.gpr(Gpr::Rsp).wrapping_sub(8);
-            core.state.set_gpr(Gpr::Rsp, rsp);
-            core.hier.access(rsp, AccessKind::DataWrite);
+            // x86 order: the pushed value is read before rsp moves, so
+            // `push rsp` stores the pre-decrement stack pointer.
             let v = match u.kind {
                 UopKind::PushImm => u.imm.unwrap_or(0) as u64,
                 _ => core.state.read(u.src1.expect("push src")),
             };
+            let rsp = core.state.gpr(Gpr::Rsp).wrapping_sub(8);
+            core.state.set_gpr(Gpr::Rsp, rsp);
+            core.hier.access(rsp, AccessKind::DataWrite);
             core.mem.write_le(rsp, 8, v);
+            emit_store(core, rsp, 8, v);
             core.dift.propagate(u, Some(rsp));
             core.stats.store_uops += 1;
             access_latency = 1;
@@ -317,8 +328,10 @@ fn exec_uop(core: &mut Core, u: &Uop, placed: &Placed) -> (UopEffect, u64) {
             let r = core.hier.access(rsp, AccessKind::DataRead);
             access_latency = r.latency + dift_penalty(core);
             let v = core.mem.read_le(rsp, 8);
-            core.state.write(u.dst.expect("pop dst"), v);
+            // x86 order: rsp is incremented before the destination write,
+            // so `pop rsp` ends up holding the loaded value.
             core.state.set_gpr(Gpr::Rsp, rsp.wrapping_add(8));
+            core.state.write(u.dst.expect("pop dst"), v);
             core.dift.propagate(u, Some(rsp));
             core.stats.load_uops += 1;
         }
@@ -346,6 +359,23 @@ fn exec_uop(core: &mut Core, u: &Uop, placed: &Placed) -> (UopEffect, u64) {
         }
     }
     (effect, access_latency)
+}
+
+/// Emits an ordered architectural-store event (the cosimulation oracle
+/// compares this stream against the reference interpreter's).
+fn emit_store(core: &mut Core, addr: u64, len: u64, value: u64) {
+    if core.sink.is_attached() {
+        let ev = StoreEvent {
+            addr,
+            len: len as u32,
+            value: if len >= 8 {
+                value
+            } else {
+                value & ((1u64 << (8 * len)) - 1)
+            },
+        };
+        core.sink.with(|s| s.on_store(&ev));
+    }
 }
 
 fn dift_penalty(core: &Core) -> u64 {
@@ -440,7 +470,7 @@ fn time_uop(
     if let Some(d) = u.dst {
         core.sched.insert(d, done);
     }
-    if u.kind.writes_flags() && !u.is_decoy() {
+    if u.kind.writes_flags() && !u.is_decoy() && !u.no_flags {
         core.flags_ready = done;
     }
     // Stack-pointer updates by push/pop.

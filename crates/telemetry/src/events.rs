@@ -48,6 +48,21 @@ pub struct GateEvent {
     pub transitions: u64,
 }
 
+/// One architectural store performed by the core, in program order.
+///
+/// The differential-cosimulation harness compares this ordered stream
+/// against the reference interpreter's; vector stores emit one event per
+/// 64-bit half (low half first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreEvent {
+    /// Effective address of the store.
+    pub addr: u64,
+    /// Bytes written (1–8).
+    pub len: u32,
+    /// The value written, truncated to `len` bytes.
+    pub value: u64,
+}
+
 /// A stealth-mode decoy window was injected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StealthWindowEvent {
@@ -67,6 +82,11 @@ pub trait EventSink: Send {
 
     /// A macro-op retired.
     fn on_retire(&mut self, event: &RetireEvent) {
+        let _ = event;
+    }
+
+    /// An architectural store was performed.
+    fn on_store(&mut self, event: &StoreEvent) {
         let _ = event;
     }
 
@@ -151,6 +171,8 @@ pub struct CountingSink {
     pub stealth_windows: u64,
     /// Total decoy µops across observed decode events.
     pub decoy_uops: u64,
+    /// Architectural stores observed.
+    pub stores: u64,
 }
 
 impl EventSink for CountingSink {
@@ -161,6 +183,10 @@ impl EventSink for CountingSink {
 
     fn on_retire(&mut self, _event: &RetireEvent) {
         self.retires += 1;
+    }
+
+    fn on_store(&mut self, _event: &StoreEvent) {
+        self.stores += 1;
     }
 
     fn on_gate(&mut self, _event: &GateEvent) {

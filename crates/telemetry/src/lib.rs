@@ -31,6 +31,7 @@ pub mod rng;
 
 pub use events::{
     CountingSink, DecodeEvent, EventSink, GateEvent, RetireEvent, SinkHandle, StealthWindowEvent,
+    StoreEvent,
 };
 pub use json::{Json, ToJson};
 pub use rng::{derive_seed, SplitMix64};

@@ -251,6 +251,12 @@ pub struct Uop {
     /// If set, this is a decoy micro-op injected by stealth translation,
     /// targeting the given cache path.
     pub decoy: Option<DecoyTarget>,
+    /// Suppress the architectural flags write this µop's kind would
+    /// normally perform. Devectorized emulation flows use ALU/MUL µops as
+    /// internal lane arithmetic; the macro-ops they stand in for
+    /// (`paddb`, `pmullw`, …) do not touch flags, so the emulation must
+    /// not either.
+    pub no_flags: bool,
 }
 
 impl Uop {
@@ -264,6 +270,7 @@ impl Uop {
             imm: None,
             mem: None,
             decoy: None,
+            no_flags: false,
         }
     }
 
@@ -294,6 +301,12 @@ impl Uop {
     /// Sets the memory operand.
     pub const fn mem(mut self, m: UMem) -> Uop {
         self.mem = Some(m);
+        self
+    }
+
+    /// Suppresses the flags write (devectorized lane arithmetic).
+    pub const fn suppress_flags(mut self) -> Uop {
+        self.no_flags = true;
         self
     }
 
