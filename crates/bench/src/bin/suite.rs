@@ -2,13 +2,18 @@
 //! one run, one JSON report, and a tolerance-band verdict.
 //!
 //! ```text
-//! cargo run --release -p csd-bench --bin suite -- [--jobs N] [--seed S] [--quick] [--out PATH]
+//! cargo run --release -p csd-bench --bin suite -- \
+//!     [--jobs N] [--seed S] [--quick] [--out PATH] [--list] [--filter SUBSTR]
 //! ```
 //!
 //! Exits non-zero if any headline metric drifts outside its declared
-//! band (full profile only).
+//! band (full profile only). `--list` prints the task grid without
+//! running anything; `--filter` runs only label-matched tasks and writes
+//! a reduced report (no figure summaries or checks) — the same document
+//! the `csd-serve` daemon returns for a task request.
 
-use csd_bench::suite::{resolve_jobs, run_suite, SuiteConfig};
+use csd_bench::suite::{resolve_jobs, run_filtered, run_suite, SuiteConfig};
+use csd_bench::tasks::{build_tasks, filter_tasks};
 use std::time::Instant;
 
 fn main() {
@@ -17,6 +22,8 @@ fn main() {
     let mut jobs = 0;
     let mut seed = 0xC5D_2018;
     let mut quick = false;
+    let mut list = false;
+    let mut filter: Option<String> = None;
     let mut out_path = "BENCH_suite.json".to_string();
 
     let mut args = std::env::args().skip(1);
@@ -38,13 +45,23 @@ fn main() {
                 out_path = args.next().unwrap_or_else(|| die("--out needs a path"));
             }
             "--quick" => quick = true,
+            "--list" => list = true,
+            "--filter" => {
+                filter = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--filter needs a substring")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: suite [--jobs N] [--seed S] [--quick] [--out PATH]\n\
+                     \x20            [--list] [--filter SUBSTR]\n\
                      Runs the full figure grid and writes the JSON report (default\n\
                      BENCH_suite.json). --jobs 0 (or omitted) uses one worker per\n\
                      available hardware thread. --quick runs a down-scaled smoke grid\n\
-                     without tolerance checks."
+                     without tolerance checks. --list prints the task labels without\n\
+                     running; --filter runs only tasks whose label contains SUBSTR and\n\
+                     writes a reduced report."
                 );
                 return;
             }
@@ -57,6 +74,42 @@ fn main() {
     } else {
         SuiteConfig::full(seed, jobs)
     };
+
+    if list {
+        let tasks = match &filter {
+            Some(f) => filter_tasks(&cfg, f),
+            None => build_tasks(&cfg),
+        };
+        for t in &tasks {
+            println!("{}", t.label());
+        }
+        eprintln!("suite: {} task(s)", tasks.len());
+        return;
+    }
+
+    if let Some(f) = filter {
+        let matched = filter_tasks(&cfg, &f).len();
+        if matched == 0 {
+            die(&format!("--filter {f:?} matches no task (try --list)"));
+        }
+        eprintln!(
+            "suite: profile={} root_seed={:#x} jobs={} filter={f:?} tasks={matched}",
+            cfg.profile,
+            cfg.root_seed,
+            resolve_jobs(cfg.jobs)
+        );
+        let t0 = Instant::now();
+        let doc = run_filtered(&cfg, &f);
+        std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| {
+            die(&format!("writing {out_path}: {e}"));
+        });
+        eprintln!(
+            "suite: wrote {out_path} in {:.1}s",
+            t0.elapsed().as_secs_f64()
+        );
+        return;
+    }
+
     eprintln!(
         "suite: profile={} root_seed={:#x} jobs={}",
         cfg.profile,

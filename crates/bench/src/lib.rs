@@ -9,6 +9,7 @@
 
 pub mod microbench;
 pub mod suite;
+pub mod tasks;
 
 use csd::{CsdConfig, DevecThresholds, VpuPolicy};
 use csd_crypto::{
@@ -202,9 +203,13 @@ pub fn run_watchdog_sweep_seeded(
     (base, rows)
 }
 
+/// Operations [`warm_up`] simulates before the measured region.
+pub const WARMUP_OPS: usize = 12;
+
 /// Builds the cycle-accurate, DIFT-enabled core every security experiment
-/// runs on, with `victim` installed.
-fn security_core(victim: &dyn Victim, core_cfg: CoreConfig) -> Core {
+/// runs on, with `victim` installed. Public so the serving layer can
+/// construct an identical core to restore a cached checkpoint into.
+pub fn security_core(victim: &dyn Victim, core_cfg: CoreConfig) -> Core {
     let cfg = CoreConfig {
         dift_enabled: true,
         ..core_cfg
@@ -219,19 +224,19 @@ fn security_core(victim: &dyn Victim, core_cfg: CoreConfig) -> Core {
     core
 }
 
-/// Warm-up long enough for the sparse table touches of the baseline to
-/// fully populate the caches — otherwise decoy prefetching makes stealth
-/// look *faster* (the paper's "prefetching effect", which should only
-/// mute, not invert, the cost).
-fn warm_up(core: &mut Core, victim: &dyn Victim, rng: &mut SplitMix64, input: &mut [u8]) {
-    for _ in 0..12 {
+/// Warm-up ([`WARMUP_OPS`] operations) long enough for the sparse table
+/// touches of the baseline to fully populate the caches — otherwise
+/// decoy prefetching makes stealth look *faster* (the paper's
+/// "prefetching effect", which should only mute, not invert, the cost).
+pub fn warm_up(core: &mut Core, victim: &dyn Victim, rng: &mut SplitMix64, input: &mut [u8]) {
+    for _ in 0..WARMUP_OPS {
         rng.fill_bytes(input);
         victim.run_once(core, input);
     }
 }
 
 /// Runs `blocks` operations and returns the metric deltas over them.
-fn measure_blocks(
+pub fn measure_blocks(
     core: &mut Core,
     victim: &dyn Victim,
     rng: &mut SplitMix64,

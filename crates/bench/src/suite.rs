@@ -1,8 +1,9 @@
 //! The parallel experiment-suite runner behind `--bin suite`.
 //!
-//! Enumerates every figure/table of `EXPERIMENTS.md` as an independent
-//! *task*, runs the tasks on a `std::thread` worker pool, and assembles
-//! one deterministic JSON report (`BENCH_suite.json`).
+//! The task grid itself lives in [`crate::tasks`] (shared with the
+//! `csd-serve` daemon); this module runs tasks on a `std::thread` worker
+//! pool and assembles one deterministic JSON report
+//! (`BENCH_suite.json`).
 //!
 //! Determinism contract: each task derives its own input seed from the
 //! suite's root seed and the task's *label* (never from scheduling
@@ -10,15 +11,10 @@
 //! carries no timestamps or host details — so the same root seed
 //! produces a byte-identical report at any `--jobs` setting.
 
-use crate::{
-    mean, policies, run_security_pair_seeded, run_watchdog_sweep_seeded, security_victims,
-    DEFAULT_WATCHDOG,
-};
-use csd_attack::{aes_attack, rsa_attack, AesAttackConfig, AttackMethod, Defense, RsaAttackConfig};
-use csd_crypto::RsaVictim;
-use csd_pipeline::CoreConfig;
-use csd_telemetry::{derive_seed, Json, ToJson};
-use csd_workloads::{specs, Workload};
+use crate::mean;
+use crate::tasks::{build_tasks, filter_tasks, pipelines, victim_names, TaskDef};
+use csd_telemetry::{Json, ToJson};
+use csd_workloads::specs;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -76,6 +72,16 @@ impl SuiteConfig {
             devec_scale: 0.05,
             checks: false,
             profile: "quick",
+        }
+    }
+
+    /// Builds the profile by name (`"full"` / `"quick"`) — the
+    /// convention shared by `suite` CLI flags and server requests.
+    pub fn named(profile: &str, root_seed: u64, jobs: usize) -> Option<SuiteConfig> {
+        match profile {
+            "full" => Some(SuiteConfig::full(root_seed, jobs)),
+            "quick" => Some(SuiteConfig::quick(root_seed, jobs)),
+            _ => None,
         }
     }
 
@@ -147,244 +153,39 @@ impl SuiteReport {
     }
 }
 
-/// A unit of work: a stable label (which also salts the seed) plus the
-/// closure computing that datapoint.
-struct Task {
-    label: String,
-    run: Box<dyn Fn(u64) -> Json + Send + Sync>,
-}
-
-fn task(label: String, run: impl Fn(u64) -> Json + Send + Sync + 'static) -> Task {
-    Task {
-        label,
-        run: Box::new(run),
-    }
-}
-
-/// A named pipeline-configuration constructor.
-type Pipeline = (&'static str, fn() -> CoreConfig);
-
-/// The two pipeline configurations of the security figures.
-fn pipelines() -> [Pipeline; 2] {
-    [("opt", CoreConfig::opt), ("noopt", CoreConfig::no_opt)]
-}
-
-fn victim_names() -> Vec<String> {
-    security_victims().iter().map(|v| v.name()).collect()
-}
-
-fn build_tasks(cfg: &SuiteConfig) -> Vec<Task> {
-    let mut tasks = Vec::new();
-    let names = victim_names();
-
-    // -- Figures 8/9/10: {opt, noopt} × victim. Both legs fork from one
-    //    warmed checkpoint, so they share the plaintext stream (the ratio
-    //    is noise-free) and the warmup simulates only once.
-    let blocks = cfg.sec_blocks;
-    for (cfg_name, mk) in pipelines() {
-        for (vi, name) in names.iter().enumerate() {
-            tasks.push(task(format!("sec/{cfg_name}/{name}"), move |seed| {
-                let victims = security_victims();
-                let v = victims[vi].as_ref();
-                run_security_pair_seeded(v, mk(), blocks, DEFAULT_WATCHDOG, seed).to_json()
-            }));
+/// Runs `tasks` on a `jobs`-worker pool (see [`resolve_jobs`]) and
+/// returns their results in task order, each task seeded from
+/// `root_seed` by label. Deterministic at any worker count.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the underlying experiment faulted).
+pub fn run_tasks(tasks: &[TaskDef], root_seed: u64, jobs: usize) -> Vec<Json> {
+    let n = tasks.len();
+    let slots: Vec<Mutex<Option<Json>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = resolve_jobs(jobs).min(n.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let t = &tasks[i];
+                let out = t.run(t.seed(root_seed));
+                *slots[i].lock().unwrap() = Some(out);
+            });
         }
-    }
-
-    // -- Figure 11: watchdog-period sweep per victim (optimized pipeline).
-    //    One warmed checkpoint per victim; the base leg and every period's
-    //    stealth leg fork from it.
-    let wd_blocks = cfg.wd_blocks;
-    let periods = cfg.wd_periods.clone();
-    for (vi, name) in names.iter().enumerate() {
-        let periods = periods.clone();
-        tasks.push(task(format!("wd/{name}"), move |seed| {
-            let victims = security_victims();
-            let v = victims[vi].as_ref();
-            let (base, sweep) =
-                run_watchdog_sweep_seeded(v, CoreConfig::opt(), wd_blocks, &periods, seed);
-            let rows: Vec<Json> = sweep
-                .into_iter()
-                .map(|(period, stealth)| {
-                    let slowdown = stealth.cycles as f64 / base.cycles as f64;
-                    Json::obj([
-                        ("period", Json::from(period)),
-                        ("stealth", stealth.to_json()),
-                        ("slowdown", Json::from(slowdown)),
-                    ])
-                })
-                .collect();
-            Json::obj([
-                ("name", Json::from(v.name().as_str())),
-                ("base", base.to_json()),
-                ("periods", Json::Arr(rows)),
-            ])
-        }));
-    }
-
-    // -- Figure 7a: PRIME+PROBE on AES, undefended vs stealth. Both legs
-    //    share the family-derived plaintext seed so only the defense
-    //    differs.
-    let trials = cfg.aes_trials;
-    let aes_seed_root = cfg.root_seed;
-    for leg in ["undefended", "stealth"] {
-        let stealth = leg == "stealth";
-        tasks.push(task(format!("attack/aes-pp/{leg}"), move |_seed| {
-            let attack_cfg = AesAttackConfig {
-                method: AttackMethod::PrimeProbe,
-                trials_per_candidate: trials,
-                seed: derive_seed(aes_seed_root, "attack/aes-pp"),
-                defense: if stealth {
-                    Defense::stealth_default()
-                } else {
-                    Defense::None
-                },
-                ..AesAttackConfig::default()
-            };
-            let out = aes_attack(&fig07a_victim(), &attack_cfg);
-            let pos0: Vec<Json> = out.touch_rates[0].iter().map(|r| Json::from(*r)).collect();
-            Json::obj([
-                ("encryptions", Json::from(out.encryptions)),
-                (
-                    "correct_positions",
-                    Json::from(out.correct_positions() as u64),
-                ),
-                ("bits_recovered", Json::from(out.bits_recovered() as u64)),
-                ("pos0_touch_rates", Json::Arr(pos0)),
-            ])
-        }));
-    }
-
-    // -- Figure 7b: FLUSH+RELOAD and PRIME+PROBE on RSA. The attack is
-    //    fully deterministic (fixed exponent, calibrated probe interval),
-    //    so no seed is consumed. The stealth leg mirrors the `fig07b`
-    //    binary: calibrate the interval from an undefended run, then
-    //    probe the defended victim at that cadence.
-    for (mname, method) in [
-        ("rsa-fr", AttackMethod::FlushReload),
-        ("rsa-pp", AttackMethod::PrimeProbe),
-    ] {
-        for leg in ["undefended", "stealth"] {
-            let stealth = leg == "stealth";
-            tasks.push(task(format!("attack/{mname}/{leg}"), move |_seed| {
-                let victim = fig07b_victim();
-                let base = rsa_attack(
-                    &victim,
-                    &RsaAttackConfig {
-                        method,
-                        ..Default::default()
-                    },
-                );
-                let out = if stealth {
-                    let interval = base.ts + base.tm / 2;
-                    rsa_attack(
-                        &victim,
-                        &RsaAttackConfig {
-                            method,
-                            probe_interval: Some(interval),
-                            defense: Defense::Stealth {
-                                watchdog_period: interval / 2,
-                            },
-                        },
-                    )
-                } else {
-                    base
-                };
-                Json::obj([
-                    ("samples", Json::from(out.trace.samples.len() as u64)),
-                    ("correct_bits", Json::from(out.correct_bits() as u64)),
-                    ("ts", Json::from(out.ts)),
-                    ("tm", Json::from(out.tm)),
-                ])
-            }));
-        }
-    }
-
-    // -- Figures 12–16: workload × VPU policy. Workload generation is
-    //    seeded by its spec, so these tasks are deterministic by
-    //    construction.
-    let scale = cfg.devec_scale;
-    for spec in specs() {
-        let wname = spec.name;
-        for (pi, (pname, _)) in policies().iter().enumerate() {
-            tasks.push(task(format!("devec/{wname}/{pname}"), move |_seed| {
-                let w = Workload::with_scale(
-                    specs().into_iter().find(|s| s.name == wname).unwrap(),
-                    scale,
-                );
-                let (pname, policy) = policies()[pi];
-                let run = crate::run_devec(&w, policy);
-                Json::obj([
-                    ("workload", Json::from(wname)),
-                    ("policy", Json::from(pname)),
-                    ("run", run.to_json()),
-                ])
-            }));
-        }
-    }
-
-    // -- Table I: the baseline machine description.
-    tasks.push(task("table1".to_string(), |_seed| table1_json()));
-
-    tasks
-}
-
-fn fig07a_victim() -> csd_crypto::AesVictim {
-    let key: Vec<u8> = vec![
-        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
-        0x3c,
-    ];
-    csd_crypto::AesVictim::new(
-        csd_crypto::AesKeySize::K128,
-        csd_crypto::CipherDir::Encrypt,
-        &key,
-    )
-}
-
-fn fig07b_victim() -> RsaVictim {
-    RsaVictim::new(0xB7E1_5163_0000_F36D, 1_000_003)
-}
-
-fn table1_json() -> Json {
-    let c = CoreConfig::default();
-    let h = &c.hierarchy;
-    let cache = |l: &csd_cache::CacheConfig| {
-        Json::obj([
-            ("size_bytes", Json::from(l.size_bytes)),
-            ("ways", Json::from(l.ways)),
-            ("line_bytes", Json::from(l.line_bytes)),
-            ("latency", Json::from(l.latency)),
-        ])
-    };
-    Json::obj([
-        ("fetch_bytes", Json::from(c.fetch_bytes)),
-        ("macro_op_queue", Json::from(c.macro_op_queue)),
-        ("decoders", Json::from(c.decoders)),
-        ("decode_width_uops", Json::from(c.decode_width_uops)),
-        ("msrom_width_uops", Json::from(c.msrom_width_uops)),
-        ("uop_cache_uops", Json::from(c.uop_cache_uops)),
-        ("uop_cache_ways", Json::from(c.uop_cache_ways)),
-        ("uop_cache_sets", Json::from(c.uop_cache_sets())),
-        ("uop_cache_line_uops", Json::from(c.uop_cache_line_uops)),
-        (
-            "uop_cache_max_lines_per_window",
-            Json::from(c.uop_cache_max_lines_per_window),
-        ),
-        ("dispatch_width", Json::from(c.dispatch_width)),
-        ("commit_width", Json::from(c.commit_width)),
-        ("rob_entries", Json::from(c.rob_entries)),
-        ("alu_units", Json::from(c.alu_units)),
-        ("load_units", Json::from(c.load_units)),
-        ("store_units", Json::from(c.store_units)),
-        ("vector_units", Json::from(c.vector_units)),
-        ("mispredict_penalty", Json::from(c.mispredict_penalty)),
-        ("l1i", cache(&h.l1i)),
-        ("l1d", cache(&h.l1d)),
-        ("l2", cache(&h.l2)),
-        ("llc", cache(&h.llc)),
-        ("memory_latency", Json::from(h.memory_latency)),
-        ("vpu_wake_cycles", Json::from(csd_power::VPU_WAKE_CYCLES)),
-    ])
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("worker completed every claimed task")
+        })
+        .collect()
 }
 
 /// Runs the whole grid on `cfg.jobs` worker threads and assembles the
@@ -395,36 +196,38 @@ fn table1_json() -> Json {
 /// Panics if a worker thread panics (the underlying experiment faulted).
 pub fn run_suite(cfg: &SuiteConfig) -> SuiteReport {
     let tasks = build_tasks(cfg);
-    let n = tasks.len();
-    let slots: Vec<Mutex<Option<Json>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let workers = resolve_jobs(cfg.jobs).min(n);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let t = &tasks[i];
-                let seed = derive_seed(cfg.root_seed, &t.label);
-                let out = (t.run)(seed);
-                *slots[i].lock().unwrap() = Some(out);
-            });
-        }
-    });
+    let values = run_tasks(&tasks, cfg.root_seed, cfg.jobs);
     let results = Results {
-        labels: tasks.into_iter().map(|t| t.label).collect(),
-        values: slots
-            .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .unwrap()
-                    .expect("worker completed every claimed task")
-            })
-            .collect(),
+        labels: tasks.iter().map(|t| t.label().to_string()).collect(),
+        values,
     };
     assemble(cfg, &results)
+}
+
+/// Runs the label-matched subset of the grid and returns a reduced
+/// report: no figure summaries or tolerance checks, just each task's
+/// label, seed, and result in grid order. The `csd-serve` daemon emits
+/// the identical document for a single-task request, which is what lets
+/// CI byte-compare a served experiment against `suite --filter`.
+pub fn run_filtered(cfg: &SuiteConfig, filter: &str) -> Json {
+    let tasks = filter_tasks(cfg, filter);
+    let values = run_tasks(&tasks, cfg.root_seed, cfg.jobs);
+    let rows: Vec<Json> = tasks
+        .iter()
+        .zip(values)
+        .map(|(t, v)| {
+            Json::obj([
+                ("label", Json::from(t.label())),
+                ("seed", Json::from(t.seed(cfg.root_seed))),
+                ("result", v),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("suite", cfg.to_json()),
+        ("filter", Json::from(filter)),
+        ("tasks", Json::Arr(rows)),
+    ])
 }
 
 /// Resolves a worker-count request: `0` (the "auto" convention shared by
@@ -509,7 +312,7 @@ fn assemble(cfg: &SuiteConfig, results: &Results) -> SuiteReport {
     let mut devec = Json::Obj(Vec::new());
     for w in &workload_names {
         let mut per = Json::Obj(Vec::new());
-        for (pname, _) in policies() {
+        for (pname, _) in crate::policies() {
             per.push_member(
                 pname,
                 results
@@ -876,13 +679,16 @@ fn assemble(cfg: &SuiteConfig, results: &Results) -> SuiteReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{run_security_pair_seeded, security_victims, DEFAULT_WATCHDOG};
+    use csd_pipeline::CoreConfig;
+    use csd_telemetry::derive_seed;
 
     #[test]
     fn grid_covers_every_family() {
         let cfg = SuiteConfig::quick(1, 1);
         let tasks = build_tasks(&cfg);
         assert_eq!(tasks.len(), 16 + 8 + 2 + 4 + 30 + 1);
-        let labels: Vec<&str> = tasks.iter().map(|t| t.label.as_str()).collect();
+        let labels: Vec<&str> = tasks.iter().map(|t| t.label()).collect();
         assert!(labels.contains(&"sec/opt/aes-enc"));
         assert!(labels.contains(&"sec/noopt/rijndael-dec"));
         assert!(labels.contains(&"wd/rsa-dec"));
@@ -925,6 +731,27 @@ mod tests {
     }
 
     #[test]
+    fn filtered_run_matches_full_grid_task() {
+        // `run_filtered` must reproduce the exact bytes the same task
+        // produces inside the full grid: same label-derived seed, same
+        // closure — only the report wrapper differs.
+        let cfg = SuiteConfig::quick(0xC5D, 1);
+        let doc = run_filtered(&cfg, "table1");
+        let rows = doc.get("tasks").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("label").and_then(Json::as_str), Some("table1"));
+        let t = crate::tasks::find_task(&cfg, "table1").unwrap();
+        let direct = t.run(t.seed(cfg.root_seed));
+        assert_eq!(
+            rows[0].get("result").unwrap().pretty(),
+            direct.pretty(),
+            "filtered run must serve the grid's bytes"
+        );
+        // And the whole filtered document is deterministic.
+        assert_eq!(doc.pretty(), run_filtered(&cfg, "table1").pretty());
+    }
+
+    #[test]
     fn check_band_logic() {
         let c = Check {
             name: "x",
@@ -944,7 +771,7 @@ mod tests {
 
     #[test]
     fn table1_reports_the_default_machine() {
-        let t = table1_json();
+        let t = crate::tasks::table1_json();
         assert_eq!(t.get("rob_entries").and_then(Json::as_u64), Some(168));
         assert!(t.get("l1d").and_then(|l| l.get("size_bytes")).is_some());
     }

@@ -174,6 +174,16 @@ pub struct CoreSnapshot {
     halted: bool,
 }
 
+// A snapshot must be shareable across threads: the serving layer parks
+// warmed checkpoints in an `Arc` and restores them into per-session
+// cores concurrently. `EventSink: Send + Sync` makes this hold by
+// construction; this assertion turns any regression into a compile
+// error here rather than a trait-bound error in `csd-serve`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CoreSnapshot>();
+};
+
 /// The simulator core: program, architectural state, memory, caches, CSD
 /// engine, DIFT, branch prediction, and the timing model.
 #[derive(Debug)]

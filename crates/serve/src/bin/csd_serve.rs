@@ -1,0 +1,73 @@
+//! The `csd-serve` daemon entry point.
+//!
+//! ```text
+//! cargo run --release -p csd-serve --bin csd-serve -- \
+//!     [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]
+//! ```
+//!
+//! Serves until SIGINT/SIGTERM or `POST /v1/shutdown`, drains in-flight
+//! work, and exits 0.
+
+use csd_serve::{install_signal_handler, Server, ServerConfig};
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => cfg.addr = args.next().unwrap_or_else(|| die("--addr needs HOST:PORT")),
+            "--workers" => {
+                cfg.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--workers needs a positive integer"));
+            }
+            "--queue-cap" => {
+                cfg.queue_cap = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--queue-cap needs a positive integer"));
+            }
+            "--cache-cap" => {
+                cfg.cache_cap = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--cache-cap needs a positive integer"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: csd-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]\n\
+                     Serves the experiment grid over HTTP. Endpoints:\n\
+                     \x20 GET  /healthz          liveness\n\
+                     \x20 GET  /metrics          counters + latency histograms\n\
+                     \x20 GET  /v1/tasks         task labels (?filter=SUBSTR)\n\
+                     \x20 POST /v1/experiments   run a task / experiment / devec job\n\
+                     \x20 GET  /v1/stream        NDJSON event telemetry for one experiment\n\
+                     \x20 POST /v1/shutdown      graceful drain + exit 0\n\
+                     SIGINT/SIGTERM also drain gracefully."
+                );
+                return;
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    install_signal_handler();
+    let server = Server::bind(&cfg).unwrap_or_else(|e| die(&format!("bind {}: {e}", cfg.addr)));
+    eprintln!(
+        "csd-serve: listening on {} (workers={} queue-cap={} cache-cap={})",
+        server.local_addr(),
+        cfg.workers,
+        cfg.queue_cap,
+        cfg.cache_cap
+    );
+    if let Err(e) = server.run() {
+        die(&format!("serve: {e}"));
+    }
+    eprintln!("csd-serve: drained, exiting");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("csd-serve: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,403 @@
+//! `loadgen` — load generator and scripting client for `csd-serve`.
+//!
+//! Load mode (default):
+//!
+//! ```text
+//! cargo run --release -p csd-serve --bin loadgen -- \
+//!     --addr HOST:PORT [--connections N] [--requests N] \
+//!     [--mix warm=8,cold=1,task=1] [--seed S]
+//! ```
+//!
+//! Opens `--connections` keep-alive connections, issues `--requests`
+//! total requests drawn from the weighted mix, retries `503` rejections
+//! with backoff, and reports latency percentiles from the same
+//! log2-bucket [`Histogram`] the server uses for its own metrics.
+//! Exits non-zero if any request ultimately failed.
+//!
+//! Helper modes for CI scripting: `--ping` (healthz), `--one LABEL`
+//! (fetch one task document, `--out PATH`), `--verify-warm` (cold run,
+//! then warm fork; assert byte-identical bodies), `--shutdown`.
+
+use csd_serve::{Client, ClientResponse};
+use csd_telemetry::{derive_seed, Histogram, SplitMix64};
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Warm,
+    Cold,
+    Task,
+    Devec,
+}
+
+#[derive(Debug, Clone)]
+struct Mix {
+    weights: Vec<(Kind, u64)>,
+}
+
+impl Mix {
+    fn parse(s: &str) -> Result<Mix, String> {
+        let mut weights = Vec::new();
+        for part in s.split(',').filter(|p| !p.is_empty()) {
+            let (name, w) = part
+                .split_once('=')
+                .ok_or_else(|| format!("mix entry {part:?} is not NAME=WEIGHT"))?;
+            let kind = match name {
+                "warm" => Kind::Warm,
+                "cold" => Kind::Cold,
+                "task" => Kind::Task,
+                "devec" => Kind::Devec,
+                _ => return Err(format!("unknown mix kind {name:?}")),
+            };
+            let w: u64 = w
+                .parse()
+                .map_err(|_| format!("mix weight in {part:?} is not an integer"))?;
+            weights.push((kind, w));
+        }
+        if weights.iter().map(|(_, w)| w).sum::<u64>() == 0 {
+            return Err("mix has zero total weight".to_string());
+        }
+        Ok(Mix { weights })
+    }
+
+    fn pick(&self, rng: &mut SplitMix64) -> Kind {
+        let total: u64 = self.weights.iter().map(|(_, w)| w).sum();
+        let mut roll = rng.range_u64(0, total - 1);
+        for (kind, w) in &self.weights {
+            if roll < *w {
+                return *kind;
+            }
+            roll -= w;
+        }
+        self.weights[0].0
+    }
+}
+
+struct Outcome {
+    latency: Histogram,
+    ok: u64,
+    errors: u64,
+    retries: u64,
+    warm_hits: u64,
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:8321".to_string();
+    let mut connections = 4usize;
+    let mut requests = 64usize;
+    let mut mix_spec = "warm=8,cold=1,task=1".to_string();
+    let mut seed: u64 = 0x10AD_2018;
+    let mut profile = "quick".to_string();
+    let mut out_path: Option<String> = None;
+    let mut mode_ping = false;
+    let mut mode_shutdown = false;
+    let mut mode_verify_warm = false;
+    let mut mode_one: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| die("--addr needs HOST:PORT")),
+            "--connections" => {
+                connections = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--connections needs a positive integer"));
+            }
+            "--requests" => {
+                requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--requests needs a positive integer"));
+            }
+            "--mix" => mix_spec = args.next().unwrap_or_else(|| die("--mix needs a spec")),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--profile" => profile = args.next().unwrap_or_else(|| die("--profile needs a name")),
+            "--out" => out_path = Some(args.next().unwrap_or_else(|| die("--out needs a path"))),
+            "--ping" => mode_ping = true,
+            "--shutdown" => mode_shutdown = true,
+            "--verify-warm" => mode_verify_warm = true,
+            "--one" => mode_one = Some(args.next().unwrap_or_else(|| die("--one needs a label"))),
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen --addr HOST:PORT [--connections N] [--requests N]\n\
+                     \x20              [--mix warm=8,cold=1,task=1] [--seed S]\n\
+                     \x20      or: --ping | --shutdown | --verify-warm |\n\
+                     \x20          --one LABEL [--profile quick|full] [--out PATH]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if mode_ping {
+        let body = simple(&addr, "GET", "/healthz", "");
+        println!("{}", body.trim_end());
+        return;
+    }
+    if mode_shutdown {
+        let body = simple(&addr, "POST", "/v1/shutdown", "{}");
+        println!("{}", body.trim_end());
+        return;
+    }
+    if let Some(label) = mode_one {
+        let req = format!("{{\"task\": {label:?}, \"profile\": {profile:?}, \"seed\": {seed}}}");
+        let resp = request_with_retry(&addr, "/v1/experiments", &req, 100)
+            .unwrap_or_else(|e| die(&format!("task request: {e}")));
+        if resp.status != 200 {
+            die(&format!(
+                "task request failed: {} {}",
+                resp.status,
+                resp.text()
+            ));
+        }
+        match out_path {
+            Some(path) => std::fs::write(&path, &resp.body)
+                .unwrap_or_else(|e| die(&format!("writing {path}: {e}"))),
+            None => {
+                std::io::stdout().write_all(&resp.body).unwrap();
+            }
+        }
+        return;
+    }
+    if mode_verify_warm {
+        verify_warm(&addr, seed);
+        return;
+    }
+
+    let mix = Mix::parse(&mix_spec).unwrap_or_else(|e| die(&e));
+    eprintln!(
+        "loadgen: {addr} connections={connections} requests={requests} mix={mix_spec} seed={seed:#x}"
+    );
+    let connections = connections.max(1);
+    let per = requests / connections;
+    let extra = requests % connections;
+    let t0 = Instant::now();
+    let outcomes: Vec<Outcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let n = per + usize::from(c < extra);
+                let addr = addr.clone();
+                let mix = mix.clone();
+                let conn_seed = derive_seed(seed, &format!("conn/{c}"));
+                s.spawn(move || run_connection(&addr, n, &mix, conn_seed, seed))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed();
+
+    let mut latency = Histogram::new();
+    let (mut ok, mut errors, mut retries, mut warm_hits) = (0u64, 0u64, 0u64, 0u64);
+    for o in &outcomes {
+        latency.merge(&o.latency);
+        ok += o.ok;
+        errors += o.errors;
+        retries += o.retries;
+        warm_hits += o.warm_hits;
+    }
+    println!(
+        "loadgen: ok={ok} errors={errors} retries_503={retries} warm_hits={warm_hits} \
+         wall_s={:.2} rps={:.1}",
+        wall.as_secs_f64(),
+        ok as f64 / wall.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "loadgen: latency_us p50={} p90={} p99={} max={}",
+        latency.percentile(50.0),
+        latency.percentile(90.0),
+        latency.percentile(99.0),
+        latency.max(),
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// One connection's request loop. Reconnects on transport errors; `503`
+/// responses are retried with backoff and counted, never treated as
+/// failures unless the budget runs out. Warm requests key their sessions
+/// off the run-wide `global_seed` so all connections share (and so hit)
+/// the same few cached checkpoints; cold requests perturb the
+/// connection-local seed to force fresh warm-ups.
+fn run_connection(addr: &str, n: usize, mix: &Mix, conn_seed: u64, global_seed: u64) -> Outcome {
+    let mut rng = SplitMix64::new(conn_seed);
+    let mut out = Outcome {
+        latency: Histogram::new(),
+        ok: 0,
+        errors: 0,
+        retries: 0,
+        warm_hits: 0,
+    };
+    let mut client = None;
+    for i in 0..n {
+        let body = request_body(mix.pick(&mut rng), &mut rng, conn_seed, global_seed, i);
+        let t0 = Instant::now();
+        let mut attempts = 0;
+        let resolved = loop {
+            attempts += 1;
+            if attempts > 50 {
+                break None;
+            }
+            if client.is_none() {
+                match Client::connect(addr) {
+                    Ok(c) => client = Some(c),
+                    Err(_) => {
+                        std::thread::sleep(Duration::from_millis(20));
+                        continue;
+                    }
+                }
+            }
+            match client.as_mut().unwrap().post_json("/v1/experiments", &body) {
+                Ok(resp) if resp.status == 503 => {
+                    out.retries += 1;
+                    // The server suggests whole seconds; stay snappy in
+                    // tests while still backing off.
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Ok(resp) => break Some(resp),
+                Err(_) => {
+                    client = None; // reconnect and retry
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        };
+        out.latency
+            .record(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        match resolved {
+            Some(resp) if resp.status == 200 => {
+                out.ok += 1;
+                if resp.header("x-csd-warm") == Some("1") {
+                    out.warm_hits += 1;
+                }
+            }
+            _ => out.errors += 1,
+        }
+    }
+    out
+}
+
+/// The request body for one drawn kind. Warm requests rotate a small set
+/// of sessions (so the cache hits); cold requests force fresh warm-ups.
+fn request_body(
+    kind: Kind,
+    rng: &mut SplitMix64,
+    conn_seed: u64,
+    global_seed: u64,
+    i: usize,
+) -> String {
+    match kind {
+        Kind::Warm => {
+            let victims = ["aes-enc", "blowfish-enc", "rsa-enc"];
+            let victim = victims[rng.range_u64(0, victims.len() as u64 - 1) as usize];
+            let stealth = rng.range_u64(0, 1) == 1;
+            let watchdog = [1000u64, 2000][rng.range_u64(0, 1) as usize];
+            format!(
+                "{{\"experiment\": {{\"victim\": {victim:?}, \"pipeline\": \"opt\", \
+                 \"stealth\": {stealth}, \"watchdog\": {watchdog}, \"blocks\": 2, \
+                 \"seed\": {global_seed}}}}}"
+            )
+        }
+        Kind::Cold => {
+            let fresh = conn_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            format!(
+                "{{\"experiment\": {{\"victim\": \"aes-enc\", \"pipeline\": \"opt\", \
+                 \"blocks\": 2, \"seed\": {fresh}, \"cold\": true}}}}"
+            )
+        }
+        Kind::Task => "{\"task\": \"table1\", \"profile\": \"quick\"}".to_string(),
+        Kind::Devec => {
+            "{\"devec\": {\"workload\": \"gcc\", \"policy\": \"csd-devec\", \"scale\": 0.02}}"
+                .to_string()
+        }
+    }
+}
+
+/// Posts the same experiment cold then warm and asserts the bodies are
+/// byte-identical — the session-cache contract, checked over the wire.
+fn verify_warm(addr: &str, seed: u64) {
+    let spec = format!(
+        "{{\"victim\": \"aes-enc\", \"pipeline\": \"opt\", \"stealth\": true, \
+         \"watchdog\": 2000, \"blocks\": 2, \"seed\": {seed}}}"
+    );
+    let cold_body = format!(
+        "{{\"experiment\": {{\"cold\": true, {}}}}}",
+        &spec[1..spec.len() - 1]
+    );
+    let warm_body = format!("{{\"experiment\": {spec}}}");
+    let cold = request_with_retry(addr, "/v1/experiments", &cold_body, 100)
+        .unwrap_or_else(|e| die(&format!("cold run: {e}")));
+    if cold.status != 200 {
+        die(&format!("cold run failed: {} {}", cold.status, cold.text()));
+    }
+    let warm = request_with_retry(addr, "/v1/experiments", &warm_body, 100)
+        .unwrap_or_else(|e| die(&format!("warm run: {e}")));
+    if warm.status != 200 {
+        die(&format!("warm run failed: {} {}", warm.status, warm.text()));
+    }
+    if warm.header("x-csd-warm") != Some("1") {
+        die("second run was not served from the session cache");
+    }
+    if cold.body != warm.body {
+        die("warm fork bytes differ from cold run bytes");
+    }
+    println!(
+        "loadgen: verify-warm ok ({} identical bytes, warm fork hit the cache)",
+        warm.body.len()
+    );
+}
+
+fn request_with_retry(
+    addr: &str,
+    target: &str,
+    body: &str,
+    max_attempts: u32,
+) -> std::io::Result<ClientResponse> {
+    let mut last_err = None;
+    for _ in 0..max_attempts {
+        let mut client = match Client::connect(addr) {
+            Ok(c) => c,
+            Err(e) => {
+                last_err = Some(e);
+                std::thread::sleep(Duration::from_millis(25));
+                continue;
+            }
+        };
+        match client.post_json(target, body) {
+            Ok(resp) if resp.status == 503 => std::thread::sleep(Duration::from_millis(25)),
+            Ok(resp) => return Ok(resp),
+            Err(e) => {
+                last_err = Some(e);
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| std::io::Error::other("retries exhausted")))
+}
+
+fn simple(addr: &str, method: &str, target: &str, body: &str) -> String {
+    let mut client = Client::connect(addr).unwrap_or_else(|e| die(&format!("connect {addr}: {e}")));
+    let resp = client
+        .request(method, target, body.as_bytes())
+        .unwrap_or_else(|e| die(&format!("{method} {target}: {e}")));
+    if resp.status != 200 {
+        die(&format!(
+            "{method} {target}: {} {}",
+            resp.status,
+            resp.text()
+        ));
+    }
+    resp.text()
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("loadgen: {msg}");
+    std::process::exit(2);
+}

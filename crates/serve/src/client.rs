@@ -1,0 +1,152 @@
+//! A blocking HTTP/1.1 client, just big enough for `loadgen` and the
+//! end-to-end tests: keep-alive request/response over one `TcpStream`,
+//! `Content-Length` or read-to-close bodies.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive connection to the daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects with a generous timeout (experiments are slow).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads the full response. `target` includes
+    /// the query string. Returns an error if the server closed early.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let mut head = format!("{method} {target} HTTP/1.1\r\nHost: csd-serve\r\n");
+        if !body.is_empty() || method == "POST" {
+            head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Convenience: `GET`.
+    pub fn get(&mut self, target: &str) -> io::Result<ClientResponse> {
+        self.request("GET", target, b"")
+    }
+
+    /// Convenience: `POST` with a JSON body.
+    pub fn post_json(&mut self, target: &str, json: &str) -> io::Result<ClientResponse> {
+        self.request("POST", target, json.as_bytes())
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let mut buf = Vec::new();
+        let head_end = loop {
+            if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed before response head",
+                    ))
+                }
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        };
+        let head = std::str::from_utf8(&buf[..head_end])
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 response head"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line {status_line:?}"),
+                )
+            })?;
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+
+        let mut body = buf.split_off(head_end + 4);
+        let content_length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok());
+        match content_length {
+            Some(len) => {
+                while body.len() < len {
+                    let mut chunk = vec![0u8; len - body.len()];
+                    match self.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "connection closed mid-body",
+                            ))
+                        }
+                        Ok(n) => body.extend_from_slice(&chunk[..n]),
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                body.truncate(len);
+            }
+            None => {
+                // Delimited by connection close (the NDJSON stream).
+                let mut rest = Vec::new();
+                self.stream.read_to_end(&mut rest)?;
+                body.extend_from_slice(&rest);
+            }
+        }
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

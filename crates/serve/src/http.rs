@@ -1,0 +1,480 @@
+//! A minimal, dependency-free HTTP/1.1 implementation.
+//!
+//! Only what the daemon and `loadgen` need: request parsing with
+//! `Content-Length` bodies, percent-decoded query strings, keep-alive,
+//! and deterministic response serialization. Parsing is *incremental* —
+//! [`RequestReader`] accumulates bytes across `WouldBlock`/timeout reads
+//! so a connection thread can poll its socket with a read timeout and
+//! still notice a shutdown flag between requests without corrupting a
+//! half-received request.
+
+use csd_telemetry::Json;
+use std::io::{self, Read, Write};
+
+/// Upper bound on header bytes (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on body bytes (experiment requests are small JSON).
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Decoded path without the query string, e.g. `/v1/experiments`.
+    pub path: String,
+    /// Percent-decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was present).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter with this name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be parsed (the server answers 400/413 and
+/// closes the connection).
+#[derive(Debug)]
+pub enum ParseFailure {
+    /// Malformed request line, header, or body framing.
+    Malformed(String),
+    /// Head or body larger than the fixed limits.
+    TooLarge,
+}
+
+/// Outcome of one [`RequestReader::next_request`] poll.
+#[derive(Debug)]
+pub enum Poll {
+    /// A complete request arrived.
+    Ready(Box<Request>),
+    /// No complete request yet; the read timed out mid-wait. Callers
+    /// check their shutdown flag and poll again.
+    Pending,
+    /// Clean end of stream (peer closed between requests).
+    Eof,
+    /// The peer sent garbage or exceeded limits.
+    Bad(ParseFailure),
+}
+
+/// Incremental request reader over a byte stream.
+pub struct RequestReader<S> {
+    stream: S,
+    buf: Vec<u8>,
+}
+
+impl<S: Read> RequestReader<S> {
+    /// Wraps a stream (typically a `TcpStream` with a read timeout).
+    pub fn new(stream: S) -> RequestReader<S> {
+        RequestReader {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Polls for the next complete request, accumulating partial input
+    /// across timeouts. I/O errors other than
+    /// `WouldBlock`/`TimedOut`/`Interrupted` propagate.
+    pub fn next_request(&mut self) -> io::Result<Poll> {
+        loop {
+            if let Some(result) = self.try_parse()? {
+                return Ok(result);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Ok(if self.buf.is_empty() {
+                        Poll::Eof
+                    } else {
+                        Poll::Bad(ParseFailure::Malformed("truncated request".into()))
+                    });
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(Poll::Pending);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Attempts to parse one request from the buffer; `Ok(None)` means
+    /// "need more bytes".
+    fn try_parse(&mut self) -> io::Result<Option<Poll>> {
+        let Some(head_end) = find_head_end(&self.buf) else {
+            if self.buf.len() > MAX_HEAD {
+                return Ok(Some(Poll::Bad(ParseFailure::TooLarge)));
+            }
+            return Ok(None);
+        };
+        let head = match std::str::from_utf8(&self.buf[..head_end]) {
+            Ok(h) => h,
+            Err(_) => {
+                return Ok(Some(Poll::Bad(ParseFailure::Malformed(
+                    "non-utf8 header".into(),
+                ))))
+            }
+        };
+        let req = match parse_head(head) {
+            Ok(r) => r,
+            Err(f) => return Ok(Some(Poll::Bad(f))),
+        };
+        let body_len = match req.header("content-length") {
+            None => 0,
+            Some(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n <= MAX_BODY => n,
+                Ok(_) => return Ok(Some(Poll::Bad(ParseFailure::TooLarge))),
+                Err(_) => {
+                    return Ok(Some(Poll::Bad(ParseFailure::Malformed(
+                        "bad content-length".into(),
+                    ))))
+                }
+            },
+        };
+        let total = head_end + 4 + body_len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let mut req = req;
+        req.body = self.buf[head_end + 4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(Poll::Ready(Box::new(req))))
+    }
+}
+
+/// Offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_head(head: &str) -> Result<Request, ParseFailure> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ParseFailure::Malformed("empty head".into()))?;
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseFailure::Malformed("bad request line".into()));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(ParseFailure::Malformed("bad request line".into()));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path)
+        .ok_or_else(|| ParseFailure::Malformed("bad path encoding".into()))?;
+    let mut query = Vec::new();
+    if let Some(q) = raw_query {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let (Some(k), Some(v)) = (percent_decode(k), percent_decode(v)) else {
+                return Err(ParseFailure::Malformed("bad query encoding".into()));
+            };
+            query.push((k, v));
+        }
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseFailure::Malformed(format!("bad header {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    })
+}
+
+/// Decodes `%XX` escapes and `+`-as-space; `None` on malformed escapes
+/// or non-UTF-8 results.
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let d = |b: u8| -> Option<u8> {
+                    match b {
+                        b'0'..=b'9' => Some(b - b'0'),
+                        b'a'..=b'f' => Some(b - b'a' + 10),
+                        b'A'..=b'F' => Some(b - b'A' + 10),
+                        _ => None,
+                    }
+                };
+                out.push((d(hex[0])? << 4) | d(hex[1])?);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Percent-encodes a string for use in a query value (RFC 3986
+/// unreserved characters pass through).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code, e.g. `200`.
+    pub status: u16,
+    /// Extra headers beyond the defaults.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with `Content-Type: application/json`.
+    pub fn json(status: u16, doc: &Json) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: doc.pretty().into_bytes(),
+        }
+    }
+
+    /// Body bytes that are already serialized JSON.
+    pub fn json_bytes(status: u16, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body,
+        }
+    }
+
+    /// A JSON error body `{"error": message}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, &Json::obj([("error", Json::from(message))]))
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serializes head + body, appending `Connection: close` when
+    /// `close` is set (otherwise keep-alive is implied by HTTP/1.1).
+    pub fn write_to(&self, out: &mut impl Write, close: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.body.len()
+        );
+        for (k, v) in &self.headers {
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        if close {
+            head.push_str("Connection: close\r\n");
+        }
+        head.push_str("\r\n");
+        out.write_all(head.as_bytes())?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+/// Reason phrase for the handful of status codes the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(input: &[u8]) -> Vec<Request> {
+        let mut r = RequestReader::new(input);
+        let mut out = Vec::new();
+        loop {
+            match r.next_request().unwrap() {
+                Poll::Ready(req) => out.push(*req),
+                Poll::Eof => return out,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parses_request_with_body_and_query() {
+        let input = b"POST /v1/experiments?mode=warm&label=a%2Fb HTTP/1.1\r\n\
+                      Host: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let reqs = parse_all(input);
+        assert_eq!(reqs.len(), 1);
+        let r = &reqs[0];
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/v1/experiments");
+        assert_eq!(r.query_param("mode"), Some("warm"));
+        assert_eq!(r.query_param("label"), Some("a/b"));
+        assert_eq!(r.body, b"abcd");
+        assert_eq!(r.header("HOST"), Some("x"));
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn parses_pipelined_keep_alive_requests() {
+        let input = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let reqs = parse_all(input);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].path, "/a");
+        assert!(reqs[1].wants_close());
+    }
+
+    /// A reader that yields its script one chunk per call, interleaving
+    /// `WouldBlock` to model read timeouts mid-request.
+    struct Chunked {
+        chunks: Vec<Option<Vec<u8>>>,
+        i: usize,
+    }
+    impl Read for Chunked {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.i >= self.chunks.len() {
+                return Ok(0);
+            }
+            let c = self.chunks[self.i].take();
+            self.i += 1;
+            match c {
+                Some(bytes) => {
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                None => Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout")),
+            }
+        }
+    }
+
+    #[test]
+    fn partial_reads_across_timeouts_reassemble() {
+        let input: &[u8] = b"POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyz";
+        let mid = 20;
+        let mut r = RequestReader::new(Chunked {
+            chunks: vec![
+                Some(input[..mid].to_vec()),
+                None, // timeout mid-request
+                Some(input[mid..].to_vec()),
+            ],
+            i: 0,
+        });
+        assert!(matches!(r.next_request().unwrap(), Poll::Pending));
+        match r.next_request().unwrap() {
+            Poll::Ready(req) => assert_eq!(req.body, b"xyz"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(r.next_request().unwrap(), Poll::Eof));
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized_input() {
+        let mut r = RequestReader::new(&b"NOT-HTTP\r\n\r\n"[..]);
+        assert!(matches!(r.next_request().unwrap(), Poll::Bad(_)));
+
+        let huge = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let mut r = RequestReader::new(huge.as_bytes());
+        assert!(matches!(
+            r.next_request().unwrap(),
+            Poll::Bad(ParseFailure::TooLarge)
+        ));
+
+        let mut r = RequestReader::new(&b"GET /x HTTP/1.1\r\nContent-Length: 9\r\n\r\nabc"[..]);
+        assert!(matches!(r.next_request().unwrap(), Poll::Bad(_)));
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::json(200, &Json::obj([("ok", Json::from(true))]))
+            .with_header("Retry-After", "1")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        assert!(text.contains(&format!("Content-Length: {}\r\n", body.len())));
+    }
+
+    #[test]
+    fn percent_coding_round_trips() {
+        let s = "a/b c?&=%~x";
+        assert_eq!(percent_decode(&percent_encode(s)).as_deref(), Some(s));
+        assert_eq!(percent_decode("%zz"), None);
+        assert_eq!(percent_decode("a+b"), Some("a b".into()));
+    }
+}

@@ -1,0 +1,34 @@
+//! # csd-serve — simulation as a service
+//!
+//! A dependency-free HTTP/1.1 daemon that serves the repository's
+//! experiment grid over the network, plus the `loadgen` client that
+//! exercises it. Three ideas:
+//!
+//! - **Byte determinism survives the network.** A task served from
+//!   `POST /v1/experiments` is the exact document `suite --filter`
+//!   writes — CI `cmp`s the two.
+//! - **Sessions amortize warm-up.** The expensive prefix of a security
+//!   experiment (core construction + cache warm-up) is parked as an
+//!   `Arc<CoreSnapshot>` in an LRU; requests varying only measured
+//!   knobs fork it, byte-identical to a cold run.
+//! - **Backpressure over buffering.** A fixed worker pool pulls from a
+//!   bounded queue; when it is full the daemon answers `503` with
+//!   `Retry-After` instead of hoarding work, and graceful shutdown
+//!   drains what was admitted before exiting 0.
+//!
+//! See `DESIGN.md` (service architecture) and the README's "Serving"
+//! section for the endpoint reference.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+pub mod session;
+
+pub use client::{Client, ClientResponse};
+pub use metrics::Metrics;
+pub use server::{install_signal_handler, Server, ServerConfig, ShutdownHandle};
+pub use session::{ExperimentSpec, SessionCache, SessionKey, Warmed};

@@ -1,0 +1,111 @@
+//! Per-request service metrics behind `GET /metrics`.
+//!
+//! Counters are lock-free atomics; the latency distributions reuse
+//! [`csd_telemetry::Histogram`] (log2 buckets, mergeable) behind short
+//! critical sections. `loadgen` renders its client-side percentiles from
+//! the same histogram type, so server- and client-observed latency are
+//! directly comparable.
+
+use csd_telemetry::{Histogram, Json, ToJson};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counters and latency distributions for one server instance.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// HTTP requests parsed (any route).
+    pub requests: AtomicU64,
+    /// Experiment jobs completed by workers.
+    pub experiments: AtomicU64,
+    /// Experiment jobs served from a warmed checkpoint.
+    pub warm_hits: AtomicU64,
+    /// Experiment jobs that warmed a fresh session.
+    pub cold_runs: AtomicU64,
+    /// Requests rejected with `503` (queue full or draining).
+    pub rejected: AtomicU64,
+    /// Requests answered with a `4xx`.
+    pub client_errors: AtomicU64,
+    /// Requests answered with a `5xx` other than admission rejects.
+    pub server_errors: AtomicU64,
+    /// `/v1/stream` sessions served.
+    pub streams: AtomicU64,
+    queue_wait_us: Mutex<Histogram>,
+    run_us: Mutex<Histogram>,
+}
+
+impl Metrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Convenience: relaxed increment.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records how long a job sat in the queue before a worker took it.
+    pub fn record_queue_wait_us(&self, us: u64) {
+        self.queue_wait_us.lock().unwrap().record(us);
+    }
+
+    /// Records how long a worker spent executing a job.
+    pub fn record_run_us(&self, us: u64) {
+        self.run_us.lock().unwrap().record(us);
+    }
+
+    /// Snapshot of both histograms (queue wait, run time).
+    pub fn latency_snapshot(&self) -> (Histogram, Histogram) {
+        (
+            self.queue_wait_us.lock().unwrap().clone(),
+            self.run_us.lock().unwrap().clone(),
+        )
+    }
+}
+
+impl ToJson for Metrics {
+    fn to_json(&self) -> Json {
+        let (queue_wait, run) = self.latency_snapshot();
+        let c = |a: &AtomicU64| Json::from(a.load(Ordering::Relaxed));
+        Json::obj([
+            ("requests", c(&self.requests)),
+            ("experiments", c(&self.experiments)),
+            ("warm_hits", c(&self.warm_hits)),
+            ("cold_runs", c(&self.cold_runs)),
+            ("rejected", c(&self.rejected)),
+            ("client_errors", c(&self.client_errors)),
+            ("server_errors", c(&self.server_errors)),
+            ("streams", c(&self.streams)),
+            ("queue_wait_us", queue_wait.to_json()),
+            ("run_us", run.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_report_counters_and_histograms() {
+        let m = Metrics::new();
+        Metrics::bump(&m.requests);
+        Metrics::bump(&m.requests);
+        Metrics::bump(&m.warm_hits);
+        m.record_queue_wait_us(10);
+        m.record_run_us(1000);
+        m.record_run_us(3000);
+        let j = m.to_json();
+        assert_eq!(j.get("requests").and_then(Json::as_u64), Some(2));
+        assert_eq!(j.get("warm_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            j.get("run_us")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        let (qw, run) = m.latency_snapshot();
+        assert_eq!(qw.count(), 1);
+        assert_eq!(run.max(), 3000);
+    }
+}

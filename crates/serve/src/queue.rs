@@ -1,0 +1,150 @@
+//! A bounded MPMC job queue with fail-fast admission.
+//!
+//! [`Bounded::try_push`] never blocks: when the queue is at capacity the
+//! caller gets the item back and answers `503` with `Retry-After` —
+//! backpressure is pushed to the client instead of accumulating
+//! unbounded work in the daemon. [`Bounded::pop`] blocks workers until
+//! an item arrives; after [`Bounded::close`] it drains what was already
+//! admitted, then returns `None` so workers exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`Bounded::try_push`] returned the item.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// The queue was closed (shutdown in progress).
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer queue.
+pub struct Bounded<T> {
+    cap: usize,
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `cap` items (at least one).
+    pub fn new(cap: usize) -> Bounded<T> {
+        Bounded {
+            cap: cap.max(1),
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Admits `item` if there is room; fails fast otherwise.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.cap {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available, or until the queue is closed
+    /// *and* drained (then `None`). Items admitted before `close` are
+    /// always handed out.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).unwrap();
+        }
+    }
+
+    /// Stops admission and wakes every blocked consumer.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently queued (snapshot; for metrics only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_after_close() {
+        let q = Bounded::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        q.close();
+        assert_eq!(q.try_push(4), Err(PushError::Closed(4)));
+        // Admitted items drain even after close.
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let q = Arc::new(Bounded::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = 0;
+                    while q.pop().is_some() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..10 {
+            // Producers may race a full queue; retry like the server's
+            // client would.
+            loop {
+                match q.try_push(i) {
+                    Ok(()) => break,
+                    Err(PushError::Full(_)) => std::thread::yield_now(),
+                    Err(PushError::Closed(_)) => unreachable!(),
+                }
+            }
+        }
+        // Let consumers drain before closing so all 10 are counted.
+        while !q.is_empty() {
+            std::thread::yield_now();
+        }
+        q.close();
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,694 @@
+//! The `csd-serve` daemon: accept loop, worker pool, routing, and
+//! graceful shutdown.
+//!
+//! Architecture (one box per thread kind):
+//!
+//! ```text
+//!   accept loop ──► connection threads ──► bounded job queue ──► workers
+//!   (nonblocking)   (parse HTTP, admit)    (try_push / 503)      (simulate)
+//!        │                 ▲                                        │
+//!        │                 └──────────── reply channel ◄────────────┘
+//!        └─ shutdown: stop accepting → close queue → drain → join → exit 0
+//! ```
+//!
+//! Connection threads do I/O only; every simulation runs on one of the
+//! fixed worker threads, so a burst of clients degrades into `503 +
+//! Retry-After` instead of unbounded thread fan-out. `GET /v1/stream`
+//! is the one exception: it owns its connection for the duration and
+//! runs the simulation on a dedicated thread that feeds NDJSON back
+//! through a channel.
+
+use crate::http::{Poll, Request, RequestReader, Response};
+use crate::metrics::Metrics;
+use crate::queue::{Bounded, PushError};
+use crate::session::{ExperimentSpec, SessionCache};
+use csd_bench::suite::{run_filtered, SuiteConfig};
+use csd_bench::tasks::{filter_tasks, pipelines};
+use csd_bench::{measure_blocks, run_devec, security_core, security_victims, warm_up};
+use csd_crypto::enable_stealth_for;
+use csd_telemetry::{
+    DecodeEvent, EventSink, GateEvent, Json, SplitMix64, StealthWindowEvent, ToJson,
+};
+use csd_workloads::{specs, Workload};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Knobs for one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8321` (port `0` for tests).
+    pub addr: String,
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Bounded job-queue capacity (admission control).
+    pub queue_cap: usize,
+    /// Warmed sessions kept in the LRU cache.
+    pub cache_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:8321".to_string(),
+            workers: 4,
+            queue_cap: 64,
+            cache_cap: 16,
+        }
+    }
+}
+
+/// What a worker executes for one admitted request.
+enum JobSpec {
+    /// Fork-or-warm a session and measure (see [`ExperimentSpec`]).
+    Experiment(ExperimentSpec),
+    /// Run a grid-task subset — byte-identical to `suite --filter`.
+    Task {
+        filter: String,
+        profile: &'static str,
+        seed: u64,
+    },
+    /// Run one workload under one VPU policy.
+    Devec {
+        workload: &'static str,
+        policy: &'static str,
+        scale: f64,
+    },
+}
+
+struct Job {
+    spec: JobSpec,
+    reply: mpsc::Sender<Response>,
+    enqueued: Instant,
+}
+
+struct State {
+    metrics: Metrics,
+    cache: SessionCache,
+    queue: Bounded<Job>,
+    shutdown: AtomicBool,
+    active_conns: AtomicUsize,
+}
+
+/// Handle for requesting a graceful shutdown from another thread (tests,
+/// signal observers).
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<State>);
+
+impl ShutdownHandle {
+    /// Requests a graceful shutdown: stop accepting, drain, exit.
+    pub fn trigger(&self) {
+        self.0.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_triggered(&self) -> bool {
+        self.0.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Set by the SIGINT/SIGTERM handler; observed by every accept loop.
+static SIGNAL_HIT: AtomicBool = AtomicBool::new(false);
+
+/// Installs a SIGINT + SIGTERM handler that requests graceful shutdown.
+/// Signal handlers may only touch async-signal-safe state, so the
+/// handler sets one global flag and the accept loop polls it.
+#[cfg(unix)]
+pub fn install_signal_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNAL_HIT.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+/// No-op off unix; the shutdown endpoint still works everywhere.
+#[cfg(not(unix))]
+pub fn install_signal_handler() {}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    workers: usize,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Binds the listen socket (port `0` picks a free port).
+    pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        Ok(Server {
+            listener,
+            workers: cfg.workers.max(1),
+            state: Arc::new(State {
+                metrics: Metrics::new(),
+                cache: SessionCache::new(cfg.cache_cap),
+                queue: Bounded::new(cfg.queue_cap),
+                shutdown: AtomicBool::new(false),
+                active_conns: AtomicUsize::new(0),
+            }),
+        })
+    }
+
+    /// The actually-bound address (resolves port `0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket has no local address (never, once bound).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound socket has an address")
+    }
+
+    /// A handle that can request shutdown from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.state))
+    }
+
+    /// Serves until shutdown is requested (handle, endpoint, or signal),
+    /// then drains: admitted jobs finish, their responses are written,
+    /// workers and connections wind down, and the call returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread itself panics outside job execution
+    /// (job panics are caught and answered with `500`).
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let worker_handles: Vec<_> = (0..self.workers)
+            .map(|_| {
+                let state = Arc::clone(&self.state);
+                std::thread::spawn(move || worker_loop(&state))
+            })
+            .collect();
+
+        loop {
+            if self.state.shutdown.load(Ordering::SeqCst) || SIGNAL_HIT.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = Arc::clone(&self.state);
+                    state.active_conns.fetch_add(1, Ordering::SeqCst);
+                    std::thread::spawn(move || {
+                        let _ = handle_connection(&stream, &state);
+                        state.active_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: stop admitting, finish queued jobs, then give connection
+        // threads (blocked on reply channels or mid-write) a bounded
+        // window to flush before returning.
+        self.state.queue.close();
+        for h in worker_handles {
+            h.join().expect("worker thread must not panic");
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.state.active_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    }
+}
+
+/// Pulls jobs until the queue closes and drains; answers every job.
+fn worker_loop(state: &State) {
+    while let Some(job) = state.queue.pop() {
+        let wait = job.enqueued.elapsed();
+        state
+            .metrics
+            .record_queue_wait_us(wait.as_micros().min(u128::from(u64::MAX)) as u64);
+        let t0 = Instant::now();
+        // A job that panics (a simulation assertion) must not take the
+        // worker down with it — answer 500 and keep serving.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_job(&job.spec, state)
+        }));
+        state
+            .metrics
+            .record_run_us(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        let response = match result {
+            Ok(r) => r,
+            Err(_) => {
+                Metrics::bump(&state.metrics.server_errors);
+                Response::error(500, "experiment panicked")
+            }
+        };
+        // The connection thread may have vanished; nothing to do then.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn execute_job(spec: &JobSpec, state: &State) -> Response {
+    match spec {
+        JobSpec::Experiment(exp) => {
+            let (doc, warm) = exp.run(&state.cache);
+            Metrics::bump(&state.metrics.experiments);
+            Metrics::bump(if warm {
+                &state.metrics.warm_hits
+            } else {
+                &state.metrics.cold_runs
+            });
+            // Warmness goes in a header so warm and cold bodies stay
+            // byte-identical.
+            Response::json(200, &doc).with_header("X-CSD-Warm", if warm { "1" } else { "0" })
+        }
+        JobSpec::Task {
+            filter,
+            profile,
+            seed,
+        } => {
+            // jobs=1: this worker thread *is* the parallelism. The report
+            // omits the job count, so these bytes still equal a CLI run at
+            // any --jobs setting.
+            let cfg =
+                SuiteConfig::named(profile, *seed, 1).expect("profile validated at admission");
+            let doc = run_filtered(&cfg, filter);
+            Metrics::bump(&state.metrics.experiments);
+            Response::json_bytes(200, doc.pretty().into_bytes())
+        }
+        JobSpec::Devec {
+            workload,
+            policy,
+            scale,
+        } => {
+            let spec = specs()
+                .into_iter()
+                .find(|s| s.name == *workload)
+                .expect("workload validated at admission");
+            let (pname, vpu_policy) = *policies_by_name(policy).expect("policy validated");
+            let run = run_devec(&Workload::with_scale(spec, *scale), vpu_policy);
+            Metrics::bump(&state.metrics.experiments);
+            Response::json(
+                200,
+                &Json::obj([
+                    ("workload", Json::from(*workload)),
+                    ("policy", Json::from(pname)),
+                    ("scale", Json::from(*scale)),
+                    ("run", run.to_json()),
+                ]),
+            )
+        }
+    }
+}
+
+fn policies_by_name(name: &str) -> Option<&'static (&'static str, csd::VpuPolicy)> {
+    // `policies()` returns by value; leak-free static lookup via a once
+    // cell would be overkill for three entries — rebuild and match.
+    static POLICIES: std::sync::OnceLock<[(&'static str, csd::VpuPolicy); 3]> =
+        std::sync::OnceLock::new();
+    POLICIES
+        .get_or_init(csd_bench::policies)
+        .iter()
+        .find(|(n, _)| *n == name)
+}
+
+/// Serves one connection: keep-alive request loop with a read timeout so
+/// shutdown is noticed between requests.
+fn handle_connection(stream: &TcpStream, state: &State) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut reader = RequestReader::new(stream.try_clone()?);
+    let mut out = stream.try_clone()?;
+    loop {
+        match reader.next_request()? {
+            Poll::Pending => {
+                if state.shutdown.load(Ordering::SeqCst) || SIGNAL_HIT.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Poll::Eof => return Ok(()),
+            Poll::Bad(failure) => {
+                Metrics::bump(&state.metrics.client_errors);
+                let (status, msg) = match failure {
+                    crate::http::ParseFailure::TooLarge => (413, "request too large".to_string()),
+                    crate::http::ParseFailure::Malformed(m) => (400, m),
+                };
+                Response::error(status, &msg).write_to(&mut out, true)?;
+                return Ok(());
+            }
+            Poll::Ready(req) => {
+                Metrics::bump(&state.metrics.requests);
+                if req.method == "GET" && req.path == "/v1/stream" {
+                    // Takes over the connection; always closes after.
+                    return serve_stream(&req, &mut out, state);
+                }
+                let draining =
+                    state.shutdown.load(Ordering::SeqCst) || SIGNAL_HIT.load(Ordering::SeqCst);
+                let response = route(&req, state);
+                let close = req.wants_close() || draining;
+                response.write_to(&mut out, close)?;
+                if close {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+fn route(req: &Request, state: &State) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, &Json::obj([("ok", Json::Bool(true))])),
+        ("GET", "/metrics") => {
+            let mut doc = state.metrics.to_json();
+            doc.push_member("queue_depth", Json::from(state.queue.len() as u64));
+            doc.push_member("sessions", Json::from(state.cache.len() as u64));
+            Response::json(200, &doc)
+        }
+        ("GET", "/v1/tasks") => {
+            let filter = req.query_param("filter").unwrap_or("");
+            let cfg = SuiteConfig::quick(0, 1); // labels are profile-independent
+            let labels: Vec<Json> = filter_tasks(&cfg, filter)
+                .iter()
+                .map(|t| Json::from(t.label()))
+                .collect();
+            Response::json(
+                200,
+                &Json::obj([
+                    ("count", Json::from(labels.len() as u64)),
+                    ("tasks", Json::Arr(labels)),
+                ]),
+            )
+        }
+        ("POST", "/v1/shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            Response::json(
+                200,
+                &Json::obj([("ok", Json::Bool(true)), ("draining", Json::Bool(true))]),
+            )
+        }
+        ("POST", "/v1/experiments") => submit_experiment(req, state),
+        (_, "/healthz" | "/metrics" | "/v1/tasks" | "/v1/stream") | (_, "/v1/experiments") => {
+            Metrics::bump(&state.metrics.client_errors);
+            Response::error(405, "method not allowed")
+        }
+        _ => {
+            Metrics::bump(&state.metrics.client_errors);
+            Response::error(404, "no such route")
+        }
+    }
+}
+
+/// Parses, validates, and admits an experiment request, then blocks on
+/// the worker's reply. Admission failures answer immediately — the
+/// client is never left hanging on a full queue.
+fn submit_experiment(req: &Request, state: &State) -> Response {
+    let spec = match parse_experiment_body(&req.body) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            Metrics::bump(&state.metrics.client_errors);
+            return Response::error(400, &msg);
+        }
+    };
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        spec,
+        reply: tx,
+        enqueued: Instant::now(),
+    };
+    if let Err(err) = state.queue.try_push(job) {
+        Metrics::bump(&state.metrics.rejected);
+        let msg = match err {
+            PushError::Full(_) => "queue full",
+            PushError::Closed(_) => "server draining",
+        };
+        return Response::error(503, msg).with_header("Retry-After", "1");
+    }
+    match rx.recv() {
+        Ok(response) => response,
+        Err(_) => {
+            // Workers exited mid-drain with the job still queued; the
+            // queue drains admitted jobs before close, so this only
+            // happens if a worker was lost entirely.
+            Metrics::bump(&state.metrics.server_errors);
+            Response::error(500, "worker lost")
+        }
+    }
+}
+
+fn parse_experiment_body(body: &[u8]) -> Result<JobSpec, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body must be UTF-8 JSON".to_string())?;
+    let doc = Json::parse(text).map_err(|e| format!("body is not valid JSON: {e}"))?;
+
+    if let Some(label) = doc.get("task") {
+        let filter = label
+            .as_str()
+            .ok_or_else(|| "task must be a string label/substring".to_string())?
+            .to_string();
+        let profile = match doc.get("profile") {
+            None => "quick",
+            Some(p) => match p.as_str() {
+                Some("quick") => "quick",
+                Some("full") => "full",
+                _ => return Err("profile must be \"quick\" or \"full\"".to_string()),
+            },
+        };
+        let seed = match doc.get("seed") {
+            None => 0xC5D_2018,
+            Some(s) => s
+                .as_u64()
+                .ok_or_else(|| "seed must be a non-negative integer".to_string())?,
+        };
+        let cfg = SuiteConfig::named(profile, seed, 1).expect("profile literal");
+        if filter_tasks(&cfg, &filter).is_empty() {
+            return Err(format!(
+                "task {filter:?} matches nothing (try GET /v1/tasks)"
+            ));
+        }
+        return Ok(JobSpec::Task {
+            filter,
+            profile,
+            seed,
+        });
+    }
+    if let Some(exp) = doc.get("experiment") {
+        return ExperimentSpec::from_json(exp).map(JobSpec::Experiment);
+    }
+    if let Some(d) = doc.get("devec") {
+        let workload_name = d
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "devec.workload must be a string".to_string())?;
+        let workload = specs()
+            .into_iter()
+            .find(|s| s.name == workload_name)
+            .map(|s| s.name)
+            .ok_or_else(|| format!("unknown workload {workload_name:?}"))?;
+        let policy_name = d
+            .get("policy")
+            .and_then(Json::as_str)
+            .unwrap_or("csd-devec");
+        let policy = policies_by_name(policy_name)
+            .map(|(n, _)| *n)
+            .ok_or_else(|| format!("unknown policy {policy_name:?}"))?;
+        let scale = match d.get("scale") {
+            None => 0.05,
+            Some(s) => s
+                .as_f64()
+                .ok_or_else(|| "devec.scale must be a number".to_string())?,
+        };
+        if !(scale > 0.0 && scale <= 1.0) {
+            return Err("devec.scale must be in (0, 1]".to_string());
+        }
+        return Ok(JobSpec::Devec {
+            workload,
+            policy,
+            scale,
+        });
+    }
+    Err("body must contain one of \"task\", \"experiment\", \"devec\"".to_string())
+}
+
+// ---------------------------------------------------------------------
+// NDJSON event streaming
+// ---------------------------------------------------------------------
+
+/// Engine-side sink that forwards every `sample`-th CSD event (up to
+/// `max` total) as one compact JSON line. `try_send` keeps the simulation
+/// from blocking on a slow reader; dropped lines are counted and
+/// reported in the final summary.
+struct StreamSink {
+    tx: SyncSender<String>,
+    sample: u64,
+    max: u64,
+    seen: u64,
+    emitted: Arc<AtomicU64>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl StreamSink {
+    fn emit(&mut self, line: Json) {
+        self.seen += 1;
+        if !self.seen.is_multiple_of(self.sample)
+            || self.emitted.load(Ordering::Relaxed) >= self.max
+        {
+            return;
+        }
+        match self.tx.try_send(line.dump()) {
+            Ok(()) => {
+                self.emitted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl EventSink for StreamSink {
+    fn on_decode(&mut self, e: &DecodeEvent) {
+        self.emit(Json::obj([
+            ("event", Json::from("decode")),
+            ("addr", Json::from(e.addr)),
+            ("context", Json::from(u64::from(e.context))),
+            ("uops", Json::from(u64::from(e.uops))),
+            ("decoy_uops", Json::from(u64::from(e.decoy_uops))),
+        ]));
+    }
+
+    fn on_gate(&mut self, e: &GateEvent) {
+        self.emit(Json::obj([
+            ("event", Json::from("gate")),
+            ("gated", Json::Bool(e.gated)),
+            ("transitions", Json::from(e.transitions)),
+        ]));
+    }
+
+    fn on_stealth_window(&mut self, e: &StealthWindowEvent) {
+        self.emit(Json::obj([
+            ("event", Json::from("stealth_window")),
+            ("addr", Json::from(e.addr)),
+            ("decoy_uops", Json::from(u64::from(e.decoy_uops))),
+        ]));
+    }
+}
+
+/// `GET /v1/stream?victim=..&stealth=..&blocks=..&sample=..&max=..` —
+/// runs one experiment on a dedicated thread with a [`StreamSink`]
+/// attached to the CSD engine, writing events as NDJSON while the
+/// simulation runs and a `{"done":true,...}` summary line at the end.
+fn serve_stream(req: &Request, out: &mut TcpStream, state: &State) -> std::io::Result<()> {
+    let spec = match experiment_from_query(req) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            Metrics::bump(&state.metrics.client_errors);
+            return Response::error(400, &msg).write_to(out, true);
+        }
+    };
+    let sample: u64 = req
+        .query_param("sample")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+        .max(1);
+    let max: u64 = req
+        .query_param("max")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+        .clamp(1, 1_000_000);
+    Metrics::bump(&state.metrics.streams);
+
+    let (tx, rx) = mpsc::sync_channel::<String>(256);
+    let emitted = Arc::new(AtomicU64::new(0));
+    let dropped = Arc::new(AtomicU64::new(0));
+    let sink = StreamSink {
+        tx,
+        sample,
+        max,
+        seen: 0,
+        emitted: Arc::clone(&emitted),
+        dropped: Arc::clone(&dropped),
+    };
+    let runner = std::thread::spawn(move || run_streamed(&spec, sink));
+
+    // Head first: chunked-free NDJSON delimited by connection close.
+    out.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n",
+    )?;
+    for line in rx {
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()?;
+    }
+    let metrics = runner
+        .join()
+        .unwrap_or_else(|_| Json::obj([("error", Json::from("experiment panicked"))]));
+    let summary = Json::obj([
+        ("done", Json::Bool(true)),
+        ("events", Json::from(emitted.load(Ordering::Relaxed))),
+        ("dropped", Json::from(dropped.load(Ordering::Relaxed))),
+        ("metrics", metrics),
+    ]);
+    out.write_all(summary.dump().as_bytes())?;
+    out.write_all(b"\n")?;
+    out.flush()
+}
+
+/// Builds an [`ExperimentSpec`] from `/v1/stream` query parameters.
+fn experiment_from_query(req: &Request) -> Result<ExperimentSpec, String> {
+    let mut obj = Json::Obj(Vec::new());
+    for (key, value) in &req.query {
+        let parsed = match key.as_str() {
+            "victim" | "pipeline" => Json::from(value.as_str()),
+            "stealth" | "cold" => match value.as_str() {
+                "1" | "true" => Json::Bool(true),
+                "0" | "false" => Json::Bool(false),
+                _ => return Err(format!("{key} must be a boolean")),
+            },
+            "watchdog" | "blocks" | "seed" => Json::from(
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("{key} must be a non-negative integer"))?,
+            ),
+            "sample" | "max" => continue, // stream knobs, not experiment knobs
+            other => return Err(format!("unknown parameter {other:?}")),
+        };
+        obj.push_member(key.as_str(), parsed);
+    }
+    ExperimentSpec::from_json(&obj)
+}
+
+/// Runs the spec'd experiment with `sink` attached to the CSD engine for
+/// the measured region; returns the metric document. Streams always run
+/// cold and never populate the session cache — the attached sink makes
+/// their warm state observably different from a cacheable one.
+fn run_streamed(spec: &ExperimentSpec, sink: StreamSink) -> Json {
+    let victims = security_victims();
+    let victim = victims
+        .iter()
+        .find(|v| v.name() == spec.victim)
+        .expect("victim validated at parse")
+        .as_ref();
+    let (_, mk) = *pipelines()
+        .iter()
+        .find(|(n, _)| *n == spec.pipeline)
+        .expect("pipeline validated at parse");
+    let mut core = security_core(victim, mk());
+    let mut rng = SplitMix64::new(spec.seed);
+    let mut input = vec![0u8; victim.input_len()];
+    warm_up(&mut core, victim, &mut rng, &mut input);
+    if spec.stealth {
+        enable_stealth_for(victim, &mut core, spec.watchdog);
+    }
+    core.engine_mut().set_event_sink(Box::new(sink));
+    let metrics = measure_blocks(&mut core, victim, &mut rng, &mut input, spec.blocks);
+    // Dropping the engine (and with it the sink's sender) closes the
+    // NDJSON channel, which is what ends the reader loop.
+    metrics.to_json()
+}

@@ -1,0 +1,342 @@
+//! Warmed-checkpoint session cache and the ad-hoc experiment runner.
+//!
+//! A *session* is the expensive prefix of a security experiment: core
+//! construction plus the [`csd_bench::WARMUP_OPS`] warm-up operations
+//! that populate the caches. The daemon parks that state as an
+//! `Arc<CoreSnapshot>` (plus the post-warmup RNG, so forks replay the
+//! identical plaintext stream) in an LRU keyed by
+//! `(victim, pipeline, seed)` — everything the warm state depends on.
+//! Requests that vary only the *measured* knobs (stealth, watchdog
+//! period, block count) fork from the shared checkpoint instead of
+//! re-warming, and are byte-identical to a cold run because a snapshot
+//! captures the complete modeled machine.
+
+use csd_bench::tasks::pipelines;
+use csd_bench::{
+    measure_blocks, security_core, security_victims, warm_up, SecMetrics, DEFAULT_WATCHDOG,
+};
+use csd_crypto::enable_stealth_for;
+use csd_pipeline::CoreSnapshot;
+use csd_telemetry::{Json, SplitMix64, ToJson};
+use std::sync::{Arc, Mutex};
+
+/// Everything the warmed state of a session depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SessionKey {
+    /// Victim benchmark name, e.g. `aes-enc`.
+    pub victim: String,
+    /// Pipeline configuration name (`opt` / `noopt`).
+    pub pipeline: String,
+    /// Input-stream seed.
+    pub seed: u64,
+}
+
+/// A warmed session: the checkpoint plus the RNG positioned just past
+/// warm-up. Cloning is cheap (`Arc` + `Copy`), which is what lets many
+/// concurrent requests fork the same checkpoint.
+#[derive(Clone)]
+pub struct Warmed {
+    /// Snapshot of the complete modeled machine after warm-up.
+    pub snapshot: Arc<CoreSnapshot>,
+    /// Input RNG positioned at the start of the measured region.
+    pub rng: SplitMix64,
+}
+
+/// An LRU cache of warmed sessions.
+pub struct SessionCache {
+    cap: usize,
+    // Most-recently-used first. Sessions are few and large, so a scan
+    // beats a map + intrusive list.
+    entries: Mutex<Vec<(SessionKey, Warmed)>>,
+}
+
+impl SessionCache {
+    /// A cache holding at most `cap` warmed sessions (at least one).
+    pub fn new(cap: usize) -> SessionCache {
+        SessionCache {
+            cap: cap.max(1),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Fetches a warmed session, marking it most-recently-used.
+    pub fn get(&self, key: &SessionKey) -> Option<Warmed> {
+        let mut entries = self.entries.lock().unwrap();
+        let i = entries.iter().position(|(k, _)| k == key)?;
+        let entry = entries.remove(i);
+        let warmed = entry.1.clone();
+        entries.insert(0, entry);
+        Some(warmed)
+    }
+
+    /// Inserts (or refreshes) a warmed session, evicting the
+    /// least-recently-used entry beyond capacity.
+    pub fn insert(&self, key: SessionKey, warmed: Warmed) {
+        let mut entries = self.entries.lock().unwrap();
+        entries.retain(|(k, _)| *k != key);
+        entries.insert(0, (key, warmed));
+        entries.truncate(self.cap);
+    }
+
+    /// Number of cached sessions.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One ad-hoc experiment request (`POST /v1/experiments` with an
+/// `"experiment"` body).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Victim benchmark name.
+    pub victim: String,
+    /// Pipeline configuration name (`opt` / `noopt`).
+    pub pipeline: String,
+    /// Arm stealth mode for the measured region.
+    pub stealth: bool,
+    /// Stealth watchdog period in cycles.
+    pub watchdog: u64,
+    /// Measured operations.
+    pub blocks: usize,
+    /// Input-stream seed.
+    pub seed: u64,
+    /// Skip the session cache (always re-warm).
+    pub cold: bool,
+}
+
+impl ExperimentSpec {
+    /// Parses the `"experiment"` object of a request body. Victim and
+    /// pipeline names are validated here so admission rejects bad
+    /// requests before they reach a worker.
+    pub fn from_json(j: &Json) -> Result<ExperimentSpec, String> {
+        let str_field = |k: &str| -> Result<String, String> {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("experiment.{k} must be a string"))
+        };
+        let u64_field = |k: &str, default: u64| -> Result<u64, String> {
+            match j.get(k) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| format!("experiment.{k} must be a non-negative integer")),
+            }
+        };
+        let bool_field = |k: &str, default: bool| -> Result<bool, String> {
+            match j.get(k) {
+                None => Ok(default),
+                Some(Json::Bool(b)) => Ok(*b),
+                Some(_) => Err(format!("experiment.{k} must be a boolean")),
+            }
+        };
+        let spec = ExperimentSpec {
+            victim: str_field("victim")?,
+            pipeline: match j.get("pipeline") {
+                None => "opt".to_string(),
+                Some(_) => str_field("pipeline")?,
+            },
+            stealth: bool_field("stealth", false)?,
+            watchdog: u64_field("watchdog", DEFAULT_WATCHDOG)?,
+            blocks: u64_field("blocks", 4)? as usize,
+            seed: u64_field("seed", 0)?,
+            cold: bool_field("cold", false)?,
+        };
+        if spec.blocks == 0 || spec.blocks > 10_000 {
+            return Err("experiment.blocks must be in 1..=10000".to_string());
+        }
+        if !security_victims().iter().any(|v| v.name() == spec.victim) {
+            return Err(format!(
+                "unknown victim {:?} (try GET /v1/tasks)",
+                spec.victim
+            ));
+        }
+        if !pipelines().iter().any(|(n, _)| *n == spec.pipeline) {
+            return Err(format!(
+                "unknown pipeline {:?} (opt / noopt)",
+                spec.pipeline
+            ));
+        }
+        Ok(spec)
+    }
+
+    /// The session this experiment warms or forks.
+    pub fn key(&self) -> SessionKey {
+        SessionKey {
+            victim: self.victim.clone(),
+            pipeline: self.pipeline.clone(),
+            seed: self.seed,
+        }
+    }
+
+    /// Runs the experiment, forking a cached session when one exists
+    /// (and `cold` is not forced). Returns the result document and
+    /// whether a warm session was used. Warm and cold paths produce
+    /// byte-identical documents; warmness is reported out-of-band (the
+    /// server puts it in a response header).
+    pub fn run(&self, cache: &SessionCache) -> (Json, bool) {
+        let victims = security_victims();
+        let victim = victims
+            .iter()
+            .find(|v| v.name() == self.victim)
+            .expect("victim validated at parse")
+            .as_ref();
+        let (_, mk) = *pipelines()
+            .iter()
+            .find(|(n, _)| *n == self.pipeline)
+            .expect("pipeline validated at parse");
+
+        let key = self.key();
+        let mut input = vec![0u8; victim.input_len()];
+
+        let (mut core, mut rng, warm) = match (!self.cold).then(|| cache.get(&key)).flatten() {
+            Some(warmed) => {
+                // Fork: fresh core of the same shape, complete machine
+                // state restored from the shared checkpoint.
+                let mut core = security_core(victim, mk());
+                core.restore(&warmed.snapshot);
+                (core, warmed.rng, true)
+            }
+            None => {
+                // Cold: warm up from scratch, then park the session for
+                // future requests before running the measured region.
+                let mut core = security_core(victim, mk());
+                let mut rng = SplitMix64::new(self.seed);
+                warm_up(&mut core, victim, &mut rng, &mut input);
+                cache.insert(
+                    key,
+                    Warmed {
+                        snapshot: Arc::new(core.snapshot()),
+                        rng,
+                    },
+                );
+                (core, rng, false)
+            }
+        };
+
+        if self.stealth {
+            enable_stealth_for(victim, &mut core, self.watchdog);
+        }
+        let metrics = measure_blocks(&mut core, victim, &mut rng, &mut input, self.blocks);
+        (self.document(&metrics), warm)
+    }
+
+    /// The response document (identical for warm and cold runs).
+    fn document(&self, metrics: &SecMetrics) -> Json {
+        Json::obj([
+            ("victim", Json::from(self.victim.as_str())),
+            ("pipeline", Json::from(self.pipeline.as_str())),
+            ("stealth", Json::Bool(self.stealth)),
+            ("watchdog", Json::from(self.watchdog)),
+            ("blocks", Json::from(self.blocks as u64)),
+            ("seed", Json::from(self.seed)),
+            ("metrics", metrics.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = SessionCache::new(2);
+        let key = |s: &str| SessionKey {
+            victim: s.to_string(),
+            pipeline: "opt".to_string(),
+            seed: 0,
+        };
+        let warmed = || {
+            // A checkpoint's contents don't matter for LRU mechanics;
+            // warm the cheapest victim once.
+            let victims = security_victims();
+            let v = victims[0].as_ref();
+            let mut core = security_core(v, csd_pipeline::CoreConfig::opt());
+            Warmed {
+                snapshot: Arc::new(core.snapshot()),
+                rng: SplitMix64::new(0),
+            }
+        };
+        let w = warmed();
+        cache.insert(key("a"), w.clone());
+        cache.insert(key("b"), w.clone());
+        assert!(cache.get(&key("a")).is_some()); // a is now MRU
+        cache.insert(key("c"), w.clone());
+        assert!(cache.get(&key("b")).is_none(), "b was LRU, evicted");
+        assert!(cache.get(&key("a")).is_some());
+        assert!(cache.get(&key("c")).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn spec_parsing_validates_and_defaults() {
+        let body = Json::obj([
+            ("victim", Json::from("aes-enc")),
+            ("seed", Json::from(7u64)),
+        ]);
+        let spec = ExperimentSpec::from_json(&body).unwrap();
+        assert_eq!(spec.pipeline, "opt");
+        assert_eq!(spec.watchdog, DEFAULT_WATCHDOG);
+        assert_eq!(spec.blocks, 4);
+        assert!(!spec.stealth);
+        assert!(!spec.cold);
+
+        let bad = Json::obj([("victim", Json::from("no-such"))]);
+        assert!(ExperimentSpec::from_json(&bad)
+            .unwrap_err()
+            .contains("victim"));
+        let bad = Json::obj([
+            ("victim", Json::from("aes-enc")),
+            ("pipeline", Json::from("turbo")),
+        ]);
+        assert!(ExperimentSpec::from_json(&bad)
+            .unwrap_err()
+            .contains("pipeline"));
+        let bad = Json::obj([
+            ("victim", Json::from("aes-enc")),
+            ("blocks", Json::from(0u64)),
+        ]);
+        assert!(ExperimentSpec::from_json(&bad)
+            .unwrap_err()
+            .contains("blocks"));
+    }
+
+    #[test]
+    fn warm_fork_matches_cold_run_bytes() {
+        // The core session-cache invariant, module-scale: a fork from a
+        // cached checkpoint returns the byte-identical document a cold
+        // run produces — including under stealth with a non-default
+        // watchdog, which only touches the measured region.
+        let cache = SessionCache::new(4);
+        let spec = ExperimentSpec {
+            victim: "aes-enc".to_string(),
+            pipeline: "opt".to_string(),
+            stealth: true,
+            watchdog: 2000,
+            blocks: 2,
+            seed: 11,
+            cold: false,
+        };
+        let (cold, warm_hit) = spec.run(&cache);
+        assert!(!warm_hit, "first run must be cold");
+        assert_eq!(cache.len(), 1);
+        let (warm, warm_hit) = spec.run(&cache);
+        assert!(warm_hit, "second run must fork the session");
+        assert_eq!(cold.pretty(), warm.pretty());
+
+        // A different measured knob still forks the same session.
+        let base = ExperimentSpec {
+            stealth: false,
+            ..spec.clone()
+        };
+        let (_, warm_hit) = base.run(&cache);
+        assert!(warm_hit, "stealth knob must not change the session key");
+        assert_eq!(cache.len(), 1);
+    }
+}

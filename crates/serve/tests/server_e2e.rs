@@ -1,0 +1,258 @@
+//! End-to-end tests over real sockets: boot a daemon on an ephemeral
+//! port, talk HTTP to it with the `loadgen` client library, and check
+//! the service contracts — byte-deterministic task documents, warm
+//! forks, admission control, NDJSON streaming, graceful shutdown.
+
+use csd_bench::suite::{run_filtered, SuiteConfig};
+use csd_serve::{Client, Server, ServerConfig, ShutdownHandle};
+use csd_telemetry::Json;
+use std::time::{Duration, Instant};
+
+/// Boots a daemon on port 0; returns its address, shutdown handle, and
+/// the join handle for asserting a clean exit.
+fn boot(workers: usize, queue_cap: usize) -> (String, ShutdownHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_cap,
+        cache_cap: 8,
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+fn shutdown_and_join(handle: &ShutdownHandle, join: std::thread::JoinHandle<()>) {
+    handle.trigger();
+    join.join().expect("server exits cleanly after drain");
+}
+
+#[test]
+fn served_task_bytes_match_the_cli_suite() {
+    let (addr, handle, join) = boot(2, 8);
+    let mut client = Client::connect(&addr).unwrap();
+
+    let resp = client
+        .post_json(
+            "/v1/experiments",
+            "{\"task\": \"table1\", \"profile\": \"quick\", \"seed\": 51}",
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+
+    let cli = run_filtered(&SuiteConfig::quick(51, 1), "table1").pretty();
+    assert_eq!(
+        resp.text(),
+        cli,
+        "served document must be byte-identical to suite --filter"
+    );
+
+    shutdown_and_join(&handle, join);
+}
+
+#[test]
+fn warm_fork_over_http_matches_cold_and_reports_header() {
+    let (addr, handle, join) = boot(2, 8);
+    let mut client = Client::connect(&addr).unwrap();
+    let body = "{\"experiment\": {\"victim\": \"aes-enc\", \"stealth\": true, \
+                 \"watchdog\": 2000, \"blocks\": 2, \"seed\": 9}}";
+
+    let cold = client.post_json("/v1/experiments", body).unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.text());
+    assert_eq!(cold.header("x-csd-warm"), Some("0"));
+
+    let warm = client.post_json("/v1/experiments", body).unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-csd-warm"), Some("1"), "second run must hit");
+    assert_eq!(
+        cold.body, warm.body,
+        "warm and cold bodies must be identical"
+    );
+
+    // Metrics observed both paths.
+    let metrics = Json::parse(&client.get("/metrics").unwrap().text()).unwrap();
+    assert_eq!(metrics.get("warm_hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(metrics.get("cold_runs").and_then(Json::as_u64), Some(1));
+    assert!(
+        metrics
+            .get("run_us")
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 2
+    );
+
+    shutdown_and_join(&handle, join);
+}
+
+#[test]
+fn full_queue_rejects_with_503_and_retry_after() {
+    // One worker, one queue slot: a long-running job plus one queued job
+    // saturate the daemon; the third request must be rejected fast, not
+    // hang.
+    let (addr, handle, join) = boot(1, 1);
+    let slow = "{\"experiment\": {\"victim\": \"aes-enc\", \"blocks\": 256, \"seed\": 1}}";
+    let queued = "{\"experiment\": {\"victim\": \"aes-enc\", \"blocks\": 2, \"seed\": 2}}";
+    let rejected = "{\"experiment\": {\"victim\": \"aes-enc\", \"blocks\": 2, \"seed\": 3}}";
+
+    std::thread::scope(|s| {
+        let a = s.spawn(|| {
+            Client::connect(&addr)
+                .unwrap()
+                .post_json("/v1/experiments", slow)
+                .unwrap()
+        });
+        // Let the worker claim the slow job before submitting more.
+        std::thread::sleep(Duration::from_millis(300));
+        let b = s.spawn(|| {
+            Client::connect(&addr)
+                .unwrap()
+                .post_json("/v1/experiments", queued)
+                .unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(200));
+
+        let t0 = Instant::now();
+        let c = Client::connect(&addr)
+            .unwrap()
+            .post_json("/v1/experiments", rejected)
+            .unwrap();
+        assert_eq!(
+            c.status,
+            503,
+            "third request must be rejected: {}",
+            c.text()
+        );
+        assert_eq!(c.header("retry-after"), Some("1"));
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "rejection must be fast-fail, not queued-behind-work"
+        );
+
+        assert_eq!(a.join().unwrap().status, 200, "slow job still completes");
+        assert_eq!(b.join().unwrap().status, 200, "queued job still completes");
+    });
+
+    let mut client = Client::connect(&addr).unwrap();
+    let metrics = Json::parse(&client.get("/metrics").unwrap().text()).unwrap();
+    assert_eq!(metrics.get("rejected").and_then(Json::as_u64), Some(1));
+
+    shutdown_and_join(&handle, join);
+}
+
+#[test]
+fn stream_serves_ndjson_events_with_summary() {
+    let (addr, handle, join) = boot(1, 4);
+    let mut client = Client::connect(&addr).unwrap();
+    let resp = client
+        .get("/v1/stream?victim=aes-enc&stealth=true&blocks=2&seed=5&sample=1&max=50")
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let text = resp.text();
+    let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+    assert!(lines.len() >= 2, "expected events plus a summary: {text:?}");
+    for line in &lines {
+        Json::parse(line).unwrap_or_else(|e| panic!("bad NDJSON line {line:?}: {e}"));
+    }
+    let summary = Json::parse(lines.last().unwrap()).unwrap();
+    assert_eq!(summary.get("done"), Some(&Json::Bool(true)));
+    assert!(summary
+        .get("metrics")
+        .and_then(|m| m.get("cycles"))
+        .is_some());
+    let events = summary.get("events").and_then(Json::as_u64).unwrap();
+    assert!(events >= 1, "a stealth run must emit events");
+    // Event lines precede the summary and carry an "event" tag.
+    let first = Json::parse(lines[0]).unwrap();
+    assert!(first.get("event").is_some());
+
+    shutdown_and_join(&handle, join);
+}
+
+#[test]
+fn routes_and_errors() {
+    let (addr, handle, join) = boot(1, 4);
+    let mut client = Client::connect(&addr).unwrap();
+
+    let ok = client.get("/healthz").unwrap();
+    assert_eq!(ok.status, 200);
+    assert_eq!(
+        Json::parse(&ok.text()).unwrap().get("ok"),
+        Some(&Json::Bool(true))
+    );
+
+    let tasks = Json::parse(&client.get("/v1/tasks?filter=wd/").unwrap().text()).unwrap();
+    assert_eq!(tasks.get("count").and_then(Json::as_u64), Some(8));
+
+    assert_eq!(client.get("/no/such").unwrap().status, 404);
+    assert_eq!(client.request("PUT", "/metrics", b"").unwrap().status, 405);
+    assert_eq!(
+        client
+            .post_json("/v1/experiments", "not json")
+            .unwrap()
+            .status,
+        400
+    );
+    assert_eq!(
+        client
+            .post_json(
+                "/v1/experiments",
+                "{\"experiment\": {\"victim\": \"nope\"}}"
+            )
+            .unwrap()
+            .status,
+        400
+    );
+    assert_eq!(
+        client
+            .post_json("/v1/experiments", "{\"task\": \"no-such-task\"}")
+            .unwrap()
+            .status,
+        400
+    );
+
+    shutdown_and_join(&handle, join);
+}
+
+#[test]
+fn shutdown_endpoint_drains_in_flight_work() {
+    let (addr, handle, join) = boot(1, 4);
+
+    // A long job is mid-flight when shutdown is requested; the daemon
+    // must answer it before exiting.
+    let slow = "{\"experiment\": {\"victim\": \"aes-enc\", \"blocks\": 128, \"seed\": 4}}";
+    let worker = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            Client::connect(&addr)
+                .unwrap()
+                .post_json("/v1/experiments", slow)
+                .unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut client = Client::connect(&addr).unwrap();
+    let resp = client.post_json("/v1/shutdown", "{}").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(handle.is_triggered());
+
+    let in_flight = worker.join().unwrap();
+    assert_eq!(
+        in_flight.status,
+        200,
+        "in-flight work must drain: {}",
+        in_flight.text()
+    );
+
+    join.join().expect("server exits 0 after drain");
+    assert!(
+        std::net::TcpStream::connect(&addr).is_err()
+            || Client::connect(&addr)
+                .and_then(|mut c| c.get("/healthz"))
+                .is_err(),
+        "listener must be gone after shutdown"
+    );
+}

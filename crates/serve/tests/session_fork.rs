@@ -1,0 +1,104 @@
+//! Session-cache contract: many concurrent requests forking ONE shared
+//! warmed checkpoint must each produce the byte-identical document a
+//! fresh cold run produces.
+//!
+//! This is the test that justifies the `EventSink: Send + Sync` bound —
+//! a `CoreSnapshot` parked in an `Arc` is read from several threads at
+//! once while each forks its own core from it.
+
+use csd_serve::{ExperimentSpec, SessionCache};
+use std::sync::Arc;
+
+fn spec(stealth: bool, watchdog: u64, blocks: usize) -> ExperimentSpec {
+    ExperimentSpec {
+        victim: "aes-enc".to_string(),
+        pipeline: "opt".to_string(),
+        stealth,
+        watchdog,
+        blocks,
+        seed: 0xF0_87,
+        cold: false,
+    }
+}
+
+#[test]
+fn concurrent_forks_of_one_checkpoint_match_fresh_cold_runs() {
+    // One shared cache, seeded by a single cold run (the base leg).
+    let shared = Arc::new(SessionCache::new(4));
+    let (_, warm_hit) = spec(false, 1000, 2).run(&shared);
+    assert!(!warm_hit, "first run warms the session");
+    assert_eq!(shared.len(), 1);
+
+    // Six variants over the *measured* knobs only — same session key.
+    let variants = [
+        spec(false, 1000, 2),
+        spec(true, 1000, 2),
+        spec(true, 2000, 2),
+        spec(true, 4000, 2),
+        spec(false, 1000, 3),
+        spec(true, 2000, 3),
+    ];
+
+    // All six fork the one cached checkpoint concurrently.
+    let forked: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = variants
+            .iter()
+            .map(|v| {
+                let cache = Arc::clone(&shared);
+                let v = v.clone();
+                s.spawn(move || {
+                    let (doc, warm_hit) = v.run(&cache);
+                    assert!(warm_hit, "{v:?} must fork the shared session");
+                    doc.pretty()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(shared.len(), 1, "forks must not multiply sessions");
+
+    // Reference: each variant cold, in its own cache, sequentially.
+    for (v, warm_bytes) in variants.iter().zip(&forked) {
+        let fresh = SessionCache::new(4);
+        let (cold_doc, warm_hit) = v.run(&fresh);
+        assert!(!warm_hit);
+        assert_eq!(
+            &cold_doc.pretty(),
+            warm_bytes,
+            "warm fork of {v:?} must be byte-identical to a fresh cold run"
+        );
+    }
+}
+
+#[test]
+fn distinct_session_keys_do_not_collide() {
+    // Different victim / pipeline / seed → different sessions, and a
+    // fork under one key never reuses another key's checkpoint.
+    let cache = SessionCache::new(8);
+    let a = spec(false, 1000, 2);
+    let mut b = a.clone();
+    b.seed ^= 1;
+    let mut c = a.clone();
+    c.pipeline = "noopt".to_string();
+
+    let (doc_a, _) = a.run(&cache);
+    let (doc_b, hit_b) = b.run(&cache);
+    let (doc_c, hit_c) = c.run(&cache);
+    assert!(!hit_b && !hit_c, "new keys must run cold");
+    assert_eq!(cache.len(), 3);
+    assert_ne!(
+        doc_a.pretty(),
+        doc_b.pretty(),
+        "seed is part of the session"
+    );
+    assert_ne!(
+        doc_a.pretty(),
+        doc_c.pretty(),
+        "pipeline is part of the session"
+    );
+
+    // And each key's warm fork still matches its own cold bytes.
+    let (again_a, hit_a) = a.run(&cache);
+    assert!(hit_a);
+    assert_eq!(doc_a.pretty(), again_a.pretty());
+}

@@ -74,7 +74,14 @@ pub struct StealthWindowEvent {
 
 /// Receiver for simulator events. Every method is a no-op by default, so
 /// implementors override only what they observe.
-pub trait EventSink: Send {
+///
+/// The `Send + Sync` bound makes every structure that *may* hold a sink
+/// — including a [`SinkHandle`] and a core checkpoint cloned from one —
+/// shareable across threads: the serving layer parks warmed snapshots
+/// in an `Arc` and forks sessions from them concurrently. Dispatch is
+/// still `&mut self`, so implementors need interior synchronization
+/// only if they are actually shared.
+pub trait EventSink: Send + Sync {
     /// A macro-op was decoded.
     fn on_decode(&mut self, event: &DecodeEvent) {
         let _ = event;

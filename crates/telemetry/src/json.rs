@@ -205,6 +205,284 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Error from [`Json::parse`]: byte offset of the failure plus a short
+/// description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Maximum nesting depth [`Json::parse`] accepts — a request-body
+/// parser must not let a hostile payload of `[[[[…` exhaust the stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected `{word}`"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.expect_word("null", Json::Null),
+            Some(b't') => self.expect_word("true", Json::Bool(true)),
+            Some(b'f') => self.expect_word("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => self.err(format!("unexpected byte {:?}", b as char)),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.pos += 1; // [
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            if !self.eat(b',') {
+                return self.err("expected `,` or `]`");
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.pos += 1; // {
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return self.err("expected string key");
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return self.err("expected `:`");
+            }
+            members.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Json::Obj(members));
+            }
+            if !self.eat(b',') {
+                return self.err("expected `,` or `}`");
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require a low surrogate.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return self.err("lone high surrogate");
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return self.err("invalid low surrogate");
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(cp) {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid unicode escape"),
+                            }
+                        }
+                        other => return self.err(format!("invalid escape `\\{}`", other as char)),
+                    }
+                }
+                _ if b < 0x20 => return self.err("raw control character in string"),
+                _ => {
+                    // Re-borrow the full UTF-8 character (input is `&str`,
+                    // so slicing at a char start is safe after validation).
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..]).map_err(|_| ParseError {
+                        offset: start,
+                        message: "invalid utf-8".into(),
+                    })?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return self.err("truncated \\u escape");
+            };
+            let d = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return self.err("invalid hex digit"),
+            };
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        let _ = self.eat(b'-');
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.eat(b'.') {
+            float = true;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !float {
+            if text.starts_with('-') {
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Json::I64(v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) => Ok(Json::F64(v)),
+            Err(_) => {
+                self.pos = start;
+                self.err(format!("invalid number `{text}`"))
+            }
+        }
+    }
+}
+
+impl Json {
+    /// Parses a JSON document (the inverse of [`Json::dump`] /
+    /// [`Json::pretty`]). Integers without fraction or exponent parse to
+    /// [`Json::U64`] (or [`Json::I64`] when negative); everything else
+    /// numeric becomes [`Json::F64`]. Duplicate object keys are kept in
+    /// order ([`Json::get`] returns the first). Trailing non-whitespace
+    /// input is an error.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return p.err("trailing characters after document");
+        }
+        Ok(v)
+    }
+}
+
 /// Conversion into the telemetry report tree. Implemented by every
 /// counter struct in the workspace (`SimStats`, `CsdStats`, cache and
 /// energy statistics, …).
@@ -297,6 +575,63 @@ mod tests {
         assert_eq!(doc.get("x").and_then(Json::as_u64), Some(3));
         assert_eq!(doc.get("s").and_then(Json::as_str), Some("hi"));
         assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_round_trips_documents() {
+        let docs = [
+            r#"{"b":1,"a":[0.5,-3,null],"s":"hi\n","t":true}"#,
+            r#"[]"#,
+            r#"{}"#,
+            r#"[18446744073709551615,-9223372036854775808,1e3]"#,
+            r#""Aé😀""#,
+        ];
+        for d in docs {
+            let v = Json::parse(d).unwrap();
+            assert_eq!(Json::parse(&v.dump()).unwrap(), v, "round-trip of {d}");
+        }
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::from("\u{1F600}"));
+    }
+
+    #[test]
+    fn parse_preserves_number_identity() {
+        assert_eq!(Json::parse("7").unwrap(), Json::U64(7));
+        assert_eq!(Json::parse("-7").unwrap(), Json::I64(-7));
+        assert_eq!(Json::parse("7.0").unwrap(), Json::F64(7.0));
+        assert_eq!(Json::parse("1e2").unwrap(), Json::F64(100.0));
+        // Too big for u64: falls back to float rather than failing.
+        assert!(matches!(
+            Json::parse("99999999999999999999999").unwrap(),
+            Json::F64(_)
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            r#"{"a"}"#,
+            "1 2",
+            "\"\u{1}\"",
+            "[1]]",
+            "nul",
+            "--1",
+            r#""\ud83d""#,
+            r#""\q""#,
+        ] {
+            assert!(Json::parse(bad).is_err(), "must reject {bad:?}");
+        }
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(Json::parse(&deep).is_err(), "must bound nesting depth");
+    }
+
+    #[test]
+    fn parse_whitespace_and_duplicate_keys() {
+        let v = Json::parse(" {\n\t\"a\" : 1 , \"a\" : 2 } ").unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

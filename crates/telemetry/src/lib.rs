@@ -8,13 +8,18 @@
 //! cannot reach a crates.io registry, so JSON emission, deterministic
 //! seeding, and event plumbing are all implemented in-tree.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! - [`json`] — a small JSON document model ([`Json`]) with a
 //!   *deterministic* serializer (stable key order, shortest-roundtrip
-//!   float formatting) and the [`ToJson`] trait the workspace's counter
-//!   structs implement. Same data ⇒ byte-identical output, which is what
-//!   lets `BENCH_suite.json` be diffed across runs and commits.
+//!   float formatting), a strict parser ([`Json::parse`], used by the
+//!   serving layer for request bodies), and the [`ToJson`] trait the
+//!   workspace's counter structs implement. Same data ⇒ byte-identical
+//!   output, which is what lets `BENCH_suite.json` be diffed across
+//!   runs and commits.
+//! - [`hist`] — [`Histogram`], a mergeable log2-bucket latency
+//!   histogram shared by the `csd-serve` daemon (queue-wait / run-time
+//!   metrics) and the `loadgen` client (end-to-end percentiles).
 //! - [`rng`] — [`SplitMix64`], the workspace's deterministic PRNG, plus
 //!   [`derive_seed`] for deriving independent per-task streams from one
 //!   root seed.
@@ -26,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod hist;
 pub mod json;
 pub mod rng;
 
@@ -33,5 +39,6 @@ pub use events::{
     CountingSink, DecodeEvent, EventSink, GateEvent, RetireEvent, SinkHandle, StealthWindowEvent,
     StoreEvent,
 };
-pub use json::{Json, ToJson};
+pub use hist::Histogram;
+pub use json::{Json, ParseError, ToJson};
 pub use rng::{derive_seed, SplitMix64};

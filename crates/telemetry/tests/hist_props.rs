@@ -1,0 +1,117 @@
+//! Seeded-loop property tests for the log2 latency histogram: bucket
+//! conservation, merge commutativity/associativity, and percentile
+//! monotonicity — the invariants `csd-serve` metrics and `loadgen`
+//! percentile reports lean on.
+
+use csd_telemetry::{Histogram, SplitMix64, ToJson};
+
+/// Draws a sample spread across many orders of magnitude (latencies in
+/// microseconds range from sub-µs queue waits to multi-second runs).
+fn sample(rng: &mut SplitMix64) -> u64 {
+    let magnitude = rng.next_u64() % 40;
+    rng.next_u64() & ((1u64 << magnitude) | ((1u64 << magnitude) - 1))
+}
+
+#[test]
+fn count_equals_bucket_sum() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(0xA11CE ^ seed);
+        let mut h = Histogram::new();
+        let n = rng.next_u64() % 500;
+        for _ in 0..n {
+            h.record(sample(&mut rng));
+        }
+        assert_eq!(h.count(), n);
+        assert_eq!(h.count(), h.buckets().iter().sum::<u64>());
+    }
+}
+
+#[test]
+fn merge_is_commutative_and_matches_sequential_recording() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(0xB0B ^ seed);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for _ in 0..rng.next_u64() % 300 {
+            let v = sample(&mut rng);
+            a.record(v);
+            all.record(v);
+        }
+        for _ in 0..rng.next_u64() % 300 {
+            let v = sample(&mut rng);
+            b.record(v);
+            all.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative (seed {seed})");
+        assert_eq!(ab, all, "merge must equal combined recording (seed {seed})");
+        assert_eq!(
+            ab.to_json().pretty(),
+            all.to_json().pretty(),
+            "reports of equal histograms must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn percentiles_are_monotone_and_bounded_by_observations() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(0xCAFE ^ seed);
+        let mut h = Histogram::new();
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for _ in 0..1 + rng.next_u64() % 400 {
+            let v = sample(&mut rng);
+            lo = lo.min(v);
+            hi = hi.max(v);
+            h.record(v);
+        }
+        let mut prev = 0;
+        for p in 0..=1000 {
+            let q = h.percentile(p as f64 / 10.0);
+            assert!(
+                q >= prev,
+                "percentile must be monotone (seed {seed}, p {p})"
+            );
+            assert!(q <= hi, "percentile cannot exceed the max sample");
+            prev = q;
+        }
+        assert!(h.percentile(100.0) >= lo);
+        assert_eq!(h.percentile(100.0), hi, "p100 is the observed max");
+        assert_eq!(h.min(), lo);
+        assert_eq!(h.max(), hi);
+    }
+}
+
+#[test]
+fn percentile_upper_bound_is_within_one_bucket() {
+    // The histogram's percentile is the bucket's inclusive upper edge:
+    // never below the true order statistic, and less than 2× above it
+    // (the log2 guarantee), except in bucket 0 where it is exact.
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(0xD1CE ^ seed);
+        let mut h = Histogram::new();
+        let mut vals = Vec::new();
+        for _ in 0..1 + rng.next_u64() % 200 {
+            let v = sample(&mut rng);
+            vals.push(v);
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+            let rank = ((p / 100.0 * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            let exact = vals[rank - 1];
+            let est = h.percentile(p);
+            assert!(est >= exact, "estimate below true value (seed {seed})");
+            if exact > 0 {
+                assert!(est < exact * 2, "estimate more than 2x off (seed {seed})");
+            } else {
+                assert_eq!(est, 0);
+            }
+        }
+    }
+}

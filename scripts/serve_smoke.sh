@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# CI smoke test for the csd-serve daemon:
+#   1. boot a 4-worker server on an ephemeral-ish port,
+#   2. drive >= 200 requests over 8 connections with loadgen (zero errors),
+#   3. verify a warm session fork is byte-identical to a cold run,
+#   4. byte-compare a served task document against `suite --filter`,
+#   5. graceful shutdown must drain and exit 0.
+set -euo pipefail
+
+PORT="${CSD_SERVE_PORT:-8321}"
+ADDR="127.0.0.1:${PORT}"
+SEED=51
+BIN=target/release
+
+cleanup() {
+    # Belt and braces: if the graceful path failed, don't leak the daemon.
+    if [[ -n "${SERVER_PID:-}" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill "$SERVER_PID" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+echo "== boot csd-serve on ${ADDR}"
+"$BIN/csd-serve" --addr "$ADDR" --workers 4 --queue-cap 64 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+    if "$BIN/loadgen" --addr "$ADDR" --ping >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+"$BIN/loadgen" --addr "$ADDR" --ping
+
+echo "== loadgen: 200 requests over 8 connections (zero errors required)"
+"$BIN/loadgen" --addr "$ADDR" --connections 8 --requests 200 --mix warm=8,cold=1,task=1
+
+echo "== verify warm fork bytes == cold run bytes"
+"$BIN/loadgen" --addr "$ADDR" --verify-warm
+
+echo "== served task document must match suite --filter byte-for-byte"
+"$BIN/loadgen" --addr "$ADDR" --one table1 --profile quick --seed "$SEED" --out /tmp/served-table1.json
+"$BIN/suite" --quick --seed "$SEED" --filter table1 --out /tmp/cli-table1.json
+cmp /tmp/served-table1.json /tmp/cli-table1.json
+
+echo "== graceful shutdown drains and exits 0"
+"$BIN/loadgen" --addr "$ADDR" --shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "serve smoke: OK"
