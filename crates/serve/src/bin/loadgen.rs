@@ -1,4 +1,5 @@
-//! `loadgen` — load generator and scripting client for `csd-serve`.
+//! `loadgen` — load generator, chaos driver, and scripting client for
+//! `csd-serve`.
 //!
 //! Load mode (default):
 //!
@@ -12,15 +13,29 @@
 //! total requests drawn from the weighted mix, retries `503` rejections
 //! with backoff, and reports latency percentiles from the same
 //! log2-bucket [`Histogram`] the server uses for its own metrics.
-//! Exits non-zero if any request ultimately failed.
+//! Transport errors reconnect with backoff and are reported in the
+//! summary; the process exits non-zero only if requests ultimately
+//! failed. Exits non-zero if any request ultimately failed.
+//!
+//! Chaos mode (`--chaos`): drives a seeded schedule of hostile clients
+//! and injected faults against a daemon started with `CSD_FAULT_SEED`:
+//! panicking jobs (plain and lock-poisoning), worker stalls, slowloris
+//! clients, aborted half-written requests, malformed frames, and
+//! queue-saturation bursts. Every interaction must end in a well-formed
+//! HTTP response or a clean server-initiated close; the run fails if
+//! the daemon ever answers garbage, hangs, or dies. Reproduce any run
+//! with its `--seed`.
 //!
 //! Helper modes for CI scripting: `--ping` (healthz), `--one LABEL`
 //! (fetch one task document, `--out PATH`), `--verify-warm` (cold run,
 //! then warm fork; assert byte-identical bodies), `--shutdown`.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use csd_serve::{Client, ClientResponse};
-use csd_telemetry::{derive_seed, Histogram, SplitMix64};
-use std::io::Write as _;
+use csd_telemetry::{derive_seed, Histogram, Json, SplitMix64};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,11 +89,13 @@ impl Mix {
     }
 }
 
+#[derive(Default)]
 struct Outcome {
     latency: Histogram,
     ok: u64,
     errors: u64,
     retries: u64,
+    reconnects: u64,
     warm_hits: u64,
 }
 
@@ -90,9 +107,11 @@ fn main() {
     let mut seed: u64 = 0x10AD_2018;
     let mut profile = "quick".to_string();
     let mut out_path: Option<String> = None;
+    let mut slow_ms: u64 = 1_500;
     let mut mode_ping = false;
     let mut mode_shutdown = false;
     let mut mode_verify_warm = false;
+    let mut mode_chaos = false;
     let mut mode_one: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -120,14 +139,24 @@ fn main() {
             }
             "--profile" => profile = args.next().unwrap_or_else(|| die("--profile needs a name")),
             "--out" => out_path = Some(args.next().unwrap_or_else(|| die("--out needs a path"))),
+            "--slow-ms" => {
+                slow_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--slow-ms needs a positive integer"));
+            }
             "--ping" => mode_ping = true,
             "--shutdown" => mode_shutdown = true,
             "--verify-warm" => mode_verify_warm = true,
+            "--chaos" => mode_chaos = true,
             "--one" => mode_one = Some(args.next().unwrap_or_else(|| die("--one needs a label"))),
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen --addr HOST:PORT [--connections N] [--requests N]\n\
                      \x20              [--mix warm=8,cold=1,task=1] [--seed S]\n\
+                     \x20      or: --chaos [--requests N] [--seed S] [--slow-ms MS]\n\
+                     \x20          (daemon must run with CSD_FAULT_SEED set and a short\n\
+                     \x20           --conn-deadline-ms; see scripts/chaos_smoke.sh)\n\
                      \x20      or: --ping | --shutdown | --verify-warm |\n\
                      \x20          --one LABEL [--profile quick|full] [--out PATH]"
                 );
@@ -161,14 +190,18 @@ fn main() {
         match out_path {
             Some(path) => std::fs::write(&path, &resp.body)
                 .unwrap_or_else(|e| die(&format!("writing {path}: {e}"))),
-            None => {
-                std::io::stdout().write_all(&resp.body).unwrap();
-            }
+            None => std::io::stdout()
+                .write_all(&resp.body)
+                .unwrap_or_else(|e| die(&format!("writing stdout: {e}"))),
         }
         return;
     }
     if mode_verify_warm {
         verify_warm(&addr, seed);
+        return;
+    }
+    if mode_chaos {
+        run_chaos(&addr, requests, seed, slow_ms);
         return;
     }
 
@@ -187,38 +220,63 @@ fn main() {
                 let addr = addr.clone();
                 let mix = mix.clone();
                 let conn_seed = derive_seed(seed, &format!("conn/{c}"));
-                s.spawn(move || run_connection(&addr, n, &mix, conn_seed, seed))
+                (
+                    n,
+                    s.spawn(move || run_connection(&addr, n, &mix, conn_seed, seed)),
+                )
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .map(|(n, h)| {
+                h.join().unwrap_or_else(|_| {
+                    // A panicking connection thread fails its share of
+                    // the budget; the run itself keeps going.
+                    eprintln!("loadgen: connection thread panicked; counting {n} failures");
+                    Outcome {
+                        errors: n as u64,
+                        ..Outcome::default()
+                    }
+                })
+            })
+            .collect()
     });
     let wall = t0.elapsed();
 
     let mut latency = Histogram::new();
-    let (mut ok, mut errors, mut retries, mut warm_hits) = (0u64, 0u64, 0u64, 0u64);
+    let (mut ok, mut errors, mut retries, mut reconnects, mut warm_hits) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
     for o in &outcomes {
         latency.merge(&o.latency);
         ok += o.ok;
         errors += o.errors;
         retries += o.retries;
+        reconnects += o.reconnects;
         warm_hits += o.warm_hits;
     }
     println!(
-        "loadgen: ok={ok} errors={errors} retries_503={retries} warm_hits={warm_hits} \
-         wall_s={:.2} rps={:.1}",
+        "loadgen: ok={ok} errors={errors} retries_503={retries} reconnects={reconnects} \
+         warm_hits={warm_hits} wall_s={:.2} rps={:.1}",
         wall.as_secs_f64(),
         ok as f64 / wall.as_secs_f64().max(1e-9),
     );
     println!(
         "loadgen: latency_us p50={} p90={} p99={} max={}",
-        latency.percentile(50.0),
-        latency.percentile(90.0),
-        latency.percentile(99.0),
+        pct(&latency, 50.0),
+        pct(&latency, 90.0),
+        pct(&latency, 99.0),
         latency.max(),
     );
     if errors > 0 {
         std::process::exit(1);
     }
+}
+
+/// Renders one percentile, or `-` for an empty histogram (a run where
+/// every request failed before being timed).
+fn pct(h: &Histogram, p: f64) -> String {
+    h.percentile(p)
+        .map_or_else(|| "-".to_string(), |v| v.to_string())
 }
 
 /// One connection's request loop. Reconnects on transport errors; `503`
@@ -229,14 +287,8 @@ fn main() {
 /// connection-local seed to force fresh warm-ups.
 fn run_connection(addr: &str, n: usize, mix: &Mix, conn_seed: u64, global_seed: u64) -> Outcome {
     let mut rng = SplitMix64::new(conn_seed);
-    let mut out = Outcome {
-        latency: Histogram::new(),
-        ok: 0,
-        errors: 0,
-        retries: 0,
-        warm_hits: 0,
-    };
-    let mut client = None;
+    let mut out = Outcome::default();
+    let mut client: Option<Client> = None;
     for i in 0..n {
         let body = request_body(mix.pick(&mut rng), &mut rng, conn_seed, global_seed, i);
         let t0 = Instant::now();
@@ -246,16 +298,20 @@ fn run_connection(addr: &str, n: usize, mix: &Mix, conn_seed: u64, global_seed: 
             if attempts > 50 {
                 break None;
             }
-            if client.is_none() {
-                match Client::connect(addr) {
-                    Ok(c) => client = Some(c),
+            let c = match client.as_mut() {
+                Some(c) => c,
+                None => match Client::connect(addr) {
+                    Ok(c) => {
+                        out.reconnects += 1;
+                        client.insert(c)
+                    }
                     Err(_) => {
                         std::thread::sleep(Duration::from_millis(20));
                         continue;
                     }
-                }
-            }
-            match client.as_mut().unwrap().post_json("/v1/experiments", &body) {
+                },
+            };
+            match c.post_json("/v1/experiments", &body) {
                 Ok(resp) if resp.status == 503 => {
                     out.retries += 1;
                     // The server suggests whole seconds; stay snappy in
@@ -281,6 +337,8 @@ fn run_connection(addr: &str, n: usize, mix: &Mix, conn_seed: u64, global_seed: 
             _ => out.errors += 1,
         }
     }
+    // The first connect is not a *re*connect.
+    out.reconnects = out.reconnects.saturating_sub(1);
     out
 }
 
@@ -318,6 +376,318 @@ fn request_body(
                 .to_string()
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Chaos mode
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChaosOp {
+    /// `{"fault":{"kind":"panic"}}` — worker must answer 500/class run.
+    Panic,
+    /// Panic while holding the session-cache lock (poison + recover).
+    PanicPoison,
+    /// `{"fault":{"kind":"sleep"}}` — worker stalls, then 200.
+    Sleep,
+    /// Dribble a request head one byte at a time; the server must cut
+    /// us off (408 or close) instead of pinning the thread forever.
+    SlowClient,
+    /// Write half a request and abort the connection.
+    PartialWrite,
+    /// Send bytes that are not HTTP; the server must answer 400 or
+    /// close, never crash.
+    MalformedFrame,
+    /// Burst of concurrent stall jobs; the queue must overflow into
+    /// well-formed 503s, never into hangs.
+    Saturate,
+}
+
+const CHAOS_OPS: [(ChaosOp, u64); 7] = [
+    (ChaosOp::Panic, 3),
+    (ChaosOp::PanicPoison, 2),
+    (ChaosOp::Sleep, 2),
+    (ChaosOp::SlowClient, 1),
+    (ChaosOp::PartialWrite, 2),
+    (ChaosOp::MalformedFrame, 3),
+    (ChaosOp::Saturate, 1),
+];
+
+fn pick_chaos(rng: &mut SplitMix64) -> ChaosOp {
+    let total: u64 = CHAOS_OPS.iter().map(|(_, w)| w).sum();
+    let mut roll = rng.range_u64(0, total - 1);
+    for (op, w) in CHAOS_OPS {
+        if roll < w {
+            return op;
+        }
+        roll -= w;
+    }
+    ChaosOp::Panic
+}
+
+/// Drives `requests` seeded hostile interactions and verifies the daemon
+/// absorbs all of them. Exits non-zero on the first accounting failure:
+/// an interaction that got a garbled response, hung past its budget, or
+/// a daemon that stopped answering `/healthz`.
+fn run_chaos(addr: &str, requests: usize, seed: u64, slow_ms: u64) {
+    eprintln!("loadgen: chaos {addr} requests={requests} seed={seed:#x} slow_ms={slow_ms}");
+    // Fail fast if the daemon is not armed: a 403 here means
+    // CSD_FAULT_SEED is unset and every panic op would "fail".
+    let probe = request_with_retry(
+        addr,
+        "/v1/experiments",
+        "{\"fault\":{\"kind\":\"sleep\",\"ms\":1}}",
+        50,
+    )
+    .unwrap_or_else(|e| die(&format!("chaos probe: {e}")));
+    if probe.status == 403 {
+        die("daemon refuses fault jobs; start it with CSD_FAULT_SEED set");
+    }
+
+    let mut rng = SplitMix64::new(derive_seed(seed, "chaos"));
+    let mut counts = [0u64; 7];
+    let mut rejected_503 = 0u64;
+    let mut failures: Vec<String> = Vec::new();
+    for i in 0..requests {
+        let op = pick_chaos(&mut rng);
+        counts[op_index(op)] += 1;
+        let verdict = match op {
+            ChaosOp::Panic => chaos_fault_panic(addr, false),
+            ChaosOp::PanicPoison => chaos_fault_panic(addr, true),
+            ChaosOp::Sleep => chaos_fault_sleep(addr, &mut rng),
+            ChaosOp::SlowClient => chaos_slow_client(addr, slow_ms),
+            ChaosOp::PartialWrite => chaos_partial_write(addr),
+            ChaosOp::MalformedFrame => chaos_malformed(addr, &mut rng),
+            ChaosOp::Saturate => chaos_saturate(addr).map(|n| rejected_503 += n),
+        };
+        if let Err(msg) = verdict {
+            failures.push(format!("op {i} ({op:?}): {msg}"));
+        }
+    }
+
+    // The daemon must still be fully alive and coherent.
+    let health = request_with_retry(addr, "/healthz", "", 50);
+    let alive = matches!(&health, Ok(r) if r.status == 200);
+    if !alive {
+        failures.push("daemon stopped answering /healthz after chaos".to_string());
+    }
+    let metrics = Client::connect(addr)
+        .and_then(|mut c| c.get("/metrics"))
+        .ok()
+        .filter(|r| r.status == 200)
+        .and_then(|r| Json::parse(&r.text()).ok());
+    match &metrics {
+        Some(m) => {
+            let g = |p: &str, k: &str| {
+                m.get(p)
+                    .and_then(|o| o.get(k))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+            };
+            let top = |k: &str| m.get(k).and_then(Json::as_u64).unwrap_or(0);
+            println!(
+                "loadgen: chaos server-side injected_faults={} worker_panics={} \
+                 poison_recoveries={} deadline_closes={} errors(admission={} parse={} run={} io={})",
+                top("injected_faults"),
+                top("worker_panics"),
+                top("lock_poison_recoveries"),
+                top("deadline_closes"),
+                g("errors", "admission"),
+                g("errors", "parse"),
+                g("errors", "run"),
+                g("errors", "io"),
+            );
+            let panics_sent =
+                counts[op_index(ChaosOp::Panic)] + counts[op_index(ChaosOp::PanicPoison)];
+            if top("worker_panics") < panics_sent {
+                failures.push(format!(
+                    "metrics undercount panics: worker_panics={} < injected {panics_sent}",
+                    top("worker_panics")
+                ));
+            }
+        }
+        None => failures.push("daemon stopped serving parseable /metrics".to_string()),
+    }
+
+    println!(
+        "loadgen: chaos panic={} poison={} sleep={} slow={} partial={} malformed={} \
+         saturate={} rejected_503={rejected_503} failures={}",
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3],
+        counts[4],
+        counts[5],
+        counts[6],
+        failures.len(),
+    );
+    for f in failures.iter().take(10) {
+        eprintln!("loadgen: chaos FAILURE: {f}");
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+    println!("loadgen: chaos ok (daemon absorbed every fault)");
+}
+
+fn op_index(op: ChaosOp) -> usize {
+    CHAOS_OPS
+        .iter()
+        .position(|(o, _)| *o == op)
+        .unwrap_or_default()
+}
+
+/// A panic job must come back as a well-formed `500` with `class: run`
+/// and a message naming the panic — not as a hang or a dropped
+/// connection.
+fn chaos_fault_panic(addr: &str, poison: bool) -> Result<(), String> {
+    let body = format!("{{\"fault\":{{\"kind\":\"panic\",\"poison\":{poison}}}}}");
+    let resp = request_with_retry(addr, "/v1/experiments", &body, 50)
+        .map_err(|e| format!("transport: {e}"))?;
+    if resp.status != 500 {
+        return Err(format!(
+            "expected 500, got {}: {}",
+            resp.status,
+            resp.text()
+        ));
+    }
+    let doc = Json::parse(&resp.text()).map_err(|e| format!("unparseable 500 body: {e}"))?;
+    if doc.get("class").and_then(Json::as_str) != Some("run") {
+        return Err(format!("500 body lacks class=run: {}", resp.text()));
+    }
+    Ok(())
+}
+
+/// A stall job must come back `200` after its nap.
+fn chaos_fault_sleep(addr: &str, rng: &mut SplitMix64) -> Result<(), String> {
+    let ms = rng.range_u64(5, 60);
+    let body = format!("{{\"fault\":{{\"kind\":\"sleep\",\"ms\":{ms}}}}}");
+    let resp = request_with_retry(addr, "/v1/experiments", &body, 50)
+        .map_err(|e| format!("transport: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("expected 200, got {}", resp.status));
+    }
+    Ok(())
+}
+
+/// Dribbles a request head one byte at a time, slower than the server's
+/// connection deadline. Success is the server cutting us off: a `408`
+/// response, a clean close, or a reset once it gave up on us.
+fn chaos_slow_client(addr: &str, slow_ms: u64) -> Result<(), String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_millis(
+        slow_ms.saturating_mul(4).max(2_000),
+    )))
+    .map_err(|e| format!("timeout: {e}"))?;
+    let head = b"POST /v1/experiments HTTP/1.1\r\nHost: chaos\r\n";
+    let step = Duration::from_millis((slow_ms / head.len() as u64).max(20));
+    for b in head {
+        if s.write_all(&[*b]).is_err() {
+            return Ok(()); // the server already cut us off — success
+        }
+        std::thread::sleep(step);
+    }
+    // Never finish the head; wait for the server to give up on us.
+    let mut buf = [0u8; 1024];
+    match s.read(&mut buf) {
+        Ok(0) => Ok(()),
+        Ok(n) => {
+            let text = String::from_utf8_lossy(&buf[..n]);
+            if text.starts_with("HTTP/1.1 408") {
+                Ok(())
+            } else {
+                Err(format!("expected 408 or close, got {text:?}"))
+            }
+        }
+        Err(e)
+            if e.kind() == std::io::ErrorKind::ConnectionReset
+                || e.kind() == std::io::ErrorKind::BrokenPipe =>
+        {
+            Ok(())
+        }
+        Err(_) => Err("server never cut off a slowloris client".to_string()),
+    }
+}
+
+/// Writes half a request and aborts. There is nothing to read back; the
+/// point is that the daemon treats the dangling connection as EOF.
+fn chaos_partial_write(addr: &str) -> Result<(), String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let _ = s.write_all(b"POST /v1/experiments HTTP/1.1\r\nContent-Length: 999\r\n\r\n{\"task\"");
+    Ok(()) // dropping the stream aborts the request mid-body
+}
+
+/// Sends seeded garbage; the only acceptable outcomes are a well-formed
+/// HTTP error response or a close — never a hang.
+fn chaos_malformed(addr: &str, rng: &mut SplitMix64) -> Result<(), String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    let mut garbage: Vec<u8> = (0..rng.range_u64(8, 64))
+        .map(|_| rng.range_u64(0, 255) as u8)
+        .collect();
+    garbage.extend_from_slice(b"\r\n\r\n"); // force the parser to a verdict
+    if s.write_all(&garbage).is_err() {
+        return Ok(());
+    }
+    let mut buf = [0u8; 4096];
+    match s.read(&mut buf) {
+        Ok(0) => Ok(()),
+        Ok(n) => {
+            let text = String::from_utf8_lossy(&buf[..n]);
+            if text.starts_with("HTTP/1.1 ") {
+                Ok(())
+            } else {
+                Err(format!("garbled reply to garbage: {text:?}"))
+            }
+        }
+        Err(e)
+            if e.kind() == std::io::ErrorKind::ConnectionReset
+                || e.kind() == std::io::ErrorKind::BrokenPipe =>
+        {
+            Ok(())
+        }
+        Err(_) => Err("server hung on a malformed frame".to_string()),
+    }
+}
+
+/// Fires a burst of concurrent stall jobs at the bounded queue. Every
+/// response must be a well-formed `200` or `503`; returns how many were
+/// rejected.
+fn chaos_saturate(addr: &str) -> Result<u64, String> {
+    const BURST: usize = 8;
+    let results: Vec<Result<u16, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..BURST)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                    let resp = c
+                        .post_json(
+                            "/v1/experiments",
+                            "{\"fault\":{\"kind\":\"sleep\",\"ms\":150}}",
+                        )
+                        .map_err(|e| format!("transport: {e}"))?;
+                    Ok(resp.status)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("burst thread panicked".to_string()))
+            })
+            .collect()
+    });
+    let mut rejected = 0u64;
+    for r in results {
+        match r? {
+            200 => {}
+            503 => rejected += 1,
+            other => return Err(format!("burst got unexpected status {other}")),
+        }
+    }
+    Ok(rejected)
 }
 
 /// Posts the same experiment cold then warm and asserts the bodies are
@@ -370,7 +740,12 @@ fn request_with_retry(
                 continue;
             }
         };
-        match client.post_json(target, body) {
+        let result = if body.is_empty() && !target.starts_with("/v1/experiments") {
+            client.get(target)
+        } else {
+            client.post_json(target, body)
+        };
+        match result {
             Ok(resp) if resp.status == 503 => std::thread::sleep(Duration::from_millis(25)),
             Ok(resp) => return Ok(resp),
             Err(e) => {

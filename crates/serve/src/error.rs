@@ -1,0 +1,159 @@
+//! The `csd-serve` error taxonomy.
+//!
+//! Every failed request resolves to one [`ServeError`] carrying a
+//! class, an HTTP status, and a message. The class answers the
+//! operational question "whose fault, and where?":
+//!
+//! | class       | meaning                                   | typical status |
+//! |-------------|-------------------------------------------|----------------|
+//! | `admission` | refused before any work ran (full queue,  | 404 / 405 / 503 |
+//! |             | draining, unknown route, disabled fault)  |                |
+//! | `parse`     | the request bytes or body were malformed  | 400 / 413      |
+//! | `run`       | the job itself failed or panicked         | 500            |
+//! | `io`        | the connection died or stalled mid-flight | (often unanswerable) |
+//!
+//! `/metrics` exports one counter per class, so a chaos run can assert
+//! that every injected fault landed in the expected bucket.
+
+use crate::http::Response;
+use csd_telemetry::Json;
+
+/// Which layer a request failed in (see module docs for the table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Refused at admission: routing, queue capacity, draining.
+    Admission,
+    /// Malformed request framing or body.
+    Parse,
+    /// The admitted job failed while executing (including panics).
+    Run,
+    /// Transport-level failure (timeout, reset, stalled peer).
+    Io,
+}
+
+impl ErrorClass {
+    /// Stable lowercase name used in response bodies and `/metrics`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorClass::Admission => "admission",
+            ErrorClass::Parse => "parse",
+            ErrorClass::Run => "run",
+            ErrorClass::Io => "io",
+        }
+    }
+}
+
+/// One classified request failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// Which layer failed.
+    pub class: ErrorClass,
+    /// HTTP status the client sees.
+    pub status: u16,
+    /// Human-readable cause, returned in the JSON body.
+    pub message: String,
+}
+
+impl ServeError {
+    /// An admission refusal (default status 503).
+    pub fn admission(status: u16, message: impl Into<String>) -> ServeError {
+        ServeError {
+            class: ErrorClass::Admission,
+            status,
+            message: message.into(),
+        }
+    }
+
+    /// A malformed request (status 400 unless overridden).
+    pub fn parse(message: impl Into<String>) -> ServeError {
+        ServeError {
+            class: ErrorClass::Parse,
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// A job-execution failure (status 500).
+    pub fn run(message: impl Into<String>) -> ServeError {
+        ServeError {
+            class: ErrorClass::Run,
+            status: 500,
+            message: message.into(),
+        }
+    }
+
+    /// A transport failure (rarely answerable; status 500 if it is).
+    pub fn io(message: impl Into<String>) -> ServeError {
+        ServeError {
+            class: ErrorClass::Io,
+            status: 500,
+            message: message.into(),
+        }
+    }
+
+    /// The structured error body: `{"error": ..., "class": ...}`.
+    pub fn body(&self) -> Json {
+        Json::obj([
+            ("error", Json::from(self.message.as_str())),
+            ("class", Json::from(self.class.name())),
+        ])
+    }
+
+    /// Renders the error as an HTTP response.
+    pub fn response(&self) -> Response {
+        Response::json(self.status, &self.body())
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}]: {}",
+            self.status,
+            self.class.name(),
+            self.message
+        )
+    }
+}
+
+/// Extracts a readable message from a caught panic payload (`&str` and
+/// `String` payloads cover `panic!`/`assert!`; anything else gets a
+/// placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_bodies_carry_class_and_message() {
+        let e = ServeError::parse("bad body");
+        assert_eq!(e.status, 400);
+        let body = e.body();
+        assert_eq!(body.get("class").and_then(Json::as_str), Some("parse"));
+        assert_eq!(body.get("error").and_then(Json::as_str), Some("bad body"));
+        assert_eq!(ServeError::run("x").class.name(), "run");
+        assert_eq!(ServeError::io("x").class.name(), "io");
+        assert_eq!(ServeError::admission(503, "full").status, 503);
+    }
+
+    #[test]
+    fn panic_messages_unwrap_common_payloads() {
+        let caught = std::panic::catch_unwind(|| panic!("boom {}", 7)).expect_err("must panic");
+        assert_eq!(panic_message(caught.as_ref()), "boom 7");
+        let caught = std::panic::catch_unwind(|| panic!("literal")).expect_err("must panic");
+        assert_eq!(panic_message(caught.as_ref()), "literal");
+        let caught =
+            std::panic::catch_unwind(|| std::panic::panic_any(42u32)).expect_err("must panic");
+        assert_eq!(panic_message(caught.as_ref()), "non-string panic payload");
+    }
+}

@@ -1,0 +1,123 @@
+//! Deterministic fault injection for the daemon.
+//!
+//! Fault mode is armed by setting `CSD_FAULT_SEED` in the daemon's
+//! environment (any `u64`; the value seeds the *client-side* chaos
+//! schedule in `loadgen --chaos`, so one seed reproduces one run
+//! end-to-end). When armed, `POST /v1/experiments` accepts a fourth job
+//! kind:
+//!
+//! ```json
+//! {"fault": {"kind": "panic", "poison": true}}
+//! {"fault": {"kind": "sleep", "ms": 50}}
+//! ```
+//!
+//! * `panic` — the worker executing the job panics (with `"poison":
+//!   true` it panics *while holding the session-cache lock*, the worst
+//!   case for the old `lock().unwrap()` code). The daemon must answer
+//!   `500` with a `class: "run"` body and keep serving.
+//! * `sleep` — the worker stalls for `ms` milliseconds; chaos runs use
+//!   it to hold workers busy and drive the admission queue into
+//!   saturation deterministically.
+//!
+//! When fault mode is *not* armed these bodies are refused at admission
+//! (`403`, class `admission`) so a production daemon cannot be panicked
+//! by request. The other three injection points — slow-client,
+//! partial-write, malformed-frame — need no server cooperation; the
+//! chaos client drives them straight through the socket.
+
+use csd_telemetry::Json;
+
+/// Marker that the daemon accepts injected-fault jobs. Carried in the
+/// server config; constructed from `CSD_FAULT_SEED`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultMode {
+    /// The seed shared with the chaos client (diagnostic only on the
+    /// server side — server faults are driven per-request).
+    pub seed: u64,
+}
+
+impl FaultMode {
+    /// Reads `CSD_FAULT_SEED`; `None` (fault mode off) when unset or
+    /// unparsable.
+    pub fn from_env() -> Option<FaultMode> {
+        let raw = std::env::var("CSD_FAULT_SEED").ok()?;
+        raw.trim().parse().ok().map(|seed| FaultMode { seed })
+    }
+}
+
+/// One injected-fault job, parsed from a `{"fault": ...}` body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Panic inside the worker; with `poison` the panic unwinds through
+    /// the session-cache critical section.
+    Panic {
+        /// Panic while holding the session-cache lock.
+        poison: bool,
+    },
+    /// Stall the worker for this many milliseconds, then answer 200.
+    Sleep {
+        /// Stall duration in milliseconds (capped at parse time).
+        ms: u64,
+    },
+}
+
+/// Longest accepted injected stall; keeps a chaos schedule from wedging
+/// the drain deadline.
+const MAX_SLEEP_MS: u64 = 2_000;
+
+impl FaultSpec {
+    /// Parses the `"fault"` object of a request body.
+    pub fn from_json(j: &Json) -> Result<FaultSpec, String> {
+        match j.get("kind").and_then(Json::as_str) {
+            Some("panic") => {
+                let poison = match j.get("poison") {
+                    None => false,
+                    Some(Json::Bool(b)) => *b,
+                    Some(_) => return Err("fault.poison must be a boolean".to_string()),
+                };
+                Ok(FaultSpec::Panic { poison })
+            }
+            Some("sleep") => {
+                let ms = match j.get("ms") {
+                    None => 10,
+                    Some(v) => v
+                        .as_u64()
+                        .ok_or_else(|| "fault.ms must be a non-negative integer".to_string())?,
+                };
+                if ms > MAX_SLEEP_MS {
+                    return Err(format!("fault.ms must be <= {MAX_SLEEP_MS}"));
+                }
+                Ok(FaultSpec::Sleep { ms })
+            }
+            Some(other) => Err(format!("unknown fault kind {other:?} (panic / sleep)")),
+            None => Err("fault.kind must be \"panic\" or \"sleep\"".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fault_specs() {
+        let j = Json::parse("{\"kind\": \"panic\", \"poison\": true}").unwrap();
+        assert_eq!(
+            FaultSpec::from_json(&j),
+            Ok(FaultSpec::Panic { poison: true })
+        );
+        let j = Json::parse("{\"kind\": \"panic\"}").unwrap();
+        assert_eq!(
+            FaultSpec::from_json(&j),
+            Ok(FaultSpec::Panic { poison: false })
+        );
+        let j = Json::parse("{\"kind\": \"sleep\", \"ms\": 25}").unwrap();
+        assert_eq!(FaultSpec::from_json(&j), Ok(FaultSpec::Sleep { ms: 25 }));
+        let j = Json::parse("{\"kind\": \"sleep\", \"ms\": 999999}").unwrap();
+        assert!(FaultSpec::from_json(&j).is_err(), "stalls are capped");
+        let j = Json::parse("{\"kind\": \"segfault\"}").unwrap();
+        assert!(FaultSpec::from_json(&j).is_err());
+        let j = Json::parse("{}").unwrap();
+        assert!(FaultSpec::from_json(&j).is_err());
+    }
+}

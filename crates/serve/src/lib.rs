@@ -15,20 +15,36 @@
 //!   bounded queue; when it is full the daemon answers `503` with
 //!   `Retry-After` instead of hoarding work, and graceful shutdown
 //!   drains what was admitted before exiting 0.
+//! - **Panics are contained, not fatal.** Jobs run under
+//!   `catch_unwind`, locks recover from poisoning ([`lock`]), failures
+//!   carry a class ([`error`]), and a seeded fault-injection mode
+//!   ([`fault`]) lets a chaos harness prove all of it.
 //!
-//! See `DESIGN.md` (service architecture) and the README's "Serving"
-//! section for the endpoint reference.
+//! See `DESIGN.md` (service architecture and failure model) and the
+//! README's "Serving" section for the endpoint reference.
 
 #![warn(missing_docs)]
+// The daemon must not have reachable panics on its request path: every
+// `unwrap`/`expect` needs an explicit allow with a safety argument, or a
+// rewrite into `ServeError`. Tests are exempt — panicking is how tests
+// fail. CI runs clippy with `-D warnings`, which makes these deny.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
+pub mod error;
+pub mod fault;
 pub mod http;
+pub mod lock;
 pub mod metrics;
 pub mod queue;
 pub mod server;
 pub mod session;
 
 pub use client::{Client, ClientResponse};
+pub use error::{ErrorClass, ServeError};
+pub use fault::{FaultMode, FaultSpec};
+pub use lock::{poison_recoveries, relock, rewait};
 pub use metrics::Metrics;
 pub use server::{install_signal_handler, Server, ServerConfig, ShutdownHandle};
 pub use session::{ExperimentSpec, SessionCache, SessionKey, Warmed};

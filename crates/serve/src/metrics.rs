@@ -2,10 +2,18 @@
 //!
 //! Counters are lock-free atomics; the latency distributions reuse
 //! [`csd_telemetry::Histogram`] (log2 buckets, mergeable) behind short
-//! critical sections. `loadgen` renders its client-side percentiles from
-//! the same histogram type, so server- and client-observed latency are
-//! directly comparable.
+//! poison-recovering critical sections. `loadgen` renders its
+//! client-side percentiles from the same histogram type, so server- and
+//! client-observed latency are directly comparable.
+//!
+//! Error accounting is two-layered: the legacy `client_errors` /
+//! `server_errors` split (4xx vs 5xx) stays for dashboards that already
+//! read it, and the `errors` object breaks failures down by
+//! [`ErrorClass`] so a chaos run can assert every injected fault landed
+//! in its expected bucket.
 
+use crate::error::ErrorClass;
+use crate::lock::{poison_recoveries, relock};
 use csd_telemetry::{Histogram, Json, ToJson};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -29,6 +37,22 @@ pub struct Metrics {
     pub server_errors: AtomicU64,
     /// `/v1/stream` sessions served.
     pub streams: AtomicU64,
+    /// Admission-class failures (routing, queue capacity, draining).
+    pub errors_admission: AtomicU64,
+    /// Parse-class failures (malformed framing or body).
+    pub errors_parse: AtomicU64,
+    /// Run-class failures (job errors and panics).
+    pub errors_run: AtomicU64,
+    /// Io-class failures (dead or stalled connections).
+    pub errors_io: AtomicU64,
+    /// Jobs that panicked inside a worker (caught, answered 500).
+    pub worker_panics: AtomicU64,
+    /// Worker threads that died outside job execution (join failed).
+    pub workers_lost: AtomicU64,
+    /// Injected-fault jobs executed (fault mode only).
+    pub injected_faults: AtomicU64,
+    /// Connections closed for exceeding the per-connection deadline.
+    pub deadline_closes: AtomicU64,
     queue_wait_us: Mutex<Histogram>,
     run_us: Mutex<Histogram>,
 }
@@ -44,21 +68,40 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one classified failure (and keeps the legacy 4xx/5xx
+    /// split coherent with the per-class counters).
+    pub fn record_error(&self, class: ErrorClass, status: u16) {
+        let bucket = match class {
+            ErrorClass::Admission => &self.errors_admission,
+            ErrorClass::Parse => &self.errors_parse,
+            ErrorClass::Run => &self.errors_run,
+            ErrorClass::Io => &self.errors_io,
+        };
+        Metrics::bump(bucket);
+        if status == 503 {
+            Metrics::bump(&self.rejected);
+        } else if (400..500).contains(&status) {
+            Metrics::bump(&self.client_errors);
+        } else if status >= 500 {
+            Metrics::bump(&self.server_errors);
+        }
+    }
+
     /// Records how long a job sat in the queue before a worker took it.
     pub fn record_queue_wait_us(&self, us: u64) {
-        self.queue_wait_us.lock().unwrap().record(us);
+        relock(&self.queue_wait_us).record(us);
     }
 
     /// Records how long a worker spent executing a job.
     pub fn record_run_us(&self, us: u64) {
-        self.run_us.lock().unwrap().record(us);
+        relock(&self.run_us).record(us);
     }
 
     /// Snapshot of both histograms (queue wait, run time).
     pub fn latency_snapshot(&self) -> (Histogram, Histogram) {
         (
-            self.queue_wait_us.lock().unwrap().clone(),
-            self.run_us.lock().unwrap().clone(),
+            relock(&self.queue_wait_us).clone(),
+            relock(&self.run_us).clone(),
         )
     }
 }
@@ -76,6 +119,20 @@ impl ToJson for Metrics {
             ("client_errors", c(&self.client_errors)),
             ("server_errors", c(&self.server_errors)),
             ("streams", c(&self.streams)),
+            (
+                "errors",
+                Json::obj([
+                    ("admission", c(&self.errors_admission)),
+                    ("parse", c(&self.errors_parse)),
+                    ("run", c(&self.errors_run)),
+                    ("io", c(&self.errors_io)),
+                ]),
+            ),
+            ("worker_panics", c(&self.worker_panics)),
+            ("workers_lost", c(&self.workers_lost)),
+            ("injected_faults", c(&self.injected_faults)),
+            ("deadline_closes", c(&self.deadline_closes)),
+            ("lock_poison_recoveries", Json::from(poison_recoveries())),
             ("queue_wait_us", queue_wait.to_json()),
             ("run_us", run.to_json()),
         ])
@@ -107,5 +164,24 @@ mod tests {
         let (qw, run) = m.latency_snapshot();
         assert_eq!(qw.count(), 1);
         assert_eq!(run.max(), 3000);
+    }
+
+    #[test]
+    fn classified_errors_feed_both_layers() {
+        let m = Metrics::new();
+        m.record_error(ErrorClass::Parse, 400);
+        m.record_error(ErrorClass::Admission, 503);
+        m.record_error(ErrorClass::Run, 500);
+        m.record_error(ErrorClass::Io, 500);
+        let j = m.to_json();
+        let errors = j.get("errors").expect("errors object");
+        assert_eq!(errors.get("parse").and_then(Json::as_u64), Some(1));
+        assert_eq!(errors.get("admission").and_then(Json::as_u64), Some(1));
+        assert_eq!(errors.get("run").and_then(Json::as_u64), Some(1));
+        assert_eq!(errors.get("io").and_then(Json::as_u64), Some(1));
+        // Legacy split: the 503 lands in `rejected`, not client_errors.
+        assert_eq!(j.get("rejected").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("client_errors").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("server_errors").and_then(Json::as_u64), Some(2));
     }
 }

@@ -7,6 +7,7 @@
 //! an item arrives; after [`Bounded::close`] it drains what was already
 //! admitted, then returns `None` so workers exit.
 
+use crate::lock::{relock, rewait};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
@@ -46,7 +47,7 @@ impl<T> Bounded<T> {
 
     /// Admits `item` if there is room; fails fast otherwise.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = relock(&self.inner);
         if inner.closed {
             return Err(PushError::Closed(item));
         }
@@ -63,7 +64,7 @@ impl<T> Bounded<T> {
     /// *and* drained (then `None`). Items admitted before `close` are
     /// always handed out.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = relock(&self.inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Some(item);
@@ -71,19 +72,19 @@ impl<T> Bounded<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.available.wait(inner).unwrap();
+            inner = rewait(&self.available, inner);
         }
     }
 
     /// Stops admission and wakes every blocked consumer.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        relock(&self.inner).closed = true;
         self.available.notify_all();
     }
 
     /// Items currently queued (snapshot; for metrics only).
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        relock(&self.inner).items.len()
     }
 
     /// Whether the queue is currently empty.

@@ -17,7 +17,19 @@
 //! is the one exception: it owns its connection for the duration and
 //! runs the simulation on a dedicated thread that feeds NDJSON back
 //! through a channel.
+//!
+//! ## Failure containment
+//!
+//! A panicking job is caught at the worker (`catch_unwind`), answered
+//! with a `500` carrying the panic message, and counted; locks the
+//! panic unwound through are poison-recovered on the next access (see
+//! [`crate::lock`]). Stalled peers cannot pin a connection thread: reads
+//! poll with a timeout, writes carry a timeout, and each connection has
+//! an overall deadline for producing a complete request. Every failure
+//! is classified per [`crate::error::ErrorClass`] in `/metrics`.
 
+use crate::error::{panic_message, ErrorClass, ServeError};
+use crate::fault::{FaultMode, FaultSpec};
 use crate::http::{Poll, Request, RequestReader, Response};
 use crate::metrics::Metrics;
 use crate::queue::{Bounded, PushError};
@@ -48,6 +60,17 @@ pub struct ServerConfig {
     pub queue_cap: usize,
     /// Warmed sessions kept in the LRU cache.
     pub cache_cap: usize,
+    /// How long a connection may take to deliver one complete request
+    /// (slowloris guard). Counted from accept and from the end of each
+    /// served request; idle keep-alive connections are closed with
+    /// `408` when it expires.
+    pub conn_deadline: Duration,
+    /// Socket write timeout — a peer that stops reading cannot pin a
+    /// connection thread mid-response.
+    pub write_timeout: Duration,
+    /// Fault-injection mode (`CSD_FAULT_SEED`); `None` refuses
+    /// `{"fault": ...}` jobs at admission.
+    pub fault: Option<FaultMode>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +80,9 @@ impl Default for ServerConfig {
             workers: 4,
             queue_cap: 64,
             cache_cap: 16,
+            conn_deadline: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+            fault: None,
         }
     }
 }
@@ -77,6 +103,8 @@ enum JobSpec {
         policy: &'static str,
         scale: f64,
     },
+    /// An injected fault (only admitted when fault mode is armed).
+    Fault(FaultSpec),
 }
 
 struct Job {
@@ -91,6 +119,22 @@ struct State {
     queue: Bounded<Job>,
     shutdown: AtomicBool,
     active_conns: AtomicUsize,
+    conn_deadline: Duration,
+    write_timeout: Duration,
+    fault: Option<FaultMode>,
+}
+
+impl State {
+    /// Builds a response for a classified failure and counts it.
+    fn fail(&self, err: &ServeError) -> Response {
+        self.metrics.record_error(err.class, err.status);
+        let resp = err.response();
+        if err.status == 503 {
+            resp.with_header("Retry-After", "1")
+        } else {
+            resp
+        }
+    }
 }
 
 /// Handle for requesting a graceful shutdown from another thread (tests,
@@ -156,19 +200,16 @@ impl Server {
                 queue: Bounded::new(cfg.queue_cap),
                 shutdown: AtomicBool::new(false),
                 active_conns: AtomicUsize::new(0),
+                conn_deadline: cfg.conn_deadline.max(Duration::from_millis(10)),
+                write_timeout: cfg.write_timeout.max(Duration::from_millis(10)),
+                fault: cfg.fault,
             }),
         })
     }
 
     /// The actually-bound address (resolves port `0`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the socket has no local address (never, once bound).
-    pub fn local_addr(&self) -> std::net::SocketAddr {
-        self.listener
-            .local_addr()
-            .expect("bound socket has an address")
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
     }
 
     /// A handle that can request shutdown from another thread.
@@ -178,12 +219,10 @@ impl Server {
 
     /// Serves until shutdown is requested (handle, endpoint, or signal),
     /// then drains: admitted jobs finish, their responses are written,
-    /// workers and connections wind down, and the call returns.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread itself panics outside job execution
-    /// (job panics are caught and answered with `500`).
+    /// workers and connections wind down, and the call returns `Ok(())`
+    /// — even if a worker thread died along the way (the loss is logged
+    /// and counted in `/metrics` as `workers_lost`; admitted work is
+    /// still drained by the surviving workers).
     pub fn run(self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
         let worker_handles: Vec<_> = (0..self.workers)
@@ -202,7 +241,19 @@ impl Server {
                     let state = Arc::clone(&self.state);
                     state.active_conns.fetch_add(1, Ordering::SeqCst);
                     std::thread::spawn(move || {
-                        let _ = handle_connection(&stream, &state);
+                        // A connection-thread panic (a bug, not a job
+                        // panic — those are caught at the worker) must
+                        // not abort the process or leak the counter.
+                        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let _ = handle_connection(&stream, &state);
+                        }));
+                        if let Err(payload) = caught {
+                            Metrics::bump(&state.metrics.errors_io);
+                            eprintln!(
+                                "csd-serve: connection thread panicked: {}",
+                                panic_message(payload.as_ref())
+                            );
+                        }
                         state.active_conns.fetch_sub(1, Ordering::SeqCst);
                     });
                 }
@@ -216,10 +267,18 @@ impl Server {
 
         // Drain: stop admitting, finish queued jobs, then give connection
         // threads (blocked on reply channels or mid-write) a bounded
-        // window to flush before returning.
+        // window to flush before returning. A worker that died from a
+        // non-job panic is logged and counted — one lost thread must not
+        // turn a clean drain into an abort.
         self.state.queue.close();
         for h in worker_handles {
-            h.join().expect("worker thread must not panic");
+            if let Err(payload) = h.join() {
+                Metrics::bump(&self.state.metrics.workers_lost);
+                eprintln!(
+                    "csd-serve: worker thread lost outside job execution: {}",
+                    panic_message(payload.as_ref())
+                );
+            }
         }
         let deadline = Instant::now() + Duration::from_secs(5);
         while self.state.active_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
@@ -237,8 +296,10 @@ fn worker_loop(state: &State) {
             .metrics
             .record_queue_wait_us(wait.as_micros().min(u128::from(u64::MAX)) as u64);
         let t0 = Instant::now();
-        // A job that panics (a simulation assertion) must not take the
-        // worker down with it — answer 500 and keep serving.
+        // A job that panics (a simulation assertion, an injected fault)
+        // must not take the worker down with it — answer 500 with the
+        // panic message and keep serving. Locks the panic poisoned are
+        // recovered at their next use.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             execute_job(&job.spec, state)
         }));
@@ -246,10 +307,14 @@ fn worker_loop(state: &State) {
             .metrics
             .record_run_us(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         let response = match result {
-            Ok(r) => r,
-            Err(_) => {
-                Metrics::bump(&state.metrics.server_errors);
-                Response::error(500, "experiment panicked")
+            Ok(Ok(r)) => r,
+            Ok(Err(err)) => state.fail(&err),
+            Err(payload) => {
+                Metrics::bump(&state.metrics.worker_panics);
+                state.fail(&ServeError::run(format!(
+                    "experiment panicked: {}",
+                    panic_message(payload.as_ref())
+                )))
             }
         };
         // The connection thread may have vanished; nothing to do then.
@@ -257,10 +322,10 @@ fn worker_loop(state: &State) {
     }
 }
 
-fn execute_job(spec: &JobSpec, state: &State) -> Response {
+fn execute_job(spec: &JobSpec, state: &State) -> Result<Response, ServeError> {
     match spec {
         JobSpec::Experiment(exp) => {
-            let (doc, warm) = exp.run(&state.cache);
+            let (doc, warm) = exp.run(&state.cache)?;
             Metrics::bump(&state.metrics.experiments);
             Metrics::bump(if warm {
                 &state.metrics.warm_hits
@@ -269,7 +334,7 @@ fn execute_job(spec: &JobSpec, state: &State) -> Response {
             });
             // Warmness goes in a header so warm and cold bodies stay
             // byte-identical.
-            Response::json(200, &doc).with_header("X-CSD-Warm", if warm { "1" } else { "0" })
+            Ok(Response::json(200, &doc).with_header("X-CSD-Warm", if warm { "1" } else { "0" }))
         }
         JobSpec::Task {
             filter,
@@ -279,11 +344,11 @@ fn execute_job(spec: &JobSpec, state: &State) -> Response {
             // jobs=1: this worker thread *is* the parallelism. The report
             // omits the job count, so these bytes still equal a CLI run at
             // any --jobs setting.
-            let cfg =
-                SuiteConfig::named(profile, *seed, 1).expect("profile validated at admission");
+            let cfg = SuiteConfig::named(profile, *seed, 1)
+                .ok_or_else(|| ServeError::run(format!("profile {profile:?} vanished")))?;
             let doc = run_filtered(&cfg, filter);
             Metrics::bump(&state.metrics.experiments);
-            Response::json_bytes(200, doc.pretty().into_bytes())
+            Ok(Response::json_bytes(200, doc.pretty().into_bytes()))
         }
         JobSpec::Devec {
             workload,
@@ -293,11 +358,12 @@ fn execute_job(spec: &JobSpec, state: &State) -> Response {
             let spec = specs()
                 .into_iter()
                 .find(|s| s.name == *workload)
-                .expect("workload validated at admission");
-            let (pname, vpu_policy) = *policies_by_name(policy).expect("policy validated");
+                .ok_or_else(|| ServeError::run(format!("workload {workload:?} vanished")))?;
+            let (pname, vpu_policy) = *policies_by_name(policy)
+                .ok_or_else(|| ServeError::run(format!("policy {policy:?} vanished")))?;
             let run = run_devec(&Workload::with_scale(spec, *scale), vpu_policy);
             Metrics::bump(&state.metrics.experiments);
-            Response::json(
+            Ok(Response::json(
                 200,
                 &Json::obj([
                     ("workload", Json::from(*workload)),
@@ -305,7 +371,21 @@ fn execute_job(spec: &JobSpec, state: &State) -> Response {
                     ("scale", Json::from(*scale)),
                     ("run", run.to_json()),
                 ]),
-            )
+            ))
+        }
+        JobSpec::Fault(fault) => {
+            Metrics::bump(&state.metrics.injected_faults);
+            match fault {
+                FaultSpec::Panic { poison: true } => state.cache.panic_holding_lock(),
+                FaultSpec::Panic { poison: false } => panic!("injected fault: panic in job"),
+                FaultSpec::Sleep { ms } => {
+                    std::thread::sleep(Duration::from_millis(*ms));
+                    Ok(Response::json(
+                        200,
+                        &Json::obj([("fault", Json::from("sleep")), ("ms", Json::from(*ms))]),
+                    ))
+                }
+            }
         }
     }
 }
@@ -322,26 +402,46 @@ fn policies_by_name(name: &str) -> Option<&'static (&'static str, csd::VpuPolicy
 }
 
 /// Serves one connection: keep-alive request loop with a read timeout so
-/// shutdown is noticed between requests.
+/// shutdown is noticed between requests, a write timeout so a peer that
+/// stops reading cannot pin the thread, and an overall per-request
+/// deadline so a dribbling (slowloris) peer is cut off with `408`.
 fn handle_connection(stream: &TcpStream, state: &State) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.set_write_timeout(Some(state.write_timeout))?;
     let mut reader = RequestReader::new(stream.try_clone()?);
     let mut out = stream.try_clone()?;
+    let mut deadline = Instant::now() + state.conn_deadline;
     loop {
         match reader.next_request()? {
             Poll::Pending => {
                 if state.shutdown.load(Ordering::SeqCst) || SIGNAL_HIT.load(Ordering::SeqCst) {
                     return Ok(());
                 }
+                if Instant::now() >= deadline {
+                    // Too slow to deliver a complete request — answer
+                    // 408 best-effort and drop the connection.
+                    Metrics::bump(&state.metrics.deadline_closes);
+                    state.metrics.record_error(ErrorClass::Io, 408);
+                    let err = ServeError {
+                        class: ErrorClass::Io,
+                        status: 408,
+                        message: "connection deadline exceeded".to_string(),
+                    };
+                    let _ = err.response().write_to(&mut out, true);
+                    return Ok(());
+                }
             }
             Poll::Eof => return Ok(()),
             Poll::Bad(failure) => {
-                Metrics::bump(&state.metrics.client_errors);
-                let (status, msg) = match failure {
-                    crate::http::ParseFailure::TooLarge => (413, "request too large".to_string()),
-                    crate::http::ParseFailure::Malformed(m) => (400, m),
+                let err = match failure {
+                    crate::http::ParseFailure::TooLarge => ServeError {
+                        class: ErrorClass::Parse,
+                        status: 413,
+                        message: "request too large".to_string(),
+                    },
+                    crate::http::ParseFailure::Malformed(m) => ServeError::parse(m),
                 };
-                Response::error(status, &msg).write_to(&mut out, true)?;
+                state.fail(&err).write_to(&mut out, true)?;
                 return Ok(());
             }
             Poll::Ready(req) => {
@@ -352,25 +452,30 @@ fn handle_connection(stream: &TcpStream, state: &State) -> std::io::Result<()> {
                 }
                 let draining =
                     state.shutdown.load(Ordering::SeqCst) || SIGNAL_HIT.load(Ordering::SeqCst);
-                let response = route(&req, state);
+                let response = match route(&req, state) {
+                    Ok(r) => r,
+                    Err(err) => state.fail(&err),
+                };
                 let close = req.wants_close() || draining;
                 response.write_to(&mut out, close)?;
                 if close {
                     return Ok(());
                 }
+                // The next request gets a fresh deadline window.
+                deadline = Instant::now() + state.conn_deadline;
             }
         }
     }
 }
 
-fn route(req: &Request, state: &State) -> Response {
+fn route(req: &Request, state: &State) -> Result<Response, ServeError> {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => Response::json(200, &Json::obj([("ok", Json::Bool(true))])),
+        ("GET", "/healthz") => Ok(Response::json(200, &Json::obj([("ok", Json::Bool(true))]))),
         ("GET", "/metrics") => {
             let mut doc = state.metrics.to_json();
             doc.push_member("queue_depth", Json::from(state.queue.len() as u64));
             doc.push_member("sessions", Json::from(state.cache.len() as u64));
-            Response::json(200, &doc)
+            Ok(Response::json(200, &doc))
         }
         ("GET", "/v1/tasks") => {
             let filter = req.query_param("filter").unwrap_or("");
@@ -379,44 +484,34 @@ fn route(req: &Request, state: &State) -> Response {
                 .iter()
                 .map(|t| Json::from(t.label()))
                 .collect();
-            Response::json(
+            Ok(Response::json(
                 200,
                 &Json::obj([
                     ("count", Json::from(labels.len() as u64)),
                     ("tasks", Json::Arr(labels)),
                 ]),
-            )
+            ))
         }
         ("POST", "/v1/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
-            Response::json(
+            Ok(Response::json(
                 200,
                 &Json::obj([("ok", Json::Bool(true)), ("draining", Json::Bool(true))]),
-            )
+            ))
         }
         ("POST", "/v1/experiments") => submit_experiment(req, state),
         (_, "/healthz" | "/metrics" | "/v1/tasks" | "/v1/stream") | (_, "/v1/experiments") => {
-            Metrics::bump(&state.metrics.client_errors);
-            Response::error(405, "method not allowed")
+            Err(ServeError::admission(405, "method not allowed"))
         }
-        _ => {
-            Metrics::bump(&state.metrics.client_errors);
-            Response::error(404, "no such route")
-        }
+        _ => Err(ServeError::admission(404, "no such route")),
     }
 }
 
 /// Parses, validates, and admits an experiment request, then blocks on
 /// the worker's reply. Admission failures answer immediately — the
 /// client is never left hanging on a full queue.
-fn submit_experiment(req: &Request, state: &State) -> Response {
-    let spec = match parse_experiment_body(&req.body) {
-        Ok(spec) => spec,
-        Err(msg) => {
-            Metrics::bump(&state.metrics.client_errors);
-            return Response::error(400, &msg);
-        }
-    };
+fn submit_experiment(req: &Request, state: &State) -> Result<Response, ServeError> {
+    let spec = parse_experiment_body(&req.body, state.fault)?;
     let (tx, rx) = mpsc::channel();
     let job = Job {
         spec,
@@ -424,53 +519,54 @@ fn submit_experiment(req: &Request, state: &State) -> Response {
         enqueued: Instant::now(),
     };
     if let Err(err) = state.queue.try_push(job) {
-        Metrics::bump(&state.metrics.rejected);
         let msg = match err {
             PushError::Full(_) => "queue full",
             PushError::Closed(_) => "server draining",
         };
-        return Response::error(503, msg).with_header("Retry-After", "1");
+        return Err(ServeError::admission(503, msg));
     }
     match rx.recv() {
-        Ok(response) => response,
+        Ok(response) => Ok(response),
         Err(_) => {
             // Workers exited mid-drain with the job still queued; the
             // queue drains admitted jobs before close, so this only
-            // happens if a worker was lost entirely.
-            Metrics::bump(&state.metrics.server_errors);
-            Response::error(500, "worker lost")
+            // happens if every worker was lost entirely.
+            Err(ServeError::io("worker lost"))
         }
     }
 }
 
-fn parse_experiment_body(body: &[u8]) -> Result<JobSpec, String> {
-    let text = std::str::from_utf8(body).map_err(|_| "body must be UTF-8 JSON".to_string())?;
-    let doc = Json::parse(text).map_err(|e| format!("body is not valid JSON: {e}"))?;
+fn parse_experiment_body(body: &[u8], fault: Option<FaultMode>) -> Result<JobSpec, ServeError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| ServeError::parse("body must be UTF-8 JSON"))?;
+    let doc =
+        Json::parse(text).map_err(|e| ServeError::parse(format!("body is not valid JSON: {e}")))?;
 
     if let Some(label) = doc.get("task") {
         let filter = label
             .as_str()
-            .ok_or_else(|| "task must be a string label/substring".to_string())?
+            .ok_or_else(|| ServeError::parse("task must be a string label/substring"))?
             .to_string();
         let profile = match doc.get("profile") {
             None => "quick",
             Some(p) => match p.as_str() {
                 Some("quick") => "quick",
                 Some("full") => "full",
-                _ => return Err("profile must be \"quick\" or \"full\"".to_string()),
+                _ => return Err(ServeError::parse("profile must be \"quick\" or \"full\"")),
             },
         };
         let seed = match doc.get("seed") {
             None => 0xC5D_2018,
             Some(s) => s
                 .as_u64()
-                .ok_or_else(|| "seed must be a non-negative integer".to_string())?,
+                .ok_or_else(|| ServeError::parse("seed must be a non-negative integer"))?,
         };
-        let cfg = SuiteConfig::named(profile, seed, 1).expect("profile literal");
+        let cfg = SuiteConfig::named(profile, seed, 1)
+            .ok_or_else(|| ServeError::parse(format!("unknown profile {profile:?}")))?;
         if filter_tasks(&cfg, &filter).is_empty() {
-            return Err(format!(
+            return Err(ServeError::parse(format!(
                 "task {filter:?} matches nothing (try GET /v1/tasks)"
-            ));
+            )));
         }
         return Ok(JobSpec::Task {
             filter,
@@ -479,33 +575,35 @@ fn parse_experiment_body(body: &[u8]) -> Result<JobSpec, String> {
         });
     }
     if let Some(exp) = doc.get("experiment") {
-        return ExperimentSpec::from_json(exp).map(JobSpec::Experiment);
+        return ExperimentSpec::from_json(exp)
+            .map(JobSpec::Experiment)
+            .map_err(ServeError::parse);
     }
     if let Some(d) = doc.get("devec") {
         let workload_name = d
             .get("workload")
             .and_then(Json::as_str)
-            .ok_or_else(|| "devec.workload must be a string".to_string())?;
+            .ok_or_else(|| ServeError::parse("devec.workload must be a string"))?;
         let workload = specs()
             .into_iter()
             .find(|s| s.name == workload_name)
             .map(|s| s.name)
-            .ok_or_else(|| format!("unknown workload {workload_name:?}"))?;
+            .ok_or_else(|| ServeError::parse(format!("unknown workload {workload_name:?}")))?;
         let policy_name = d
             .get("policy")
             .and_then(Json::as_str)
             .unwrap_or("csd-devec");
         let policy = policies_by_name(policy_name)
             .map(|(n, _)| *n)
-            .ok_or_else(|| format!("unknown policy {policy_name:?}"))?;
+            .ok_or_else(|| ServeError::parse(format!("unknown policy {policy_name:?}")))?;
         let scale = match d.get("scale") {
             None => 0.05,
             Some(s) => s
                 .as_f64()
-                .ok_or_else(|| "devec.scale must be a number".to_string())?,
+                .ok_or_else(|| ServeError::parse("devec.scale must be a number"))?,
         };
         if !(scale > 0.0 && scale <= 1.0) {
-            return Err("devec.scale must be in (0, 1]".to_string());
+            return Err(ServeError::parse("devec.scale must be in (0, 1]"));
         }
         return Ok(JobSpec::Devec {
             workload,
@@ -513,7 +611,22 @@ fn parse_experiment_body(body: &[u8]) -> Result<JobSpec, String> {
             scale,
         });
     }
-    Err("body must contain one of \"task\", \"experiment\", \"devec\"".to_string())
+    if let Some(f) = doc.get("fault") {
+        if fault.is_none() {
+            // Not a parse failure: the body is well-formed, the daemon
+            // just refuses to hurt itself unless explicitly armed.
+            return Err(ServeError::admission(
+                403,
+                "fault injection is disabled (set CSD_FAULT_SEED to arm)",
+            ));
+        }
+        return FaultSpec::from_json(f)
+            .map(JobSpec::Fault)
+            .map_err(ServeError::parse);
+    }
+    Err(ServeError::parse(
+        "body must contain one of \"task\", \"experiment\", \"devec\", \"fault\"",
+    ))
 }
 
 // ---------------------------------------------------------------------
@@ -588,8 +701,7 @@ fn serve_stream(req: &Request, out: &mut TcpStream, state: &State) -> std::io::R
     let spec = match experiment_from_query(req) {
         Ok(spec) => spec,
         Err(msg) => {
-            Metrics::bump(&state.metrics.client_errors);
-            return Response::error(400, &msg).write_to(out, true);
+            return state.fail(&ServeError::parse(msg)).write_to(out, true);
         }
     };
     let sample: u64 = req
@@ -626,9 +738,22 @@ fn serve_stream(req: &Request, out: &mut TcpStream, state: &State) -> std::io::R
         out.write_all(b"\n")?;
         out.flush()?;
     }
-    let metrics = runner
-        .join()
-        .unwrap_or_else(|_| Json::obj([("error", Json::from("experiment panicked"))]));
+    let metrics = match runner.join() {
+        Ok(Ok(doc)) => doc,
+        Ok(Err(err)) => {
+            state.metrics.record_error(err.class, err.status);
+            err.body()
+        }
+        Err(payload) => {
+            Metrics::bump(&state.metrics.worker_panics);
+            let err = ServeError::run(format!(
+                "experiment panicked: {}",
+                panic_message(payload.as_ref())
+            ));
+            state.metrics.record_error(err.class, err.status);
+            err.body()
+        }
+    };
     let summary = Json::obj([
         ("done", Json::Bool(true)),
         ("events", Json::from(emitted.load(Ordering::Relaxed))),
@@ -668,17 +793,17 @@ fn experiment_from_query(req: &Request) -> Result<ExperimentSpec, String> {
 /// the measured region; returns the metric document. Streams always run
 /// cold and never populate the session cache — the attached sink makes
 /// their warm state observably different from a cacheable one.
-fn run_streamed(spec: &ExperimentSpec, sink: StreamSink) -> Json {
+fn run_streamed(spec: &ExperimentSpec, sink: StreamSink) -> Result<Json, ServeError> {
     let victims = security_victims();
     let victim = victims
         .iter()
         .find(|v| v.name() == spec.victim)
-        .expect("victim validated at parse")
+        .ok_or_else(|| ServeError::run(format!("victim {:?} vanished", spec.victim)))?
         .as_ref();
     let (_, mk) = *pipelines()
         .iter()
         .find(|(n, _)| *n == spec.pipeline)
-        .expect("pipeline validated at parse");
+        .ok_or_else(|| ServeError::run(format!("pipeline {:?} vanished", spec.pipeline)))?;
     let mut core = security_core(victim, mk());
     let mut rng = SplitMix64::new(spec.seed);
     let mut input = vec![0u8; victim.input_len()];
@@ -690,5 +815,5 @@ fn run_streamed(spec: &ExperimentSpec, sink: StreamSink) -> Json {
     let metrics = measure_blocks(&mut core, victim, &mut rng, &mut input, spec.blocks);
     // Dropping the engine (and with it the sink's sender) closes the
     // NDJSON channel, which is what ends the reader loop.
-    metrics.to_json()
+    Ok(metrics.to_json())
 }

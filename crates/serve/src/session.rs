@@ -11,6 +11,8 @@
 //! re-warming, and are byte-identical to a cold run because a snapshot
 //! captures the complete modeled machine.
 
+use crate::error::ServeError;
+use crate::lock::relock;
 use csd_bench::tasks::pipelines;
 use csd_bench::{
     measure_blocks, security_core, security_victims, warm_up, SecMetrics, DEFAULT_WATCHDOG,
@@ -61,7 +63,7 @@ impl SessionCache {
 
     /// Fetches a warmed session, marking it most-recently-used.
     pub fn get(&self, key: &SessionKey) -> Option<Warmed> {
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = relock(&self.entries);
         let i = entries.iter().position(|(k, _)| k == key)?;
         let entry = entries.remove(i);
         let warmed = entry.1.clone();
@@ -72,7 +74,7 @@ impl SessionCache {
     /// Inserts (or refreshes) a warmed session, evicting the
     /// least-recently-used entry beyond capacity.
     pub fn insert(&self, key: SessionKey, warmed: Warmed) {
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = relock(&self.entries);
         entries.retain(|(k, _)| *k != key);
         entries.insert(0, (key, warmed));
         entries.truncate(self.cap);
@@ -80,7 +82,17 @@ impl SessionCache {
 
     /// Number of cached sessions.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        relock(&self.entries).len()
+    }
+
+    /// Fault injection: panic *while holding the cache lock*, the worst
+    /// case for lock hygiene — the mutex is poisoned mid-critical-
+    /// section and every later access must recover. Only reachable
+    /// through a `{"fault": ...}` job on a daemon armed with
+    /// `CSD_FAULT_SEED`.
+    pub fn panic_holding_lock(&self) -> ! {
+        let _guard = relock(&self.entries);
+        panic!("injected fault: panic while holding the session-cache lock");
     }
 
     /// Whether the cache is empty.
@@ -179,17 +191,21 @@ impl ExperimentSpec {
     /// whether a warm session was used. Warm and cold paths produce
     /// byte-identical documents; warmness is reported out-of-band (the
     /// server puts it in a response header).
-    pub fn run(&self, cache: &SessionCache) -> (Json, bool) {
+    ///
+    /// Victim and pipeline were validated at parse, but lookup failures
+    /// are still errors, not panics — a stale spec must cost one `500`,
+    /// never a worker.
+    pub fn run(&self, cache: &SessionCache) -> Result<(Json, bool), ServeError> {
         let victims = security_victims();
         let victim = victims
             .iter()
             .find(|v| v.name() == self.victim)
-            .expect("victim validated at parse")
+            .ok_or_else(|| ServeError::run(format!("victim {:?} vanished", self.victim)))?
             .as_ref();
         let (_, mk) = *pipelines()
             .iter()
             .find(|(n, _)| *n == self.pipeline)
-            .expect("pipeline validated at parse");
+            .ok_or_else(|| ServeError::run(format!("pipeline {:?} vanished", self.pipeline)))?;
 
         let key = self.key();
         let mut input = vec![0u8; victim.input_len()];
@@ -223,7 +239,7 @@ impl ExperimentSpec {
             enable_stealth_for(victim, &mut core, self.watchdog);
         }
         let metrics = measure_blocks(&mut core, victim, &mut rng, &mut input, self.blocks);
-        (self.document(&metrics), warm)
+        Ok((self.document(&metrics), warm))
     }
 
     /// The response document (identical for warm and cold runs).
@@ -323,10 +339,10 @@ mod tests {
             seed: 11,
             cold: false,
         };
-        let (cold, warm_hit) = spec.run(&cache);
+        let (cold, warm_hit) = spec.run(&cache).expect("cold run");
         assert!(!warm_hit, "first run must be cold");
         assert_eq!(cache.len(), 1);
-        let (warm, warm_hit) = spec.run(&cache);
+        let (warm, warm_hit) = spec.run(&cache).expect("warm run");
         assert!(warm_hit, "second run must fork the session");
         assert_eq!(cold.pretty(), warm.pretty());
 
@@ -335,8 +351,40 @@ mod tests {
             stealth: false,
             ..spec.clone()
         };
-        let (_, warm_hit) = base.run(&cache);
+        let (_, warm_hit) = base.run(&cache).expect("fork run");
         assert!(warm_hit, "stealth knob must not change the session key");
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_survives_a_poisoning_panic() {
+        // The poison-proofing contract at module scale: a job that
+        // panics while holding the cache lock must not fail any later
+        // cache operation, and warm forks after the poisoning stay
+        // byte-identical to before.
+        let cache = SessionCache::new(4);
+        let spec = ExperimentSpec {
+            victim: "aes-enc".to_string(),
+            pipeline: "opt".to_string(),
+            stealth: false,
+            watchdog: DEFAULT_WATCHDOG,
+            blocks: 2,
+            seed: 3,
+            cold: false,
+        };
+        let (before, _) = spec.run(&cache).expect("cold run");
+
+        let poisoned =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cache.panic_holding_lock()));
+        assert!(poisoned.is_err(), "injected fault must panic");
+
+        assert_eq!(cache.len(), 1, "cache state survives the poisoning");
+        let (after, warm_hit) = spec.run(&cache).expect("post-poison run");
+        assert!(warm_hit, "the parked session is still forkable");
+        assert_eq!(
+            before.pretty(),
+            after.pretty(),
+            "post-poison fork must be byte-identical"
+        );
     }
 }

@@ -1,0 +1,350 @@
+//! Chaos end-to-end: boot a fault-armed daemon on an ephemeral port and
+//! batter it with every fault kind the harness knows — panicking jobs
+//! (plain and lock-poisoning), worker stalls, slowloris clients, aborted
+//! half-written requests, malformed frames, and queue-saturation bursts.
+//!
+//! The contracts under test:
+//!
+//! 1. the daemon never crashes — `/healthz` answers after everything;
+//! 2. every connection ends in a well-formed HTTP response or a clean
+//!    server-initiated close;
+//! 3. `/metrics` error counters account exactly for every injected
+//!    fault;
+//! 4. a poisoning panic leaves no lock unusable — the next experiment
+//!    is byte-identical to one served by a fresh daemon;
+//! 5. `POST /v1/shutdown` still drains cleanly afterwards.
+
+use csd_serve::{Client, FaultMode, Server, ServerConfig, ShutdownHandle};
+use csd_telemetry::Json;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Once;
+use std::time::Duration;
+
+/// Injected faults panic on purpose, hundreds of times; the default
+/// panic hook would bury real test failures in backtrace spam. Silence
+/// exactly the injected ones, delegate everything else.
+fn quiet_injected_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if !msg.contains("injected fault") {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn boot(cfg: ServerConfig) -> (String, ShutdownHandle, std::thread::JoinHandle<()>) {
+    quiet_injected_panics();
+    let server = Server::bind(&cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run().expect("server drains cleanly"));
+    (addr, handle, join)
+}
+
+fn armed_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_cap: 8,
+        cache_cap: 8,
+        conn_deadline: Duration::from_millis(400),
+        write_timeout: Duration::from_secs(5),
+        fault: Some(FaultMode { seed: 0xC4A05 }),
+    }
+}
+
+fn shutdown_and_join(handle: &ShutdownHandle, join: std::thread::JoinHandle<()>) {
+    handle.trigger();
+    join.join().expect("server exits cleanly after drain");
+}
+
+fn metrics(addr: &str) -> Json {
+    let mut c = Client::connect(addr).expect("connect for metrics");
+    let resp = c.get("/metrics").expect("GET /metrics");
+    assert_eq!(resp.status, 200);
+    Json::parse(&resp.text()).expect("metrics parse")
+}
+
+fn counter(m: &Json, k: &str) -> u64 {
+    m.get(k).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn error_counter(m: &Json, class: &str) -> u64 {
+    m.get("errors")
+        .and_then(|e| e.get(class))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+const EXPERIMENT: &str = "{\"experiment\": {\"victim\": \"aes-enc\", \"pipeline\": \"opt\", \
+                          \"stealth\": true, \"watchdog\": 2000, \"blocks\": 2, \"seed\": 77}}";
+
+#[test]
+fn unarmed_daemon_refuses_fault_jobs() {
+    let (addr, handle, join) = boot(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        fault: None,
+        ..armed_config()
+    });
+    let mut c = Client::connect(&addr).unwrap();
+    let resp = c
+        .post_json("/v1/experiments", "{\"fault\":{\"kind\":\"panic\"}}")
+        .unwrap();
+    assert_eq!(resp.status, 403, "unarmed daemons must refuse fault jobs");
+    let doc = Json::parse(&resp.text()).unwrap();
+    assert_eq!(doc.get("class").and_then(Json::as_str), Some("admission"));
+    shutdown_and_join(&handle, join);
+}
+
+#[test]
+fn poisoning_panic_leaves_no_lock_unusable() {
+    let (addr, handle, join) = boot(armed_config());
+    let mut c = Client::connect(&addr).unwrap();
+
+    // Warm a session, keep its bytes.
+    let before = c.post_json("/v1/experiments", EXPERIMENT).unwrap();
+    assert_eq!(before.status, 200);
+
+    // Panic *while holding the session-cache lock*.
+    let resp = c
+        .post_json(
+            "/v1/experiments",
+            "{\"fault\":{\"kind\":\"panic\",\"poison\":true}}",
+        )
+        .unwrap();
+    assert_eq!(resp.status, 500);
+    let doc = Json::parse(&resp.text()).unwrap();
+    assert_eq!(doc.get("class").and_then(Json::as_str), Some("run"));
+    assert!(
+        doc.get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("injected fault")),
+        "500 body must carry the panic message, got {}",
+        resp.text()
+    );
+
+    // The poisoned lock recovers: the same request is served warm, with
+    // the exact bytes from before the panic.
+    let after = c.post_json("/v1/experiments", EXPERIMENT).unwrap();
+    assert_eq!(after.status, 200);
+    assert_eq!(after.header("x-csd-warm"), Some("1"), "cache survived");
+    assert_eq!(after.body, before.body, "bytes unchanged across poisoning");
+
+    // And they match a daemon that never saw a panic at all.
+    let (fresh_addr, fresh_handle, fresh_join) = boot(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        fault: None,
+        ..armed_config()
+    });
+    let mut fresh = Client::connect(&fresh_addr).unwrap();
+    let reference = fresh.post_json("/v1/experiments", EXPERIMENT).unwrap();
+    assert_eq!(reference.status, 200);
+    assert_eq!(
+        after.body, reference.body,
+        "post-poison response must be byte-identical to a fresh daemon's"
+    );
+    shutdown_and_join(&fresh_handle, fresh_join);
+
+    let m = metrics(&addr);
+    assert_eq!(counter(&m, "worker_panics"), 1, "one injected panic");
+    // The warm re-run after the poisoning is the access that recovers
+    // the lock; recovery is counted in the process-global gauge.
+    assert!(
+        counter(&m, "lock_poison_recoveries") >= 1,
+        "recovering from the poisoned cache lock must be counted"
+    );
+    shutdown_and_join(&handle, join);
+}
+
+#[test]
+fn queue_saturation_degrades_into_well_formed_503s() {
+    let (addr, handle, join) = boot(ServerConfig {
+        workers: 1,
+        queue_cap: 2,
+        ..armed_config()
+    });
+    // 8 concurrent stall jobs against 1 worker + 2 queue slots: at
+    // least five must bounce, and every response must be well-formed.
+    let statuses: Vec<u16> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let mut c = Client::connect(&addr).expect("connect");
+                    let resp = c
+                        .post_json(
+                            "/v1/experiments",
+                            "{\"fault\":{\"kind\":\"sleep\",\"ms\":300}}",
+                        )
+                        .expect("burst response");
+                    if resp.status == 503 {
+                        assert_eq!(resp.header("retry-after"), Some("1"));
+                        let doc = Json::parse(&resp.text()).expect("503 body parses");
+                        assert_eq!(doc.get("class").and_then(Json::as_str), Some("admission"));
+                    }
+                    resp.status
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .collect()
+    });
+    let ok = statuses.iter().filter(|s| **s == 200).count();
+    let rejected = statuses.iter().filter(|s| **s == 503).count();
+    assert_eq!(ok + rejected, 8, "only 200s and 503s: {statuses:?}");
+    assert!(
+        rejected >= 5,
+        "a saturated queue must shed load: {statuses:?}"
+    );
+
+    let m = metrics(&addr);
+    assert_eq!(counter(&m, "rejected"), rejected as u64);
+    assert_eq!(error_counter(&m, "admission"), rejected as u64);
+    shutdown_and_join(&handle, join);
+}
+
+/// The storm: hundreds of interactions across all five fault kinds, then
+/// exact accounting. Fault kinds with deterministic server-side counters
+/// (panic, poison, sleep, malformed, slowloris) are sent in known
+/// amounts; partial writes add connection churn that must leave no
+/// counter behind.
+#[test]
+fn chaos_storm_accounts_for_every_fault_and_drains() {
+    const PANICS: u64 = 130;
+    const POISONS: u64 = 40;
+    const SLEEPS: u64 = 130;
+    const MALFORMED: u64 = 120;
+    const PARTIALS: u64 = 100;
+    const SLOW: u64 = 2;
+    // 522 requests total, > 500 per the harness contract.
+
+    let (addr, handle, join) = boot(armed_config());
+
+    // Panics, poisons, and stalls ride one keep-alive connection; every
+    // answer must be well-formed with the right class.
+    let mut c = Client::connect(&addr).unwrap();
+    for i in 0..(PANICS + POISONS) {
+        let poison = i >= PANICS;
+        let body = format!("{{\"fault\":{{\"kind\":\"panic\",\"poison\":{poison}}}}}");
+        let resp = c
+            .post_json("/v1/experiments", &body)
+            .expect("panic answered");
+        assert_eq!(resp.status, 500, "panic #{i}");
+        let doc = Json::parse(&resp.text()).expect("500 body parses");
+        assert_eq!(doc.get("class").and_then(Json::as_str), Some("run"));
+    }
+    for i in 0..SLEEPS {
+        let resp = c
+            .post_json(
+                "/v1/experiments",
+                "{\"fault\":{\"kind\":\"sleep\",\"ms\":1}}",
+            )
+            .expect("sleep answered");
+        assert_eq!(resp.status, 200, "sleep #{i}");
+    }
+    // Close promptly: an idle keep-alive connection would hit the
+    // connection deadline and perturb the exact counter accounting.
+    drop(c);
+
+    // Malformed frames: every one gets a well-formed 400, then close.
+    for i in 0..MALFORMED {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(format!("XYZZY \x01garbage {i}\r\n\r\n").as_bytes())
+            .expect("write garbage");
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).expect("read until close");
+        let text = String::from_utf8_lossy(&buf);
+        assert!(
+            text.starts_with("HTTP/1.1 400"),
+            "malformed frame #{i} got {text:?}"
+        );
+    }
+
+    // Partial writes: abort mid-request; the daemon treats it as EOF.
+    for _ in 0..PARTIALS {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        let _ = s.write_all(b"POST /v1/experiments HTTP/1.1\r\nContent-Length: 999\r\n\r\n{");
+        // dropping the socket aborts the request
+    }
+
+    // Slowloris: send a sliver of a request, then go silent. The daemon
+    // must cut us off at the connection deadline with a 408 (or just a
+    // close) instead of pinning the thread forever. Going silent (vs
+    // dribbling past the deadline) means the 408 arrives before any of
+    // our writes can race the server's close into a reset.
+    let slow_results: Vec<&'static str> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..SLOW)
+            .map(|_| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let mut sock = TcpStream::connect(&addr).expect("connect");
+                    sock.set_read_timeout(Some(Duration::from_secs(10)))
+                        .unwrap();
+                    sock.write_all(b"POST /v1/experiments HTT")
+                        .expect("write sliver");
+                    let mut buf = [0u8; 512];
+                    match sock.read(&mut buf) {
+                        Ok(0) => "close",
+                        Ok(n) => {
+                            let text = String::from_utf8_lossy(&buf[..n]);
+                            assert!(text.starts_with("HTTP/1.1 408"), "slow client got {text:?}");
+                            "408"
+                        }
+                        Err(e) => panic!("daemon never cut off a slowloris client: {e}"),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .collect()
+    });
+    assert_eq!(slow_results.len(), SLOW as usize);
+
+    // Still alive, and the books balance exactly. Aborted connections
+    // are processed asynchronously by their connection threads, so poll
+    // until the counters converge before asserting exact equality.
+    let mut health = Client::connect(&addr).expect("daemon still accepts");
+    assert_eq!(health.get("/healthz").expect("healthz").status, 200);
+    let expected_parse = MALFORMED + PARTIALS; // truncated requests count as parse
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let m = loop {
+        let m = metrics(&addr);
+        if error_counter(&m, "parse") >= expected_parse || std::time::Instant::now() > deadline {
+            break m;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(counter(&m, "worker_panics"), PANICS + POISONS);
+    assert_eq!(counter(&m, "injected_faults"), PANICS + POISONS + SLEEPS);
+    assert_eq!(error_counter(&m, "run"), PANICS + POISONS);
+    assert_eq!(error_counter(&m, "parse"), expected_parse);
+    assert_eq!(counter(&m, "deadline_closes"), SLOW);
+    assert_eq!(error_counter(&m, "io"), SLOW);
+    assert_eq!(error_counter(&m, "admission"), 0);
+    // Each poisoning after the first recovers its predecessor's poison
+    // on the way in; the final poisoning is recovered by whichever
+    // cache access comes next (possibly after this snapshot was taken).
+    assert!(
+        counter(&m, "lock_poison_recoveries") >= POISONS - 1,
+        "got {}",
+        counter(&m, "lock_poison_recoveries")
+    );
+
+    // And after all that, the drain contract still holds.
+    shutdown_and_join(&handle, join);
+}

@@ -4,7 +4,7 @@
 //! forks, admission control, NDJSON streaming, graceful shutdown.
 
 use csd_bench::suite::{run_filtered, SuiteConfig};
-use csd_serve::{Client, Server, ServerConfig, ShutdownHandle};
+use csd_serve::{Client, FaultMode, Server, ServerConfig, ShutdownHandle};
 use csd_telemetry::Json;
 use std::time::{Duration, Instant};
 
@@ -16,9 +16,10 @@ fn boot(workers: usize, queue_cap: usize) -> (String, ShutdownHandle, std::threa
         workers,
         queue_cap,
         cache_cap: 8,
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
-    let addr = server.local_addr().to_string();
+    let addr = server.local_addr().expect("bound address").to_string();
     let handle = server.shutdown_handle();
     let join = std::thread::spawn(move || server.run().expect("server run"));
     (addr, handle, join)
@@ -87,13 +88,50 @@ fn warm_fork_over_http_matches_cold_and_reports_header() {
     shutdown_and_join(&handle, join);
 }
 
+/// Polls `/metrics` until `key` reaches `want`, so saturation tests can
+/// sequence on observed daemon state instead of wall-clock sleeps (which
+/// flake when the whole workspace's test binaries compete for CPU).
+fn wait_for_counter(addr: &str, key: &str, want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut client = Client::connect(addr).expect("connect for metrics poll");
+        let metrics = Json::parse(&client.get("/metrics").unwrap().text()).unwrap();
+        if metrics.get(key).and_then(Json::as_u64).unwrap_or(0) >= want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {key} >= {want}: {}",
+            metrics.pretty()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
 #[test]
 fn full_queue_rejects_with_503_and_retry_after() {
-    // One worker, one queue slot: a long-running job plus one queued job
+    // One worker, one queue slot: a stalled job plus one queued job
     // saturate the daemon; the third request must be rejected fast, not
-    // hang.
-    let (addr, handle, join) = boot(1, 1);
-    let slow = "{\"experiment\": {\"victim\": \"aes-enc\", \"blocks\": 256, \"seed\": 1}}";
+    // hang. The stall is an injected sleep fault — it holds the worker
+    // for a fixed wall-clock interval no matter how loaded the machine
+    // is — and each stage is sequenced on `/metrics` counters rather
+    // than local sleeps, so the ordering cannot scramble under load.
+    let (addr, handle, join) = {
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_cap: 1,
+            cache_cap: 8,
+            fault: Some(FaultMode { seed: 0x503 }),
+            ..ServerConfig::default()
+        })
+        .expect("bind ephemeral port");
+        let addr = server.local_addr().expect("bound address").to_string();
+        let handle = server.shutdown_handle();
+        let join = std::thread::spawn(move || server.run().expect("server run"));
+        (addr, handle, join)
+    };
+    let slow = "{\"fault\": {\"kind\": \"sleep\", \"ms\": 2000}}";
     let queued = "{\"experiment\": {\"victim\": \"aes-enc\", \"blocks\": 2, \"seed\": 2}}";
     let rejected = "{\"experiment\": {\"victim\": \"aes-enc\", \"blocks\": 2, \"seed\": 3}}";
 
@@ -104,15 +142,17 @@ fn full_queue_rejects_with_503_and_retry_after() {
                 .post_json("/v1/experiments", slow)
                 .unwrap()
         });
-        // Let the worker claim the slow job before submitting more.
-        std::thread::sleep(Duration::from_millis(300));
+        // The worker bumps `injected_faults` when it claims the sleep
+        // job; from then on it is pinned for a full 2s.
+        wait_for_counter(&addr, "injected_faults", 1);
         let b = s.spawn(|| {
             Client::connect(&addr)
                 .unwrap()
                 .post_json("/v1/experiments", queued)
                 .unwrap()
         });
-        std::thread::sleep(Duration::from_millis(200));
+        // The queued job fills the single queue slot.
+        wait_for_counter(&addr, "queue_depth", 1);
 
         let t0 = Instant::now();
         let c = Client::connect(&addr)
@@ -131,7 +171,7 @@ fn full_queue_rejects_with_503_and_retry_after() {
             "rejection must be fast-fail, not queued-behind-work"
         );
 
-        assert_eq!(a.join().unwrap().status, 200, "slow job still completes");
+        assert_eq!(a.join().unwrap().status, 200, "stalled job still completes");
         assert_eq!(b.join().unwrap().status, 200, "queued job still completes");
     });
 

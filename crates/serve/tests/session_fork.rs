@@ -25,7 +25,9 @@ fn spec(stealth: bool, watchdog: u64, blocks: usize) -> ExperimentSpec {
 fn concurrent_forks_of_one_checkpoint_match_fresh_cold_runs() {
     // One shared cache, seeded by a single cold run (the base leg).
     let shared = Arc::new(SessionCache::new(4));
-    let (_, warm_hit) = spec(false, 1000, 2).run(&shared);
+    let (_, warm_hit) = spec(false, 1000, 2)
+        .run(&shared)
+        .expect("cold run succeeds");
     assert!(!warm_hit, "first run warms the session");
     assert_eq!(shared.len(), 1);
 
@@ -47,7 +49,7 @@ fn concurrent_forks_of_one_checkpoint_match_fresh_cold_runs() {
                 let cache = Arc::clone(&shared);
                 let v = v.clone();
                 s.spawn(move || {
-                    let (doc, warm_hit) = v.run(&cache);
+                    let (doc, warm_hit) = v.run(&cache).expect("warm fork succeeds");
                     assert!(warm_hit, "{v:?} must fork the shared session");
                     doc.pretty()
                 })
@@ -60,7 +62,7 @@ fn concurrent_forks_of_one_checkpoint_match_fresh_cold_runs() {
     // Reference: each variant cold, in its own cache, sequentially.
     for (v, warm_bytes) in variants.iter().zip(&forked) {
         let fresh = SessionCache::new(4);
-        let (cold_doc, warm_hit) = v.run(&fresh);
+        let (cold_doc, warm_hit) = v.run(&fresh).expect("cold run succeeds");
         assert!(!warm_hit);
         assert_eq!(
             &cold_doc.pretty(),
@@ -81,9 +83,9 @@ fn distinct_session_keys_do_not_collide() {
     let mut c = a.clone();
     c.pipeline = "noopt".to_string();
 
-    let (doc_a, _) = a.run(&cache);
-    let (doc_b, hit_b) = b.run(&cache);
-    let (doc_c, hit_c) = c.run(&cache);
+    let (doc_a, _) = a.run(&cache).expect("run succeeds");
+    let (doc_b, hit_b) = b.run(&cache).expect("run succeeds");
+    let (doc_c, hit_c) = c.run(&cache).expect("run succeeds");
     assert!(!hit_b && !hit_c, "new keys must run cold");
     assert_eq!(cache.len(), 3);
     assert_ne!(
@@ -98,7 +100,7 @@ fn distinct_session_keys_do_not_collide() {
     );
 
     // And each key's warm fork still matches its own cold bytes.
-    let (again_a, hit_a) = a.run(&cache);
+    let (again_a, hit_a) = a.run(&cache).expect("run succeeds");
     assert!(hit_a);
     assert_eq!(doc_a.pretty(), again_a.pretty());
 }

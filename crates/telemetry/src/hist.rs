@@ -125,22 +125,30 @@ impl Histogram {
 
     /// Upper-bound estimate of the `p`-th percentile (`0.0 ..= 100.0`):
     /// the inclusive upper edge of the bucket containing the sample of
-    /// that rank, clamped to the observed maximum. Returns `0` when
-    /// empty. Monotone in `p`.
-    pub fn percentile(&self, p: f64) -> u64 {
+    /// that rank, clamped to the observed extremes. `None` when empty —
+    /// distinguishable from a real 0µs sample, which reports `Some(0)`.
+    /// Rank 1 (any `p` that resolves to the first order statistic,
+    /// including `p = 0`) is exact: it is the tracked minimum, not a
+    /// bucket edge. Monotone in `p`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let p = p.clamp(0.0, 100.0);
         let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == 1 {
+            // The rank-1 order statistic *is* the minimum, which is
+            // tracked exactly — no bucket rounding.
+            return Some(self.min);
+        }
         let mut cum = 0u64;
         for (i, n) in self.buckets.iter().enumerate() {
             cum += n;
             if cum >= rank {
-                return bucket_upper(i).min(self.max);
+                return Some(bucket_upper(i).clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 }
 
@@ -166,10 +174,12 @@ impl ToJson for Histogram {
             ("min", Json::from(self.min())),
             ("max", Json::from(self.max)),
             ("mean", Json::from(self.mean())),
-            ("p50", Json::from(self.percentile(50.0))),
-            ("p90", Json::from(self.percentile(90.0))),
-            ("p99", Json::from(self.percentile(99.0))),
-            ("p999", Json::from(self.percentile(99.9))),
+            // Empty histograms report 0 for every percentile; `count`
+            // disambiguates (count == 0 means "no samples", not "0µs").
+            ("p50", Json::from(self.percentile(50.0).unwrap_or(0))),
+            ("p90", Json::from(self.percentile(90.0).unwrap_or(0))),
+            ("p99", Json::from(self.percentile(99.0).unwrap_or(0))),
+            ("p999", Json::from(self.percentile(99.9).unwrap_or(0))),
             ("buckets", Json::Arr(buckets)),
         ])
     }
@@ -203,9 +213,9 @@ mod tests {
         assert_eq!(h.sum(), 1106);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 1000);
-        assert_eq!(h.percentile(0.0), 0);
-        assert!(h.percentile(100.0) >= 1000);
-        assert_eq!(h.percentile(100.0), 1000); // clamped to observed max
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert!(h.percentile(100.0) >= Some(1000));
+        assert_eq!(h.percentile(100.0), Some(1000)); // clamped to observed max
     }
 
     #[test]
@@ -214,8 +224,31 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
-        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(50.0), None, "no samples, no percentile");
+        assert_eq!(h.percentile(0.0), None);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn zero_sample_is_distinguishable_from_empty() {
+        // The ambiguity this API exists to kill: a real 0µs sample
+        // reports Some(0); an empty histogram reports None.
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(100.0), Some(0));
+    }
+
+    #[test]
+    fn one_sample_percentiles_are_exact() {
+        // Rank 1 resolves to the tracked minimum, so a one-sample
+        // histogram reports the sample itself at p=0, not the upper
+        // edge of its log2 bucket.
+        let mut h = Histogram::new();
+        h.record(100);
+        assert_eq!(h.percentile(0.0), Some(100));
+        assert_eq!(h.percentile(50.0), Some(100));
+        assert_eq!(h.percentile(100.0), Some(100));
     }
 
     #[test]

@@ -72,18 +72,84 @@ fn percentiles_are_monotone_and_bounded_by_observations() {
         }
         let mut prev = 0;
         for p in 0..=1000 {
-            let q = h.percentile(p as f64 / 10.0);
+            let q = h
+                .percentile(p as f64 / 10.0)
+                .expect("non-empty histogram reports percentiles");
             assert!(
                 q >= prev,
                 "percentile must be monotone (seed {seed}, p {p})"
             );
             assert!(q <= hi, "percentile cannot exceed the max sample");
+            assert!(q >= lo, "percentile cannot undercut the min sample");
             prev = q;
         }
-        assert!(h.percentile(100.0) >= lo);
-        assert_eq!(h.percentile(100.0), hi, "p100 is the observed max");
+        assert_eq!(h.percentile(0.0), Some(lo), "p0 is the observed min");
+        assert_eq!(h.percentile(100.0), Some(hi), "p100 is the observed max");
         assert_eq!(h.min(), lo);
         assert_eq!(h.max(), hi);
+    }
+}
+
+#[test]
+fn empty_histogram_has_no_percentiles() {
+    let h = Histogram::new();
+    for p in [0.0, 50.0, 99.9, 100.0] {
+        assert_eq!(h.percentile(p), None);
+    }
+    // And a single zero sample is *not* the same thing.
+    let mut z = Histogram::new();
+    z.record(0);
+    assert_eq!(z.percentile(50.0), Some(0));
+}
+
+#[test]
+fn percentiles_stay_monotone_across_merge() {
+    // Merging must keep every percentile monotone in p and inside the
+    // merged [min, max]; the exact endpoints compose (p0 is the smaller
+    // input min, p100 the larger input max). The interior percentiles
+    // are only bucket-accurate, so the invariant there is monotonicity
+    // plus the merged min/max bounds — a merged estimate may legally
+    // round up past both inputs' estimates within one log2 bucket.
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(0x4E16 ^ seed);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..1 + rng.next_u64() % 300 {
+            a.record(sample(&mut rng));
+        }
+        for _ in 0..1 + rng.next_u64() % 300 {
+            b.record(sample(&mut rng));
+        }
+        let mut m = a.clone();
+        m.merge(&b);
+        let mut prev = 0;
+        for p in 0..=200 {
+            let qm = m.percentile(p as f64 / 2.0).unwrap();
+            assert!(
+                qm >= prev,
+                "merged percentile must stay monotone (seed {seed}, p {p})"
+            );
+            assert!(qm >= m.min() && qm <= m.max());
+            prev = qm;
+        }
+        assert_eq!(
+            m.percentile(0.0),
+            Some(a.percentile(0.0).unwrap().min(b.percentile(0.0).unwrap())),
+            "merged p0 is the smaller input p0 (seed {seed})"
+        );
+        assert_eq!(
+            m.percentile(100.0),
+            Some(
+                a.percentile(100.0)
+                    .unwrap()
+                    .max(b.percentile(100.0).unwrap())
+            ),
+            "merged p100 is the larger input p100 (seed {seed})"
+        );
+        // Merging an empty histogram changes nothing.
+        let mut me = m.clone();
+        me.merge(&Histogram::new());
+        assert_eq!(me, m);
     }
 }
 
@@ -105,7 +171,7 @@ fn percentile_upper_bound_is_within_one_bucket() {
         for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
             let rank = ((p / 100.0 * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
             let exact = vals[rank - 1];
-            let est = h.percentile(p);
+            let est = h.percentile(p).expect("non-empty");
             assert!(est >= exact, "estimate below true value (seed {seed})");
             if exact > 0 {
                 assert!(est < exact * 2, "estimate more than 2x off (seed {seed})");

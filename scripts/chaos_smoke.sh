@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# CI chaos smoke test for the csd-serve fault-tolerance layer:
+#   1. boot a fault-armed daemon (CSD_FAULT_SEED) with a short
+#      connection deadline,
+#   2. drive a seeded chaos schedule with loadgen --chaos — panicking
+#      jobs, lock-poisoning panics, worker stalls, slowloris clients,
+#      aborted half-written requests, malformed frames, saturation
+#      bursts,
+#   3. the daemon must absorb all of it: every interaction ends in a
+#      well-formed response or clean close, /healthz and /metrics still
+#      answer, and the panic counters account for the injected faults,
+#   4. a warm session fork must still be byte-identical after the abuse,
+#   5. graceful shutdown must drain and exit 0.
+set -euo pipefail
+
+PORT="${CSD_CHAOS_PORT:-8337}"
+ADDR="127.0.0.1:${PORT}"
+SEED="${CSD_CHAOS_SEED:-20180607}"
+BIN=target/release
+
+cleanup() {
+    # Belt and braces: if the graceful path failed, don't leak the daemon.
+    if [[ -n "${SERVER_PID:-}" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill "$SERVER_PID" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+echo "== boot fault-armed csd-serve on ${ADDR} (seed ${SEED})"
+CSD_FAULT_SEED="$SEED" "$BIN/csd-serve" \
+    --addr "$ADDR" --workers 2 --queue-cap 4 --conn-deadline-ms 500 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+    if "$BIN/loadgen" --addr "$ADDR" --ping >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+"$BIN/loadgen" --addr "$ADDR" --ping
+
+echo "== chaos: seeded fault schedule (every fault absorbed or the run fails)"
+"$BIN/loadgen" --addr "$ADDR" --chaos --requests 60 --seed "$SEED" --slow-ms 1500
+
+echo "== warm session forks still byte-identical after the abuse"
+"$BIN/loadgen" --addr "$ADDR" --verify-warm
+
+echo "== graceful shutdown drains and exits 0"
+"$BIN/loadgen" --addr "$ADDR" --shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "chaos smoke: OK"
