@@ -3,7 +3,8 @@
 //! window-constraint relaxation.
 
 use csd::DevecThresholds;
-use csd_bench::{row, run_devec_thresholds, run_security, DEFAULT_WATCHDOG};
+use csd_bench::{row, run_devec_thresholds, DEFAULT_WATCHDOG};
+use csd_exp::{run_plan_with, ExperimentSpec, LegMode, NoCache};
 use csd_pipeline::CoreConfig;
 use csd_workloads::Workload;
 
@@ -48,13 +49,24 @@ fn main() {
     }
 
     println!("\n== Ablation 2: µop-cache 3-lines-per-window constraint ==\n");
-    let victims = csd_bench::security_victims();
     for max_lines in [3usize, 8] {
         let cfg = CoreConfig {
             uop_cache_max_lines_per_window: max_lines,
             ..CoreConfig::opt()
         };
-        let m = run_security(victims[0].as_ref(), true, cfg, 6, DEFAULT_WATCHDOG);
+        let spec = ExperimentSpec::single(
+            "aes-enc",
+            "opt",
+            0xBEEF ^ 6,
+            6,
+            LegMode::Stealth {
+                watchdog: DEFAULT_WATCHDOG,
+            },
+        );
+        let m = run_plan_with(&spec, cfg, &NoCache, 1)
+            .expect("static victim grid resolves")
+            .legs[0]
+            .metrics;
         println!(
             "max {} lines/window: uop$ hit rate {:.1}%  cycles {}",
             max_lines,

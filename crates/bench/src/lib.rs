@@ -4,6 +4,12 @@
 //! (`cargo run --release -p csd-bench --bin fig08`), the `suite` runner,
 //! and the micro-benchmarks. Each binary prints the same rows/series the
 //! paper reports; `EXPERIMENTS.md` records paper-vs-measured values.
+//!
+//! Security experiments (warm-fork-measure over victims) execute through
+//! the `csd-exp` plan layer; this crate re-exports its measurement
+//! vocabulary so figure binaries keep their historical imports, and adds
+//! the figure-shaped assembly ([`SecurityRow`], [`security_sweep`]) plus
+//! the devectorization family on top.
 
 #![warn(missing_docs)]
 
@@ -12,278 +18,16 @@ pub mod suite;
 pub mod tasks;
 
 use csd::{CsdConfig, DevecThresholds, VpuPolicy};
-use csd_crypto::{
-    enable_stealth_for, AesKeySize, AesVictim, BlowfishVictim, CipherDir, RsaVictim, Victim,
-};
+use csd_exp::{run_plan_with, ExperimentSpec, NoCache};
 use csd_pipeline::{Core, CoreConfig, SimMode, SimStats, StepOutcome};
 use csd_power::{Activity, EnergyBreakdown, EnergyModel, Unit};
-use csd_telemetry::{Json, SplitMix64, ToJson};
+use csd_telemetry::{Json, ToJson};
 use csd_workloads::Workload;
 
-/// The paper's default watchdog period (cycles).
-pub const DEFAULT_WATCHDOG: u64 = 1000;
-
-/// Idle threshold for the conventional power-gating baseline (cycles the
-/// VPU must sit idle before it is gated).
-pub const CONVENTIONAL_IDLE_GATE: u64 = 400;
-
-/// The eight security datapoints: {AES, RSA, Blowfish, Rijndael} ×
-/// {encrypt, decrypt} (paper §VI-A).
-pub fn security_victims() -> Vec<Box<dyn Victim>> {
-    let aes_key: Vec<u8> = (0..16).map(|i| i * 11 + 3).collect();
-    let rij_key: Vec<u8> = (0..32).map(|i| i * 7 + 5).collect();
-    vec![
-        Box::new(AesVictim::new(
-            AesKeySize::K128,
-            CipherDir::Encrypt,
-            &aes_key,
-        )),
-        Box::new(AesVictim::new(
-            AesKeySize::K128,
-            CipherDir::Decrypt,
-            &aes_key,
-        )),
-        Box::new(RsaVictim::named("rsa-enc", 65_537, 1_000_003)),
-        Box::new(RsaVictim::named(
-            "rsa-dec",
-            0xC3A5_55AA_0F0F_1234,
-            1_000_003,
-        )),
-        Box::new(BlowfishVictim::new(CipherDir::Encrypt, b"BF-SECRET-KEY")),
-        Box::new(BlowfishVictim::new(CipherDir::Decrypt, b"BF-SECRET-KEY")),
-        Box::new(AesVictim::new(
-            AesKeySize::K256,
-            CipherDir::Encrypt,
-            &rij_key,
-        )),
-        Box::new(AesVictim::new(
-            AesKeySize::K256,
-            CipherDir::Decrypt,
-            &rij_key,
-        )),
-    ]
-}
-
-/// Metrics from one security-benchmark run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SecMetrics {
-    /// Cycles over the measured region.
-    pub cycles: u64,
-    /// Retired macro-ops.
-    pub insts: u64,
-    /// Retired µops.
-    pub uops: u64,
-    /// Decoy µops among them.
-    pub decoy_uops: u64,
-    /// L1D misses per kilo-instruction.
-    pub l1d_mpki: f64,
-    /// µop-cache hit rate over the measured region.
-    pub uop_cache_hit_rate: f64,
-}
-
-/// Runs `blocks` operations of `victim` on a cycle-accurate core and
-/// returns steady-state metrics (twelve warm-up operations excluded).
-///
-/// # Panics
-///
-/// Panics if the victim faults.
-pub fn run_security(
-    victim: &dyn Victim,
-    stealth: bool,
-    core_cfg: CoreConfig,
-    blocks: usize,
-    watchdog: u64,
-) -> SecMetrics {
-    run_security_seeded(
-        victim,
-        stealth,
-        core_cfg,
-        blocks,
-        watchdog,
-        0xBEEF ^ blocks as u64,
-    )
-}
-
-/// [`run_security`] with an explicit input-stream seed. The suite runner
-/// derives one seed per `(pipeline, victim)` pair from its root seed, so
-/// the base and stealth runs of a datapoint see identical plaintexts and
-/// their ratio is noise-free.
-///
-/// # Panics
-///
-/// Panics if the victim faults.
-pub fn run_security_seeded(
-    victim: &dyn Victim,
-    stealth: bool,
-    core_cfg: CoreConfig,
-    blocks: usize,
-    watchdog: u64,
-    seed: u64,
-) -> SecMetrics {
-    let mut core = security_core(victim, core_cfg);
-    if stealth {
-        enable_stealth_for(victim, &mut core, watchdog);
-    }
-    let mut rng = SplitMix64::new(seed);
-    let mut input = vec![0u8; victim.input_len()];
-    warm_up(&mut core, victim, &mut rng, &mut input);
-    measure_blocks(&mut core, victim, &mut rng, &mut input, blocks)
-}
-
-/// Both legs of one Figure 8/9/10 datapoint, forked from a single warmed
-/// checkpoint. The victim warms up once with stealth off, the core is
-/// snapshotted, the base leg measures from the live core, and the stealth
-/// leg restores the checkpoint (and a copy of the RNG, so both legs see
-/// the identical plaintext stream), arms stealth, and measures again —
-/// halving the warmup cost of [`run_security_seeded`] pairs.
-///
-/// # Panics
-///
-/// Panics if the victim faults.
-pub fn run_security_pair_seeded(
-    victim: &dyn Victim,
-    core_cfg: CoreConfig,
-    blocks: usize,
-    watchdog: u64,
-    seed: u64,
-) -> SecurityRow {
-    let mut core = security_core(victim, core_cfg);
-    let mut rng = SplitMix64::new(seed);
-    let mut input = vec![0u8; victim.input_len()];
-    warm_up(&mut core, victim, &mut rng, &mut input);
-    let ckpt = core.snapshot();
-    let fork_rng = rng;
-
-    let base = measure_blocks(&mut core, victim, &mut rng, &mut input, blocks);
-
-    core.restore(&ckpt);
-    let mut rng = fork_rng;
-    enable_stealth_for(victim, &mut core, watchdog);
-    let stealth = measure_blocks(&mut core, victim, &mut rng, &mut input, blocks);
-
-    SecurityRow {
-        name: victim.name(),
-        base,
-        stealth,
-    }
-}
-
-/// The Figure 11 sweep for one victim: a single warmed checkpoint, a base
-/// leg, and one stealth leg per watchdog period — each leg forked from the
-/// same snapshot with the same plaintext stream. Returns the base metrics
-/// and `(period, stealth metrics)` rows in sweep order.
-///
-/// # Panics
-///
-/// Panics if the victim faults.
-pub fn run_watchdog_sweep_seeded(
-    victim: &dyn Victim,
-    core_cfg: CoreConfig,
-    blocks: usize,
-    periods: &[u64],
-    seed: u64,
-) -> (SecMetrics, Vec<(u64, SecMetrics)>) {
-    let mut core = security_core(victim, core_cfg);
-    let mut rng = SplitMix64::new(seed);
-    let mut input = vec![0u8; victim.input_len()];
-    warm_up(&mut core, victim, &mut rng, &mut input);
-    let ckpt = core.snapshot();
-    let fork_rng = rng;
-
-    let base = measure_blocks(&mut core, victim, &mut rng, &mut input, blocks);
-
-    let mut rows = Vec::with_capacity(periods.len());
-    for &period in periods {
-        core.restore(&ckpt);
-        let mut rng = fork_rng;
-        enable_stealth_for(victim, &mut core, period);
-        let m = measure_blocks(&mut core, victim, &mut rng, &mut input, blocks);
-        rows.push((period, m));
-    }
-    (base, rows)
-}
-
-/// Operations [`warm_up`] simulates before the measured region.
-pub const WARMUP_OPS: usize = 12;
-
-/// Builds the cycle-accurate, DIFT-enabled core every security experiment
-/// runs on, with `victim` installed. Public so the serving layer can
-/// construct an identical core to restore a cached checkpoint into.
-pub fn security_core(victim: &dyn Victim, core_cfg: CoreConfig) -> Core {
-    let cfg = CoreConfig {
-        dift_enabled: true,
-        ..core_cfg
-    };
-    let mut core = Core::new(
-        cfg,
-        CsdConfig::default(),
-        victim.program().clone(),
-        SimMode::Cycle,
-    );
-    victim.install(&mut core);
-    core
-}
-
-/// Warm-up ([`WARMUP_OPS`] operations) long enough for the sparse table
-/// touches of the baseline to fully populate the caches — otherwise
-/// decoy prefetching makes stealth look *faster* (the paper's
-/// "prefetching effect", which should only mute, not invert, the cost).
-pub fn warm_up(core: &mut Core, victim: &dyn Victim, rng: &mut SplitMix64, input: &mut [u8]) {
-    for _ in 0..WARMUP_OPS {
-        rng.fill_bytes(input);
-        victim.run_once(core, input);
-    }
-}
-
-/// Runs `blocks` operations and returns the metric deltas over them.
-pub fn measure_blocks(
-    core: &mut Core,
-    victim: &dyn Victim,
-    rng: &mut SplitMix64,
-    input: &mut [u8],
-    blocks: usize,
-) -> SecMetrics {
-    let s0 = *core.stats();
-    let h0 = core.hierarchy().stats();
-    let u0 = *core.uop_cache_stats();
-    for _ in 0..blocks {
-        rng.fill_bytes(input);
-        victim.run_once(core, input);
-    }
-    let s1 = *core.stats();
-    let h1 = core.hierarchy().stats();
-    let u1 = *core.uop_cache_stats();
-
-    let insts = s1.insts - s0.insts;
-    let l1d = h1.l1d.delta(&h0.l1d);
-    let lookups = u1.lookups - u0.lookups;
-    let hits = u1.hits - u0.hits;
-    SecMetrics {
-        cycles: s1.cycles - s0.cycles,
-        insts,
-        uops: s1.uops - s0.uops,
-        decoy_uops: s1.decoy_uops - s0.decoy_uops,
-        l1d_mpki: l1d.mpki(insts),
-        uop_cache_hit_rate: if lookups > 0 {
-            hits as f64 / lookups as f64
-        } else {
-            0.0
-        },
-    }
-}
-
-impl ToJson for SecMetrics {
-    fn to_json(&self) -> Json {
-        Json::obj([
-            ("cycles", Json::from(self.cycles)),
-            ("insts", Json::from(self.insts)),
-            ("uops", Json::from(self.uops)),
-            ("decoy_uops", Json::from(self.decoy_uops)),
-            ("l1d_mpki", Json::from(self.l1d_mpki)),
-            ("uop_cache_hit_rate", Json::from(self.uop_cache_hit_rate)),
-        ])
-    }
-}
+pub use csd_exp::{
+    measure_blocks, policies, security_core, security_victims, warm_up, ExperimentResult,
+    SecMetrics, CONVENTIONAL_IDLE_GATE, DEFAULT_WATCHDOG, WARMUP_OPS,
+};
 
 /// One row of the Figure 8/9/10 family for a single benchmark.
 #[derive(Debug, Clone)]
@@ -308,14 +52,50 @@ impl SecurityRow {
     }
 }
 
-/// Runs the full 8-datapoint security sweep under one core configuration.
+impl ToJson for SecurityRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("base", self.base.to_json()),
+            ("stealth", self.stealth.to_json()),
+            ("slowdown", Json::from(self.slowdown())),
+            ("uop_expansion", Json::from(self.uop_expansion())),
+        ])
+    }
+}
+
+/// Assembles a Figure 8/9/10 row from a `[base, stealth]` plan result
+/// (the [`ExperimentSpec::pair`] shape).
+///
+/// # Panics
+///
+/// Panics if the result has fewer than two legs.
+pub fn security_row(result: &ExperimentResult) -> SecurityRow {
+    assert!(
+        result.legs.len() >= 2,
+        "a security row needs a base and a stealth leg"
+    );
+    SecurityRow {
+        name: result.victim.clone(),
+        base: result.legs[0].metrics,
+        stealth: result.legs[1].metrics,
+    }
+}
+
+/// Runs the full 8-datapoint security sweep under one core configuration:
+/// per victim, one warmed checkpoint forked into a base and a stealth leg.
 pub fn security_sweep(core_cfg: &CoreConfig, blocks: usize, watchdog: u64) -> Vec<SecurityRow> {
     security_victims()
         .iter()
-        .map(|v| SecurityRow {
-            name: v.name(),
-            base: run_security(v.as_ref(), false, core_cfg.clone(), blocks, watchdog),
-            stealth: run_security(v.as_ref(), true, core_cfg.clone(), blocks, watchdog),
+        .map(|v| {
+            // The pipeline name only keys a checkpoint provider; with
+            // `NoCache` it never collides, so the explicit `core_cfg`
+            // (which may be neither named configuration) is safe.
+            let spec =
+                ExperimentSpec::pair(&v.name(), "opt", 0xBEEF ^ blocks as u64, blocks, watchdog);
+            let result = run_plan_with(&spec, core_cfg.clone(), &NoCache, 1)
+                .expect("static victim grid resolves");
+            security_row(&result)
         })
         .collect()
 }
@@ -350,20 +130,6 @@ pub fn mean(xs: impl IntoIterator<Item = f64>) -> f64 {
 // Devectorization (Figures 12–16)
 // ---------------------------------------------------------------------
 
-/// The three VPU policies of the paper's comparison.
-pub fn policies() -> [(&'static str, VpuPolicy); 3] {
-    [
-        ("always-on", VpuPolicy::AlwaysOn),
-        (
-            "conventional",
-            VpuPolicy::Conventional {
-                idle_gate_cycles: CONVENTIONAL_IDLE_GATE,
-            },
-        ),
-        ("csd-devec", VpuPolicy::CsdDevec(DevecThresholds::default())),
-    ]
-}
-
 /// Results of running one workload under one policy.
 #[derive(Debug, Clone)]
 pub struct DevecRun {
@@ -381,18 +147,6 @@ impl DevecRun {
     /// Total energy in picojoules.
     pub fn total_energy(&self) -> f64 {
         self.energy.total_pj()
-    }
-}
-
-impl ToJson for SecurityRow {
-    fn to_json(&self) -> Json {
-        Json::obj([
-            ("name", Json::from(self.name.as_str())),
-            ("base", self.base.to_json()),
-            ("stealth", self.stealth.to_json()),
-            ("slowdown", Json::from(self.slowdown())),
-            ("uop_expansion", Json::from(self.uop_expansion())),
-        ])
     }
 }
 
@@ -467,62 +221,95 @@ pub fn energy_split(e: &EnergyBreakdown) -> (f64, f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn security_suite_has_eight_datapoints() {
-        let names: Vec<String> = security_victims().iter().map(|v| v.name()).collect();
-        assert_eq!(names.len(), 8);
-        assert!(names.contains(&"aes-enc".to_string()));
-        assert!(names.contains(&"rsa-dec".to_string()));
-        assert!(names.contains(&"rijndael-dec".to_string()));
-        assert!(names.contains(&"blowfish-enc".to_string()));
-    }
+    use csd_exp::{run_plan, LegMode};
+    use csd_telemetry::SplitMix64;
 
     #[test]
     fn stealth_costs_cycles_but_modestly() {
-        let v = &security_victims()[0]; // aes-enc
-        let base = run_security(v.as_ref(), false, CoreConfig::opt(), 4, DEFAULT_WATCHDOG);
-        let stealth = run_security(v.as_ref(), true, CoreConfig::opt(), 4, DEFAULT_WATCHDOG);
-        assert!(stealth.decoy_uops > 0);
-        assert!(stealth.cycles > base.cycles);
-        let slowdown = stealth.cycles as f64 / base.cycles as f64;
-        assert!(
-            slowdown < 1.5,
-            "stealth slowdown should be modest, got {slowdown}"
-        );
-    }
-
-    #[test]
-    fn checkpoint_pair_base_matches_unforked_run() {
-        // The base leg of the checkpoint-forked pair must be bit-equal to
-        // the original warm-then-measure recipe: same construction, same
-        // warmup, same plaintext stream (a snapshot costs no model time).
-        let v = &security_victims()[0]; // aes-enc
-        let row = run_security_pair_seeded(v.as_ref(), CoreConfig::opt(), 2, DEFAULT_WATCHDOG, 77);
-        let solo = run_security_seeded(
-            v.as_ref(),
-            false,
-            CoreConfig::opt(),
-            2,
-            DEFAULT_WATCHDOG,
-            77,
-        );
-        assert_eq!(row.base, solo);
-        assert!(row.stealth.decoy_uops > 0, "stealth leg must arm decoys");
+        let spec = ExperimentSpec::pair("aes-enc", "opt", 0xBEEF ^ 4, 4, DEFAULT_WATCHDOG);
+        let r = run_plan(&spec, &NoCache, 1).unwrap();
+        let row = security_row(&r);
+        assert!(row.stealth.decoy_uops > 0);
         assert!(row.stealth.cycles > row.base.cycles);
+        assert!(
+            row.slowdown() < 1.5,
+            "stealth slowdown should be modest, got {}",
+            row.slowdown()
+        );
     }
 
     #[test]
-    fn restored_forks_are_deterministic() {
+    fn forked_base_leg_matches_unforked_run() {
+        // The base leg of a plan — fresh core, checkpoint restored — must
+        // be bit-equal to the original warm-then-measure recipe on one
+        // live core: same construction, same warmup, same plaintext
+        // stream (a snapshot/restore costs no model time and rewinds the
+        // complete machine).
+        let victims = security_victims();
+        let v = victims[0].as_ref(); // aes-enc
+        let mut core = security_core(v, CoreConfig::opt());
+        let mut rng = SplitMix64::new(77);
+        let mut input = vec![0u8; v.input_len()];
+        warm_up(&mut core, v, &mut rng, &mut input);
+        let solo = measure_blocks(&mut core, v, &mut rng, &mut input, 2);
+
+        let spec = ExperimentSpec::pair("aes-enc", "opt", 77, 2, DEFAULT_WATCHDOG);
+        let r = run_plan(&spec, &NoCache, 1).unwrap();
+        assert_eq!(r.legs[0].metrics, solo);
+        assert!(
+            r.legs[1].metrics.decoy_uops > 0,
+            "stealth leg must arm decoys"
+        );
+        assert!(r.legs[1].metrics.cycles > r.legs[0].metrics.cycles);
+    }
+
+    #[test]
+    fn restored_forks_are_deterministic_at_any_job_count() {
         // Restoring the same checkpoint twice with the same watchdog
-        // period must reproduce the stealth leg exactly — the snapshot
-        // carries the complete modeled machine.
-        let v = &security_victims()[4]; // blowfish-enc
-        let (base, rows) =
-            run_watchdog_sweep_seeded(v.as_ref(), CoreConfig::opt(), 2, &[1000, 1000, 4000], 9);
-        assert_eq!(rows[0].1, rows[1].1, "identical forks must agree");
-        assert!(rows[0].1.cycles > base.cycles);
-        assert!(rows[2].1.decoy_uops > 0);
+        // period must reproduce the stealth leg exactly, and running the
+        // legs on a thread pool must not change a single result — the
+        // snapshot carries the complete modeled machine and legs are
+        // fully independent.
+        let spec = ExperimentSpec::watchdog_sweep("blowfish-enc", "opt", 9, 2, &[1000, 1000, 4000]);
+        let sequential = run_plan(&spec, &NoCache, 1).unwrap();
+        assert_eq!(
+            sequential.legs[1].metrics, sequential.legs[2].metrics,
+            "identical forks must agree"
+        );
+        assert!(sequential.legs[1].metrics.cycles > sequential.legs[0].metrics.cycles);
+        assert!(sequential.legs[3].metrics.decoy_uops > 0);
+
+        let parallel = run_plan(&spec, &NoCache, 4).unwrap();
+        assert_eq!(
+            sequential, parallel,
+            "jobs count must not leak into results"
+        );
+    }
+
+    #[test]
+    fn devec_leg_swaps_the_vpu_policy_at_fork_time() {
+        // A devec leg measures under a different gating policy than the
+        // warmed core was built with; always-on must not gate, while the
+        // shared base leg is unaffected.
+        let spec = ExperimentSpec {
+            victim: "aes-enc".to_string(),
+            pipeline: "opt".to_string(),
+            seed: 5,
+            blocks: 2,
+            cold: false,
+            legs: vec![
+                csd_exp::Leg::new(LegMode::Base),
+                csd_exp::Leg::new(LegMode::Devec {
+                    policy: "always-on".to_string(),
+                }),
+            ],
+        };
+        let r = run_plan(&spec, &NoCache, 1).unwrap();
+        assert_eq!(r.legs.len(), 2);
+        assert_eq!(
+            r.legs[0].metrics.insts, r.legs[1].metrics.insts,
+            "policy swap must not change the instruction stream"
+        );
     }
 
     #[test]

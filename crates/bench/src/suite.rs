@@ -679,7 +679,8 @@ fn assemble(cfg: &SuiteConfig, results: &Results) -> SuiteReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{run_security_pair_seeded, security_victims, DEFAULT_WATCHDOG};
+    use crate::{security_row, DEFAULT_WATCHDOG};
+    use csd_exp::{run_plan_with, ExperimentSpec, NoCache};
     use csd_pipeline::CoreConfig;
     use csd_telemetry::derive_seed;
 
@@ -709,18 +710,16 @@ mod tests {
         // — must serialize to byte-identical JSON with decode memoization
         // force-disabled, enabled memo being pure simulator bookkeeping.
         let seed = derive_seed(0xC5D_2018, "sec/opt/aes-enc");
-        let victims = security_victims();
-        let v = victims[0].as_ref();
-        let on = run_security_pair_seeded(v, CoreConfig::opt(), 2, DEFAULT_WATCHDOG, seed)
-            .to_json()
-            .pretty();
-        let off_cfg = CoreConfig {
+        let spec = ExperimentSpec::pair("aes-enc", "opt", seed, 2, DEFAULT_WATCHDOG);
+        let run = |cfg: CoreConfig| {
+            let result = run_plan_with(&spec, cfg, &NoCache, 1).unwrap();
+            security_row(&result).to_json().pretty()
+        };
+        let on = run(CoreConfig::opt());
+        let off = run(CoreConfig {
             decode_memo_enabled: false,
             ..CoreConfig::opt()
-        };
-        let off = run_security_pair_seeded(v, off_cfg, 2, DEFAULT_WATCHDOG, seed)
-            .to_json()
-            .pretty();
+        });
         assert_eq!(on, off, "memoization must not perturb suite output");
     }
 

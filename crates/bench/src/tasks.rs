@@ -8,15 +8,15 @@
 //! byte-identical to the same task run from the CLI.
 
 use crate::suite::SuiteConfig;
-use crate::{
-    policies, run_security_pair_seeded, run_watchdog_sweep_seeded, security_victims,
-    DEFAULT_WATCHDOG,
-};
+use crate::{policies, security_row, DEFAULT_WATCHDOG};
 use csd_attack::{aes_attack, rsa_attack, AesAttackConfig, AttackMethod, Defense, RsaAttackConfig};
 use csd_crypto::RsaVictim;
+use csd_exp::{run_plan, ExperimentSpec, LegMode, NoCache};
 use csd_pipeline::CoreConfig;
 use csd_telemetry::{derive_seed, Json, ToJson};
 use csd_workloads::{specs, Workload};
+
+pub use csd_exp::{pipelines, victim_names, Pipeline};
 
 /// A unit of work: a stable label plus the closure computing that
 /// datapoint from a seed.
@@ -56,19 +56,6 @@ fn task(label: String, run: impl Fn(u64) -> Json + Send + Sync + 'static) -> Tas
     }
 }
 
-/// A named pipeline-configuration constructor.
-pub type Pipeline = (&'static str, fn() -> CoreConfig);
-
-/// The two pipeline configurations of the security figures.
-pub fn pipelines() -> [Pipeline; 2] {
-    [("opt", CoreConfig::opt), ("noopt", CoreConfig::no_opt)]
-}
-
-/// Names of the eight security victims, in grid order.
-pub fn victim_names() -> Vec<String> {
-    security_victims().iter().map(|v| v.name()).collect()
-}
-
 /// Builds the full task grid for one suite configuration.
 pub fn build_tasks(cfg: &SuiteConfig) -> Vec<TaskDef> {
     let mut tasks = Vec::new();
@@ -78,12 +65,13 @@ pub fn build_tasks(cfg: &SuiteConfig) -> Vec<TaskDef> {
     //    warmed checkpoint, so they share the plaintext stream (the ratio
     //    is noise-free) and the warmup simulates only once.
     let blocks = cfg.sec_blocks;
-    for (cfg_name, mk) in pipelines() {
-        for (vi, name) in names.iter().enumerate() {
+    for (cfg_name, _) in pipelines() {
+        for name in names.iter() {
+            let name = name.clone();
             tasks.push(task(format!("sec/{cfg_name}/{name}"), move |seed| {
-                let victims = security_victims();
-                let v = victims[vi].as_ref();
-                run_security_pair_seeded(v, mk(), blocks, DEFAULT_WATCHDOG, seed).to_json()
+                let spec = ExperimentSpec::pair(&name, cfg_name, seed, blocks, DEFAULT_WATCHDOG);
+                let result = run_plan(&spec, &NoCache, 1).expect("static grid names resolve");
+                security_row(&result).to_json()
             }));
         }
     }
@@ -93,26 +81,29 @@ pub fn build_tasks(cfg: &SuiteConfig) -> Vec<TaskDef> {
     //    stealth leg fork from it.
     let wd_blocks = cfg.wd_blocks;
     let periods = cfg.wd_periods.clone();
-    for (vi, name) in names.iter().enumerate() {
+    for name in names.iter() {
+        let name = name.clone();
         let periods = periods.clone();
         tasks.push(task(format!("wd/{name}"), move |seed| {
-            let victims = security_victims();
-            let v = victims[vi].as_ref();
-            let (base, sweep) =
-                run_watchdog_sweep_seeded(v, CoreConfig::opt(), wd_blocks, &periods, seed);
-            let rows: Vec<Json> = sweep
-                .into_iter()
-                .map(|(period, stealth)| {
-                    let slowdown = stealth.cycles as f64 / base.cycles as f64;
+            let spec = ExperimentSpec::watchdog_sweep(&name, "opt", seed, wd_blocks, &periods);
+            let result = run_plan(&spec, &NoCache, 1).expect("static grid names resolve");
+            let base = result.legs[0].metrics;
+            let rows: Vec<Json> = result.legs[1..]
+                .iter()
+                .map(|leg| {
+                    let LegMode::Stealth { watchdog } = leg.mode else {
+                        unreachable!("a watchdog sweep has only stealth legs after base");
+                    };
+                    let slowdown = leg.metrics.cycles as f64 / base.cycles as f64;
                     Json::obj([
-                        ("period", Json::from(period)),
-                        ("stealth", stealth.to_json()),
+                        ("period", Json::from(watchdog)),
+                        ("stealth", leg.metrics.to_json()),
                         ("slowdown", Json::from(slowdown)),
                     ])
                 })
                 .collect();
             Json::obj([
-                ("name", Json::from(v.name().as_str())),
+                ("name", Json::from(result.victim.as_str())),
                 ("base", base.to_json()),
                 ("periods", Json::Arr(rows)),
             ])

@@ -194,6 +194,15 @@ impl CsdEngine {
         self.context_gen += 1;
     }
 
+    /// Replaces the VPU gating policy, restarting the gate controller
+    /// under its existing gating-cost parameters. Changing the policy
+    /// changes what subsequent decodes produce (devectorization depends
+    /// on it), so the context generation bumps.
+    pub fn set_vpu_policy(&mut self, policy: VpuPolicy) {
+        self.gate.set_policy(policy);
+        self.context_gen += 1;
+    }
+
     /// Applies a microcode update after verification.
     ///
     /// # Errors

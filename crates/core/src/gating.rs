@@ -156,6 +156,13 @@ impl VpuGateController {
         self.policy
     }
 
+    /// Replaces the policy, restarting the controller (state, predictor,
+    /// and statistics) under the same gating-cost parameters — exactly a
+    /// fresh [`VpuGateController::new`] with the new policy.
+    pub fn set_policy(&mut self, policy: VpuPolicy) {
+        *self = VpuGateController::new(policy, self.gating);
+    }
+
     /// Current power state.
     pub fn state(&self) -> VpuState {
         self.state

@@ -33,4 +33,4 @@ pub use aes::{AesLayout, AesVictim, AES_LAYOUT};
 pub use aes_ref::{Aes, AesKeySize};
 pub use blowfish::{Blowfish, BlowfishLayout, BlowfishVictim, BLOWFISH_LAYOUT};
 pub use rsa::{RsaLayout, RsaVictim, RSA_LAYOUT};
-pub use victim::{enable_stealth_for, CipherDir, Victim};
+pub use victim::{arm_stealth, enable_stealth_for, CipherDir, Victim};

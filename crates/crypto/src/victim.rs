@@ -84,13 +84,32 @@ pub trait Victim {
 /// address-range MSRs with the victim's sensitive ranges and enables
 /// stealth mode with the DIFT trigger.
 pub fn enable_stealth_for(victim: &dyn Victim, core: &mut Core, watchdog_period: u64) {
+    arm_stealth(
+        core,
+        &victim.sensitive_data_ranges(),
+        &victim.sensitive_inst_ranges(),
+        watchdog_period,
+    );
+}
+
+/// Programs stealth mode from raw address ranges: the first four data
+/// and instruction ranges go into the decoy range MSRs, then the
+/// watchdog period and the stealth+DIFT-trigger control bits arm the
+/// mode. [`enable_stealth_for`] wraps this with a victim's declared
+/// ranges; the difftest harness passes synthetic ranges directly.
+pub fn arm_stealth(
+    core: &mut Core,
+    data_ranges: &[AddrRange],
+    inst_ranges: &[AddrRange],
+    watchdog_period: u64,
+) {
     use csd::msr;
     let e = core.engine_mut();
-    for (i, r) in victim.sensitive_data_ranges().iter().take(4).enumerate() {
+    for (i, r) in data_ranges.iter().take(4).enumerate() {
         e.write_msr(msr::MSR_DATA_RANGE_BASE + 2 * i as u32, r.start);
         e.write_msr(msr::MSR_DATA_RANGE_BASE + 2 * i as u32 + 1, r.end);
     }
-    for (i, r) in victim.sensitive_inst_ranges().iter().take(4).enumerate() {
+    for (i, r) in inst_ranges.iter().take(4).enumerate() {
         e.write_msr(msr::MSR_INST_RANGE_BASE + 2 * i as u32, r.start);
         e.write_msr(msr::MSR_INST_RANGE_BASE + 2 * i as u32 + 1, r.end);
     }

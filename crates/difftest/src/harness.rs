@@ -6,8 +6,7 @@
 use crate::generator::{CODE_BASE, DATA_BASE, DATA_SIZE, STACK_TOP};
 use crate::reference::{RefCpu, RefOutcome, StoreRecord};
 use csd::{
-    msr, ContextId, CsdConfig, DevecThresholds, MicrocodeUpdate, OpcodeClass, PrivilegeLevel,
-    VpuPolicy,
+    ContextId, CsdConfig, DevecThresholds, MicrocodeUpdate, OpcodeClass, PrivilegeLevel, VpuPolicy,
 };
 use csd_pipeline::{Core, CoreConfig, SimMode};
 use csd_telemetry::{EventSink, StoreEvent};
@@ -169,14 +168,13 @@ fn build_core(program: &Program, leg: &ModeLeg, bug: Option<&InjectedBug>) -> Co
     if leg.stealth {
         // Program the decoy ranges over a slice of the data region and
         // the code head, taint the data region, and arm stealth with the
-        // DIFT trigger — the same recipe the crypto victims use.
-        let e = core.engine_mut();
-        e.write_msr(msr::MSR_DATA_RANGE_BASE, DATA_BASE);
-        e.write_msr(msr::MSR_DATA_RANGE_BASE + 1, DATA_BASE + 128);
-        e.write_msr(msr::MSR_INST_RANGE_BASE, CODE_BASE);
-        e.write_msr(msr::MSR_INST_RANGE_BASE + 1, CODE_BASE + 128);
-        e.write_msr(msr::MSR_WATCHDOG_PERIOD, 200);
-        e.write_msr(msr::MSR_CSD_CTL, msr::CTL_STEALTH | msr::CTL_DIFT_TRIGGER);
+        // DIFT trigger — literally the recipe the crypto victims use.
+        csd_crypto::arm_stealth(
+            &mut core,
+            &[TaintRange::new(DATA_BASE, DATA_BASE + 128)],
+            &[TaintRange::new(CODE_BASE, CODE_BASE + 128)],
+            200,
+        );
         core.dift_mut()
             .taint_memory(TaintRange::new(DATA_BASE, DATA_BASE + DATA_SIZE));
     }

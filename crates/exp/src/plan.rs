@@ -1,0 +1,277 @@
+//! The plan executor: warm once, snapshot, fork every leg.
+//!
+//! [`run_plan`] is the single implementation of the paper's
+//! warm-fork-measure pattern. The victim warms up with stealth off, the
+//! complete machine is snapshotted (or fetched from a
+//! [`CheckpointProvider`]), and every [`Leg`] forks a fresh core from
+//! the shared checkpoint — restoring the snapshot, applying the leg's
+//! decode-context change, and measuring. Forks are byte-identical to
+//! cold runs because a snapshot captures the complete modeled machine,
+//! so warm results never depend on cache state; independent legs may run
+//! on a scoped thread pool without changing a single output byte.
+
+use crate::measure::{
+    measure_blocks, pipelines, policy_by_name, security_core, security_victims, warm_up, SecMetrics,
+};
+use crate::spec::{ExperimentSpec, Leg, LegMode};
+use csd_crypto::{enable_stealth_for, Victim};
+use csd_pipeline::{Core, CoreConfig, CoreSnapshot};
+use csd_telemetry::{Json, SplitMix64, ToJson};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything the warmed state of a session depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SessionKey {
+    /// Victim benchmark name, e.g. `aes-enc`.
+    pub victim: String,
+    /// Pipeline configuration name (`opt` / `noopt`).
+    pub pipeline: String,
+    /// Input-stream seed.
+    pub seed: u64,
+}
+
+/// A warmed session: the checkpoint plus the RNG positioned just past
+/// warm-up. Cloning is cheap (`Arc` + `Copy`), which is what lets many
+/// concurrent legs fork the same checkpoint.
+#[derive(Clone)]
+pub struct Warmed {
+    /// Snapshot of the complete modeled machine after warm-up.
+    pub snapshot: Arc<CoreSnapshot>,
+    /// Input RNG positioned at the start of the measured region.
+    pub rng: SplitMix64,
+}
+
+/// Where the plan executor parks and fetches warmed checkpoints. The
+/// serving daemon plugs its LRU session cache in here; batch consumers
+/// that re-warm every time use [`NoCache`].
+pub trait CheckpointProvider: Sync {
+    /// Fetches a previously warmed session, if one is parked.
+    fn lookup(&self, key: &SessionKey) -> Option<Warmed>;
+    /// Parks a freshly warmed session for future plans.
+    fn store(&self, key: SessionKey, warmed: Warmed);
+}
+
+/// A provider that never caches: every plan warms from scratch.
+pub struct NoCache;
+
+impl CheckpointProvider for NoCache {
+    fn lookup(&self, _key: &SessionKey) -> Option<Warmed> {
+        None
+    }
+    fn store(&self, _key: SessionKey, _warmed: Warmed) {}
+}
+
+/// A plan-execution failure (unknown name, victim gone mid-run). These
+/// are errors, not panics — a stale spec must cost one failed request,
+/// never a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpError(pub String);
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// One measured leg's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegResult {
+    /// The decode-context change this leg applied.
+    pub mode: LegMode,
+    /// Measured operations (after per-leg override resolution).
+    pub blocks: usize,
+    /// Steady-state metrics over the measured region.
+    pub metrics: SecMetrics,
+}
+
+impl ToJson for LegResult {
+    fn to_json(&self) -> Json {
+        let mut members: Vec<(&str, Json)> = vec![("mode", Json::from(self.mode.tag()))];
+        match &self.mode {
+            LegMode::Base => {}
+            LegMode::Stealth { watchdog } => members.push(("watchdog", Json::from(*watchdog))),
+            LegMode::Devec { policy } => members.push(("policy", Json::from(policy.as_str()))),
+        }
+        members.push(("blocks", Json::from(self.blocks as u64)));
+        members.push(("metrics", self.metrics.to_json()));
+        Json::obj(members)
+    }
+}
+
+/// A whole plan's outcome: the spec's identity fields plus one
+/// [`LegResult`] per leg, in spec order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// Victim benchmark name.
+    pub victim: String,
+    /// Pipeline configuration name.
+    pub pipeline: String,
+    /// Input-stream seed.
+    pub seed: u64,
+    /// Whether the warm state came from the checkpoint provider.
+    /// Deliberately *not* part of [`ExperimentResult::to_json`]: warm
+    /// and cold documents must stay byte-identical (the daemon reports
+    /// warmness out-of-band, in a response header).
+    pub warm: bool,
+    /// Per-leg outcomes, in spec order.
+    pub legs: Vec<LegResult>,
+}
+
+impl ToJson for ExperimentResult {
+    fn to_json(&self) -> Json {
+        let legs: Vec<Json> = self.legs.iter().map(LegResult::to_json).collect();
+        Json::obj([
+            ("victim", Json::from(self.victim.as_str())),
+            ("pipeline", Json::from(self.pipeline.as_str())),
+            ("seed", Json::from(self.seed)),
+            ("legs", Json::Arr(legs)),
+        ])
+    }
+}
+
+/// Applies a leg's decode-context change to a forked core. Exported so
+/// the streaming path (which measures exactly one leg with an event sink
+/// attached) arms the identical configuration the plan executor does.
+pub fn apply_leg_mode(
+    mode: &LegMode,
+    victim: &dyn Victim,
+    core: &mut Core,
+) -> Result<(), ExpError> {
+    match mode {
+        LegMode::Base => {}
+        LegMode::Stealth { watchdog } => enable_stealth_for(victim, core, *watchdog),
+        LegMode::Devec { policy } => {
+            let p = policy_by_name(policy)
+                .ok_or_else(|| ExpError(format!("policy {policy:?} vanished")))?;
+            core.engine_mut().set_vpu_policy(p);
+        }
+    }
+    Ok(())
+}
+
+/// Runs a plan, resolving the spec's pipeline name to its configuration.
+///
+/// # Errors
+///
+/// Fails when a name in the spec doesn't resolve (victim, pipeline,
+/// policy) — validated specs only hit this if the grid changed under
+/// them.
+pub fn run_plan(
+    spec: &ExperimentSpec,
+    provider: &dyn CheckpointProvider,
+    jobs: usize,
+) -> Result<ExperimentResult, ExpError> {
+    let (_, mk) = *pipelines()
+        .iter()
+        .find(|(n, _)| *n == spec.pipeline)
+        .ok_or_else(|| ExpError(format!("pipeline {:?} vanished", spec.pipeline)))?;
+    run_plan_with(spec, mk(), provider, jobs)
+}
+
+/// [`run_plan`] with an explicit core configuration, for consumers that
+/// sweep configurations outside the named `opt`/`noopt` grid (ablations,
+/// the memo-transparency test). The spec's `pipeline` field still keys
+/// the checkpoint provider, so callers must not reuse a cached name for
+/// a different configuration.
+///
+/// # Errors
+///
+/// Fails when the spec's victim or a leg's policy doesn't resolve.
+pub fn run_plan_with(
+    spec: &ExperimentSpec,
+    core_cfg: CoreConfig,
+    provider: &dyn CheckpointProvider,
+    jobs: usize,
+) -> Result<ExperimentResult, ExpError> {
+    let victim_index = security_victims()
+        .iter()
+        .position(|v| v.name() == spec.victim)
+        .ok_or_else(|| ExpError(format!("victim {:?} vanished", spec.victim)))?;
+
+    // Warm phase: fork a parked session when the provider has one (and
+    // the spec doesn't force cold), else warm from scratch. A cold run
+    // still parks its session — skipping the *lookup* is what `cold`
+    // means, not skipping the store.
+    let key = spec.key();
+    let (warmed, warm) = match (!spec.cold).then(|| provider.lookup(&key)).flatten() {
+        Some(w) => (w, true),
+        None => {
+            let victims = security_victims();
+            let victim = victims[victim_index].as_ref();
+            let mut core = security_core(victim, core_cfg.clone());
+            let mut rng = SplitMix64::new(spec.seed);
+            let mut input = vec![0u8; victim.input_len()];
+            warm_up(&mut core, victim, &mut rng, &mut input);
+            let w = Warmed {
+                snapshot: Arc::new(core.snapshot()),
+                rng,
+            };
+            provider.store(key, w.clone());
+            (w, false)
+        }
+    };
+
+    let run_leg = |leg: &Leg| -> Result<LegResult, ExpError> {
+        // Victims are not Sync; construct one per fork. The fresh core
+        // is fully overwritten by the restore, so every leg measures
+        // from the identical machine state.
+        let victims = security_victims();
+        let victim = victims[victim_index].as_ref();
+        let mut core = security_core(victim, core_cfg.clone());
+        core.restore(&warmed.snapshot);
+        core.mark_plan_leg();
+        let mut rng = warmed.rng;
+        let mut input = vec![0u8; victim.input_len()];
+        apply_leg_mode(&leg.mode, victim, &mut core)?;
+        let blocks = leg.blocks.unwrap_or(spec.blocks);
+        let metrics = measure_blocks(&mut core, victim, &mut rng, &mut input, blocks);
+        Ok(LegResult {
+            mode: leg.mode.clone(),
+            blocks,
+            metrics,
+        })
+    };
+
+    let workers = jobs.max(1).min(spec.legs.len());
+    let legs: Vec<LegResult> = if workers <= 1 {
+        spec.legs
+            .iter()
+            .map(run_leg)
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        // Scoped pool over an index counter: results land in slots by
+        // leg index, so the output is deterministic at any job count.
+        let slots: Mutex<Vec<Option<Result<LegResult, ExpError>>>> =
+            Mutex::new(vec![None; spec.legs.len()]);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(leg) = spec.legs.get(i) else { break };
+                    let out = run_leg(leg);
+                    if let Ok(mut slots) = slots.lock() {
+                        slots[i] = Some(out);
+                    }
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .map_err(|_| ExpError("a plan worker panicked".to_string()))?
+            .into_iter()
+            .map(|slot| slot.unwrap_or_else(|| Err(ExpError("a plan leg was dropped".to_string()))))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+
+    Ok(ExperimentResult {
+        victim: spec.victim.clone(),
+        pipeline: spec.pipeline.clone(),
+        seed: spec.seed,
+        warm,
+        legs,
+    })
+}

@@ -1,0 +1,304 @@
+//! Typed, JSON-round-trippable experiment descriptions.
+//!
+//! An [`ExperimentSpec`] names everything the warm state depends on
+//! (victim, pipeline, input-stream seed) plus a list of [`Leg`]s that
+//! differ only in decode context — stealth on/off, watchdog period,
+//! VPU policy — and fork from one shared checkpoint when the plan
+//! executor runs them. The JSON grammar is the wire format of
+//! `POST /v1/experiments` and the `loadgen --spec` flag, and round-trips
+//! exactly: `ExperimentSpec::from_json(&spec.to_json()) == spec`.
+
+use crate::measure::{pipelines, policy_by_name, victim_names, DEFAULT_WATCHDOG};
+use crate::plan::SessionKey;
+use csd_telemetry::{Json, ToJson};
+
+/// What one measured leg does to the decode context before measuring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LegMode {
+    /// Measure with the warmed configuration untouched.
+    Base,
+    /// Arm stealth mode for the victim's sensitive ranges.
+    Stealth {
+        /// Stealth watchdog period in cycles.
+        watchdog: u64,
+    },
+    /// Replace the VPU gating policy for the measured region.
+    Devec {
+        /// Policy name from [`crate::policies`].
+        policy: String,
+    },
+}
+
+impl LegMode {
+    /// The stable mode tag used in the JSON grammar.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            LegMode::Base => "base",
+            LegMode::Stealth { .. } => "stealth",
+            LegMode::Devec { .. } => "devec",
+        }
+    }
+}
+
+/// One measured leg of an experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Leg {
+    /// Decode-context change applied at fork time.
+    pub mode: LegMode,
+    /// Measured operations, overriding the spec-level default.
+    pub blocks: Option<usize>,
+}
+
+impl Leg {
+    /// A leg with no per-leg overrides.
+    pub fn new(mode: LegMode) -> Leg {
+        Leg { mode, blocks: None }
+    }
+}
+
+impl ToJson for Leg {
+    fn to_json(&self) -> Json {
+        let mut members: Vec<(&str, Json)> = vec![("mode", Json::from(self.mode.tag()))];
+        match &self.mode {
+            LegMode::Base => {}
+            LegMode::Stealth { watchdog } => members.push(("watchdog", Json::from(*watchdog))),
+            LegMode::Devec { policy } => members.push(("policy", Json::from(policy.as_str()))),
+        }
+        if let Some(b) = self.blocks {
+            members.push(("blocks", Json::from(b as u64)));
+        }
+        Json::obj(members)
+    }
+}
+
+/// A complete experiment description: the warm state (victim, pipeline,
+/// seed), defaults for the measured region, and the legs to fork.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentSpec {
+    /// Victim benchmark name.
+    pub victim: String,
+    /// Pipeline configuration name (`opt` / `noopt`).
+    pub pipeline: String,
+    /// Input-stream seed.
+    pub seed: u64,
+    /// Default measured operations per leg.
+    pub blocks: usize,
+    /// Skip checkpoint-provider lookup (always re-warm).
+    pub cold: bool,
+    /// The measured legs, in result order.
+    pub legs: Vec<Leg>,
+}
+
+impl ExperimentSpec {
+    /// A one-leg spec.
+    pub fn single(victim: &str, pipeline: &str, seed: u64, blocks: usize, mode: LegMode) -> Self {
+        ExperimentSpec {
+            victim: victim.to_string(),
+            pipeline: pipeline.to_string(),
+            seed,
+            blocks,
+            cold: false,
+            legs: vec![Leg::new(mode)],
+        }
+    }
+
+    /// The Figure 8/9/10 shape: a base leg plus a stealth leg, forked
+    /// from one warmed checkpoint.
+    pub fn pair(victim: &str, pipeline: &str, seed: u64, blocks: usize, watchdog: u64) -> Self {
+        ExperimentSpec {
+            victim: victim.to_string(),
+            pipeline: pipeline.to_string(),
+            seed,
+            blocks,
+            cold: false,
+            legs: vec![
+                Leg::new(LegMode::Base),
+                Leg::new(LegMode::Stealth { watchdog }),
+            ],
+        }
+    }
+
+    /// The Figure 11 shape: a base leg plus one stealth leg per watchdog
+    /// period, all forked from one warmed checkpoint.
+    pub fn watchdog_sweep(
+        victim: &str,
+        pipeline: &str,
+        seed: u64,
+        blocks: usize,
+        periods: &[u64],
+    ) -> Self {
+        let mut legs = vec![Leg::new(LegMode::Base)];
+        legs.extend(
+            periods
+                .iter()
+                .map(|&watchdog| Leg::new(LegMode::Stealth { watchdog })),
+        );
+        ExperimentSpec {
+            victim: victim.to_string(),
+            pipeline: pipeline.to_string(),
+            seed,
+            blocks,
+            cold: false,
+            legs,
+        }
+    }
+
+    /// The session this experiment warms or forks.
+    pub fn key(&self) -> SessionKey {
+        SessionKey {
+            victim: self.victim.clone(),
+            pipeline: self.pipeline.clone(),
+            seed: self.seed,
+        }
+    }
+
+    /// Parses a spec from its JSON grammar. Two shapes are accepted: the
+    /// typed shape with a `"legs"` array (what [`ExperimentSpec::to_json`]
+    /// emits), and the legacy flat shape (`stealth`/`watchdog` booleans on
+    /// the object itself) describing a single leg. Victim, pipeline, and
+    /// policy names are validated here so admission rejects bad requests
+    /// before they reach a worker.
+    pub fn from_json(j: &Json) -> Result<ExperimentSpec, String> {
+        let str_field = |k: &str| -> Result<String, String> {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("experiment.{k} must be a string"))
+        };
+        let u64_field = |j: &Json, k: &str, default: u64| -> Result<u64, String> {
+            match j.get(k) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| format!("experiment.{k} must be a non-negative integer")),
+            }
+        };
+        let bool_field = |k: &str, default: bool| -> Result<bool, String> {
+            match j.get(k) {
+                None => Ok(default),
+                Some(Json::Bool(b)) => Ok(*b),
+                Some(_) => Err(format!("experiment.{k} must be a boolean")),
+            }
+        };
+
+        let legs = match j.get("legs") {
+            Some(Json::Arr(items)) => {
+                let mut legs = Vec::with_capacity(items.len());
+                for item in items {
+                    legs.push(Self::leg_from_json(item)?);
+                }
+                legs
+            }
+            Some(_) => return Err("experiment.legs must be an array".to_string()),
+            None => {
+                // Legacy flat shape: one leg described by stealth/watchdog
+                // keys on the spec object itself.
+                let mode = if bool_field("stealth", false)? {
+                    LegMode::Stealth {
+                        watchdog: u64_field(j, "watchdog", DEFAULT_WATCHDOG)?,
+                    }
+                } else {
+                    LegMode::Base
+                };
+                vec![Leg::new(mode)]
+            }
+        };
+
+        let spec = ExperimentSpec {
+            victim: str_field("victim")?,
+            pipeline: match j.get("pipeline") {
+                None => "opt".to_string(),
+                Some(_) => str_field("pipeline")?,
+            },
+            seed: u64_field(j, "seed", 0)?,
+            blocks: u64_field(j, "blocks", 4)? as usize,
+            cold: bool_field("cold", false)?,
+            legs,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn leg_from_json(j: &Json) -> Result<Leg, String> {
+        let mode = match j.get("mode").and_then(Json::as_str) {
+            Some("base") => LegMode::Base,
+            Some("stealth") => LegMode::Stealth {
+                watchdog: match j.get("watchdog") {
+                    None => DEFAULT_WATCHDOG,
+                    Some(v) => v
+                        .as_u64()
+                        .ok_or("leg.watchdog must be a non-negative integer")?,
+                },
+            },
+            Some("devec") => LegMode::Devec {
+                policy: j
+                    .get("policy")
+                    .and_then(Json::as_str)
+                    .ok_or("devec leg requires a policy name")?
+                    .to_string(),
+            },
+            Some(other) => return Err(format!("unknown leg mode {other:?} (base/stealth/devec)")),
+            None => return Err("leg.mode must be a string".to_string()),
+        };
+        let blocks = match j.get("blocks") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or("leg.blocks must be a non-negative integer")? as usize,
+            ),
+        };
+        Ok(Leg { mode, blocks })
+    }
+
+    /// Checks every name and bound the executor depends on.
+    pub fn validate(&self) -> Result<(), String> {
+        let blocks_ok = |b: usize| (1..=10_000).contains(&b);
+        if !blocks_ok(self.blocks) {
+            return Err("experiment.blocks must be in 1..=10000".to_string());
+        }
+        if self.legs.is_empty() {
+            return Err("experiment.legs must not be empty".to_string());
+        }
+        for leg in &self.legs {
+            if let Some(b) = leg.blocks {
+                if !blocks_ok(b) {
+                    return Err("leg.blocks must be in 1..=10000".to_string());
+                }
+            }
+            if let LegMode::Devec { policy } = &leg.mode {
+                if policy_by_name(policy).is_none() {
+                    return Err(format!(
+                        "unknown policy {policy:?} (always-on / conventional / csd-devec)"
+                    ));
+                }
+            }
+        }
+        if !victim_names().contains(&self.victim) {
+            return Err(format!(
+                "unknown victim {:?} (try GET /v1/tasks)",
+                self.victim
+            ));
+        }
+        if !pipelines().iter().any(|(n, _)| *n == self.pipeline) {
+            return Err(format!(
+                "unknown pipeline {:?} (opt / noopt)",
+                self.pipeline
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for ExperimentSpec {
+    fn to_json(&self) -> Json {
+        let legs: Vec<Json> = self.legs.iter().map(Leg::to_json).collect();
+        Json::obj([
+            ("victim", Json::from(self.victim.as_str())),
+            ("pipeline", Json::from(self.pipeline.as_str())),
+            ("seed", Json::from(self.seed)),
+            ("blocks", Json::from(self.blocks as u64)),
+            ("cold", Json::Bool(self.cold)),
+            ("legs", Json::Arr(legs)),
+        ])
+    }
+}

@@ -137,6 +137,9 @@ pub struct CheckpointStats {
     pub snapshots: u64,
     /// Restores performed.
     pub restores: u64,
+    /// Experiment-plan legs measured on this core (marked by the
+    /// `csd-exp` plan executor when it forks a leg onto the core).
+    pub plan_legs: u64,
 }
 
 /// Everything [`Core::restore`] rewinds: architectural and decoder-internal
@@ -369,6 +372,14 @@ impl Core {
         &self.ckpt
     }
 
+    /// Records that an experiment-plan leg is about to be measured on
+    /// this core. Like the snapshot/restore counters, the mark lives
+    /// outside the snapshot: restoring never rewinds it, so it counts
+    /// real plan traffic over the core's whole lifetime.
+    pub fn mark_plan_leg(&mut self) {
+        self.ckpt.plan_legs += 1;
+    }
+
     /// Current cycle count.
     pub fn cycles(&self) -> u64 {
         match self.mode {
@@ -539,6 +550,7 @@ impl Core {
                         Json::obj([
                             ("snapshots", Json::from(self.ckpt.snapshots)),
                             ("restores", Json::from(self.ckpt.restores)),
+                            ("plan_legs", Json::from(self.ckpt.plan_legs)),
                         ]),
                     ),
                 ]),

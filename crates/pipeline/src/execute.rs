@@ -3,7 +3,7 @@
 //! contention, ROB occupancy, branch redirects).
 
 use crate::core::{Core, SimMode};
-use crate::exec;
+use crate::fu;
 use crate::machine::Flags;
 use crate::stage::{FlowEnd, StageCtx, UopEffect};
 use csd_cache::AccessKind;
@@ -97,7 +97,7 @@ fn exec_uop(core: &mut Core, u: &Uop, placed: &Placed) -> (UopEffect, u64) {
                     .src2
                     .map(|r| core.state.read(r))
                     .unwrap_or(u.imm.unwrap_or(0) as u64);
-                let (res, _) = exec::alu(op, a, b);
+                let (res, _) = fu::alu(op, a, b);
                 if let Some(d) = u.dst {
                     core.state.write(d, res);
                 }
@@ -131,7 +131,7 @@ fn exec_uop(core: &mut Core, u: &Uop, placed: &Placed) -> (UopEffect, u64) {
                 .src2
                 .map(|r| core.state.read(r))
                 .unwrap_or(u.imm.unwrap_or(0) as u64);
-            let (res, flags) = exec::alu(op, a, b);
+            let (res, flags) = fu::alu(op, a, b);
             if let Some(d) = u.dst {
                 core.state.write(d, res);
             }
@@ -146,7 +146,7 @@ fn exec_uop(core: &mut Core, u: &Uop, placed: &Placed) -> (UopEffect, u64) {
                 .src2
                 .map(|r| core.state.read(r))
                 .unwrap_or(u.imm.unwrap_or(0) as u64);
-            let (res, flags) = exec::mul(a, b);
+            let (res, flags) = fu::mul(a, b);
             if let Some(d) = u.dst {
                 core.state.write(d, res);
             }
@@ -256,7 +256,7 @@ fn exec_uop(core: &mut Core, u: &Uop, placed: &Placed) -> (UopEffect, u64) {
         UopKind::VAlu(op) => {
             let a = core.state.read_v(u.src1.expect("valu src1"));
             let b = core.state.read_v(u.src2.expect("valu src2"));
-            let r = exec::valu(op, a, b);
+            let r = fu::valu(op, a, b);
             core.state.write_v(u.dst.expect("valu dst"), r);
             core.dift.propagate(u, None);
             core.stats.vpu_uops += 1;

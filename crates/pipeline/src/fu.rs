@@ -1,4 +1,7 @@
-//! Functional micro-op semantics shared by both simulation engines.
+//! Pure functional-unit µop semantics (ALU, multiplier, vector ALU)
+//! shared by both simulation engines. This module computes *values and
+//! flags only*; the `execute` module is the pipeline stage that drives
+//! these helpers, models timing/ports, and commits the results.
 
 use crate::machine::Flags;
 use mx86_isa::{AluOp, VecOp};

@@ -50,9 +50,12 @@ mod commit;
 mod config;
 mod core;
 mod decode;
-mod exec;
 mod execute;
 mod fetch;
+// `fu` holds the pure functional-unit µop semantics (value/flag
+// computation); `execute` is the pipeline *stage* that drives them and
+// models timing, ports, and commit.
+mod fu;
 mod machine;
 mod stage;
 mod uop_cache;
@@ -60,6 +63,6 @@ mod uop_cache;
 pub use crate::core::{CheckpointStats, Core, CoreSnapshot, SimMode, SimStats, StepOutcome};
 pub use branch::{BranchPredictor, BranchStats, PredictorConfig};
 pub use config::CoreConfig;
-pub use exec::{alu, mul, valu};
+pub use fu::{alu, mul, valu};
 pub use machine::{ArchState, Flags, Memory};
 pub use uop_cache::{UopCache, UopCacheStats};

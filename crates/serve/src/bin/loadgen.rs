@@ -27,12 +27,16 @@
 //! with its `--seed`.
 //!
 //! Helper modes for CI scripting: `--ping` (healthz), `--one LABEL`
-//! (fetch one task document, `--out PATH`), `--verify-warm` (cold run,
-//! then warm fork; assert byte-identical bodies), `--shutdown`.
+//! (fetch one task document, `--out PATH`), `--spec JSON|@FILE` (post
+//! one typed experiment spec, validated client-side), `--verify-warm`
+//! (cold run, then warm fork; assert byte-identical bodies),
+//! `--shutdown`.
 
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+use csd_exp::{ExperimentSpec, LegMode};
 use csd_serve::{Client, ClientResponse};
+use csd_telemetry::ToJson;
 use csd_telemetry::{derive_seed, Histogram, Json, SplitMix64};
 use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
@@ -113,6 +117,7 @@ fn main() {
     let mut mode_verify_warm = false;
     let mut mode_chaos = false;
     let mut mode_one: Option<String> = None;
+    let mut mode_spec: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -150,6 +155,12 @@ fn main() {
             "--verify-warm" => mode_verify_warm = true,
             "--chaos" => mode_chaos = true,
             "--one" => mode_one = Some(args.next().unwrap_or_else(|| die("--one needs a label"))),
+            "--spec" => {
+                mode_spec = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--spec needs JSON or @FILE")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen --addr HOST:PORT [--connections N] [--requests N]\n\
@@ -158,7 +169,8 @@ fn main() {
                      \x20          (daemon must run with CSD_FAULT_SEED set and a short\n\
                      \x20           --conn-deadline-ms; see scripts/chaos_smoke.sh)\n\
                      \x20      or: --ping | --shutdown | --verify-warm |\n\
-                     \x20          --one LABEL [--profile quick|full] [--out PATH]"
+                     \x20          --one LABEL [--profile quick|full] [--out PATH] |\n\
+                     \x20          --spec JSON|@FILE [--out PATH]"
                 );
                 return;
             }
@@ -187,6 +199,42 @@ fn main() {
                 resp.text()
             ));
         }
+        match out_path {
+            Some(path) => std::fs::write(&path, &resp.body)
+                .unwrap_or_else(|e| die(&format!("writing {path}: {e}"))),
+            None => std::io::stdout()
+                .write_all(&resp.body)
+                .unwrap_or_else(|e| die(&format!("writing stdout: {e}"))),
+        }
+        return;
+    }
+    if let Some(raw) = mode_spec {
+        // Validate client-side through the same typed spec the server
+        // parses, so a typo dies here with a real message instead of a
+        // 400 — and the posted body is the canonical serialization.
+        let text = match raw.strip_prefix('@') {
+            Some(path) => std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("reading {path}: {e}"))),
+            None => raw,
+        };
+        let doc =
+            Json::parse(&text).unwrap_or_else(|e| die(&format!("--spec is not valid JSON: {e}")));
+        // Accept a bare spec or an already-wrapped {"experiment": ...}.
+        let spec = ExperimentSpec::from_json(doc.get("experiment").unwrap_or(&doc))
+            .unwrap_or_else(|e| die(&format!("--spec: {e}")));
+        let resp = request_with_retry(&addr, "/v1/experiments", &experiment_body(&spec), 100)
+            .unwrap_or_else(|e| die(&format!("spec request: {e}")));
+        if resp.status != 200 {
+            die(&format!(
+                "spec request failed: {} {}",
+                resp.status,
+                resp.text()
+            ));
+        }
+        eprintln!(
+            "loadgen: spec ok (warm={})",
+            resp.header("x-csd-warm").unwrap_or("?")
+        );
         match out_path {
             Some(path) => std::fs::write(&path, &resp.body)
                 .unwrap_or_else(|e| die(&format!("writing {path}: {e}"))),
@@ -342,6 +390,11 @@ fn run_connection(addr: &str, n: usize, mix: &Mix, conn_seed: u64, global_seed: 
     out
 }
 
+/// Wraps a typed spec into the `POST /v1/experiments` body shape.
+fn experiment_body(spec: &ExperimentSpec) -> String {
+    Json::obj([("experiment", spec.to_json())]).dump()
+}
+
 /// The request body for one drawn kind. Warm requests rotate a small set
 /// of sessions (so the cache hits); cold requests force fresh warm-ups.
 fn request_body(
@@ -357,18 +410,18 @@ fn request_body(
             let victim = victims[rng.range_u64(0, victims.len() as u64 - 1) as usize];
             let stealth = rng.range_u64(0, 1) == 1;
             let watchdog = [1000u64, 2000][rng.range_u64(0, 1) as usize];
-            format!(
-                "{{\"experiment\": {{\"victim\": {victim:?}, \"pipeline\": \"opt\", \
-                 \"stealth\": {stealth}, \"watchdog\": {watchdog}, \"blocks\": 2, \
-                 \"seed\": {global_seed}}}}}"
-            )
+            let mode = if stealth {
+                LegMode::Stealth { watchdog }
+            } else {
+                LegMode::Base
+            };
+            experiment_body(&ExperimentSpec::single(victim, "opt", global_seed, 2, mode))
         }
         Kind::Cold => {
             let fresh = conn_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            format!(
-                "{{\"experiment\": {{\"victim\": \"aes-enc\", \"pipeline\": \"opt\", \
-                 \"blocks\": 2, \"seed\": {fresh}, \"cold\": true}}}}"
-            )
+            let mut spec = ExperimentSpec::single("aes-enc", "opt", fresh, 2, LegMode::Base);
+            spec.cold = true;
+            experiment_body(&spec)
         }
         Kind::Task => "{\"task\": \"table1\", \"profile\": \"quick\"}".to_string(),
         Kind::Devec => {
@@ -693,15 +746,17 @@ fn chaos_saturate(addr: &str) -> Result<u64, String> {
 /// Posts the same experiment cold then warm and asserts the bodies are
 /// byte-identical — the session-cache contract, checked over the wire.
 fn verify_warm(addr: &str, seed: u64) {
-    let spec = format!(
-        "{{\"victim\": \"aes-enc\", \"pipeline\": \"opt\", \"stealth\": true, \
-         \"watchdog\": 2000, \"blocks\": 2, \"seed\": {seed}}}"
+    let mut spec = ExperimentSpec::single(
+        "aes-enc",
+        "opt",
+        seed,
+        2,
+        LegMode::Stealth { watchdog: 2000 },
     );
-    let cold_body = format!(
-        "{{\"experiment\": {{\"cold\": true, {}}}}}",
-        &spec[1..spec.len() - 1]
-    );
-    let warm_body = format!("{{\"experiment\": {spec}}}");
+    spec.cold = true;
+    let cold_body = experiment_body(&spec);
+    spec.cold = false;
+    let warm_body = experiment_body(&spec);
     let cold = request_with_retry(addr, "/v1/experiments", &cold_body, 100)
         .unwrap_or_else(|e| die(&format!("cold run: {e}")));
     if cold.status != 200 {

@@ -9,8 +9,9 @@
 //!   writes — CI `cmp`s the two.
 //! - **Sessions amortize warm-up.** The expensive prefix of a security
 //!   experiment (core construction + cache warm-up) is parked as an
-//!   `Arc<CoreSnapshot>` in an LRU; requests varying only measured
-//!   knobs fork it, byte-identical to a cold run.
+//!   `Arc<CoreSnapshot>` in an LRU implementing the `csd-exp`
+//!   `CheckpointProvider` trait; experiment plans varying only measured
+//!   knobs fork it per leg, byte-identical to a cold run.
 //! - **Backpressure over buffering.** A fixed worker pool pulls from a
 //!   bounded queue; when it is full the daemon answers `503` with
 //!   `Retry-After` instead of hoarding work, and graceful shutdown
@@ -42,9 +43,10 @@ pub mod server;
 pub mod session;
 
 pub use client::{Client, ClientResponse};
+pub use csd_exp::{ExperimentSpec, SessionKey, Warmed};
 pub use error::{ErrorClass, ServeError};
 pub use fault::{FaultMode, FaultSpec};
 pub use lock::{poison_recoveries, relock, rewait};
 pub use metrics::Metrics;
 pub use server::{install_signal_handler, Server, ServerConfig, ShutdownHandle};
-pub use session::{ExperimentSpec, SessionCache, SessionKey, Warmed};
+pub use session::SessionCache;

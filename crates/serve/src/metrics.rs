@@ -29,6 +29,9 @@ pub struct Metrics {
     pub warm_hits: AtomicU64,
     /// Experiment jobs that warmed a fresh session.
     pub cold_runs: AtomicU64,
+    /// Plan legs measured across all experiment jobs (one experiment
+    /// may fork its checkpoint into many legs).
+    pub plan_legs: AtomicU64,
     /// Requests rejected with `503` (queue full or draining).
     pub rejected: AtomicU64,
     /// Requests answered with a `4xx`.
@@ -115,6 +118,7 @@ impl ToJson for Metrics {
             ("experiments", c(&self.experiments)),
             ("warm_hits", c(&self.warm_hits)),
             ("cold_runs", c(&self.cold_runs)),
+            ("plan_legs", c(&self.plan_legs)),
             ("rejected", c(&self.rejected)),
             ("client_errors", c(&self.client_errors)),
             ("server_errors", c(&self.server_errors)),

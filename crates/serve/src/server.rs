@@ -33,11 +33,14 @@ use crate::fault::{FaultMode, FaultSpec};
 use crate::http::{Poll, Request, RequestReader, Response};
 use crate::metrics::Metrics;
 use crate::queue::{Bounded, PushError};
-use crate::session::{ExperimentSpec, SessionCache};
+use crate::session::SessionCache;
+use csd_bench::run_devec;
 use csd_bench::suite::{run_filtered, SuiteConfig};
-use csd_bench::tasks::{filter_tasks, pipelines};
-use csd_bench::{measure_blocks, run_devec, security_core, security_victims, warm_up};
-use csd_crypto::enable_stealth_for;
+use csd_bench::tasks::filter_tasks;
+use csd_exp::{
+    apply_leg_mode, measure_blocks, pipelines, run_plan, security_core, security_victims, warm_up,
+    ExperimentSpec,
+};
 use csd_telemetry::{
     DecodeEvent, EventSink, GateEvent, Json, SplitMix64, StealthWindowEvent, ToJson,
 };
@@ -89,7 +92,8 @@ impl Default for ServerConfig {
 
 /// What a worker executes for one admitted request.
 enum JobSpec {
-    /// Fork-or-warm a session and measure (see [`ExperimentSpec`]).
+    /// Run an experiment plan: fork-or-warm a session, measure every leg
+    /// (see [`ExperimentSpec`]).
     Experiment(ExperimentSpec),
     /// Run a grid-task subset — byte-identical to `suite --filter`.
     Task {
@@ -325,16 +329,21 @@ fn worker_loop(state: &State) {
 fn execute_job(spec: &JobSpec, state: &State) -> Result<Response, ServeError> {
     match spec {
         JobSpec::Experiment(exp) => {
-            let (doc, warm) = exp.run(&state.cache)?;
+            let result = run_plan(exp, &state.cache, 1).map_err(|e| ServeError::run(e.0))?;
             Metrics::bump(&state.metrics.experiments);
-            Metrics::bump(if warm {
+            Metrics::bump(if result.warm {
                 &state.metrics.warm_hits
             } else {
                 &state.metrics.cold_runs
             });
+            state
+                .metrics
+                .plan_legs
+                .fetch_add(result.legs.len() as u64, Ordering::Relaxed);
             // Warmness goes in a header so warm and cold bodies stay
             // byte-identical.
-            Ok(Response::json(200, &doc).with_header("X-CSD-Warm", if warm { "1" } else { "0" }))
+            Ok(Response::json(200, &result.to_json())
+                .with_header("X-CSD-Warm", if result.warm { "1" } else { "0" }))
         }
         JobSpec::Task {
             filter,
@@ -396,7 +405,7 @@ fn policies_by_name(name: &str) -> Option<&'static (&'static str, csd::VpuPolicy
     static POLICIES: std::sync::OnceLock<[(&'static str, csd::VpuPolicy); 3]> =
         std::sync::OnceLock::new();
     POLICIES
-        .get_or_init(csd_bench::policies)
+        .get_or_init(csd_exp::policies)
         .iter()
         .find(|(n, _)| *n == name)
 }
@@ -475,6 +484,8 @@ fn route(req: &Request, state: &State) -> Result<Response, ServeError> {
             let mut doc = state.metrics.to_json();
             doc.push_member("queue_depth", Json::from(state.queue.len() as u64));
             doc.push_member("sessions", Json::from(state.cache.len() as u64));
+            doc.push_member("session_hits", Json::from(state.cache.hits()));
+            doc.push_member("session_misses", Json::from(state.cache.misses()));
             Ok(Response::json(200, &doc))
         }
         ("GET", "/v1/tasks") => {
@@ -789,7 +800,7 @@ fn experiment_from_query(req: &Request) -> Result<ExperimentSpec, String> {
     ExperimentSpec::from_json(&obj)
 }
 
-/// Runs the spec'd experiment with `sink` attached to the CSD engine for
+/// Runs the spec's first leg with `sink` attached to the CSD engine for
 /// the measured region; returns the metric document. Streams always run
 /// cold and never populate the session cache — the attached sink makes
 /// their warm state observably different from a cacheable one.
@@ -804,15 +815,18 @@ fn run_streamed(spec: &ExperimentSpec, sink: StreamSink) -> Result<Json, ServeEr
         .iter()
         .find(|(n, _)| *n == spec.pipeline)
         .ok_or_else(|| ServeError::run(format!("pipeline {:?} vanished", spec.pipeline)))?;
+    let leg = spec
+        .legs
+        .first()
+        .ok_or_else(|| ServeError::run("experiment has no legs"))?;
     let mut core = security_core(victim, mk());
     let mut rng = SplitMix64::new(spec.seed);
     let mut input = vec![0u8; victim.input_len()];
     warm_up(&mut core, victim, &mut rng, &mut input);
-    if spec.stealth {
-        enable_stealth_for(victim, &mut core, spec.watchdog);
-    }
+    apply_leg_mode(&leg.mode, victim, &mut core).map_err(|e| ServeError::run(e.0))?;
     core.engine_mut().set_event_sink(Box::new(sink));
-    let metrics = measure_blocks(&mut core, victim, &mut rng, &mut input, spec.blocks);
+    let blocks = leg.blocks.unwrap_or(spec.blocks);
+    let metrics = measure_blocks(&mut core, victim, &mut rng, &mut input, blocks);
     // Dropping the engine (and with it the sink's sender) closes the
     // NDJSON channel, which is what ends the reader loop.
     Ok(metrics.to_json())

@@ -1,48 +1,21 @@
-//! Warmed-checkpoint session cache and the ad-hoc experiment runner.
+//! Warmed-checkpoint session cache.
 //!
 //! A *session* is the expensive prefix of a security experiment: core
-//! construction plus the [`csd_bench::WARMUP_OPS`] warm-up operations
-//! that populate the caches. The daemon parks that state as an
-//! `Arc<CoreSnapshot>` (plus the post-warmup RNG, so forks replay the
-//! identical plaintext stream) in an LRU keyed by
-//! `(victim, pipeline, seed)` — everything the warm state depends on.
-//! Requests that vary only the *measured* knobs (stealth, watchdog
-//! period, block count) fork from the shared checkpoint instead of
-//! re-warming, and are byte-identical to a cold run because a snapshot
-//! captures the complete modeled machine.
+//! construction plus the [`csd_exp::WARMUP_OPS`] warm-up operations
+//! that populate the caches. The daemon parks that state as a
+//! [`csd_exp::Warmed`] (an `Arc<CoreSnapshot>` plus the post-warmup
+//! RNG, so forks replay the identical plaintext stream) in an LRU keyed
+//! by `(victim, pipeline, seed)` — everything the warm state depends
+//! on. The cache implements [`CheckpointProvider`], which is how the
+//! `csd-exp` plan executor forks requests that vary only the *measured*
+//! knobs (legs, watchdog period, block count) from the shared
+//! checkpoint instead of re-warming — byte-identical to a cold run
+//! because a snapshot captures the complete modeled machine.
 
-use crate::error::ServeError;
 use crate::lock::relock;
-use csd_bench::tasks::pipelines;
-use csd_bench::{
-    measure_blocks, security_core, security_victims, warm_up, SecMetrics, DEFAULT_WATCHDOG,
-};
-use csd_crypto::enable_stealth_for;
-use csd_pipeline::CoreSnapshot;
-use csd_telemetry::{Json, SplitMix64, ToJson};
-use std::sync::{Arc, Mutex};
-
-/// Everything the warmed state of a session depends on.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct SessionKey {
-    /// Victim benchmark name, e.g. `aes-enc`.
-    pub victim: String,
-    /// Pipeline configuration name (`opt` / `noopt`).
-    pub pipeline: String,
-    /// Input-stream seed.
-    pub seed: u64,
-}
-
-/// A warmed session: the checkpoint plus the RNG positioned just past
-/// warm-up. Cloning is cheap (`Arc` + `Copy`), which is what lets many
-/// concurrent requests fork the same checkpoint.
-#[derive(Clone)]
-pub struct Warmed {
-    /// Snapshot of the complete modeled machine after warm-up.
-    pub snapshot: Arc<CoreSnapshot>,
-    /// Input RNG positioned at the start of the measured region.
-    pub rng: SplitMix64,
-}
+use csd_exp::{CheckpointProvider, SessionKey, Warmed};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// An LRU cache of warmed sessions.
 pub struct SessionCache {
@@ -50,6 +23,8 @@ pub struct SessionCache {
     // Most-recently-used first. Sessions are few and large, so a scan
     // beats a map + intrusive list.
     entries: Mutex<Vec<(SessionKey, Warmed)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl SessionCache {
@@ -58,6 +33,8 @@ impl SessionCache {
         SessionCache {
             cap: cap.max(1),
             entries: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -85,6 +62,23 @@ impl SessionCache {
         relock(&self.entries).len()
     }
 
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Plan lookups that forked a parked session.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Plan lookups that found nothing and warmed from scratch. Forced
+    /// cold runs skip the lookup entirely and count here too — the
+    /// counter pair answers "how often did the plan layer re-warm".
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
     /// Fault injection: panic *while holding the cache lock*, the worst
     /// case for lock hygiene — the mutex is poisoned mid-critical-
     /// section and every later access must recover. Only reachable
@@ -94,171 +88,39 @@ impl SessionCache {
         let _guard = relock(&self.entries);
         panic!("injected fault: panic while holding the session-cache lock");
     }
-
-    /// Whether the cache is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
 }
 
-/// One ad-hoc experiment request (`POST /v1/experiments` with an
-/// `"experiment"` body).
-#[derive(Debug, Clone, PartialEq)]
-pub struct ExperimentSpec {
-    /// Victim benchmark name.
-    pub victim: String,
-    /// Pipeline configuration name (`opt` / `noopt`).
-    pub pipeline: String,
-    /// Arm stealth mode for the measured region.
-    pub stealth: bool,
-    /// Stealth watchdog period in cycles.
-    pub watchdog: u64,
-    /// Measured operations.
-    pub blocks: usize,
-    /// Input-stream seed.
-    pub seed: u64,
-    /// Skip the session cache (always re-warm).
-    pub cold: bool,
-}
-
-impl ExperimentSpec {
-    /// Parses the `"experiment"` object of a request body. Victim and
-    /// pipeline names are validated here so admission rejects bad
-    /// requests before they reach a worker.
-    pub fn from_json(j: &Json) -> Result<ExperimentSpec, String> {
-        let str_field = |k: &str| -> Result<String, String> {
-            j.get(k)
-                .and_then(Json::as_str)
-                .map(str::to_string)
-                .ok_or_else(|| format!("experiment.{k} must be a string"))
-        };
-        let u64_field = |k: &str, default: u64| -> Result<u64, String> {
-            match j.get(k) {
-                None => Ok(default),
-                Some(v) => v
-                    .as_u64()
-                    .ok_or_else(|| format!("experiment.{k} must be a non-negative integer")),
-            }
-        };
-        let bool_field = |k: &str, default: bool| -> Result<bool, String> {
-            match j.get(k) {
-                None => Ok(default),
-                Some(Json::Bool(b)) => Ok(*b),
-                Some(_) => Err(format!("experiment.{k} must be a boolean")),
-            }
-        };
-        let spec = ExperimentSpec {
-            victim: str_field("victim")?,
-            pipeline: match j.get("pipeline") {
-                None => "opt".to_string(),
-                Some(_) => str_field("pipeline")?,
-            },
-            stealth: bool_field("stealth", false)?,
-            watchdog: u64_field("watchdog", DEFAULT_WATCHDOG)?,
-            blocks: u64_field("blocks", 4)? as usize,
-            seed: u64_field("seed", 0)?,
-            cold: bool_field("cold", false)?,
-        };
-        if spec.blocks == 0 || spec.blocks > 10_000 {
-            return Err("experiment.blocks must be in 1..=10000".to_string());
+impl CheckpointProvider for SessionCache {
+    fn lookup(&self, key: &SessionKey) -> Option<Warmed> {
+        let warmed = self.get(key);
+        if warmed.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        if !security_victims().iter().any(|v| v.name() == spec.victim) {
-            return Err(format!(
-                "unknown victim {:?} (try GET /v1/tasks)",
-                spec.victim
-            ));
-        }
-        if !pipelines().iter().any(|(n, _)| *n == spec.pipeline) {
-            return Err(format!(
-                "unknown pipeline {:?} (opt / noopt)",
-                spec.pipeline
-            ));
-        }
-        Ok(spec)
+        warmed
     }
 
-    /// The session this experiment warms or forks.
-    pub fn key(&self) -> SessionKey {
-        SessionKey {
-            victim: self.victim.clone(),
-            pipeline: self.pipeline.clone(),
-            seed: self.seed,
-        }
-    }
-
-    /// Runs the experiment, forking a cached session when one exists
-    /// (and `cold` is not forced). Returns the result document and
-    /// whether a warm session was used. Warm and cold paths produce
-    /// byte-identical documents; warmness is reported out-of-band (the
-    /// server puts it in a response header).
-    ///
-    /// Victim and pipeline were validated at parse, but lookup failures
-    /// are still errors, not panics — a stale spec must cost one `500`,
-    /// never a worker.
-    pub fn run(&self, cache: &SessionCache) -> Result<(Json, bool), ServeError> {
-        let victims = security_victims();
-        let victim = victims
-            .iter()
-            .find(|v| v.name() == self.victim)
-            .ok_or_else(|| ServeError::run(format!("victim {:?} vanished", self.victim)))?
-            .as_ref();
-        let (_, mk) = *pipelines()
-            .iter()
-            .find(|(n, _)| *n == self.pipeline)
-            .ok_or_else(|| ServeError::run(format!("pipeline {:?} vanished", self.pipeline)))?;
-
-        let key = self.key();
-        let mut input = vec![0u8; victim.input_len()];
-
-        let (mut core, mut rng, warm) = match (!self.cold).then(|| cache.get(&key)).flatten() {
-            Some(warmed) => {
-                // Fork: fresh core of the same shape, complete machine
-                // state restored from the shared checkpoint.
-                let mut core = security_core(victim, mk());
-                core.restore(&warmed.snapshot);
-                (core, warmed.rng, true)
-            }
-            None => {
-                // Cold: warm up from scratch, then park the session for
-                // future requests before running the measured region.
-                let mut core = security_core(victim, mk());
-                let mut rng = SplitMix64::new(self.seed);
-                warm_up(&mut core, victim, &mut rng, &mut input);
-                cache.insert(
-                    key,
-                    Warmed {
-                        snapshot: Arc::new(core.snapshot()),
-                        rng,
-                    },
-                );
-                (core, rng, false)
-            }
-        };
-
-        if self.stealth {
-            enable_stealth_for(victim, &mut core, self.watchdog);
-        }
-        let metrics = measure_blocks(&mut core, victim, &mut rng, &mut input, self.blocks);
-        Ok((self.document(&metrics), warm))
-    }
-
-    /// The response document (identical for warm and cold runs).
-    fn document(&self, metrics: &SecMetrics) -> Json {
-        Json::obj([
-            ("victim", Json::from(self.victim.as_str())),
-            ("pipeline", Json::from(self.pipeline.as_str())),
-            ("stealth", Json::Bool(self.stealth)),
-            ("watchdog", Json::from(self.watchdog)),
-            ("blocks", Json::from(self.blocks as u64)),
-            ("seed", Json::from(self.seed)),
-            ("metrics", metrics.to_json()),
-        ])
+    fn store(&self, key: SessionKey, warmed: Warmed) {
+        // The executor stores exactly once per fresh warm-up, and a
+        // forced-cold plan never calls `lookup` — so counting misses at
+        // the store keeps `hits + misses == warm phases` even for cold
+        // runs.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.insert(key, warmed);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use csd_exp::{run_plan, security_core, security_victims, ExperimentSpec, NoCache};
+    use csd_telemetry::{SplitMix64, ToJson};
+    use std::sync::Arc;
+
+    fn stealth_spec(seed: u64) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::pair("aes-enc", "opt", seed, 2, 2000);
+        spec.legs.remove(0);
+        spec
+    }
 
     #[test]
     fn lru_evicts_least_recently_used() {
@@ -291,69 +153,35 @@ mod tests {
     }
 
     #[test]
-    fn spec_parsing_validates_and_defaults() {
-        let body = Json::obj([
-            ("victim", Json::from("aes-enc")),
-            ("seed", Json::from(7u64)),
-        ]);
-        let spec = ExperimentSpec::from_json(&body).unwrap();
-        assert_eq!(spec.pipeline, "opt");
-        assert_eq!(spec.watchdog, DEFAULT_WATCHDOG);
-        assert_eq!(spec.blocks, 4);
-        assert!(!spec.stealth);
-        assert!(!spec.cold);
-
-        let bad = Json::obj([("victim", Json::from("no-such"))]);
-        assert!(ExperimentSpec::from_json(&bad)
-            .unwrap_err()
-            .contains("victim"));
-        let bad = Json::obj([
-            ("victim", Json::from("aes-enc")),
-            ("pipeline", Json::from("turbo")),
-        ]);
-        assert!(ExperimentSpec::from_json(&bad)
-            .unwrap_err()
-            .contains("pipeline"));
-        let bad = Json::obj([
-            ("victim", Json::from("aes-enc")),
-            ("blocks", Json::from(0u64)),
-        ]);
-        assert!(ExperimentSpec::from_json(&bad)
-            .unwrap_err()
-            .contains("blocks"));
-    }
-
-    #[test]
     fn warm_fork_matches_cold_run_bytes() {
-        // The core session-cache invariant, module-scale: a fork from a
-        // cached checkpoint returns the byte-identical document a cold
+        // The core session-cache invariant, module-scale: a plan forking
+        // a cached checkpoint returns the byte-identical document a cold
         // run produces — including under stealth with a non-default
         // watchdog, which only touches the measured region.
         let cache = SessionCache::new(4);
-        let spec = ExperimentSpec {
-            victim: "aes-enc".to_string(),
-            pipeline: "opt".to_string(),
-            stealth: true,
-            watchdog: 2000,
-            blocks: 2,
-            seed: 11,
-            cold: false,
-        };
-        let (cold, warm_hit) = spec.run(&cache).expect("cold run");
-        assert!(!warm_hit, "first run must be cold");
+        let spec = stealth_spec(11);
+        let cold = run_plan(&spec, &cache, 1).expect("cold run");
+        assert!(!cold.warm, "first run must be cold");
         assert_eq!(cache.len(), 1);
-        let (warm, warm_hit) = spec.run(&cache).expect("warm run");
-        assert!(warm_hit, "second run must fork the session");
-        assert_eq!(cold.pretty(), warm.pretty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let warm = run_plan(&spec, &cache, 1).expect("warm run");
+        assert!(warm.warm, "second run must fork the session");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cold.to_json().pretty(), warm.to_json().pretty());
 
         // A different measured knob still forks the same session.
-        let base = ExperimentSpec {
-            stealth: false,
-            ..spec.clone()
-        };
-        let (_, warm_hit) = base.run(&cache).expect("fork run");
-        assert!(warm_hit, "stealth knob must not change the session key");
+        let base = ExperimentSpec::single("aes-enc", "opt", 11, 3, csd_exp::LegMode::Base);
+        let fork = run_plan(&base, &cache, 1).expect("fork run");
+        assert!(fork.warm, "measured knobs must not change the session key");
         assert_eq!(cache.len(), 1);
+
+        // ... and matches the same run against a cold provider.
+        let reference = run_plan(&base, &NoCache, 1).expect("reference run");
+        assert_eq!(
+            fork.to_json().pretty(),
+            reference.to_json().pretty(),
+            "fork must be byte-identical to an uncached run"
+        );
     }
 
     #[test]
@@ -363,27 +191,19 @@ mod tests {
         // cache operation, and warm forks after the poisoning stay
         // byte-identical to before.
         let cache = SessionCache::new(4);
-        let spec = ExperimentSpec {
-            victim: "aes-enc".to_string(),
-            pipeline: "opt".to_string(),
-            stealth: false,
-            watchdog: DEFAULT_WATCHDOG,
-            blocks: 2,
-            seed: 3,
-            cold: false,
-        };
-        let (before, _) = spec.run(&cache).expect("cold run");
+        let spec = stealth_spec(3);
+        let before = run_plan(&spec, &cache, 1).expect("cold run");
 
         let poisoned =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cache.panic_holding_lock()));
         assert!(poisoned.is_err(), "injected fault must panic");
 
         assert_eq!(cache.len(), 1, "cache state survives the poisoning");
-        let (after, warm_hit) = spec.run(&cache).expect("post-poison run");
-        assert!(warm_hit, "the parked session is still forkable");
+        let after = run_plan(&spec, &cache, 1).expect("post-poison run");
+        assert!(after.warm, "the parked session is still forkable");
         assert_eq!(
-            before.pretty(),
-            after.pretty(),
+            before.to_json().pretty(),
+            after.to_json().pretty(),
             "post-poison fork must be byte-identical"
         );
     }

@@ -72,10 +72,17 @@ fn warm_fork_over_http_matches_cold_and_reports_header() {
         "warm and cold bodies must be identical"
     );
 
-    // Metrics observed both paths.
+    // Metrics observed both paths, including the session-cache counters
+    // and the per-leg accounting from the plan executor.
     let metrics = Json::parse(&client.get("/metrics").unwrap().text()).unwrap();
     assert_eq!(metrics.get("warm_hits").and_then(Json::as_u64), Some(1));
     assert_eq!(metrics.get("cold_runs").and_then(Json::as_u64), Some(1));
+    assert_eq!(metrics.get("plan_legs").and_then(Json::as_u64), Some(2));
+    assert_eq!(metrics.get("session_hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        metrics.get("session_misses").and_then(Json::as_u64),
+        Some(1)
+    );
     assert!(
         metrics
             .get("run_us")
@@ -83,6 +90,68 @@ fn warm_fork_over_http_matches_cold_and_reports_header() {
             .and_then(Json::as_u64)
             .unwrap()
             >= 2
+    );
+
+    shutdown_and_join(&handle, join);
+}
+
+#[test]
+fn multi_leg_plan_matches_legs_run_one_at_a_time_cold() {
+    // One typed spec with four legs warms once and forks per leg; every
+    // leg's document must be byte-identical to the same leg posted alone
+    // with `cold: true` (fresh warm-up, no cache) — the observable proof
+    // that forking a checkpoint is free of cross-leg contamination.
+    let (addr, handle, join) = boot(2, 8);
+    let mut client = Client::connect(&addr).unwrap();
+    let legs = [
+        "{\"mode\": \"base\"}",
+        "{\"mode\": \"stealth\", \"watchdog\": 2000}",
+        "{\"mode\": \"stealth\", \"watchdog\": 4000}",
+        "{\"mode\": \"devec\", \"policy\": \"always-on\"}",
+    ];
+    let multi_body = format!(
+        "{{\"experiment\": {{\"victim\": \"aes-enc\", \"pipeline\": \"opt\", \"seed\": 21, \
+         \"blocks\": 2, \"legs\": [{}]}}}}",
+        legs.join(", ")
+    );
+    let multi = client.post_json("/v1/experiments", &multi_body).unwrap();
+    assert_eq!(multi.status, 200, "{}", multi.text());
+    let multi_doc = Json::parse(&multi.text()).unwrap();
+    let served_legs = match multi_doc.get("legs") {
+        Some(Json::Arr(items)) => items.clone(),
+        other => panic!("response lacks a legs array: {other:?}"),
+    };
+    assert_eq!(served_legs.len(), legs.len());
+
+    for (i, (leg, served)) in legs.iter().zip(&served_legs).enumerate() {
+        let one_body = format!(
+            "{{\"experiment\": {{\"victim\": \"aes-enc\", \"pipeline\": \"opt\", \"seed\": 21, \
+             \"blocks\": 2, \"cold\": true, \"legs\": [{leg}]}}}}"
+        );
+        let one = client.post_json("/v1/experiments", &one_body).unwrap();
+        assert_eq!(one.status, 200, "{}", one.text());
+        assert_eq!(one.header("x-csd-warm"), Some("0"), "cold skips the cache");
+        let one_doc = Json::parse(&one.text()).unwrap();
+        let solo = match one_doc.get("legs") {
+            Some(Json::Arr(items)) if items.len() == 1 => &items[0],
+            other => panic!("single-leg response malformed: {other:?}"),
+        };
+        assert_eq!(
+            served.pretty(),
+            solo.pretty(),
+            "leg {i} of the plan must be byte-identical to its solo cold run"
+        );
+    }
+
+    // The whole comparison cost exactly one warm-up on the plan side.
+    let metrics = Json::parse(&client.get("/metrics").unwrap().text()).unwrap();
+    assert_eq!(
+        metrics.get("plan_legs").and_then(Json::as_u64),
+        Some(legs.len() as u64 * 2)
+    );
+    assert_eq!(
+        metrics.get("session_misses").and_then(Json::as_u64),
+        Some(5)
     );
 
     shutdown_and_join(&handle, join);

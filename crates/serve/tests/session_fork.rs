@@ -1,4 +1,4 @@
-//! Session-cache contract: many concurrent requests forking ONE shared
+//! Session-cache contract: many concurrent plans forking ONE shared
 //! warmed checkpoint must each produce the byte-identical document a
 //! fresh cold run produces.
 //!
@@ -6,18 +6,24 @@
 //! a `CoreSnapshot` parked in an `Arc` is read from several threads at
 //! once while each forks its own core from it.
 
-use csd_serve::{ExperimentSpec, SessionCache};
+use csd_exp::{run_plan, ExperimentSpec, Leg, LegMode};
+use csd_serve::SessionCache;
+use csd_telemetry::ToJson;
 use std::sync::Arc;
 
 fn spec(stealth: bool, watchdog: u64, blocks: usize) -> ExperimentSpec {
+    let mode = if stealth {
+        LegMode::Stealth { watchdog }
+    } else {
+        LegMode::Base
+    };
     ExperimentSpec {
         victim: "aes-enc".to_string(),
         pipeline: "opt".to_string(),
-        stealth,
-        watchdog,
-        blocks,
         seed: 0xF0_87,
+        blocks,
         cold: false,
+        legs: vec![Leg::new(mode)],
     }
 }
 
@@ -25,10 +31,8 @@ fn spec(stealth: bool, watchdog: u64, blocks: usize) -> ExperimentSpec {
 fn concurrent_forks_of_one_checkpoint_match_fresh_cold_runs() {
     // One shared cache, seeded by a single cold run (the base leg).
     let shared = Arc::new(SessionCache::new(4));
-    let (_, warm_hit) = spec(false, 1000, 2)
-        .run(&shared)
-        .expect("cold run succeeds");
-    assert!(!warm_hit, "first run warms the session");
+    let seeded = run_plan(&spec(false, 1000, 2), shared.as_ref(), 1).expect("cold run succeeds");
+    assert!(!seeded.warm, "first run warms the session");
     assert_eq!(shared.len(), 1);
 
     // Six variants over the *measured* knobs only — same session key.
@@ -49,9 +53,9 @@ fn concurrent_forks_of_one_checkpoint_match_fresh_cold_runs() {
                 let cache = Arc::clone(&shared);
                 let v = v.clone();
                 s.spawn(move || {
-                    let (doc, warm_hit) = v.run(&cache).expect("warm fork succeeds");
-                    assert!(warm_hit, "{v:?} must fork the shared session");
-                    doc.pretty()
+                    let result = run_plan(&v, cache.as_ref(), 1).expect("warm fork succeeds");
+                    assert!(result.warm, "{v:?} must fork the shared session");
+                    result.to_json().pretty()
                 })
             })
             .collect();
@@ -62,10 +66,10 @@ fn concurrent_forks_of_one_checkpoint_match_fresh_cold_runs() {
     // Reference: each variant cold, in its own cache, sequentially.
     for (v, warm_bytes) in variants.iter().zip(&forked) {
         let fresh = SessionCache::new(4);
-        let (cold_doc, warm_hit) = v.run(&fresh).expect("cold run succeeds");
-        assert!(!warm_hit);
+        let cold = run_plan(v, &fresh, 1).expect("cold run succeeds");
+        assert!(!cold.warm);
         assert_eq!(
-            &cold_doc.pretty(),
+            &cold.to_json().pretty(),
             warm_bytes,
             "warm fork of {v:?} must be byte-identical to a fresh cold run"
         );
@@ -83,24 +87,65 @@ fn distinct_session_keys_do_not_collide() {
     let mut c = a.clone();
     c.pipeline = "noopt".to_string();
 
-    let (doc_a, _) = a.run(&cache).expect("run succeeds");
-    let (doc_b, hit_b) = b.run(&cache).expect("run succeeds");
-    let (doc_c, hit_c) = c.run(&cache).expect("run succeeds");
-    assert!(!hit_b && !hit_c, "new keys must run cold");
+    let ra = run_plan(&a, &cache, 1).expect("run succeeds");
+    let rb = run_plan(&b, &cache, 1).expect("run succeeds");
+    let rc = run_plan(&c, &cache, 1).expect("run succeeds");
+    assert!(!rb.warm && !rc.warm, "new keys must run cold");
     assert_eq!(cache.len(), 3);
     assert_ne!(
-        doc_a.pretty(),
-        doc_b.pretty(),
+        ra.to_json().pretty(),
+        rb.to_json().pretty(),
         "seed is part of the session"
     );
     assert_ne!(
-        doc_a.pretty(),
-        doc_c.pretty(),
+        ra.to_json().pretty(),
+        rc.to_json().pretty(),
         "pipeline is part of the session"
     );
 
     // And each key's warm fork still matches its own cold bytes.
-    let (again_a, hit_a) = a.run(&cache).expect("run succeeds");
-    assert!(hit_a);
-    assert_eq!(doc_a.pretty(), again_a.pretty());
+    let again_a = run_plan(&a, &cache, 1).expect("run succeeds");
+    assert!(again_a.warm);
+    assert_eq!(ra.to_json().pretty(), again_a.to_json().pretty());
+}
+
+#[test]
+fn one_multi_leg_plan_forks_every_leg_from_one_warmup() {
+    // A single plan with many legs must warm exactly once, measure every
+    // leg, and agree byte-for-byte with the same legs run as separate
+    // single-leg plans against the same cache.
+    let cache = SessionCache::new(4);
+    let multi = ExperimentSpec {
+        victim: "aes-enc".to_string(),
+        pipeline: "opt".to_string(),
+        seed: 0xF0_87,
+        blocks: 2,
+        cold: false,
+        legs: vec![
+            Leg::new(LegMode::Base),
+            Leg::new(LegMode::Stealth { watchdog: 1000 }),
+            Leg::new(LegMode::Stealth { watchdog: 4000 }),
+        ],
+    };
+    let result = run_plan(&multi, &cache, 2).expect("plan succeeds");
+    assert_eq!(result.legs.len(), 3);
+    assert_eq!(cache.len(), 1, "one plan, one session");
+    assert_eq!(
+        (cache.hits(), cache.misses()),
+        (0, 1),
+        "a multi-leg plan warms once, not per leg"
+    );
+
+    for (leg, single) in multi.legs.iter().zip(0..) {
+        let one = ExperimentSpec {
+            legs: vec![leg.clone()],
+            ..multi.clone()
+        };
+        let solo = run_plan(&one, &cache, 1).expect("single-leg plan succeeds");
+        assert!(solo.warm, "single-leg re-runs fork the parked session");
+        assert_eq!(
+            solo.legs[0], result.legs[single],
+            "leg {single} must match its single-leg twin exactly"
+        );
+    }
 }

@@ -13,6 +13,7 @@ pub use csd_attack as attack;
 pub use csd_cache as cache;
 pub use csd_crypto as crypto;
 pub use csd_dift as dift;
+pub use csd_exp as exp;
 pub use csd_pipeline as pipeline;
 pub use csd_power as power;
 pub use csd_telemetry as telemetry;
