@@ -1,0 +1,46 @@
+//! Scratch (review-only): does arming stealth before warm-up (old
+//! `run_security` semantics) differ from arming it at fork time (new
+//! plan semantics)?
+
+use csd_crypto::enable_stealth_for;
+use csd_exp::{
+    measure_blocks, run_plan_with, security_core, security_victims, warm_up, ExperimentSpec,
+    LegMode, NoCache, DEFAULT_WATCHDOG,
+};
+use csd_pipeline::CoreConfig;
+use csd_telemetry::SplitMix64;
+
+#[test]
+fn stealth_before_vs_after_warmup() {
+    let blocks = 2usize;
+    let seed = 0xBEEFu64 ^ blocks as u64;
+    let victims = security_victims();
+    let v = victims[0].as_ref();
+
+    // Old run_security semantics: stealth armed BEFORE warm-up.
+    let mut core = security_core(v, CoreConfig::opt());
+    enable_stealth_for(v, &mut core, DEFAULT_WATCHDOG);
+    let mut rng = SplitMix64::new(seed);
+    let mut input = vec![0u8; v.input_len()];
+    warm_up(&mut core, v, &mut rng, &mut input);
+    let old = measure_blocks(&mut core, v, &mut rng, &mut input, blocks);
+
+    // New plan semantics: warm with stealth off, fork, arm, measure.
+    let spec = ExperimentSpec::single(
+        "aes-enc",
+        "opt",
+        seed,
+        blocks,
+        LegMode::Stealth {
+            watchdog: DEFAULT_WATCHDOG,
+        },
+    );
+    let new = run_plan_with(&spec, CoreConfig::opt(), &NoCache, 1)
+        .unwrap()
+        .legs[0]
+        .metrics;
+
+    eprintln!("old (armed pre-warmup): {old:?}");
+    eprintln!("new (armed at fork):    {new:?}");
+    assert_eq!(old, new, "semantics differ");
+}
