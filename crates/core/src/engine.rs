@@ -8,8 +8,10 @@ use crate::mode::{ContextId, VectorExecClass};
 use crate::msr::MsrFile;
 use crate::stealth::{StealthConfig, StealthTranslator};
 use csd_power::GatingParams;
+use csd_telemetry::coverage::{key_cause, memo_probe};
 use csd_telemetry::{
-    DecodeEvent, EventSink, GateEvent, Json, SinkHandle, StealthWindowEvent, ToJson,
+    ContextKeyEvent, DecodeEvent, EventSink, GateEvent, Json, MemoProbeEvent, SinkHandle,
+    StealthWindowEvent, ToJson, UopDecodeEvent,
 };
 use csd_uops::{translate, DecodeMemo, MemoEntry, UopFlow};
 use mx86_isa::Placed;
@@ -148,6 +150,24 @@ impl CsdEngine {
         self.sink.detach()
     }
 
+    /// Advances the context generation and reports why. Every bump site
+    /// funnels through here so coverage tools see the full transition
+    /// stream; with no sink attached the cost stays one `Option` test.
+    fn bump_context(&mut self, cause: u8) {
+        self.context_gen += 1;
+        let ev = ContextKeyEvent {
+            key: self.context_gen,
+            cause,
+        };
+        self.sink.with(|s| s.on_context_key(&ev));
+    }
+
+    /// Reports a decode-memo probe outcome to the sink.
+    fn emit_memo_probe(&mut self, outcome: u8) {
+        let ev = MemoProbeEvent { outcome };
+        self.sink.with(|s| s.on_memo_probe(&ev));
+    }
+
     /// Emits a [`GateEvent`] if the VPU's gated-ness changed since `was`.
     fn emit_gate_delta(&mut self, was: VpuState) {
         let now = self.gate.state();
@@ -168,7 +188,7 @@ impl CsdEngine {
         if MsrFile::is_csd_msr(msr) {
             self.stealth.configure(&self.msrs);
         }
-        self.context_gen += 1;
+        self.bump_context(key_cause::MSR);
     }
 
     /// Reads an MSR.
@@ -185,13 +205,13 @@ impl CsdEngine {
     /// Re-snapshots decoder state from the MSR file.
     pub fn refresh(&mut self) {
         self.stealth.configure(&self.msrs);
-        self.context_gen += 1;
+        self.bump_context(key_cause::REFRESH);
     }
 
     /// Activates (or deactivates) a custom MCU-installed translation mode.
     pub fn set_custom_mode(&mut self, mode: Option<u8>) {
         self.active_custom = mode;
-        self.context_gen += 1;
+        self.bump_context(key_cause::CUSTOM_MODE);
     }
 
     /// Replaces the VPU gating policy, restarting the gate controller
@@ -200,7 +220,7 @@ impl CsdEngine {
     /// on it), so the context generation bumps.
     pub fn set_vpu_policy(&mut self, policy: VpuPolicy) {
         self.gate.set_policy(policy);
-        self.context_gen += 1;
+        self.bump_context(key_cause::VPU_POLICY);
     }
 
     /// Applies a microcode update after verification.
@@ -218,7 +238,7 @@ impl CsdEngine {
         if installed {
             self.stats.mcu_applied += 1;
         }
-        self.context_gen += 1;
+        self.bump_context(key_cause::MCU);
         Ok(installed)
     }
 
@@ -229,12 +249,12 @@ impl CsdEngine {
         let armed_was = self.stealth.armed();
         self.stealth.tick(cycles);
         if self.stealth.armed() != armed_was {
-            self.context_gen += 1;
+            self.bump_context(key_cause::STEALTH_ARM);
         }
         let was = self.gate.state();
         self.gate.tick(cycles);
         if self.gate.state() != was {
-            self.context_gen += 1;
+            self.bump_context(key_cause::GATE);
         }
         self.emit_gate_delta(was);
     }
@@ -308,7 +328,7 @@ impl CsdEngine {
         }
         self.emit_gate_delta(gate_was);
         if self.gate.state() != gate_was {
-            self.context_gen += 1;
+            self.bump_context(key_cause::GATE);
         }
 
         // --- Memo probe. The slot handle stays open across
@@ -322,6 +342,7 @@ impl CsdEngine {
         if self.stealth.enabled() {
             if let Some(m) = memo {
                 m.note_bypass();
+                self.emit_memo_probe(memo_probe::BYPASS);
             }
         } else if let Some(m) = memo {
             let s = m.probe(placed.addr, self.context_gen, tainted);
@@ -340,6 +361,7 @@ impl CsdEngine {
                     let (uops, decoys, native_uops) =
                         (entry.uops, entry.decoy_uops, entry.native_uops);
                     s.hit();
+                    self.emit_memo_probe(memo_probe::HIT);
                     if decided == ContextId::Devectorize {
                         self.devec.record(uops as usize, native_uops as usize);
                     }
@@ -355,6 +377,7 @@ impl CsdEngine {
                 }
             }
             slot = Some(s);
+            self.emit_memo_probe(memo_probe::MISS);
         }
 
         // --- Materialization (miss, bypass, or no table).
@@ -384,7 +407,7 @@ impl CsdEngine {
         if let Some(t) = self.stealth.on_decode(placed, &translation, tainted) {
             translation = t;
             context = ContextId::Stealth;
-            self.context_gen += 1;
+            self.bump_context(key_cause::STEALTH_INJECT);
         }
 
         let uops = translation.uops.len() as u32;
@@ -453,6 +476,18 @@ impl CsdEngine {
             stall_cycles,
         };
         self.sink.with(|s| s.on_decode(&ev));
+        // Per-µop events are the one per-µop emission in the engine;
+        // the attachment test keeps the detached hot path at the usual
+        // single Option check per macro-op.
+        if self.sink.is_attached() {
+            for u in &translation.uops {
+                let ev = UopDecodeEvent {
+                    context: context.bit(),
+                    class: u.kind.coverage_class(),
+                };
+                self.sink.with(|s| s.on_uop_decode(&ev));
+            }
+        }
         if context == ContextId::Stealth && decoys > 0 {
             let ev = StealthWindowEvent {
                 addr: placed.addr,

@@ -1,0 +1,479 @@
+//! Parser for the reassemblable assembly the harness prints.
+//!
+//! [`GenProgram::to_asm`] renders a program with symbolic labels; this
+//! module parses that exact grammar back into IR, which is what makes
+//! the persisted corpus *reassemblable*: an `.asm` file under
+//! `tests/corpus/` round-trips through [`parse_asm`] →
+//! [`GenProgram::assemble`] into the very program that diverged (or that
+//! covered a new bin). The grammar is the `Display` form of
+//! [`mx86_isa::Inst`] plus the label pseudo-ops `L<id>:`, `jmp L<id>`,
+//! `j<cc> L<id>`, `call L<id>`, and `mov <reg>, offset L<id>`.
+//!
+//! A round-trip property test (`parse_asm(gp.to_asm()) == gp`) pins the
+//! parser to the printer; neither can drift alone.
+
+use crate::generator::{GenOp, GenProgram};
+use mx86_isa::{AluOp, Cc, Gpr, Inst, MemRef, RegImm, Scale, VecOp, Width, Xmm};
+
+/// Parses one register name.
+fn gpr(s: &str) -> Option<Gpr> {
+    Gpr::ALL.into_iter().find(|g| g.to_string() == s)
+}
+
+/// Parses one xmm register name.
+fn xmm(s: &str) -> Option<Xmm> {
+    let n: u8 = s.strip_prefix("xmm")?.parse().ok()?;
+    (n < 16).then(|| Xmm::new(n))
+}
+
+/// Parses a `{:#x}`-formatted value. Negative `i64`s display as their
+/// two's-complement bit pattern (`-1` → `0xffffffffffffffff`), so the
+/// value is parsed as `u64` and reinterpreted.
+fn hex(s: &str) -> Option<i64> {
+    let digits = s.strip_prefix("0x")?;
+    u64::from_str_radix(digits, 16).ok().map(|v| v as i64)
+}
+
+fn width(s: &str) -> Option<Width> {
+    match s {
+        "byte" => Some(Width::B1),
+        "word" => Some(Width::B2),
+        "dword" => Some(Width::B4),
+        "qword" => Some(Width::B8),
+        "xmmword" => Some(Width::B16),
+        _ => None,
+    }
+}
+
+fn alu_op(s: &str) -> Option<AluOp> {
+    match s {
+        "add" => Some(AluOp::Add),
+        "sub" => Some(AluOp::Sub),
+        "and" => Some(AluOp::And),
+        "or" => Some(AluOp::Or),
+        "xor" => Some(AluOp::Xor),
+        "shl" => Some(AluOp::Shl),
+        "shr" => Some(AluOp::Shr),
+        "sar" => Some(AluOp::Sar),
+        _ => None,
+    }
+}
+
+fn vec_op(s: &str) -> Option<VecOp> {
+    match s {
+        "paddb" => Some(VecOp::PAddB),
+        "paddw" => Some(VecOp::PAddW),
+        "paddd" => Some(VecOp::PAddD),
+        "paddq" => Some(VecOp::PAddQ),
+        "psubb" => Some(VecOp::PSubB),
+        "psubd" => Some(VecOp::PSubD),
+        "pand" => Some(VecOp::PAnd),
+        "por" => Some(VecOp::POr),
+        "pxor" => Some(VecOp::PXor),
+        "pmullw" => Some(VecOp::PMullW),
+        "pmulld" => Some(VecOp::PMullD),
+        "addps" => Some(VecOp::AddPs),
+        "mulps" => Some(VecOp::MulPs),
+        "subps" => Some(VecOp::SubPs),
+        "addpd" => Some(VecOp::AddPd),
+        "mulpd" => Some(VecOp::MulPd),
+        _ => None,
+    }
+}
+
+fn cc(s: &str) -> Option<Cc> {
+    Cc::ALL.into_iter().find(|c| c.to_string() == s)
+}
+
+fn label_id(s: &str) -> Option<usize> {
+    s.strip_prefix('L')?.parse().ok()
+}
+
+fn scale(s: &str) -> Option<Scale> {
+    match s {
+        "1" => Some(Scale::S1),
+        "2" => Some(Scale::S2),
+        "4" => Some(Scale::S4),
+        "8" => Some(Scale::S8),
+        _ => None,
+    }
+}
+
+/// Parses a `[base + index*scale + 0xdisp]` memory operand (every part
+/// optional, matching [`MemRef`]'s `Display`).
+fn memref(s: &str) -> Option<MemRef> {
+    let inner = s.strip_prefix('[')?.strip_suffix(']')?;
+    let mut m = MemRef {
+        base: None,
+        index: None,
+        disp: 0,
+    };
+    let mut tokens = inner.split_whitespace();
+    let mut sign: i64 = 1;
+    let mut first = true;
+    while let Some(tok) = tokens.next() {
+        let term = if first {
+            first = false;
+            tok
+        } else {
+            sign = match tok {
+                "+" => 1,
+                "-" => -1,
+                _ => return None,
+            };
+            tokens.next()?
+        };
+        if let Some((idx, sc)) = term.split_once('*') {
+            if m.index.is_some() || sign < 0 {
+                return None;
+            }
+            m.index = Some((gpr(idx)?, scale(sc)?));
+        } else if let Some(r) = gpr(term) {
+            if m.base.is_some() || m.index.is_some() || sign < 0 {
+                return None;
+            }
+            m.base = Some(r);
+        } else {
+            m.disp = sign * hex(term)?;
+        }
+    }
+    Some(m)
+}
+
+fn reg_imm(s: &str) -> Option<RegImm> {
+    gpr(s).map(RegImm::Reg).or_else(|| hex(s).map(RegImm::Imm))
+}
+
+/// A `{width} {mem}` operand (loads/stores print the access width ahead
+/// of the memory operand).
+fn width_mem(s: &str) -> Option<(Width, MemRef)> {
+    let (w, m) = s.split_once(' ')?;
+    Some((width(w)?, memref(m)?))
+}
+
+/// Parses one instruction line (no label pseudo-ops).
+fn inst(line: &str) -> Result<Inst, String> {
+    let err = || format!("unparsable instruction {line:?}");
+    let (mn, rest) = line.split_once(' ').unwrap_or((line, ""));
+    let operands: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(", ").collect()
+    };
+    let unary =
+        || -> Result<&str, String> { (operands.len() == 1).then(|| operands[0]).ok_or_else(err) };
+    let binary = || -> Result<(&str, &str), String> {
+        (operands.len() == 2)
+            .then(|| (operands[0], operands[1]))
+            .ok_or_else(err)
+    };
+
+    if let Some(len) = mn.strip_prefix("nop").and_then(|d| d.parse::<u32>().ok()) {
+        if operands.is_empty() {
+            return Ok(Inst::Nop { len });
+        }
+    }
+    match mn {
+        "mov" => {
+            let (a, b) = binary()?;
+            if let Some((width, mem)) = width_mem(a) {
+                return gpr(b)
+                    .map(|src| Inst::Store { mem, src, width })
+                    .ok_or_else(err);
+            }
+            let dst = gpr(a).ok_or_else(err)?;
+            if let Some((width, mem)) = width_mem(b) {
+                return Ok(Inst::Load { dst, mem, width });
+            }
+            if let Some(src) = gpr(b) {
+                return Ok(Inst::MovRR { dst, src });
+            }
+            hex(b).map(|imm| Inst::MovRI { dst, imm }).ok_or_else(err)
+        }
+        "lea" => {
+            let (a, b) = binary()?;
+            Ok(Inst::Lea {
+                dst: gpr(a).ok_or_else(err)?,
+                mem: memref(b).ok_or_else(err)?,
+            })
+        }
+        "imul" => {
+            let (a, b) = binary()?;
+            Ok(Inst::Mul {
+                dst: gpr(a).ok_or_else(err)?,
+                src: reg_imm(b).ok_or_else(err)?,
+            })
+        }
+        "div" => Ok(Inst::Div {
+            src: gpr(unary()?).ok_or_else(err)?,
+        }),
+        "cmp" | "test" => {
+            let (a, b) = binary()?;
+            let a = gpr(a).ok_or_else(err)?;
+            let b = reg_imm(b).ok_or_else(err)?;
+            Ok(if mn == "cmp" {
+                Inst::Cmp { a, b }
+            } else {
+                Inst::Test { a, b }
+            })
+        }
+        "jmp" => {
+            let t = unary()?;
+            if let Some(reg) = gpr(t) {
+                return Ok(Inst::JmpInd { reg });
+            }
+            hex(t)
+                .map(|target| Inst::Jmp {
+                    target: target as u64,
+                })
+                .ok_or_else(err)
+        }
+        "call" => Ok(Inst::Call {
+            target: hex(unary()?).ok_or_else(err)? as u64,
+        }),
+        "ret" => (operands.is_empty()).then_some(Inst::Ret).ok_or_else(err),
+        "push" => Ok(Inst::Push {
+            src: gpr(unary()?).ok_or_else(err)?,
+        }),
+        "pop" => Ok(Inst::Pop {
+            dst: gpr(unary()?).ok_or_else(err)?,
+        }),
+        "movdqa" => {
+            let (a, b) = binary()?;
+            if let Some(mem) = memref(a) {
+                return xmm(b).map(|src| Inst::VStore { mem, src }).ok_or_else(err);
+            }
+            let dst = xmm(a).ok_or_else(err)?;
+            if let Some(mem) = memref(b) {
+                return Ok(Inst::VLoad { dst, mem });
+            }
+            xmm(b).map(|src| Inst::VMovRR { dst, src }).ok_or_else(err)
+        }
+        "movq" => {
+            let (a, b) = binary()?;
+            if let Some(dst) = gpr(a) {
+                return xmm(b)
+                    .map(|src| Inst::VMovToGpr { dst, src })
+                    .ok_or_else(err);
+            }
+            Ok(Inst::VMovFromGpr {
+                dst: xmm(a).ok_or_else(err)?,
+                src: gpr(b).ok_or_else(err)?,
+            })
+        }
+        "clflush" => Ok(Inst::Clflush {
+            mem: memref(unary()?).ok_or_else(err)?,
+        }),
+        "rdtsc" => (operands.is_empty()).then_some(Inst::Rdtsc).ok_or_else(err),
+        "wrmsr" => {
+            let (a, b) = binary()?;
+            Ok(Inst::Wrmsr {
+                msr: hex(a).ok_or_else(err)? as u32,
+                src: gpr(b).ok_or_else(err)?,
+            })
+        }
+        "rdmsr" => {
+            let (a, b) = binary()?;
+            Ok(Inst::Rdmsr {
+                dst: gpr(a).ok_or_else(err)?,
+                msr: hex(b).ok_or_else(err)? as u32,
+            })
+        }
+        "hlt" => (operands.is_empty()).then_some(Inst::Halt).ok_or_else(err),
+        j if j.starts_with('j') => {
+            let c = cc(&j[1..]).ok_or_else(err)?;
+            Ok(Inst::Jcc {
+                cc: c,
+                target: hex(unary()?).ok_or_else(err)? as u64,
+            })
+        }
+        op => {
+            let (a, b) = binary()?;
+            if let Some(op) = alu_op(op) {
+                if let Some((width, mem)) = width_mem(a) {
+                    let src = reg_imm(b).ok_or_else(err)?;
+                    return Ok(Inst::AluStore {
+                        op,
+                        mem,
+                        src,
+                        width,
+                    });
+                }
+                let dst = gpr(a).ok_or_else(err)?;
+                if let Some((width, mem)) = width_mem(b) {
+                    return Ok(Inst::AluLoad {
+                        op,
+                        dst,
+                        mem,
+                        width,
+                    });
+                }
+                let src = reg_imm(b).ok_or_else(err)?;
+                return Ok(Inst::Alu { op, dst, src });
+            }
+            if let Some(op) = vec_op(op) {
+                let dst = xmm(a).ok_or_else(err)?;
+                if let Some(mem) = memref(b) {
+                    return Ok(Inst::VAluLoad { op, dst, mem });
+                }
+                let src = xmm(b).ok_or_else(err)?;
+                return Ok(Inst::VAlu { op, dst, src });
+            }
+            Err(err())
+        }
+    }
+}
+
+/// Parses a whole reassemblable-assembly listing back into IR.
+///
+/// Accepts exactly what [`GenProgram::to_asm`] prints: one instruction
+/// or pseudo-op per line, `L<id>:` labels in column zero, blank lines
+/// ignored, `#`-prefixed lines treated as comments (so corpus files can
+/// carry a provenance header).
+///
+/// # Errors
+///
+/// Reports the first unparsable line with its 1-based line number.
+pub fn parse_asm(src: &str) -> Result<GenProgram, String> {
+    let mut ops = Vec::new();
+    let mut max_label: Option<usize> = None;
+    let mut note = |id: usize| {
+        max_label = Some(max_label.map_or(id, |m| m.max(id)));
+        id
+    };
+    for (n, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fail = |e: String| format!("line {}: {e}", n + 1);
+        if let Some(l) = line.strip_suffix(':') {
+            let id = label_id(l).ok_or_else(|| fail(format!("bad label {l:?}")))?;
+            ops.push(GenOp::Label(note(id)));
+            continue;
+        }
+        let (mn, rest) = line.split_once(' ').unwrap_or((line, ""));
+        // Label pseudo-ops first: they share mnemonics with real
+        // branches but target `L<id>` instead of an address.
+        if let Some(id) = label_id(rest) {
+            match mn {
+                "jmp" => {
+                    ops.push(GenOp::JmpTo(note(id)));
+                    continue;
+                }
+                "call" => {
+                    ops.push(GenOp::CallTo(note(id)));
+                    continue;
+                }
+                _ => {
+                    if let Some(c) = mn.strip_prefix('j').and_then(cc) {
+                        ops.push(GenOp::JccTo(c, note(id)));
+                        continue;
+                    }
+                }
+            }
+        }
+        if mn == "mov" {
+            if let Some((r, l)) = rest.split_once(", offset ") {
+                let reg = gpr(r).ok_or_else(|| fail(format!("bad register {r:?}")))?;
+                let id = label_id(l).ok_or_else(|| fail(format!("bad label {l:?}")))?;
+                ops.push(GenOp::MovLabelAddr(reg, note(id)));
+                continue;
+            }
+        }
+        ops.push(GenOp::Plain(inst(line).map_err(fail)?));
+    }
+    Ok(GenProgram {
+        ops,
+        labels: max_label.map_or(0, |m| m + 1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::Generator;
+
+    #[test]
+    fn roundtrips_generated_programs() {
+        for seed in 0..40u64 {
+            let gp = Generator::new(seed).program();
+            let asm = gp.to_asm();
+            let parsed = parse_asm(&asm).unwrap_or_else(|e| panic!("{e}\n{asm}"));
+            assert_eq!(parsed, gp, "round-trip changed the program:\n{asm}");
+            assert_eq!(parsed.to_asm(), asm);
+        }
+    }
+
+    #[test]
+    fn roundtrips_every_display_corner() {
+        use mx86_isa::MemRef;
+        let insts = [
+            Inst::Nop { len: 3 },
+            Inst::MovRI {
+                dst: Gpr::Rax,
+                imm: -1,
+            },
+            Inst::Load {
+                dst: Gpr::R9,
+                mem: MemRef::base_index(Gpr::Rax, Gpr::Rcx, Scale::S8).with_disp(-8),
+                width: Width::B2,
+            },
+            Inst::Store {
+                mem: MemRef::abs(0x10),
+                src: Gpr::Rbx,
+                width: Width::B1,
+            },
+            Inst::AluStore {
+                op: AluOp::Xor,
+                mem: MemRef::base(Gpr::R15).with_disp(0x40),
+                src: RegImm::Imm(-5),
+                width: Width::B4,
+            },
+            Inst::VAluLoad {
+                op: VecOp::PMullW,
+                dst: Xmm::new(7),
+                mem: MemRef::base(Gpr::R15),
+            },
+            Inst::VMovToGpr {
+                dst: Gpr::Rdx,
+                src: Xmm::new(3),
+            },
+            Inst::VMovFromGpr {
+                dst: Xmm::new(3),
+                src: Gpr::Rdx,
+            },
+            Inst::Wrmsr {
+                msr: 0x100,
+                src: Gpr::Rsi,
+            },
+            Inst::Rdmsr {
+                dst: Gpr::Rsi,
+                msr: 0x107,
+            },
+            Inst::Jcc {
+                cc: Cc::Lt,
+                target: 0x40_0000,
+            },
+            Inst::JmpInd { reg: Gpr::R11 },
+        ];
+        for i in insts {
+            let line = format!("    {i}\n");
+            let parsed = parse_asm(&line).unwrap_or_else(|e| panic!("{e} for {line:?}"));
+            assert_eq!(parsed.ops, vec![GenOp::Plain(i)], "mismatch for {line:?}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let gp = parse_asm("# provenance header\n\n    hlt\n").unwrap();
+        assert_eq!(gp.ops, vec![GenOp::Plain(Inst::Halt)]);
+        assert_eq!(gp.labels, 0);
+    }
+
+    #[test]
+    fn bad_lines_name_their_line_number() {
+        let err = parse_asm("    hlt\n    bogus r1, r2\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

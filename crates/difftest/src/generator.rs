@@ -167,7 +167,7 @@ impl GenProgram {
 
 /// GPRs free for random use (everything but the reserved pointer,
 /// counter, and stack registers).
-const FREE_GPRS: [Gpr; 13] = [
+pub(crate) const FREE_GPRS: [Gpr; 13] = [
     Gpr::Rax,
     Gpr::Rcx,
     Gpr::Rdx,
@@ -183,7 +183,7 @@ const FREE_GPRS: [Gpr; 13] = [
     Gpr::R13,
 ];
 
-const ALU_OPS: [AluOp; 8] = [
+pub(crate) const ALU_OPS: [AluOp; 8] = [
     AluOp::Add,
     AluOp::Sub,
     AluOp::And,
@@ -194,7 +194,7 @@ const ALU_OPS: [AluOp; 8] = [
     AluOp::Sar,
 ];
 
-const VEC_OPS: [VecOp; 11] = [
+pub(crate) const VEC_OPS: [VecOp; 11] = [
     VecOp::PAddB,
     VecOp::PAddW,
     VecOp::PAddD,
@@ -208,7 +208,7 @@ const VEC_OPS: [VecOp; 11] = [
     VecOp::PMullD,
 ];
 
-const WIDTHS: [Width; 4] = [Width::B1, Width::B2, Width::B4, Width::B8];
+pub(crate) const WIDTHS: [Width; 4] = [Width::B1, Width::B2, Width::B4, Width::B8];
 
 /// Seeded program generator.
 pub struct Generator {
@@ -278,6 +278,18 @@ impl Generator {
         } else {
             RegImm::Imm(self.rng.next_u64() as i64 % 0x1_0000)
         }
+    }
+
+    /// One random straight-line instruction as a fresh op sequence (one
+    /// instruction, or two when a masked index register needs its AND
+    /// prefix). This is the mutator's opcode pool: replacement and
+    /// insertion operators draw from the same distribution the generator
+    /// does, so every mutant stays inside the structural envelope that
+    /// guarantees termination.
+    pub fn straight_ops(&mut self) -> Vec<GenOp> {
+        let mut ops = Vec::with_capacity(2);
+        self.straight_inst(&mut ops);
+        ops
     }
 
     /// Emits one random straight-line instruction into `ops`.

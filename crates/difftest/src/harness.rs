@@ -8,14 +8,20 @@ use crate::reference::{RefCpu, RefOutcome, StoreRecord};
 use csd::{
     ContextId, CsdConfig, DevecThresholds, MicrocodeUpdate, OpcodeClass, PrivilegeLevel, VpuPolicy,
 };
+use csd_exp::{Leg, LegMode};
 use csd_pipeline::{Core, CoreConfig, SimMode};
-use csd_telemetry::{EventSink, StoreEvent};
+use csd_telemetry::{CoverageMap, CoverageSink, EventSink, StoreEvent, UopCacheEvent};
 use mx86_isa::AddrRange as TaintRange;
 use mx86_isa::Program;
 use std::sync::{Arc, Mutex};
 
 /// Retirement budget per leg (applied identically to the reference).
 pub const MAX_INSTS: u64 = 200_000;
+
+/// Stealth watchdog period armed by stealth legs — the same value the
+/// harness passes to `csd_crypto::arm_stealth` and the one
+/// [`ModeLeg::exp_legs`] records in corpus metadata.
+pub const STEALTH_WATCHDOG: u64 = 200;
 
 /// One decoder configuration under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +58,33 @@ impl ModeLeg {
             s.push(if on { c } else { '.' });
         }
         s
+    }
+
+    /// The leg as typed `csd-exp` legs — the decode-context changes it
+    /// applies, in the experiment spec's grammar. Corpus entries persist
+    /// these so reproducer metadata shares one parser
+    /// (`csd_exp::Leg::from_json`) with the serving layer. Memoization,
+    /// the µop cache, timing mode, and snapshotting are pipeline
+    /// configuration with no decode-context equivalent, so a leg that
+    /// only varies those maps to a single base leg. Note the devec leg
+    /// names the `csd-devec` policy *family*; the harness itself pins
+    /// more aggressive thresholds (window 8) so short programs gate.
+    pub fn exp_legs(&self) -> Vec<Leg> {
+        let mut legs = Vec::new();
+        if self.stealth {
+            legs.push(Leg::new(LegMode::Stealth {
+                watchdog: STEALTH_WATCHDOG,
+            }));
+        }
+        if self.devec {
+            legs.push(Leg::new(LegMode::Devec {
+                policy: "csd-devec".to_string(),
+            }));
+        }
+        if legs.is_empty() {
+            legs.push(Leg::new(LegMode::Base));
+        }
+        legs
     }
 }
 
@@ -102,11 +135,72 @@ pub struct InjectedBug {
     pub body: Vec<mx86_isa::Inst>,
 }
 
+/// What kind of mismatch a [`Divergence`] is — a stable, coarse label
+/// the fuzzer bins coverage by and the corpus records, so a shrunk
+/// reproducer can be checked to still fail *the same way*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceClass {
+    /// The reference interpreter itself could not finish the program.
+    Reference,
+    /// A pipeline leg did not halt within the retirement budget.
+    NoHalt,
+    /// Retired-instruction counts differ.
+    Retired,
+    /// The µop-cache/legacy/MSROM retirement partition doesn't add up.
+    Partition,
+    /// A general-purpose register differs.
+    Gpr,
+    /// A vector register differs.
+    Xmm,
+    /// The flags register differs.
+    Flags,
+    /// Final memory differs (data region or stack).
+    Mem,
+    /// The ordered store stream differs.
+    Stores,
+}
+
+impl DivergenceClass {
+    /// Stable class name (used in coverage bins and corpus JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            DivergenceClass::Reference => "reference",
+            DivergenceClass::NoHalt => "nohalt",
+            DivergenceClass::Retired => "retired",
+            DivergenceClass::Partition => "partition",
+            DivergenceClass::Gpr => "gpr",
+            DivergenceClass::Xmm => "xmm",
+            DivergenceClass::Flags => "flags",
+            DivergenceClass::Mem => "mem",
+            DivergenceClass::Stores => "stores",
+        }
+    }
+
+    /// Parses a class from its stable name.
+    pub fn from_name(name: &str) -> Option<DivergenceClass> {
+        [
+            DivergenceClass::Reference,
+            DivergenceClass::NoHalt,
+            DivergenceClass::Retired,
+            DivergenceClass::Partition,
+            DivergenceClass::Gpr,
+            DivergenceClass::Xmm,
+            DivergenceClass::Flags,
+            DivergenceClass::Mem,
+            DivergenceClass::Stores,
+        ]
+        .into_iter()
+        .find(|c| c.name() == name)
+    }
+}
+
 /// One observed divergence between a pipeline leg and the reference.
 #[derive(Debug, Clone)]
 pub struct Divergence {
     /// Leg that diverged.
     pub leg: String,
+    /// What kind of mismatch.
+    pub class: DivergenceClass,
     /// What differed.
     pub detail: String,
 }
@@ -125,18 +219,41 @@ impl CosimResult {
     pub fn ok(&self) -> bool {
         self.divergences.is_empty()
     }
+
+    /// Distinct divergence class names, in first-observed order.
+    pub fn classes(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for d in &self.divergences {
+            if !out.contains(&d.class.name()) {
+                out.push(d.class.name());
+            }
+        }
+        out
+    }
 }
 
+/// The core-side sink a leg runs under: collects the ordered store
+/// stream the harness compares, and forwards µop-cache probes to the
+/// coverage map when one is being filled.
 #[derive(Default)]
-struct StoreCollector(Arc<Mutex<Vec<StoreRecord>>>);
+struct LegSink {
+    stores: Arc<Mutex<Vec<StoreRecord>>>,
+    coverage: Option<CoverageSink>,
+}
 
-impl EventSink for StoreCollector {
+impl EventSink for LegSink {
     fn on_store(&mut self, ev: &StoreEvent) {
-        self.0.lock().unwrap().push(StoreRecord {
+        self.stores.lock().unwrap().push(StoreRecord {
             addr: ev.addr,
             len: ev.len,
             value: ev.value,
         });
+    }
+
+    fn on_uop_cache(&mut self, ev: &UopCacheEvent) {
+        if let Some(c) = &mut self.coverage {
+            c.on_uop_cache(ev);
+        }
     }
 }
 
@@ -173,7 +290,7 @@ fn build_core(program: &Program, leg: &ModeLeg, bug: Option<&InjectedBug>) -> Co
             &mut core,
             &[TaintRange::new(DATA_BASE, DATA_BASE + 128)],
             &[TaintRange::new(CODE_BASE, CODE_BASE + 128)],
-            200,
+            STEALTH_WATCHDOG,
         );
         core.dift_mut()
             .taint_memory(TaintRange::new(DATA_BASE, DATA_BASE + DATA_SIZE));
@@ -195,52 +312,67 @@ fn compare(
     leg: &ModeLeg,
 ) -> Vec<Divergence> {
     let mut d = Vec::new();
-    let diverge = |detail: String| Divergence {
+    let diverge = |class: DivergenceClass, detail: String| Divergence {
         leg: leg.name(),
+        class,
         detail,
     };
     let stats = core.stats();
     if !core.halted() {
-        d.push(diverge(format!(
-            "pipeline did not halt within {MAX_INSTS} insts (retired {})",
-            stats.insts
-        )));
+        d.push(diverge(
+            DivergenceClass::NoHalt,
+            format!(
+                "pipeline did not halt within {MAX_INSTS} insts (retired {})",
+                stats.insts
+            ),
+        ));
         return d;
     }
     if stats.insts != cpu.retired {
-        d.push(diverge(format!(
-            "retired {} insts, reference retired {}",
-            stats.insts, cpu.retired
-        )));
+        d.push(diverge(
+            DivergenceClass::Retired,
+            format!(
+                "retired {} insts, reference retired {}",
+                stats.insts, cpu.retired
+            ),
+        ));
     }
     let part = stats.uop_cache_insts + stats.legacy_insts + stats.msrom_insts;
     if part != stats.insts {
-        d.push(diverge(format!(
-            "retired-inst partition {} + {} + {} != {}",
-            stats.uop_cache_insts, stats.legacy_insts, stats.msrom_insts, stats.insts
-        )));
+        d.push(diverge(
+            DivergenceClass::Partition,
+            format!(
+                "retired-inst partition {} + {} + {} != {}",
+                stats.uop_cache_insts, stats.legacy_insts, stats.msrom_insts, stats.insts
+            ),
+        ));
     }
     for (i, g) in mx86_isa::Gpr::ALL.iter().enumerate() {
         let (got, want) = (core.state.gprs[i], cpu.gprs[i]);
         if got != want {
-            d.push(diverge(format!(
-                "{g}: pipeline {got:#x}, reference {want:#x}"
-            )));
+            d.push(diverge(
+                DivergenceClass::Gpr,
+                format!("{g}: pipeline {got:#x}, reference {want:#x}"),
+            ));
         }
     }
     for i in 0..16 {
         let (got, want) = (core.state.xmms[i], cpu.xmms[i]);
         if got != want {
-            d.push(diverge(format!(
-                "xmm{i}: pipeline {got:?}, reference {want:?}"
-            )));
+            d.push(diverge(
+                DivergenceClass::Xmm,
+                format!("xmm{i}: pipeline {got:?}, reference {want:?}"),
+            ));
         }
     }
     if core.state.flags != cpu.flags {
-        d.push(diverge(format!(
-            "flags: pipeline {:?}, reference {:?}",
-            core.state.flags, cpu.flags
-        )));
+        d.push(diverge(
+            DivergenceClass::Flags,
+            format!(
+                "flags: pipeline {:?}, reference {:?}",
+                core.state.flags, cpu.flags
+            ),
+        ));
     }
     for (base, len, what) in [
         (DATA_BASE, DATA_SIZE as usize, "data region"),
@@ -250,12 +382,15 @@ fn compare(
         let want = cpu.mem.read_bytes(base, len);
         if got != want {
             let off = got.iter().zip(&want).position(|(a, b)| a != b).unwrap_or(0);
-            d.push(diverge(format!(
-                "{what} byte at {:#x}: pipeline {:#04x}, reference {:#04x}",
-                base + off as u64,
-                got[off],
-                want[off]
-            )));
+            d.push(diverge(
+                DivergenceClass::Mem,
+                format!(
+                    "{what} byte at {:#x}: pipeline {:#04x}, reference {:#04x}",
+                    base + off as u64,
+                    got[off],
+                    want[off]
+                ),
+            ));
         }
     }
     if let Some(stores) = stores {
@@ -265,13 +400,16 @@ fn compare(
                 .zip(&cpu.stores)
                 .position(|(a, b)| a != b)
                 .unwrap_or_else(|| stores.len().min(cpu.stores.len()));
-            d.push(diverge(format!(
+            d.push(diverge(
+                DivergenceClass::Stores,
+                format!(
                 "store stream differs at index {n}: pipeline {:?}, reference {:?} ({} vs {} stores)",
                 stores.get(n),
                 cpu.stores.get(n),
                 stores.len(),
                 cpu.stores.len()
-            )));
+            ),
+            ));
         }
     }
     d
@@ -282,10 +420,25 @@ fn run_leg(
     leg: &ModeLeg,
     cpu: &RefCpu,
     bug: Option<&InjectedBug>,
+    coverage: Option<&Arc<Mutex<CoverageMap>>>,
 ) -> Vec<Divergence> {
     let mut core = build_core(program, leg, bug);
     let stores = Arc::new(Mutex::new(Vec::new()));
-    core.set_event_sink(Box::new(StoreCollector(Arc::clone(&stores))));
+    core.set_event_sink(Box::new(LegSink {
+        stores: Arc::clone(&stores),
+        coverage: coverage.map(|m| CoverageSink::new(Arc::clone(m))),
+    }));
+    if let Some(map) = coverage {
+        // Engine-side events (decode contexts, µops, memo probes, key
+        // causes, gate and stealth windows) land in the same shared map.
+        // The context-edge cursor resets per leg so edges never span two
+        // unrelated runs.
+        if let Ok(mut m) = map.lock() {
+            m.reset_edge_cursor();
+        }
+        core.engine_mut()
+            .set_event_sink(Box::new(CoverageSink::new(Arc::clone(map))));
+    }
 
     if leg.snapshot {
         // Run half the program, snapshot, finish; then rewind to the
@@ -316,6 +469,19 @@ fn run_leg(
 /// Runs one program across `legs` and compares each against the
 /// reference interpreter.
 pub fn cosim(program: &Program, legs: &[ModeLeg], bug: Option<&InjectedBug>) -> CosimResult {
+    cosim_with_coverage(program, legs, bug, None)
+}
+
+/// [`cosim`], additionally folding structural coverage from every leg —
+/// and a bin per observed divergence class — into `coverage`. The
+/// coverage tap is events-only: the compared outcome is byte-identical
+/// with and without it.
+pub fn cosim_with_coverage(
+    program: &Program,
+    legs: &[ModeLeg],
+    bug: Option<&InjectedBug>,
+    coverage: Option<&Arc<Mutex<CoverageMap>>>,
+) -> CosimResult {
     let mut cpu = RefCpu::new(program.entry());
     let out = cpu.run(program, MAX_INSTS);
     let mut divergences = Vec::new();
@@ -325,6 +491,7 @@ pub fn cosim(program: &Program, legs: &[ModeLeg], bug: Option<&InjectedBug>) -> 
         // reject it.
         divergences.push(Divergence {
             leg: "reference".into(),
+            class: DivergenceClass::Reference,
             detail: format!("reference outcome {out:?}"),
         });
         return CosimResult {
@@ -333,7 +500,14 @@ pub fn cosim(program: &Program, legs: &[ModeLeg], bug: Option<&InjectedBug>) -> 
         };
     }
     for leg in legs {
-        divergences.extend(run_leg(program, leg, &cpu, bug));
+        divergences.extend(run_leg(program, leg, &cpu, bug, coverage));
+    }
+    if let Some(map) = coverage {
+        if let Ok(mut m) = map.lock() {
+            for d in &divergences {
+                m.record_divergence(d.class.name());
+            }
+        }
     }
     CosimResult {
         ref_insts: cpu.retired,

@@ -15,19 +15,44 @@
 //!   leg) and compares final architectural state, the
 //!   retired-instruction partition, and the ordered store stream;
 //! - [`mod@shrink`]: greedily minimizes any diverging program to a small
-//!   reassemblable reproducer.
+//!   reassemblable reproducer;
+//! - [`asm`]: parses the printed reassemblable assembly back into IR;
+//! - [`mutate`]: seeded mutation operators over generator IR (opcode and
+//!   operand flips, insertion/deletion, block duplication, splicing,
+//!   leg-mask perturbation) whose accepted mutants always assemble and
+//!   always terminate;
+//! - [`corpus`]: the persistent regression corpus — content-addressed
+//!   `.asm` + `.json` pairs under `tests/corpus/`, replayed as a tier-1
+//!   test on every `cargo test`;
+//! - [`mod@fuzz`]: the coverage-guided campaign loop tying it together —
+//!   structural coverage (µop×mode matrix, context-key edges, gate and
+//!   stealth bins, memo/µop-cache outcomes, divergence classes) decides
+//!   which mutants survive, and survivors are shrunk and persisted.
 //!
-//! The bounded entry point lives in `tests/`; the long-run fuzzer is the
-//! `difftest` binary (`--seed`, `--programs`, `--modes`).
+//! The bounded entry point lives in `tests/`; the long-run random fuzzer
+//! is the `difftest` binary (`--seed`, `--programs`, `--modes`), and the
+//! coverage-guided fuzzer is the `fuzz` binary (`--seed`, `--iters`,
+//! `--corpus`, `--modes`).
 
 #![warn(missing_docs)]
 
+pub mod asm;
+pub mod corpus;
+pub mod fuzz;
 pub mod generator;
 pub mod harness;
+pub mod mutate;
 pub mod reference;
 pub mod shrink;
 
+pub use asm::parse_asm;
+pub use corpus::{default_corpus_dir, fnv1a64, load_corpus, CorpusEntry, CORPUS_SCHEMA};
+pub use fuzz::{active_legs, fuzz, FuzzConfig, FuzzOutcome};
 pub use generator::{GenOp, GenProgram, Generator};
-pub use harness::{cosim, mode_matrix, CosimResult, Divergence, InjectedBug, ModeLeg};
+pub use harness::{
+    cosim, cosim_with_coverage, mode_matrix, reference_halts, CosimResult, Divergence,
+    DivergenceClass, InjectedBug, ModeLeg, STEALTH_WATCHDOG,
+};
+pub use mutate::{mask_all, FuzzInput, Mutator};
 pub use reference::{RefCpu, RefOutcome, StoreRecord};
-pub use shrink::{shrink, Shrunk};
+pub use shrink::{shrink, shrink_with, Shrunk};

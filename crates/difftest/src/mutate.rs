@@ -1,0 +1,386 @@
+//! Mutation operators over generator IR for coverage-guided fuzzing.
+//!
+//! Mutants are valid *by construction plus rejection*: every operator
+//! only produces structurally plausible IR (drawing new instructions
+//! from the same [`Generator`] pool the seed programs come from), and a
+//! candidate is accepted only if it still assembles **and** still halts
+//! in the architectural reference within the standard budget. That
+//! second check is what makes mutation safe around control flow — e.g.
+//! duplicating a `sub ctr, 1 / jne` pair can wrap the counter into an
+//! infinite loop, and the halts check simply rejects that candidate.
+//!
+//! Everything is driven by one [`SplitMix64`] stream owned by the
+//! [`Mutator`], so a fixed seed yields a byte-identical mutant — the
+//! property the fuzzer's reproducibility contract rests on.
+
+use crate::generator::{GenOp, GenProgram, Generator, ALU_OPS, FREE_GPRS, VEC_OPS, WIDTHS};
+use crate::harness::reference_halts;
+use csd_telemetry::SplitMix64;
+use mx86_isa::{Cc, Inst, MemRef, RegImm};
+
+/// One fuzzing input: a program plus the subset of mode-matrix legs it
+/// runs under (bit `i` set → leg `i` of the matrix is exercised).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzInput {
+    /// The program, in shrinkable IR form.
+    pub program: GenProgram,
+    /// Mode-matrix leg mask; never zero.
+    pub leg_mask: u32,
+}
+
+impl FuzzInput {
+    /// An input running `program` under every leg of an `n_legs` matrix.
+    pub fn full_matrix(program: GenProgram, n_legs: usize) -> FuzzInput {
+        FuzzInput {
+            program,
+            leg_mask: mask_all(n_legs),
+        }
+    }
+}
+
+/// The all-legs mask for an `n_legs` matrix.
+pub fn mask_all(n_legs: usize) -> u32 {
+    if n_legs >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << n_legs) - 1
+    }
+}
+
+/// Largest contiguous run duplicated by the block-duplication operator.
+const MAX_DUP: usize = 8;
+/// Candidate attempts before giving up and returning the input verbatim.
+const MAX_TRIES: usize = 16;
+
+/// Seeded, deterministic mutator over [`FuzzInput`]s.
+pub struct Mutator {
+    rng: SplitMix64,
+}
+
+impl Mutator {
+    /// A mutator drawing from the given seed.
+    pub fn new(seed: u64) -> Mutator {
+        Mutator {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.rng.next_u64() % n.max(1)
+    }
+
+    /// Indices of ops that may be replaced or deleted (labels must stay:
+    /// deleting one would orphan its references mid-program).
+    fn mutable_indices(ops: &[GenOp]) -> Vec<usize> {
+        ops.iter()
+            .enumerate()
+            .filter(|(_, op)| !matches!(op, GenOp::Label(_)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Fresh instruction(s) from the generator's straight-line pool.
+    fn fresh_ops(&mut self) -> Vec<GenOp> {
+        Generator::new(self.rng.next_u64()).straight_ops()
+    }
+
+    fn small_imm(&mut self) -> RegImm {
+        RegImm::Imm((self.rng.next_u64() as i64) % 0x1_0000)
+    }
+
+    /// Redraws a memory operand's displacement from the generator's
+    /// range, 16-aligned for vector accesses.
+    fn redisp(&mut self, m: MemRef, align16: bool) -> MemRef {
+        let d = (self.rng.next_u64() % 0x200) as i64;
+        m.with_disp(if align16 { d & !0xF } else { d })
+    }
+
+    /// Flips one operand of `inst` in place, staying inside the
+    /// generator's envelope: destinations come from [`FREE_GPRS`] (never
+    /// the reserved pointer/counter/stack registers), vector
+    /// displacements stay 16-aligned, and MSR numbers are never touched
+    /// (mutants must not escape the scratch MSR range).
+    fn flip_operand(&mut self, inst: Inst) -> Inst {
+        let gpr = FREE_GPRS[self.below(FREE_GPRS.len() as u64) as usize];
+        match inst {
+            Inst::MovRI { dst, .. } => Inst::MovRI {
+                dst,
+                imm: self.rng.next_u64() as i64,
+            },
+            Inst::MovRR { src, .. } => Inst::MovRR { dst: gpr, src },
+            Inst::Alu { dst, src, .. } => Inst::Alu {
+                op: ALU_OPS[self.below(8) as usize],
+                dst,
+                src,
+            },
+            Inst::Load { dst, mem, .. } => Inst::Load {
+                dst,
+                mem,
+                width: WIDTHS[self.below(4) as usize],
+            },
+            Inst::Store { mem, src, width } => match self.below(2) {
+                0 => Inst::Store {
+                    mem: self.redisp(mem, false),
+                    src,
+                    width,
+                },
+                _ => Inst::Store {
+                    mem,
+                    src: gpr,
+                    width,
+                },
+            },
+            Inst::AluLoad {
+                dst, mem, width, ..
+            } => Inst::AluLoad {
+                op: ALU_OPS[self.below(5) as usize],
+                dst,
+                mem,
+                width,
+            },
+            Inst::AluStore { op, mem, width, .. } => Inst::AluStore {
+                op,
+                mem,
+                src: self.small_imm(),
+                width,
+            },
+            Inst::Mul { dst, .. } => Inst::Mul {
+                dst,
+                src: self.small_imm(),
+            },
+            Inst::Cmp { a, .. } => Inst::Cmp {
+                a,
+                b: self.small_imm(),
+            },
+            Inst::Test { a, .. } => Inst::Test {
+                a,
+                b: self.small_imm(),
+            },
+            Inst::VAlu { dst, src, .. } => Inst::VAlu {
+                op: VEC_OPS[self.below(VEC_OPS.len() as u64) as usize],
+                dst,
+                src,
+            },
+            Inst::VAluLoad { dst, mem, .. } => Inst::VAluLoad {
+                op: VEC_OPS[self.below(VEC_OPS.len() as u64) as usize],
+                dst,
+                mem,
+            },
+            Inst::VLoad { dst, mem } => Inst::VLoad {
+                dst,
+                mem: self.redisp(mem, true),
+            },
+            Inst::VStore { mem, src } => Inst::VStore {
+                mem: self.redisp(mem, true),
+                src,
+            },
+            Inst::Lea { mem, .. } => Inst::Lea { dst: gpr, mem },
+            Inst::Clflush { mem } => Inst::Clflush {
+                mem: self.redisp(mem, false),
+            },
+            // MSR ops: only the data register may move, never the MSR
+            // number. Everything else is left untouched.
+            Inst::Wrmsr { msr, .. } => Inst::Wrmsr { msr, src: gpr },
+            Inst::Rdmsr { msr, .. } => Inst::Rdmsr { dst: gpr, msr },
+            other => other,
+        }
+    }
+
+    /// Produces one mutated candidate program (validity not yet checked).
+    fn candidate(&mut self, base: &FuzzInput, other: Option<&FuzzInput>) -> GenProgram {
+        let mut gp = base.program.clone();
+        let idxs = Self::mutable_indices(&gp.ops);
+        match self.below(6) {
+            // Opcode flip: replace one instruction with a fresh draw.
+            0 if !idxs.is_empty() => {
+                let at = idxs[self.below(idxs.len() as u64) as usize];
+                let fresh = self.fresh_ops();
+                gp.ops.splice(at..=at, fresh);
+            }
+            // Insertion.
+            1 => {
+                let at = self.below(gp.ops.len() as u64 + 1) as usize;
+                let fresh = self.fresh_ops();
+                gp.ops.splice(at..at, fresh);
+            }
+            // Deletion.
+            2 if !idxs.is_empty() => {
+                let at = idxs[self.below(idxs.len() as u64) as usize];
+                gp.ops.remove(at);
+            }
+            // Block duplication: copy a contiguous label-free run right
+            // after itself (stresses µop-cache windows and the decode
+            // memo with repeated byte patterns at shifted addresses).
+            3 if !idxs.is_empty() => {
+                let start = idxs[self.below(idxs.len() as u64) as usize];
+                let want = 1 + self.below(MAX_DUP as u64) as usize;
+                let mut end = start;
+                while end < gp.ops.len()
+                    && end - start < want
+                    && !matches!(gp.ops[end], GenOp::Label(_))
+                {
+                    end += 1;
+                }
+                let block: Vec<GenOp> = gp.ops[start..end].to_vec();
+                gp.ops.splice(end..end, block);
+            }
+            // Splice: prefix of this program + suffix of another corpus
+            // entry. The donor's labels are renumbered past ours; any
+            // reference left dangling binds just before the trailing
+            // `hlt`, so spliced control flow still terminates.
+            4 => {
+                if let Some(o) = other {
+                    let cut_a = self.below(gp.ops.len() as u64 + 1) as usize;
+                    let donor = &o.program;
+                    let cut_b = self.below(donor.ops.len() as u64 + 1) as usize;
+                    let shift = gp.labels;
+                    gp.ops.truncate(cut_a);
+                    gp.ops.extend(donor.ops[cut_b..].iter().map(|op| match *op {
+                        GenOp::Label(l) => GenOp::Label(l + shift),
+                        GenOp::JmpTo(l) => GenOp::JmpTo(l + shift),
+                        GenOp::JccTo(cc, l) => GenOp::JccTo(cc, l + shift),
+                        GenOp::CallTo(l) => GenOp::CallTo(l + shift),
+                        GenOp::MovLabelAddr(r, l) => GenOp::MovLabelAddr(r, l + shift),
+                        plain => plain,
+                    }));
+                    gp.labels += donor.labels;
+                }
+            }
+            // Operand flip (also retargets conditional branches).
+            _ => {
+                if !idxs.is_empty() {
+                    let at = idxs[self.below(idxs.len() as u64) as usize];
+                    gp.ops[at] = match gp.ops[at] {
+                        GenOp::Plain(i) => GenOp::Plain(self.flip_operand(i)),
+                        GenOp::JccTo(_, l) => GenOp::JccTo(Cc::ALL[self.below(12) as usize], l),
+                        keep => keep,
+                    };
+                }
+            }
+        }
+        gp
+    }
+
+    /// Mutates `input`, optionally splicing against `other`, over an
+    /// `n_legs` mode matrix. Tries up to `MAX_TRIES` candidates and
+    /// returns the first that still assembles and still halts in the
+    /// reference; if none does (rare), returns `input` unchanged. Always
+    /// terminates, and a fixed mutator state yields a byte-identical
+    /// result.
+    pub fn mutate(
+        &mut self,
+        input: &FuzzInput,
+        other: Option<&FuzzInput>,
+        n_legs: usize,
+    ) -> FuzzInput {
+        // Occasionally perturb only the leg mask: same program, fewer or
+        // different decode modes. Always valid, so no retry loop.
+        if self.below(8) == 0 && n_legs > 1 {
+            let bit = 1u32 << self.below(n_legs as u64);
+            let mask = input.leg_mask ^ bit;
+            return FuzzInput {
+                program: input.program.clone(),
+                leg_mask: if mask == 0 { mask_all(n_legs) } else { mask },
+            };
+        }
+        for _ in 0..MAX_TRIES {
+            let gp = self.candidate(input, other);
+            let Ok(p) = gp.assemble() else { continue };
+            if !reference_halts(&p) {
+                continue;
+            }
+            return FuzzInput {
+                program: gp,
+                leg_mask: input.leg_mask,
+            };
+        }
+        input.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::Generator;
+
+    fn seed_input(seed: u64) -> FuzzInput {
+        FuzzInput::full_matrix(Generator::new(seed).program(), 19)
+    }
+
+    /// Every accepted mutant still assembles and still halts — over many
+    /// chained mutations, so operator interactions are exercised too.
+    #[test]
+    fn mutants_assemble_and_halt() {
+        let mut m = Mutator::new(0xC0FFEE);
+        let donor = seed_input(11);
+        let mut cur = seed_input(3);
+        for step in 0..60 {
+            cur = m.mutate(&cur, Some(&donor), 19);
+            let p = cur
+                .program
+                .assemble()
+                .unwrap_or_else(|e| panic!("step {step}: {e:?}\n{}", cur.program.to_asm()));
+            assert!(
+                reference_halts(&p),
+                "step {step}: mutant no longer halts:\n{}",
+                cur.program.to_asm()
+            );
+            assert_ne!(cur.leg_mask, 0, "leg mask must stay nonzero");
+        }
+    }
+
+    /// Fixed seed → byte-identical mutant (asm text compared, since that
+    /// is the persisted corpus format).
+    #[test]
+    fn mutation_is_deterministic() {
+        let base = seed_input(5);
+        let donor = seed_input(9);
+        let run = || {
+            let mut m = Mutator::new(0xDEAD_BEEF);
+            let mut cur = base.clone();
+            let mut transcript = String::new();
+            for _ in 0..25 {
+                cur = m.mutate(&cur, Some(&donor), 19);
+                transcript.push_str(&cur.program.to_asm());
+                transcript.push_str(&format!("mask={:#x}\n", cur.leg_mask));
+            }
+            transcript
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// The splice operator renumbers donor labels, so a spliced program
+    /// never aliases two bindings of one label id.
+    #[test]
+    fn splice_keeps_labels_disjoint() {
+        let mut m = Mutator::new(1);
+        let a = seed_input(21);
+        let b = seed_input(22);
+        for _ in 0..40 {
+            let out = m.mutate(&a, Some(&b), 19);
+            let max_ref = out
+                .program
+                .ops
+                .iter()
+                .filter_map(|op| match *op {
+                    GenOp::Label(l)
+                    | GenOp::JmpTo(l)
+                    | GenOp::JccTo(_, l)
+                    | GenOp::CallTo(l)
+                    | GenOp::MovLabelAddr(_, l) => Some(l),
+                    _ => None,
+                })
+                .max();
+            if let Some(l) = max_ref {
+                assert!(l < out.program.labels, "label {l} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_all_covers_matrix() {
+        assert_eq!(mask_all(1), 1);
+        assert_eq!(mask_all(19), (1 << 19) - 1);
+        assert_eq!(mask_all(32), u32::MAX);
+    }
+}

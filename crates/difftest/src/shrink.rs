@@ -35,6 +35,16 @@ fn diverges(gp: &GenProgram, legs: &[ModeLeg], bug: Option<&InjectedBug>) -> boo
 /// Greedily minimizes `gp`, which must diverge under `legs` (and `bug`,
 /// if injected). Returns the smallest variant found.
 pub fn shrink(gp: &GenProgram, legs: &[ModeLeg], bug: Option<&InjectedBug>) -> Shrunk {
+    shrink_with(gp, &mut |candidate| diverges(candidate, legs, bug))
+}
+
+/// Greedy minimization against an arbitrary predicate: keeps any chunk
+/// deletion for which `interesting` still holds. The predicate owns the
+/// whole definition of "still reproduces" — the classic shrinker passes
+/// "assembles, halts, diverges"; the fuzzer passes class-preserving and
+/// coverage-preserving variants. The predicate must be deterministic or
+/// the shrink (and with it the fuzzer's byte-reproducibility) is not.
+pub fn shrink_with(gp: &GenProgram, interesting: &mut dyn FnMut(&GenProgram) -> bool) -> Shrunk {
     let mut best = gp.clone();
     let mut attempts = 0u64;
     // Indices of deletable elements (labels must survive).
@@ -67,7 +77,7 @@ pub fn shrink(gp: &GenProgram, legs: &[ModeLeg], bug: Option<&InjectedBug>) -> S
                     labels: best.labels,
                 };
                 attempts += 1;
-                if diverges(&candidate, legs, bug) {
+                if interesting(&candidate) {
                     best = candidate;
                     progress = true;
                     // idxs are stale after a deletion; restart the sweep.

@@ -1,0 +1,118 @@
+//! Determinism contracts of the fuzzing stack: shrinker, coverage-class
+//! naming, and divergence-class preservation under shrinking.
+
+use csd::OpcodeClass;
+use csd_difftest::{
+    cosim, mode_matrix, reference_halts, shrink_with, GenProgram, Generator, InjectedBug, ModeLeg,
+};
+use csd_telemetry::coverage::{uop_class_name, COV_UOP_CLASSES};
+use csd_uops::{FOp, FWidth, UopKind};
+use mx86_isa::{AluOp, Cc, Inst, VecOp};
+
+fn classes_under(gp: &GenProgram, legs: &[ModeLeg], bug: &InjectedBug) -> Vec<&'static str> {
+    let Ok(p) = gp.assemble() else {
+        return Vec::new();
+    };
+    if !reference_halts(&p) {
+        return Vec::new();
+    }
+    let mut classes = cosim(&p, legs, Some(bug)).classes();
+    classes.sort_unstable();
+    classes
+}
+
+/// The fuzzer's failure path: shrinking the same failing program twice
+/// under the class-preserving predicate yields byte-identical minimized
+/// assembly, and the minimized program fails with exactly the
+/// divergence-class set the original did (the corpus records that set,
+/// so a class-shifting shrink would poison replay).
+#[test]
+fn shrink_is_deterministic_and_class_preserving() {
+    // One all-features functional leg: the predicate runs a full cosim
+    // per shrink attempt, so the test pins the property on the richest
+    // single leg instead of paying for the whole matrix each time.
+    let legs: Vec<ModeLeg> = mode_matrix()
+        .into_iter()
+        .filter(|l| l.name() == "fun-sdmu")
+        .collect();
+    assert_eq!(legs.len(), 1);
+    let bug = InjectedBug {
+        target: OpcodeClass::MovRI,
+        body: vec![Inst::Nop { len: 1 }],
+    };
+    let gp = Generator::new(0xBAD_C0DE).program();
+    let want = classes_under(&gp, &legs, &bug);
+    assert!(!want.is_empty(), "nop-ing MovRI must diverge");
+
+    let run = || shrink_with(&gp, &mut |c| classes_under(c, &legs, &bug) == want);
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.program.to_asm(),
+        b.program.to_asm(),
+        "same input must shrink byte-identically"
+    );
+    assert_eq!(a.attempts, b.attempts);
+    assert!(a.insts < gp.inst_count(), "shrink must make progress");
+
+    let got = classes_under(&a.program, &legs, &bug);
+    assert_eq!(
+        got,
+        want,
+        "shrunk reproducer changed divergence classes:\n{}",
+        a.program.to_asm()
+    );
+}
+
+/// `UopKind::coverage_class` (csd-uops) and `UOP_CLASS_NAMES`
+/// (csd-telemetry) are maintained in different crates with no shared
+/// type; this pins their agreement for every one of the 28 classes.
+#[test]
+fn uop_coverage_classes_match_telemetry_names() {
+    let kinds: [(UopKind, &str); 28] = [
+        (UopKind::Nop, "nop"),
+        (UopKind::Mov, "mov"),
+        (UopKind::MovImm, "movimm"),
+        (UopKind::Alu(AluOp::Add), "alu"),
+        (UopKind::Mul, "mul"),
+        (UopKind::FAlu(FOp::Add, FWidth::S), "falu"),
+        (UopKind::DivQ, "divq"),
+        (UopKind::DivR, "divr"),
+        (UopKind::Ld, "ld"),
+        (UopKind::St, "st"),
+        (UopKind::Lea, "lea"),
+        (UopKind::Br(Cc::Eq), "br"),
+        (UopKind::JmpImm, "jmp"),
+        (UopKind::JmpReg, "jmpreg"),
+        (UopKind::PushImm, "pushimm"),
+        (UopKind::Push, "push"),
+        (UopKind::Pop, "pop"),
+        (UopKind::VAlu(VecOp::PAddD), "valu"),
+        (UopKind::VLd, "vld"),
+        (UopKind::VSt, "vst"),
+        (UopKind::VMov, "vmov"),
+        (UopKind::VExtractQ, "vextract"),
+        (UopKind::VInsertQ, "vinsert"),
+        (UopKind::Clflush, "clflush"),
+        (UopKind::Rdtsc, "rdtsc"),
+        (UopKind::Wrmsr, "wrmsr"),
+        (UopKind::Rdmsr, "rdmsr"),
+        (UopKind::Halt, "halt"),
+    ];
+    assert_eq!(kinds.len(), COV_UOP_CLASSES, "every class covered");
+    let mut seen = [false; COV_UOP_CLASSES];
+    for (kind, want) in kinds {
+        let class = kind.coverage_class();
+        assert_eq!(
+            uop_class_name(class),
+            want,
+            "{kind:?} maps to class {class}"
+        );
+        assert!(
+            !seen[class as usize],
+            "class {class} assigned twice ({kind:?})"
+        );
+        seen[class as usize] = true;
+    }
+    assert!(seen.iter().all(|s| *s), "all 28 classes reachable");
+}

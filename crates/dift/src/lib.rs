@@ -130,12 +130,14 @@ impl Dift {
         }
     }
 
-    /// Whether any byte of `[addr, addr+len)` is tainted.
+    /// Whether any byte of `[addr, addr+len)` is tainted. Addresses wrap
+    /// (wild pointers reach the top of the address space; the
+    /// architectural memory model wraps the same way).
     pub fn memory_tainted(&self, addr: u64, len: u64) -> bool {
         if !self.enabled {
             return false;
         }
-        (addr..addr + len).any(|b| self.mem.contains(&b))
+        (0..len).any(|i| self.mem.contains(&addr.wrapping_add(i)))
     }
 
     /// Whether the flags register is tainted.
@@ -225,17 +227,13 @@ impl Dift {
             UopKind::St | UopKind::VSt | UopKind::Push => {
                 ev.tainted_address = self.mem_operand_addr_tainted(uop);
                 let t = src_taint(self);
-                if let (Some(a), Some(m)) = (ea, uop.mem) {
-                    for b in a..a + m.width.bytes() {
-                        if t {
-                            self.mem.insert(b);
-                        } else {
-                            self.mem.remove(&b);
-                        }
-                    }
-                } else if let Some(a) = ea {
-                    // Push without explicit mem operand: 8 bytes.
-                    for b in a..a + 8 {
+                // Push without an explicit mem operand writes 8 bytes.
+                // Addresses wrap: a wild store near u64::MAX is still an
+                // executable program, and the taint set must follow the
+                // same wrapping the data write performs.
+                if let Some(a) = ea {
+                    let len = uop.mem.map_or(8, |m| m.width.bytes());
+                    for b in (0..len).map(|i| a.wrapping_add(i)) {
                         if t {
                             self.mem.insert(b);
                         } else {
@@ -246,7 +244,7 @@ impl Dift {
             }
             UopKind::PushImm => {
                 if let Some(a) = ea {
-                    for b in a..a + 8 {
+                    for b in (0..8).map(|i| a.wrapping_add(i)) {
                         self.mem.remove(&b);
                     }
                 }

@@ -54,6 +54,46 @@ impl Leg {
     pub fn new(mode: LegMode) -> Leg {
         Leg { mode, blocks: None }
     }
+
+    /// Parses one leg from its JSON grammar (the objects inside an
+    /// experiment's `"legs"` array). Public so other consumers of the leg
+    /// grammar — the difftest corpus records its mode matrix as typed leg
+    /// documents — share one parser with the experiment spec.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first grammar violation (missing/unknown mode tag,
+    /// non-integer watchdog or blocks, devec leg without a policy name).
+    pub fn from_json(j: &Json) -> Result<Leg, String> {
+        let mode = match j.get("mode").and_then(Json::as_str) {
+            Some("base") => LegMode::Base,
+            Some("stealth") => LegMode::Stealth {
+                watchdog: match j.get("watchdog") {
+                    None => DEFAULT_WATCHDOG,
+                    Some(v) => v
+                        .as_u64()
+                        .ok_or("leg.watchdog must be a non-negative integer")?,
+                },
+            },
+            Some("devec") => LegMode::Devec {
+                policy: j
+                    .get("policy")
+                    .and_then(Json::as_str)
+                    .ok_or("devec leg requires a policy name")?
+                    .to_string(),
+            },
+            Some(other) => return Err(format!("unknown leg mode {other:?} (base/stealth/devec)")),
+            None => return Err("leg.mode must be a string".to_string()),
+        };
+        let blocks = match j.get("blocks") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or("leg.blocks must be a non-negative integer")? as usize,
+            ),
+        };
+        Ok(Leg { mode, blocks })
+    }
 }
 
 impl ToJson for Leg {
@@ -185,7 +225,7 @@ impl ExperimentSpec {
             Some(Json::Arr(items)) => {
                 let mut legs = Vec::with_capacity(items.len());
                 for item in items {
-                    legs.push(Self::leg_from_json(item)?);
+                    legs.push(Leg::from_json(item)?);
                 }
                 legs
             }
@@ -217,37 +257,6 @@ impl ExperimentSpec {
         };
         spec.validate()?;
         Ok(spec)
-    }
-
-    fn leg_from_json(j: &Json) -> Result<Leg, String> {
-        let mode = match j.get("mode").and_then(Json::as_str) {
-            Some("base") => LegMode::Base,
-            Some("stealth") => LegMode::Stealth {
-                watchdog: match j.get("watchdog") {
-                    None => DEFAULT_WATCHDOG,
-                    Some(v) => v
-                        .as_u64()
-                        .ok_or("leg.watchdog must be a non-negative integer")?,
-                },
-            },
-            Some("devec") => LegMode::Devec {
-                policy: j
-                    .get("policy")
-                    .and_then(Json::as_str)
-                    .ok_or("devec leg requires a policy name")?
-                    .to_string(),
-            },
-            Some(other) => return Err(format!("unknown leg mode {other:?} (base/stealth/devec)")),
-            None => return Err("leg.mode must be a string".to_string()),
-        };
-        let blocks = match j.get("blocks") {
-            None => None,
-            Some(v) => Some(
-                v.as_u64()
-                    .ok_or("leg.blocks must be a non-negative integer")? as usize,
-            ),
-        };
-        Ok(Leg { mode, blocks })
     }
 
     /// Checks every name and bound the executor depends on.

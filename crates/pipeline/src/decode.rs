@@ -6,6 +6,7 @@ use crate::core::{Core, SimMode};
 use crate::stage::StageCtx;
 use crate::uop_cache::UopCache;
 use csd::{ContextId, DecodeOutcome};
+use csd_telemetry::UopCacheEvent;
 use csd_uops::{fusion, UReg};
 use mx86_isa::{Inst, MemRef, Placed};
 
@@ -79,9 +80,11 @@ fn front_end(core: &mut Core, placed: &Placed, out: &DecodeOutcome, fetch_penalt
         if core.cfg.uop_cache_enabled {
             let window = UopCache::window_of(placed.addr);
             if core.ucache.lookup(window, out.context) {
+                emit_ucache(core, window, out.context, true);
                 core.stats.uop_cache_insts += 1;
                 finalize_window(core);
             } else {
+                emit_ucache(core, window, out.context, false);
                 count_legacy(core, &out.translation);
                 build_window(
                     core,
@@ -101,10 +104,12 @@ fn front_end(core: &mut Core, placed: &Placed, out: &DecodeOutcome, fetch_penalt
     let from_uc = if core.cfg.uop_cache_enabled {
         let window = UopCache::window_of(placed.addr);
         if core.ucache.lookup(window, out.context) {
+            emit_ucache(core, window, out.context, true);
             core.stats.uop_cache_insts += 1;
             finalize_window(core);
             true
         } else {
+            emit_ucache(core, window, out.context, false);
             count_legacy(core, &out.translation);
             build_window(
                 core,
@@ -137,6 +142,17 @@ fn front_end(core: &mut Core, placed: &Placed, out: &DecodeOutcome, fetch_penalt
     };
     core.fe_time += cost;
     fused.max(1)
+}
+
+/// Reports a µop-cache lookup to the core's sink (the retire-stage sink:
+/// the µop cache is pipeline state, not engine state).
+fn emit_ucache(core: &mut Core, window: u64, ctx: ContextId, hit: bool) {
+    let ev = UopCacheEvent {
+        addr: window,
+        context: ctx.bit(),
+        hit,
+    };
+    core.sink.with(|s| s.on_uop_cache(&ev));
 }
 
 fn count_legacy(core: &mut Core, t: &csd_uops::Translation) {

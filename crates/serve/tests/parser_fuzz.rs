@@ -1,0 +1,252 @@
+//! Seeded fuzzing of the daemon's request-parsing surface.
+//!
+//! The contract under test: no byte sequence a client can put on the
+//! wire — garbage bodies, truncated spec prefixes, wrong-shape JSON,
+//! half-delivered HTTP frames, oversized declarations — may panic a
+//! connection thread or produce anything other than a structured
+//! `{"error", "class"}` 4xx. After every barrage the daemon must still
+//! answer `/healthz` and account each failure under `errors.parse`.
+
+use csd_serve::{Client, Server, ServerConfig, ShutdownHandle};
+use csd_telemetry::{derive_seed, Json, SplitMix64};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn boot() -> (String, ShutdownHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_cap: 4,
+        cache_cap: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+fn shutdown_and_join(handle: &ShutdownHandle, join: std::thread::JoinHandle<()>) {
+    handle.trigger();
+    join.join().expect("server exits cleanly after drain");
+}
+
+/// Asserts one rejection is structured: expected status, JSON body,
+/// `class: "parse"`, non-empty message.
+fn assert_parse_reject(status: u16, body: &str, want_status: u16, what: &str) {
+    assert_eq!(status, want_status, "{what}: {body}");
+    let doc = Json::parse(body)
+        .unwrap_or_else(|e| panic!("{what}: rejection body must be JSON ({e}): {body:?}"));
+    assert_eq!(
+        doc.get("class").and_then(Json::as_str),
+        Some("parse"),
+        "{what}: {body}"
+    );
+    assert!(
+        doc.get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|m| !m.is_empty()),
+        "{what}: rejection must name a cause: {body}"
+    );
+}
+
+/// Random bodies (raw bytes, printable soup, and structurally valid but
+/// wrong-shape JSON) posted through the well-formed HTTP client: every
+/// one must come back as a structured 400, on a connection that stays
+/// usable for the next request.
+#[test]
+fn garbage_bodies_get_structured_400s() {
+    let (addr, handle, join) = boot();
+    let mut client = Client::connect(&addr).unwrap();
+    let mut parse_rejects = 0u64;
+
+    let wrong_shape: &[&str] = &[
+        "null",
+        "7",
+        "[]",
+        "\"task\"",
+        "{}",
+        "{\"task\": 3}",
+        "{\"task\": \"table1\", \"profile\": \"bogus\"}",
+        "{\"task\": \"table1\", \"seed\": \"not a number\"}",
+        "{\"experiment\": []}",
+        "{\"experiment\": {\"victim\": 7}}",
+        "{\"experiment\": {\"victim\": \"aes-enc\", \"legs\": {}}}",
+        "{\"experiment\": {\"victim\": \"aes-enc\", \"stealth\": true, \"watchdog\": -1}}",
+    ];
+    for (i, body) in wrong_shape.iter().enumerate() {
+        let resp = client.post_json("/v1/experiments", body).unwrap();
+        assert_parse_reject(
+            resp.status,
+            &resp.text(),
+            400,
+            &format!("shape #{i} {body}"),
+        );
+        parse_rejects += 1;
+    }
+
+    let mut rng = SplitMix64::new(derive_seed(0xF0_0D, "serve/garbage"));
+    for i in 0..48 {
+        let len = 1 + (rng.next_u64() % 64) as usize;
+        let body: Vec<u8> = (0..len)
+            .map(|_| {
+                if i % 2 == 0 {
+                    // Printable soup: exercises the JSON lexer proper.
+                    b' ' + (rng.next_u64() % 95) as u8
+                } else {
+                    // Raw bytes: exercises the UTF-8 gate.
+                    rng.next_u64() as u8
+                }
+            })
+            .collect();
+        let resp = client.request("POST", "/v1/experiments", &body).unwrap();
+        assert_parse_reject(
+            resp.status,
+            &resp.text(),
+            400,
+            &format!("garbage #{i} {:?}", String::from_utf8_lossy(&body)),
+        );
+        parse_rejects += 1;
+    }
+
+    let ok = client.get("/healthz").unwrap();
+    assert_eq!(ok.status, 200, "daemon must survive the barrage");
+    let metrics = Json::parse(&client.get("/metrics").unwrap().text()).unwrap();
+    assert_eq!(
+        metrics
+            .get("errors")
+            .and_then(|e| e.get("parse"))
+            .and_then(Json::as_u64),
+        Some(parse_rejects),
+        "every rejection must land in the parse error bucket"
+    );
+
+    shutdown_and_join(&handle, join);
+}
+
+/// Every proper prefix of a valid spec body is malformed JSON and must
+/// be rejected with a structured 400; the full body must still run.
+#[test]
+fn truncated_spec_prefixes_are_rejected_then_full_body_runs() {
+    let (addr, handle, join) = boot();
+    let mut client = Client::connect(&addr).unwrap();
+    let body = "{\"experiment\": {\"victim\": \"aes-enc\", \"blocks\": 2, \"seed\": 11}}";
+
+    for cut in 0..body.len() {
+        let prefix = &body[..cut];
+        let resp = client.post_json("/v1/experiments", prefix).unwrap();
+        assert_parse_reject(
+            resp.status,
+            &resp.text(),
+            400,
+            &format!("prefix of length {cut}: {prefix:?}"),
+        );
+    }
+
+    let full = client.post_json("/v1/experiments", body).unwrap();
+    assert_eq!(
+        full.status,
+        200,
+        "untruncated body must run: {}",
+        full.text()
+    );
+
+    shutdown_and_join(&handle, join);
+}
+
+/// Writes raw bytes to a fresh connection, half-closes, and returns the
+/// daemon's entire reply (possibly empty if it just hung up).
+fn raw_exchange(addr: &str, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(bytes).expect("write raw request");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read reply");
+    String::from_utf8_lossy(&reply).into_owned()
+}
+
+/// Splits a raw HTTP reply into (status line, body).
+fn split_reply(reply: &str) -> (&str, &str) {
+    let status = reply.lines().next().unwrap_or("");
+    let body = reply.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    (status, body)
+}
+
+/// Transport-level malice on raw sockets: truncated frames (body shorter
+/// than its Content-Length, heads cut off mid-line), non-HTTP garbage,
+/// and an oversized Content-Length declaration. Framing faults answer a
+/// structured 400, the size cap answers 413, and the daemon stays up.
+#[test]
+fn raw_truncated_frames_and_oversized_declarations() {
+    let (addr, handle, join) = boot();
+
+    // Body shorter than declared: EOF mid-body is a truncated request.
+    let reply = raw_exchange(
+        &addr,
+        b"POST /v1/experiments HTTP/1.1\r\nHost: x\r\nContent-Length: 40\r\n\r\nshort",
+    );
+    let (status, body) = split_reply(&reply);
+    assert!(status.starts_with("HTTP/1.1 400"), "short body: {reply:?}");
+    assert_parse_reject(400, body, 400, "short body");
+
+    // Head cut off before the blank line.
+    let reply = raw_exchange(&addr, b"POST /v1/experi");
+    let (status, body) = split_reply(&reply);
+    assert!(status.starts_with("HTTP/1.1 400"), "cut head: {reply:?}");
+    assert_parse_reject(400, body, 400, "cut head");
+
+    // Complete head, but not HTTP at all.
+    let reply = raw_exchange(&addr, b"NOT-HTTP garbage line\r\n\r\n");
+    let (status, body) = split_reply(&reply);
+    assert!(status.starts_with("HTTP/1.1 400"), "non-http: {reply:?}");
+    assert_parse_reject(400, body, 400, "non-http");
+
+    // Declared body past the 1 MiB cap: refused up front with 413,
+    // before the daemon commits to buffering it.
+    let reply = raw_exchange(
+        &addr,
+        b"POST /v1/experiments HTTP/1.1\r\nHost: x\r\nContent-Length: 2097152\r\n\r\n",
+    );
+    let (status, body) = split_reply(&reply);
+    assert!(status.starts_with("HTTP/1.1 413"), "oversized: {reply:?}");
+    assert_parse_reject(413, body, 413, "oversized");
+
+    // Seeded binary garbage frames: whatever the bytes, the reply is
+    // either a structured 4xx or a clean hang-up — never silence with
+    // the listener gone.
+    let mut rng = SplitMix64::new(derive_seed(0xF0_0D, "serve/raw"));
+    for i in 0..24 {
+        let len = 1 + (rng.next_u64() % 256) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let reply = raw_exchange(&addr, &bytes);
+        let (status, body) = split_reply(&reply);
+        assert!(
+            status.starts_with("HTTP/1.1 4"),
+            "raw garbage #{i} must get a 4xx: {reply:?}"
+        );
+        assert_parse_reject(400, body, 400, &format!("raw garbage #{i}"));
+    }
+
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    let metrics = Json::parse(&client.get("/metrics").unwrap().text()).unwrap();
+    let parse_errors = metrics
+        .get("errors")
+        .and_then(|e| e.get("parse"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(
+        parse_errors,
+        4 + 24,
+        "every framing fault must land in the parse error bucket"
+    );
+
+    shutdown_and_join(&handle, join);
+}

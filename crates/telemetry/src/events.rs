@@ -72,6 +72,44 @@ pub struct StealthWindowEvent {
     pub decoy_uops: u32,
 }
 
+/// One µop emitted by a decode, with its translation context. Emitted
+/// per µop (not per macro-op), so only when a sink is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UopDecodeEvent {
+    /// Translation context tag (same encoding as [`DecodeEvent::context`]).
+    pub context: u8,
+    /// Coverage class of the µop (see `coverage::UOP_CLASS_NAMES`).
+    pub class: u8,
+}
+
+/// A decode-memo table probe resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoProbeEvent {
+    /// Outcome code (see `coverage::memo_probe`): 0 = hit, 1 = miss,
+    /// 2 = bypass.
+    pub outcome: u8,
+}
+
+/// A µop-cache lookup resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UopCacheEvent {
+    /// Address of the fetch window probed.
+    pub addr: u64,
+    /// Translation context tag of the probe.
+    pub context: u8,
+    /// Whether the window hit.
+    pub hit: bool,
+}
+
+/// The CSD context key advanced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextKeyEvent {
+    /// The new context-key value.
+    pub key: u64,
+    /// Why it advanced (see `coverage::key_cause`).
+    pub cause: u8,
+}
+
 /// Receiver for simulator events. Every method is a no-op by default, so
 /// implementors override only what they observe.
 ///
@@ -104,6 +142,26 @@ pub trait EventSink: Send + Sync {
 
     /// A stealth decoy window was injected.
     fn on_stealth_window(&mut self, event: &StealthWindowEvent) {
+        let _ = event;
+    }
+
+    /// A µop was emitted by a decode.
+    fn on_uop_decode(&mut self, event: &UopDecodeEvent) {
+        let _ = event;
+    }
+
+    /// A decode-memo probe resolved.
+    fn on_memo_probe(&mut self, event: &MemoProbeEvent) {
+        let _ = event;
+    }
+
+    /// A µop-cache lookup resolved.
+    fn on_uop_cache(&mut self, event: &UopCacheEvent) {
+        let _ = event;
+    }
+
+    /// The CSD context key advanced.
+    fn on_context_key(&mut self, event: &ContextKeyEvent) {
         let _ = event;
     }
 }

@@ -27,17 +27,22 @@
 //!   stealth-window events) and the [`SinkHandle`] container the
 //!   pipeline embeds so tracing can be attached without touching the hot
 //!   path when disabled.
+//! - [`coverage`] — [`CoverageMap`], the fixed-shape structural coverage
+//!   counters behind coverage-guided differential fuzzing, and
+//!   [`CoverageSink`], the [`EventSink`] adapter that fills one.
 
 #![warn(missing_docs)]
 
+pub mod coverage;
 pub mod events;
 pub mod hist;
 pub mod json;
 pub mod rng;
 
+pub use coverage::{CoverageMap, CoverageSink};
 pub use events::{
-    CountingSink, DecodeEvent, EventSink, GateEvent, RetireEvent, SinkHandle, StealthWindowEvent,
-    StoreEvent,
+    ContextKeyEvent, CountingSink, DecodeEvent, EventSink, GateEvent, MemoProbeEvent, RetireEvent,
+    SinkHandle, StealthWindowEvent, StoreEvent, UopCacheEvent, UopDecodeEvent,
 };
 pub use hist::Histogram;
 pub use json::{Json, ParseError, ToJson};

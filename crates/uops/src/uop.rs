@@ -225,6 +225,45 @@ impl UopKind {
     pub const fn writes_flags(self) -> bool {
         matches!(self, UopKind::Alu(_) | UopKind::Mul)
     }
+
+    /// Structural coverage class of the µop kind: one stable small
+    /// integer per kind family (operand payloads like the ALU op or
+    /// branch condition are deliberately folded together — coverage bins
+    /// must stay coarse and fixed-shape). The class indexes
+    /// `csd_telemetry::coverage::UOP_CLASS_NAMES`; a cross-crate test in
+    /// `csd-difftest` pins the two tables to each other.
+    pub const fn coverage_class(self) -> u8 {
+        match self {
+            UopKind::Nop => 0,
+            UopKind::Mov => 1,
+            UopKind::MovImm => 2,
+            UopKind::Alu(_) => 3,
+            UopKind::Mul => 4,
+            UopKind::FAlu(_, _) => 5,
+            UopKind::DivQ => 6,
+            UopKind::DivR => 7,
+            UopKind::Ld => 8,
+            UopKind::St => 9,
+            UopKind::Lea => 10,
+            UopKind::Br(_) => 11,
+            UopKind::JmpImm => 12,
+            UopKind::JmpReg => 13,
+            UopKind::PushImm => 14,
+            UopKind::Push => 15,
+            UopKind::Pop => 16,
+            UopKind::VAlu(_) => 17,
+            UopKind::VLd => 18,
+            UopKind::VSt => 19,
+            UopKind::VMov => 20,
+            UopKind::VExtractQ => 21,
+            UopKind::VInsertQ => 22,
+            UopKind::Clflush => 23,
+            UopKind::Rdtsc => 24,
+            UopKind::Wrmsr => 25,
+            UopKind::Rdmsr => 26,
+            UopKind::Halt => 27,
+        }
+    }
 }
 
 /// A single micro-op.

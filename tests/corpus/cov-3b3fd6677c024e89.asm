@@ -1,0 +1,13 @@
+# fuzz seed 0xcafebabe round 11 candidate 7: +1 bins
+    mov rsp, 0x208000
+    mov r15, 0x100000
+    mov rdx, 0xfb450ebff71c5998
+    mov rbx, 0xa701aabe5961aacb
+    mov rbp, 0xaaf6c3ec055a6bf9
+    mov rsi, 0xc87a2bc063414fcd
+    mov rdi, 0xccbfc2010fdc134f
+    movdqa xmm0, [r15 + 0x70]
+    paddd xmm0, xmm1
+    je L7
+    paddd xmm0, xmm1
+L7:

@@ -1,0 +1,16 @@
+# hand-written: devec flag-clobber regression (cmp / devectorized paddd / jcc)
+    mov rsp, 0x208000
+    mov r15, 0x100000
+    mov rax, 0x1
+    mov rcx, 0x2
+    mov rdx, 0x3
+    mov rbx, 0x4
+    mov rsi, 0x5
+    mov rdi, 0x6
+    cmp rax, 0x1
+    paddd xmm0, xmm1
+    je L0
+    mov r8, 0x1111
+    mov r9, 0x2222
+L0:
+    hlt

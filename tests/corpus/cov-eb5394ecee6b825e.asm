@@ -1,0 +1,16 @@
+# fuzz seed 0xcafebabe round 5 candidate 4: +4 bins
+    mov rsp, 0x208000
+    mov r15, 0x100000
+    add rsi, word [r15 + 0x6e]
+    wrmsr 0x100, r12
+    sub rbp, dword [r15 + 0x60]
+    call L9
+    imul rcx, 0x9ad8
+    and rbp, 0xff
+    paddb xmm2, [r15 + rbp*8 + 0x60]
+L23:
+    jne L23
+    hlt
+L9:
+    movdqa [r15 + rsi*1 + 0xa0], xmm6
+    ret
