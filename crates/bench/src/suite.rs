@@ -197,6 +197,26 @@ pub fn run_tasks(tasks: &[TaskDef], root_seed: u64, jobs: usize) -> Vec<Json> {
 pub fn run_suite(cfg: &SuiteConfig) -> SuiteReport {
     let tasks = build_tasks(cfg);
     let values = run_tasks(&tasks, cfg.root_seed, cfg.jobs);
+    assemble_report(cfg, values)
+}
+
+/// Assembles the full suite report from per-task result values in grid
+/// order (what [`run_tasks`] returns for [`build_tasks`]). Split out
+/// from [`run_suite`] so a distributed runner — `csd-cluster` collects
+/// the same values over HTTP from many daemons — reassembles the exact
+/// CLI artifact: the report is a pure function of `(cfg, values)`.
+///
+/// # Panics
+///
+/// Panics if `values` does not line up with the grid (`build_tasks`
+/// length mismatch).
+pub fn assemble_report(cfg: &SuiteConfig, values: Vec<Json>) -> SuiteReport {
+    let tasks = build_tasks(cfg);
+    assert_eq!(
+        tasks.len(),
+        values.len(),
+        "assemble_report needs one value per grid task"
+    );
     let results = Results {
         labels: tasks.iter().map(|t| t.label().to_string()).collect(),
         values,
@@ -212,6 +232,25 @@ pub fn run_suite(cfg: &SuiteConfig) -> SuiteReport {
 pub fn run_filtered(cfg: &SuiteConfig, filter: &str) -> Json {
     let tasks = filter_tasks(cfg, filter);
     let values = run_tasks(&tasks, cfg.root_seed, cfg.jobs);
+    filtered_report(cfg, filter, values)
+}
+
+/// Builds the reduced `--filter` document from result values in
+/// filtered-grid order (what [`run_tasks`] returns for
+/// [`filter_tasks`]). Like [`assemble_report`], this is the merge point
+/// a distributed runner shares with the CLI: same values in, same bytes
+/// out.
+///
+/// # Panics
+///
+/// Panics if `values` does not line up with the filtered grid.
+pub fn filtered_report(cfg: &SuiteConfig, filter: &str, values: Vec<Json>) -> Json {
+    let tasks = filter_tasks(cfg, filter);
+    assert_eq!(
+        tasks.len(),
+        values.len(),
+        "filtered_report needs one value per matched task"
+    );
     let rows: Vec<Json> = tasks
         .iter()
         .zip(values)

@@ -1,0 +1,190 @@
+//! The deterministic merger: turning per-task documents served by
+//! `csd-serve` workers back into the exact artifact a single-node
+//! `suite` run writes.
+//!
+//! Three facts make byte-identity possible:
+//!
+//! 1. A task's result is a pure function of `(label, profile, seed)` —
+//!    the server derives the task seed from the suite root seed and the
+//!    *label*, never from scheduling, so any worker's answer is the
+//!    CLI's answer.
+//! 2. `csd_telemetry::Json::parse` preserves number identity
+//!    (unsigned/signed/float discrimination and shortest-roundtrip
+//!    formatting), so extracting the `result` subtree from a served
+//!    document and re-serializing it reproduces the original bytes.
+//! 3. `csd_bench::suite` exposes its report assembly
+//!    ([`csd_bench::suite::assemble_report`] /
+//!    [`csd_bench::suite::filtered_report`]) as pure functions of
+//!    `(config, values-in-grid-order)` — the cluster feeds them values
+//!    collected over HTTP and gets the CLI's bytes out.
+//!
+//! The one trap is that the server treats `task` as a *substring*
+//! filter. [`verify_exact_labels`] checks up front that every label we
+//! are about to dispatch matches exactly one grid task, and
+//! [`task_result_from_doc`] re-verifies label and seed on every
+//! response, so a worker answering the wrong question is an error, not
+//! a silently corrupted artifact.
+
+use crate::sched::WorkUnit;
+use crate::ClusterError;
+use csd_bench::suite::SuiteConfig;
+use csd_bench::tasks::{filter_tasks, TaskDef};
+use csd_telemetry::Json;
+
+/// Builds the request unit for one grid task: the label is posted as the
+/// server-side filter (exact by [`verify_exact_labels`]), and profile
+/// and root seed pin down the config the worker reconstructs.
+pub fn unit_for_task(label: &str, profile: &str, root_seed: u64) -> WorkUnit {
+    let body = Json::obj([
+        ("task", Json::from(label)),
+        ("profile", Json::from(profile)),
+        ("seed", Json::from(root_seed)),
+    ]);
+    WorkUnit {
+        label: label.to_string(),
+        body: body.dump(),
+    }
+}
+
+/// Checks that every task's label, used as a substring filter, matches
+/// exactly that one task — the property that lets a label double as an
+/// addressing key. Holds for the whole grid by construction (labels are
+/// unique and family prefixes differ); this guards against a future
+/// grid change breaking the cluster silently.
+pub fn verify_exact_labels(cfg: &SuiteConfig, tasks: &[TaskDef]) -> Result<(), ClusterError> {
+    for t in tasks {
+        let matched = filter_tasks(cfg, t.label());
+        if matched.len() != 1 || matched[0].label() != t.label() {
+            return Err(ClusterError(format!(
+                "label {:?} is not an exact address: it matches {} task(s)",
+                t.label(),
+                matched.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the task's `result` value from a served per-task document,
+/// verifying the worker answered the question we asked: the document's
+/// filter and single row must carry our label, and the row's seed must
+/// be the label-derived seed we expect.
+pub fn task_result_from_doc(
+    body: &[u8],
+    label: &str,
+    expected_seed: u64,
+) -> Result<Json, ClusterError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ClusterError(format!("task {label:?}: response is not UTF-8")))?;
+    let doc = Json::parse(text)
+        .map_err(|e| ClusterError(format!("task {label:?}: response is not JSON: {e}")))?;
+    if doc.get("filter").and_then(Json::as_str) != Some(label) {
+        return Err(ClusterError(format!(
+            "task {label:?}: served document answers a different filter"
+        )));
+    }
+    let rows = doc
+        .get("tasks")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ClusterError(format!("task {label:?}: document has no tasks array")))?;
+    let [row] = rows else {
+        return Err(ClusterError(format!(
+            "task {label:?}: expected exactly one row, got {}",
+            rows.len()
+        )));
+    };
+    if row.get("label").and_then(Json::as_str) != Some(label) {
+        return Err(ClusterError(format!(
+            "task {label:?}: row is labelled {:?}",
+            row.get("label").and_then(Json::as_str)
+        )));
+    }
+    if row.get("seed").and_then(Json::as_u64) != Some(expected_seed) {
+        return Err(ClusterError(format!(
+            "task {label:?}: row seed {:?} != expected {expected_seed} — \
+             worker ran a different root seed or profile",
+            row.get("seed").and_then(Json::as_u64)
+        )));
+    }
+    row.get("result")
+        .cloned()
+        .ok_or_else(|| ClusterError(format!("task {label:?}: row has no result")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csd_bench::tasks::build_tasks;
+
+    #[test]
+    fn every_grid_label_is_an_exact_address() {
+        // The invariant the whole merge strategy rests on: no grid label
+        // is a substring of another, so posting a label as the server's
+        // filter selects exactly that task.
+        let cfg = SuiteConfig::quick(0xC5D_2018, 1);
+        let tasks = build_tasks(&cfg);
+        verify_exact_labels(&cfg, &tasks).expect("grid labels must address exactly");
+    }
+
+    #[test]
+    fn unit_body_is_a_task_request() {
+        let u = unit_for_task("table1", "quick", 7);
+        let body = Json::parse(&u.body).unwrap();
+        assert_eq!(body.get("task").and_then(Json::as_str), Some("table1"));
+        assert_eq!(body.get("profile").and_then(Json::as_str), Some("quick"));
+        assert_eq!(body.get("seed").and_then(Json::as_u64), Some(7));
+    }
+
+    #[test]
+    fn extraction_verifies_label_and_seed() {
+        let doc = |label: &str, seed: u64| {
+            Json::obj([
+                ("suite", Json::obj([("profile", Json::from("quick"))])),
+                ("filter", Json::from(label)),
+                (
+                    "tasks",
+                    Json::Arr(vec![Json::obj([
+                        ("label", Json::from(label)),
+                        ("seed", Json::from(seed)),
+                        ("result", Json::obj([("x", Json::from(1u64))])),
+                    ])]),
+                ),
+            ])
+            .pretty()
+        };
+        let ok = task_result_from_doc(doc("table1", 42).as_bytes(), "table1", 42).unwrap();
+        assert_eq!(ok.get("x").and_then(Json::as_u64), Some(1));
+        // Wrong seed: the worker ran a different root seed — reject.
+        assert!(task_result_from_doc(doc("table1", 43).as_bytes(), "table1", 42).is_err());
+        // Wrong label: the worker answered a different task — reject.
+        assert!(task_result_from_doc(doc("wd/aes-enc", 42).as_bytes(), "table1", 42).is_err());
+        // Garbage: reject.
+        assert!(task_result_from_doc(b"not json", "table1", 42).is_err());
+    }
+
+    #[test]
+    fn extraction_preserves_result_bytes() {
+        // Parse → extract → re-serialize must reproduce the result
+        // subtree byte-for-byte (number identity survives the round
+        // trip) — this is what makes the distributed merge `cmp`-equal.
+        let result = Json::obj([
+            ("u", Json::from(18446744073709551615u64)),
+            ("f", Json::from(0.1)),
+            ("neg", Json::from(-3i64)),
+        ]);
+        let doc = Json::obj([
+            ("filter", Json::from("t")),
+            (
+                "tasks",
+                Json::Arr(vec![Json::obj([
+                    ("label", Json::from("t")),
+                    ("seed", Json::from(5u64)),
+                    ("result", result.clone()),
+                ])]),
+            ),
+        ]);
+        let served = doc.pretty();
+        let extracted = task_result_from_doc(served.as_bytes(), "t", 5).unwrap();
+        assert_eq!(extracted.pretty(), result.pretty());
+    }
+}

@@ -1,0 +1,273 @@
+//! The worker pool: which `csd-serve` daemons the coordinator may
+//! dispatch to, what it currently believes about each of them, and —
+//! for `--workers N` — the daemons it spawned itself.
+//!
+//! A [`WorkerPool`] is built either from a static address list
+//! ([`WorkerPool::from_addrs`], remote daemons someone else operates) or
+//! by spawning local in-process daemons ([`WorkerPool::spawn_local`],
+//! each a full [`csd_serve::Server`] with its own simulation worker
+//! threads on an ephemeral port). Either way the scheduler sees the
+//! same thing: a list of [`WorkerState`]s it probes, dispatches to, and
+//! declares dead.
+
+use csd_serve::{Server, ServerConfig, ShutdownHandle};
+use csd_telemetry::{Histogram, Json, ToJson};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What the coordinator knows about one worker daemon.
+#[derive(Debug)]
+pub struct WorkerState {
+    /// The daemon's `HOST:PORT`.
+    pub addr: String,
+    /// Cleared exactly once, when the scheduler declares the worker
+    /// dead; a dead worker receives no further dispatches or probes.
+    pub alive: AtomicBool,
+    /// Health-probe verdict: an unhealthy-but-alive worker is paused
+    /// (no new dispatches) until a probe succeeds again.
+    pub healthy: AtomicBool,
+    /// Consecutive failed health probes (reset by any success).
+    pub probe_failures: AtomicU64,
+    /// Healthy↔unhealthy transitions observed by the prober.
+    pub flaps: AtomicU64,
+    /// Requests answered 200 by this worker.
+    pub completed: AtomicU64,
+    /// Request attempts that ended in a transport error or a non-200.
+    pub failures: AtomicU64,
+    /// `503` retries performed against this worker.
+    pub retries_503: AtomicU64,
+    /// Reconnects performed against this worker.
+    pub reconnects: AtomicU64,
+    /// Admission-queue depth from the last successful health probe —
+    /// the load signal `GET /v1/health` exists to publish.
+    pub queue_depth: AtomicU64,
+    /// End-to-end latency of every request this worker answered.
+    pub latency_us: Mutex<Histogram>,
+}
+
+impl WorkerState {
+    fn new(addr: String) -> WorkerState {
+        WorkerState {
+            addr,
+            alive: AtomicBool::new(true),
+            healthy: AtomicBool::new(true),
+            probe_failures: AtomicU64::new(0),
+            flaps: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            retries_503: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            latency_us: Mutex::new(Histogram::new()),
+        }
+    }
+
+    /// Whether the scheduler may hand this worker new work.
+    pub fn dispatchable(&self) -> bool {
+        self.alive.load(Ordering::SeqCst) && self.healthy.load(Ordering::SeqCst)
+    }
+
+    /// Records one answered request's end-to-end latency.
+    pub fn record_latency_us(&self, us: u64) {
+        match self.latency_us.lock() {
+            Ok(mut h) => h.record(us),
+            Err(poison) => poison.into_inner().record(us),
+        }
+    }
+
+    /// Snapshot of this worker's latency distribution.
+    pub fn latency_snapshot(&self) -> Histogram {
+        match self.latency_us.lock() {
+            Ok(h) => h.clone(),
+            Err(poison) => poison.into_inner().clone(),
+        }
+    }
+
+    /// The per-worker telemetry row.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("addr", Json::from(self.addr.as_str())),
+            ("alive", Json::Bool(self.alive.load(Ordering::SeqCst))),
+            ("healthy", Json::Bool(self.healthy.load(Ordering::SeqCst))),
+            (
+                "completed",
+                Json::from(self.completed.load(Ordering::Relaxed)),
+            ),
+            (
+                "failures",
+                Json::from(self.failures.load(Ordering::Relaxed)),
+            ),
+            (
+                "retries_503",
+                Json::from(self.retries_503.load(Ordering::Relaxed)),
+            ),
+            (
+                "reconnects",
+                Json::from(self.reconnects.load(Ordering::Relaxed)),
+            ),
+            (
+                "health_flaps",
+                Json::from(self.flaps.load(Ordering::Relaxed)),
+            ),
+            (
+                "queue_depth_last",
+                Json::from(self.queue_depth.load(Ordering::Relaxed)),
+            ),
+            ("latency_us", self.latency_snapshot().to_json()),
+        ])
+    }
+}
+
+/// One daemon this coordinator spawned in-process.
+struct LocalDaemon {
+    handle: ShutdownHandle,
+    join: std::thread::JoinHandle<io::Result<()>>,
+}
+
+/// The set of workers a cluster run dispatches over.
+pub struct WorkerPool {
+    workers: Vec<Arc<WorkerState>>,
+    local: Vec<LocalDaemon>,
+}
+
+impl WorkerPool {
+    /// A pool over externally-operated daemons. The pool never shuts
+    /// these down — their lifecycle belongs to whoever started them.
+    pub fn from_addrs<S: AsRef<str>>(addrs: &[S]) -> WorkerPool {
+        WorkerPool {
+            workers: addrs
+                .iter()
+                .map(|a| Arc::new(WorkerState::new(a.as_ref().to_string())))
+                .collect(),
+            local: Vec::new(),
+        }
+    }
+
+    /// Spawns `n` in-process daemons on ephemeral ports, each with
+    /// `daemon_workers` simulation threads. [`WorkerPool::shutdown_local`]
+    /// (or drop) drains them gracefully.
+    pub fn spawn_local(n: usize, daemon_workers: usize) -> io::Result<WorkerPool> {
+        let mut workers = Vec::new();
+        let mut local = Vec::new();
+        for _ in 0..n.max(1) {
+            let server = Server::bind(&ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: daemon_workers.max(1),
+                // The scheduler's bounded windows keep in-flight work per
+                // worker small; a roomy queue means hedges and bursts
+                // degrade into waiting, not 503 churn.
+                queue_cap: 64,
+                cache_cap: 16,
+                ..ServerConfig::default()
+            })?;
+            let addr = server.local_addr()?.to_string();
+            let handle = server.shutdown_handle();
+            let join = std::thread::spawn(move || server.run());
+            workers.push(Arc::new(WorkerState::new(addr)));
+            local.push(LocalDaemon { handle, join });
+        }
+        Ok(WorkerPool { workers, local })
+    }
+
+    /// The workers, in pool order.
+    pub fn workers(&self) -> &[Arc<WorkerState>] {
+        &self.workers
+    }
+
+    /// Worker count.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// How many workers are still dispatchable.
+    pub fn alive_count(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.alive.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Gracefully drains every daemon this pool spawned (no-op for an
+    /// address-list pool). Returns how many exited cleanly.
+    pub fn shutdown_local(&mut self) -> usize {
+        let mut clean = 0;
+        for d in self.local.drain(..) {
+            d.handle.trigger();
+            if matches!(d.join.join(), Ok(Ok(()))) {
+                clean += 1;
+            }
+        }
+        clean
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown_local();
+    }
+}
+
+/// Probes one worker's `/v1/health` once, with a short timeout so a
+/// black-holed daemon cannot stall the prober. On success records the
+/// published queue depth; returns whether the worker answered.
+pub fn probe_health(worker: &WorkerState, timeout: Duration) -> bool {
+    let Ok(mut client) = csd_serve::Client::connect_with(&worker.addr, timeout) else {
+        return false;
+    };
+    match client.get("/v1/health") {
+        Ok(resp) if resp.status == 200 => {
+            if let Ok(doc) = Json::parse(&resp.text()) {
+                if let Some(depth) = doc.get("queue_depth").and_then(Json::as_u64) {
+                    worker.queue_depth.store(depth, Ordering::Relaxed);
+                }
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_from_addrs_tracks_state() {
+        let pool = WorkerPool::from_addrs(&["127.0.0.1:1", "127.0.0.1:2"]);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.alive_count(), 2);
+        pool.workers()[0].alive.store(false, Ordering::SeqCst);
+        assert_eq!(pool.alive_count(), 1);
+        assert!(!pool.workers()[0].dispatchable());
+        assert!(pool.workers()[1].dispatchable());
+    }
+
+    #[test]
+    fn worker_telemetry_row_shape() {
+        let w = WorkerState::new("127.0.0.1:9".to_string());
+        w.record_latency_us(100);
+        w.completed.store(1, Ordering::Relaxed);
+        let row = w.to_json();
+        assert_eq!(row.get("addr").and_then(Json::as_str), Some("127.0.0.1:9"));
+        assert_eq!(row.get("completed").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            row.get("latency_us")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn probe_against_nothing_fails_fast() {
+        let w = WorkerState::new("127.0.0.1:1".to_string());
+        assert!(!probe_health(&w, Duration::from_millis(100)));
+    }
+}

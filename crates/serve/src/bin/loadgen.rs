@@ -35,7 +35,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 use csd_exp::{ExperimentSpec, LegMode};
-use csd_serve::{Client, ClientResponse};
+use csd_serve::{Client, ClientResponse, RetryClient};
 use csd_telemetry::ToJson;
 use csd_telemetry::{derive_seed, Histogram, Json, SplitMix64};
 use std::io::{Read as _, Write as _};
@@ -103,6 +103,20 @@ struct Outcome {
     warm_hits: u64,
 }
 
+impl Outcome {
+    /// The per-connection summary row for the JSON report.
+    fn to_json(&self, id: usize) -> Json {
+        Json::obj([
+            ("id", Json::from(id as u64)),
+            ("ok", Json::from(self.ok)),
+            ("errors", Json::from(self.errors)),
+            ("retries_503", Json::from(self.retries)),
+            ("reconnects", Json::from(self.reconnects)),
+            ("warm_hits", Json::from(self.warm_hits)),
+        ])
+    }
+}
+
 fn main() {
     let mut addr = "127.0.0.1:8321".to_string();
     let mut connections = 4usize;
@@ -111,6 +125,7 @@ fn main() {
     let mut seed: u64 = 0x10AD_2018;
     let mut profile = "quick".to_string();
     let mut out_path: Option<String> = None;
+    let mut summary_out: Option<String> = None;
     let mut slow_ms: u64 = 1_500;
     let mut mode_ping = false;
     let mut mode_shutdown = false;
@@ -144,6 +159,12 @@ fn main() {
             }
             "--profile" => profile = args.next().unwrap_or_else(|| die("--profile needs a name")),
             "--out" => out_path = Some(args.next().unwrap_or_else(|| die("--out needs a path"))),
+            "--summary-out" => {
+                summary_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--summary-out needs a path")),
+                );
+            }
             "--slow-ms" => {
                 slow_ms = args
                     .next()
@@ -165,6 +186,8 @@ fn main() {
                 println!(
                     "usage: loadgen --addr HOST:PORT [--connections N] [--requests N]\n\
                      \x20              [--mix warm=8,cold=1,task=1] [--seed S]\n\
+                     \x20              [--summary-out PATH]  (JSON summary incl. per-connection\n\
+                     \x20               reconnect/retry counts)\n\
                      \x20      or: --chaos [--requests N] [--seed S] [--slow-ms MS]\n\
                      \x20          (daemon must run with CSD_FAULT_SEED set and a short\n\
                      \x20           --conn-deadline-ms; see scripts/chaos_smoke.sh)\n\
@@ -315,6 +338,39 @@ fn main() {
         pct(&latency, 99.0),
         latency.max(),
     );
+    if let Some(path) = summary_out {
+        // Everything the stderr/stdout lines say — plus the per-connection
+        // recovery counters — as one parseable document, so chaos and
+        // cluster smokes can assert on reconnect/retry behavior instead
+        // of scraping log lines.
+        let summary = Json::obj([
+            ("addr", Json::from(addr.as_str())),
+            ("connections", Json::from(connections as u64)),
+            ("requests", Json::from(requests as u64)),
+            ("seed", Json::from(seed)),
+            ("mix", Json::from(mix_spec.as_str())),
+            ("ok", Json::from(ok)),
+            ("errors", Json::from(errors)),
+            ("retries_503", Json::from(retries)),
+            ("reconnects", Json::from(reconnects)),
+            ("warm_hits", Json::from(warm_hits)),
+            ("latency_us", latency.to_json()),
+            (
+                "per_connection",
+                Json::Arr(
+                    outcomes
+                        .iter()
+                        .enumerate()
+                        .map(|(i, o)| o.to_json(i))
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::write(&path, summary.pretty()).unwrap_or_else(|e| {
+            die(&format!("writing {path}: {e}"));
+        });
+        eprintln!("loadgen: wrote summary to {path}");
+    }
     if errors > 0 {
         std::process::exit(1);
     }
@@ -327,52 +383,21 @@ fn pct(h: &Histogram, p: f64) -> String {
         .map_or_else(|| "-".to_string(), |v| v.to_string())
 }
 
-/// One connection's request loop. Reconnects on transport errors; `503`
-/// responses are retried with backoff and counted, never treated as
-/// failures unless the budget runs out. Warm requests key their sessions
-/// off the run-wide `global_seed` so all connections share (and so hit)
-/// the same few cached checkpoints; cold requests perturb the
-/// connection-local seed to force fresh warm-ups.
+/// One connection's request loop over the shared [`RetryClient`]:
+/// transport errors reconnect with seeded backoff, `503` responses are
+/// retried honoring `Retry-After`, and both recoveries are counted —
+/// never treated as failures unless the budget runs out. Warm requests
+/// key their sessions off the run-wide `global_seed` so all connections
+/// share (and so hit) the same few cached checkpoints; cold requests
+/// perturb the connection-local seed to force fresh warm-ups.
 fn run_connection(addr: &str, n: usize, mix: &Mix, conn_seed: u64, global_seed: u64) -> Outcome {
     let mut rng = SplitMix64::new(conn_seed);
     let mut out = Outcome::default();
-    let mut client: Option<Client> = None;
+    let mut client = RetryClient::new(addr, derive_seed(conn_seed, "backoff"));
     for i in 0..n {
         let body = request_body(mix.pick(&mut rng), &mut rng, conn_seed, global_seed, i);
         let t0 = Instant::now();
-        let mut attempts = 0;
-        let resolved = loop {
-            attempts += 1;
-            if attempts > 50 {
-                break None;
-            }
-            let c = match client.as_mut() {
-                Some(c) => c,
-                None => match Client::connect(addr) {
-                    Ok(c) => {
-                        out.reconnects += 1;
-                        client.insert(c)
-                    }
-                    Err(_) => {
-                        std::thread::sleep(Duration::from_millis(20));
-                        continue;
-                    }
-                },
-            };
-            match c.post_json("/v1/experiments", &body) {
-                Ok(resp) if resp.status == 503 => {
-                    out.retries += 1;
-                    // The server suggests whole seconds; stay snappy in
-                    // tests while still backing off.
-                    std::thread::sleep(Duration::from_millis(25));
-                }
-                Ok(resp) => break Some(resp),
-                Err(_) => {
-                    client = None; // reconnect and retry
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-            }
-        };
+        let resolved = client.post_json("/v1/experiments", &body, 50).ok();
         out.latency
             .record(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         match resolved {
@@ -385,8 +410,9 @@ fn run_connection(addr: &str, n: usize, mix: &Mix, conn_seed: u64, global_seed: 
             _ => out.errors += 1,
         }
     }
-    // The first connect is not a *re*connect.
-    out.reconnects = out.reconnects.saturating_sub(1);
+    let stats = client.stats();
+    out.retries = stats.retries_503;
+    out.reconnects = stats.reconnects;
     out
 }
 
@@ -779,37 +805,20 @@ fn verify_warm(addr: &str, seed: u64) {
     );
 }
 
+/// One-shot request through the shared retry client (connect retries,
+/// `503` backoff honoring `Retry-After`, reconnect on transport errors).
 fn request_with_retry(
     addr: &str,
     target: &str,
     body: &str,
     max_attempts: u32,
 ) -> std::io::Result<ClientResponse> {
-    let mut last_err = None;
-    for _ in 0..max_attempts {
-        let mut client = match Client::connect(addr) {
-            Ok(c) => c,
-            Err(e) => {
-                last_err = Some(e);
-                std::thread::sleep(Duration::from_millis(25));
-                continue;
-            }
-        };
-        let result = if body.is_empty() && !target.starts_with("/v1/experiments") {
-            client.get(target)
-        } else {
-            client.post_json(target, body)
-        };
-        match result {
-            Ok(resp) if resp.status == 503 => std::thread::sleep(Duration::from_millis(25)),
-            Ok(resp) => return Ok(resp),
-            Err(e) => {
-                last_err = Some(e);
-                std::thread::sleep(Duration::from_millis(25));
-            }
-        }
+    let mut client = RetryClient::new(addr, 0x10AD_5EED);
+    if body.is_empty() && !target.starts_with("/v1/experiments") {
+        client.get(target, max_attempts)
+    } else {
+        client.post_json(target, body, max_attempts)
     }
-    Err(last_err.unwrap_or_else(|| std::io::Error::other("retries exhausted")))
 }
 
 fn simple(addr: &str, method: &str, target: &str, body: &str) -> String {

@@ -42,7 +42,7 @@ pub mod queue;
 pub mod server;
 pub mod session;
 
-pub use client::{Client, ClientResponse};
+pub use client::{Backoff, Client, ClientResponse, RetryClient, RetryStats};
 pub use csd_exp::{ExperimentSpec, SessionKey, Warmed};
 pub use error::{ErrorClass, ServeError};
 pub use fault::{FaultMode, FaultSpec};

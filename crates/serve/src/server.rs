@@ -126,6 +126,7 @@ struct State {
     conn_deadline: Duration,
     write_timeout: Duration,
     fault: Option<FaultMode>,
+    workers: usize,
 }
 
 impl State {
@@ -207,6 +208,7 @@ impl Server {
                 conn_deadline: cfg.conn_deadline.max(Duration::from_millis(10)),
                 write_timeout: cfg.write_timeout.max(Duration::from_millis(10)),
                 fault: cfg.fault,
+                workers: cfg.workers.max(1),
             }),
         })
     }
@@ -480,6 +482,30 @@ fn handle_connection(stream: &TcpStream, state: &State) -> std::io::Result<()> {
 fn route(req: &Request, state: &State) -> Result<Response, ServeError> {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Ok(Response::json(200, &Json::obj([("ok", Json::Bool(true))]))),
+        ("GET", "/v1/health") => {
+            // Cheap by construction: answered on the connection thread
+            // from atomics, never queued behind simulation work — a
+            // cluster scheduler can poll it aggressively for liveness
+            // and load-aware dispatch.
+            let lost = state.metrics.workers_lost.load(Ordering::Relaxed);
+            Ok(Response::json(
+                200,
+                &Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+                    ("queue_depth", Json::from(state.queue.len() as u64)),
+                    ("workers", Json::from(state.workers as u64)),
+                    (
+                        "workers_alive",
+                        Json::from((state.workers as u64).saturating_sub(lost)),
+                    ),
+                    (
+                        "draining",
+                        Json::Bool(state.shutdown.load(Ordering::SeqCst)),
+                    ),
+                ]),
+            ))
+        }
         ("GET", "/metrics") => {
             let mut doc = state.metrics.to_json();
             doc.push_member("queue_depth", Json::from(state.queue.len() as u64));
@@ -511,9 +537,8 @@ fn route(req: &Request, state: &State) -> Result<Response, ServeError> {
             ))
         }
         ("POST", "/v1/experiments") => submit_experiment(req, state),
-        (_, "/healthz" | "/metrics" | "/v1/tasks" | "/v1/stream") | (_, "/v1/experiments") => {
-            Err(ServeError::admission(405, "method not allowed"))
-        }
+        (_, "/healthz" | "/v1/health" | "/metrics" | "/v1/tasks" | "/v1/stream")
+        | (_, "/v1/experiments") => Err(ServeError::admission(405, "method not allowed")),
         _ => Err(ServeError::admission(404, "no such route")),
     }
 }

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# CI smoke test for the csd-cluster coordinator:
+#   1. distributed quick suite over 1, 2, and 3 spawned local daemons —
+#      every merged artifact must be byte-identical (cmp) to the
+#      committed single-node golden report,
+#   2. a hedging-enabled run must stay byte-identical (first result
+#      wins, losers discarded),
+#   3. kill -9 one of three external csd-serve daemons mid-run — the
+#      coordinator must reassign its work and still emit golden bytes,
+#   4. the surviving daemons must drain gracefully and exit 0.
+set -euo pipefail
+
+BIN=target/release
+GOLDEN=crates/bench/tests/golden/quick_suite.json
+PORT_BASE="${CSD_CLUSTER_PORT_BASE:-8341}"
+
+cleanup() {
+    for pid in "${P1:-}" "${P2:-}" "${P3:-}"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+        fi
+    done
+}
+trap cleanup EXIT
+
+echo "== distributed quick suite at 1/2/3 workers must equal the golden bytes"
+for n in 1 2 3; do
+    "$BIN/cluster" --workers "$n" --quick \
+        --out "/tmp/cluster-w${n}.json" --telemetry-out "/tmp/cluster-w${n}-telem.json"
+    cmp "/tmp/cluster-w${n}.json" "$GOLDEN"
+done
+
+echo "== hedged run (20ms straggler threshold) must stay byte-identical"
+"$BIN/cluster" --workers 3 --quick --hedge-ms 20 --out /tmp/cluster-hedge.json
+cmp /tmp/cluster-hedge.json "$GOLDEN"
+
+echo "== boot 3 external csd-serve daemons"
+A1="127.0.0.1:${PORT_BASE}"
+A2="127.0.0.1:$((PORT_BASE + 1))"
+A3="127.0.0.1:$((PORT_BASE + 2))"
+"$BIN/csd-serve" --addr "$A1" --workers 1 --queue-cap 64 &
+P1=$!
+"$BIN/csd-serve" --addr "$A2" --workers 1 --queue-cap 64 &
+P2=$!
+"$BIN/csd-serve" --addr "$A3" --workers 1 --queue-cap 64 &
+P3=$!
+for addr in "$A1" "$A2" "$A3"; do
+    for _ in $(seq 1 100); do
+        if "$BIN/loadgen" --addr "$addr" --ping >/dev/null 2>&1; then
+            break
+        fi
+        sleep 0.1
+    done
+    "$BIN/loadgen" --addr "$addr" --ping >/dev/null
+done
+
+echo "== kill -9 one daemon mid-run; artifact must still equal golden bytes"
+"$BIN/cluster" --addrs "$A1,$A2,$A3" --quick \
+    --attempts 2 --task-timeout-ms 60000 \
+    --out /tmp/cluster-kill.json --telemetry-out /tmp/cluster-kill-telem.json &
+CLUSTER_PID=$!
+sleep 0.05
+kill -9 "$P1"
+wait "$P1" 2>/dev/null || true
+P1=""
+wait "$CLUSTER_PID"
+cmp /tmp/cluster-kill.json "$GOLDEN"
+grep -q '"workers_dead": 1' /tmp/cluster-kill-telem.json || {
+    echo "cluster smoke: expected exactly one dead worker in telemetry" >&2
+    exit 1
+}
+
+echo "== surviving daemons drain gracefully and exit 0"
+"$BIN/loadgen" --addr "$A2" --shutdown
+"$BIN/loadgen" --addr "$A3" --shutdown
+wait "$P2"
+P2=""
+wait "$P3"
+P3=""
+
+echo "cluster smoke: OK"
