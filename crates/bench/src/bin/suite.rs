@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p csd-bench --bin suite -- \
-//!     [--jobs N] [--seed S] [--quick] [--out PATH] [--list] [--filter SUBSTR]
+//!     [--jobs N] [--seed S] [--quick] [--out PATH] [--list] [--filter SUBSTR] \
+//!     [--journal] [--resume ID] [--journal-dir DIR]
 //! ```
 //!
 //! Exits non-zero if any headline metric drifts outside its declared
@@ -11,9 +12,23 @@
 //! running anything; `--filter` runs only label-matched tasks and writes
 //! a reduced report (no figure summaries or checks) — the same document
 //! the `csd-serve` daemon returns for a task request.
+//!
+//! Durability: `--journal` records every completed task in a
+//! write-ahead journal under `--journal-dir` (default `runs/`), and
+//! `--resume ID` reopens `runs/ID.journal` — creating it if absent —
+//! replays the completed prefix, runs only the remainder, and writes a
+//! report byte-identical to an uninterrupted run. Crash it anywhere
+//! (even mid-append; the torn tail is truncated on reopen), rerun the
+//! same `--resume` command, and only the missing work repeats.
 
-use csd_bench::suite::{resolve_jobs, run_filtered, run_suite, SuiteConfig};
+use csd_bench::suite::{
+    journal_meta, resolve_jobs, run_filtered, run_filtered_resumable, run_suite,
+    run_suite_resumable, SuiteConfig, SuiteReport,
+};
 use csd_bench::tasks::{build_tasks, filter_tasks};
+use csd_telemetry::{write_atomic, RunJournal};
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::Instant;
 
 fn main() {
@@ -25,6 +40,9 @@ fn main() {
     let mut list = false;
     let mut filter: Option<String> = None;
     let mut out_path = "BENCH_suite.json".to_string();
+    let mut journal = false;
+    let mut resume: Option<String> = None;
+    let mut journal_dir = "runs".to_string();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -52,16 +70,33 @@ fn main() {
                         .unwrap_or_else(|| die("--filter needs a substring")),
                 );
             }
+            "--journal" => journal = true,
+            "--resume" => {
+                resume = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--resume needs a run id")),
+                );
+            }
+            "--journal-dir" => {
+                journal_dir = args
+                    .next()
+                    .unwrap_or_else(|| die("--journal-dir needs a path"));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: suite [--jobs N] [--seed S] [--quick] [--out PATH]\n\
                      \x20            [--list] [--filter SUBSTR]\n\
+                     \x20            [--journal] [--resume ID] [--journal-dir DIR]\n\
                      Runs the full figure grid and writes the JSON report (default\n\
                      BENCH_suite.json). --jobs 0 (or omitted) uses one worker per\n\
                      available hardware thread. --quick runs a down-scaled smoke grid\n\
                      without tolerance checks. --list prints the task labels without\n\
                      running; --filter runs only tasks whose label contains SUBSTR and\n\
-                     writes a reduced report."
+                     writes a reduced report. --journal write-ahead-journals every\n\
+                     completed task under --journal-dir (default runs/); --resume ID\n\
+                     reopens runs/ID.journal (creating it if absent), skips the\n\
+                     completed prefix, and produces a report byte-identical to an\n\
+                     uninterrupted run."
                 );
                 return;
             }
@@ -87,6 +122,8 @@ fn main() {
         return;
     }
 
+    let run_journal = open_journal(journal, resume, &journal_dir, &cfg, filter.as_deref());
+
     if let Some(f) = filter {
         let matched = filter_tasks(&cfg, &f).len();
         if matched == 0 {
@@ -99,10 +136,11 @@ fn main() {
             resolve_jobs(cfg.jobs)
         );
         let t0 = Instant::now();
-        let doc = run_filtered(&cfg, &f);
-        std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| {
-            die(&format!("writing {out_path}: {e}"));
-        });
+        let doc = match &run_journal {
+            Some(j) => run_filtered_resumable(&cfg, &f, j).unwrap_or_else(|e| die(&e)),
+            None => run_filtered(&cfg, &f),
+        };
+        write_artifact(&out_path, doc.pretty().as_bytes());
         eprintln!(
             "suite: wrote {out_path} in {:.1}s",
             t0.elapsed().as_secs_f64()
@@ -117,12 +155,13 @@ fn main() {
         resolve_jobs(cfg.jobs)
     );
     let t0 = Instant::now();
-    let report = run_suite(&cfg);
+    let report: SuiteReport = match &run_journal {
+        Some(j) => run_suite_resumable(&cfg, j).unwrap_or_else(|e| die(&e)),
+        None => run_suite(&cfg),
+    };
     let elapsed = t0.elapsed();
 
-    std::fs::write(&out_path, report.json.pretty()).unwrap_or_else(|e| {
-        die(&format!("writing {out_path}: {e}"));
-    });
+    write_artifact(&out_path, report.json.pretty().as_bytes());
     eprintln!("suite: wrote {out_path} in {:.1}s", elapsed.as_secs_f64());
 
     for c in &report.checks {
@@ -144,6 +183,56 @@ fn main() {
         );
         std::process::exit(1);
     }
+}
+
+/// Opens (or creates) the run journal when journaling was requested.
+/// `--resume ID` names the journal explicitly; bare `--journal` derives
+/// a fresh id from the config and pid and prints it, so the resume
+/// command after a crash is copy-pasteable from the log.
+fn open_journal(
+    journal: bool,
+    resume: Option<String>,
+    journal_dir: &str,
+    cfg: &SuiteConfig,
+    filter: Option<&str>,
+) -> Option<Mutex<RunJournal>> {
+    if !journal && resume.is_none() {
+        return None;
+    }
+    let id = resume.unwrap_or_else(|| {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        format!(
+            "{}-{:x}-{t}-{}",
+            cfg.profile,
+            cfg.root_seed,
+            std::process::id()
+        )
+    });
+    let path = PathBuf::from(journal_dir).join(format!("{id}.journal"));
+    let meta = journal_meta(cfg, filter);
+    let rj = RunJournal::open(&path, &meta).unwrap_or_else(|e| die(&e.to_string()));
+    if rj.truncated() > 0 {
+        eprintln!(
+            "suite: journal {} had a torn tail; truncated {} byte(s)",
+            path.display(),
+            rj.truncated()
+        );
+    }
+    eprintln!(
+        "suite: journaling to {} ({} completed task(s) replayed; resume with --resume {id})",
+        path.display(),
+        rj.replayed().len()
+    );
+    Some(Mutex::new(rj))
+}
+
+/// Writes an artifact atomically; any failure (`ENOSPC` included) exits
+/// non-zero with the path and cause instead of leaving a torn file.
+fn write_artifact(path: &str, bytes: &[u8]) {
+    write_atomic(std::path::Path::new(path), bytes).unwrap_or_else(|e| die(&e.to_string()));
 }
 
 fn die(msg: &str) -> ! {

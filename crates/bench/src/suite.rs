@@ -13,9 +13,9 @@
 
 use crate::mean;
 use crate::tasks::{build_tasks, filter_tasks, pipelines, victim_names, TaskDef};
-use csd_telemetry::{Json, ToJson};
+use csd_telemetry::{Json, RunJournal, ToJson};
 use csd_workloads::specs;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Knobs for one suite invocation.
@@ -198,6 +198,195 @@ pub fn run_suite(cfg: &SuiteConfig) -> SuiteReport {
     let tasks = build_tasks(cfg);
     let values = run_tasks(&tasks, cfg.root_seed, cfg.jobs);
     assemble_report(cfg, values)
+}
+
+/// The journal meta document pinning a grid run's determinism domain:
+/// `(profile, root seed, filter)` are exactly the inputs the artifact
+/// bytes are a pure function of, so a journal opened under a different
+/// meta is a different run and must be refused. Scheduling knobs
+/// (`jobs`, worker count) are deliberately absent — they cannot change
+/// the bytes, so a run may crash under `--jobs 8` and resume under
+/// `--jobs 1`, or crash under `suite` and resume under `cluster`.
+pub fn journal_meta(cfg: &SuiteConfig, filter: Option<&str>) -> Json {
+    Json::obj([
+        ("kind", Json::from("suite-grid")),
+        ("profile", Json::from(cfg.profile)),
+        ("root_seed", Json::from(cfg.root_seed)),
+        ("filter", filter.map_or(Json::Null, Json::from)),
+    ])
+}
+
+/// Splits `tasks` against a resumed journal: returns one slot per task
+/// (`Some` for tasks whose result was replayed — label, seed, and
+/// digest verified — `None` for tasks still to run). The journal's meta
+/// frame was already matched by [`RunJournal::open`], so any replay
+/// mismatch here means the file was tampered with, not misused.
+///
+/// # Errors
+///
+/// A record naming an unknown label, the wrong seed, or unparseable
+/// result bytes — the journal cannot be trusted and the caller should
+/// delete it and rerun.
+pub fn replay_into_slots(
+    tasks: &[TaskDef],
+    root_seed: u64,
+    journal: &RunJournal,
+) -> Result<Vec<Option<Json>>, String> {
+    let mut slots: Vec<Option<Json>> = (0..tasks.len()).map(|_| None).collect();
+    for rec in journal.replayed() {
+        let Some(i) = tasks.iter().position(|t| t.label() == rec.label) else {
+            return Err(format!(
+                "journal {}: replayed task {:?} is not in this grid",
+                journal.path().display(),
+                rec.label
+            ));
+        };
+        let expected = tasks[i].seed(root_seed);
+        if rec.seed != expected {
+            return Err(format!(
+                "journal {}: task {:?} recorded seed {:#x} != expected {expected:#x}",
+                journal.path().display(),
+                rec.label,
+                rec.seed
+            ));
+        }
+        let text = std::str::from_utf8(&rec.bytes).map_err(|_| {
+            format!(
+                "journal {}: task {:?} result is not UTF-8",
+                journal.path().display(),
+                rec.label
+            )
+        })?;
+        let value = Json::parse(text).map_err(|e| {
+            format!(
+                "journal {}: task {:?} result is not JSON: {e}",
+                journal.path().display(),
+                rec.label
+            )
+        })?;
+        if let Some(prev) = &slots[i] {
+            if prev.dump() != value.dump() {
+                return Err(format!(
+                    "journal {}: task {:?} recorded twice with different results",
+                    journal.path().display(),
+                    rec.label
+                ));
+            }
+        }
+        slots[i] = Some(value);
+    }
+    Ok(slots)
+}
+
+/// [`run_tasks`] with a write-ahead journal: replayed tasks are skipped
+/// outright, every fresh completion is durably appended before it
+/// counts, and the returned values are byte-equivalent to an
+/// uninterrupted [`run_tasks`] — the resumed artifact `cmp`s clean.
+///
+/// # Errors
+///
+/// An untrustworthy journal (see [`replay_into_slots`]) or a journal
+/// append failure (`ENOSPC` and friends) — the durability contract is
+/// broken, so the run stops instead of continuing unjournaled.
+pub fn run_tasks_resumable(
+    tasks: &[TaskDef],
+    root_seed: u64,
+    jobs: usize,
+    journal: &Mutex<RunJournal>,
+) -> Result<Vec<Json>, String> {
+    let prefilled = {
+        let j = journal
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        replay_into_slots(tasks, root_seed, &j)?
+    };
+    let remaining: Vec<usize> = prefilled
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_none().then_some(i))
+        .collect();
+    let slots: Vec<Mutex<Option<Json>>> = prefilled.into_iter().map(Mutex::new).collect();
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let error: Mutex<Option<String>> = Mutex::new(None);
+    let workers = resolve_jobs(jobs).min(remaining.len().max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= remaining.len() || failed.load(Ordering::SeqCst) {
+                    break;
+                }
+                let i = remaining[k];
+                let t = &tasks[i];
+                let seed = t.seed(root_seed);
+                let out = t.run(seed);
+                // Journal before publishing: a completion the caller can
+                // observe is a completion a crash cannot lose.
+                let appended = journal
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .record(t.label(), seed, out.dump().as_bytes());
+                if let Err(e) = appended {
+                    failed.store(true, Ordering::SeqCst);
+                    error
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .get_or_insert_with(|| format!("journal append for {:?}: {e}", t.label()));
+                    break;
+                }
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+            });
+        }
+    });
+    if let Some(msg) = error
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+    {
+        return Err(msg);
+    }
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .ok_or_else(|| "worker exited without completing a claimed task".to_string())
+        })
+        .collect()
+}
+
+/// [`run_suite`] under a write-ahead journal (see
+/// [`run_tasks_resumable`]): byte-identical to the uninterrupted run.
+///
+/// # Errors
+///
+/// Journal replay or append failures.
+pub fn run_suite_resumable(
+    cfg: &SuiteConfig,
+    journal: &Mutex<RunJournal>,
+) -> Result<SuiteReport, String> {
+    let tasks = build_tasks(cfg);
+    let values = run_tasks_resumable(&tasks, cfg.root_seed, cfg.jobs, journal)?;
+    Ok(assemble_report(cfg, values))
+}
+
+/// [`run_filtered`] under a write-ahead journal: byte-identical to the
+/// uninterrupted filtered run.
+///
+/// # Errors
+///
+/// Journal replay or append failures.
+pub fn run_filtered_resumable(
+    cfg: &SuiteConfig,
+    filter: &str,
+    journal: &Mutex<RunJournal>,
+) -> Result<Json, String> {
+    let tasks = filter_tasks(cfg, filter);
+    let values = run_tasks_resumable(&tasks, cfg.root_seed, cfg.jobs, journal)?;
+    Ok(filtered_report(cfg, filter, values))
 }
 
 /// Assembles the full suite report from per-task result values in grid

@@ -6,6 +6,7 @@
 //!     [--quick] [--seed S] [--filter SUBSTR] [--out PATH] \
 //!     [--telemetry-out PATH] [--hedge-ms MS] [--window N] \
 //!     [--attempts N] [--task-timeout-ms MS] [--daemon-workers N] \
+//!     [--journal] [--resume ID] [--journal-dir DIR] \
 //!     [--spec JSON|@FILE]...
 //! ```
 //!
@@ -17,13 +18,23 @@
 //! `{"experiment": ...}` request, results returned in input order.
 //! Exits non-zero if the run fails or (full profile) a tolerance check
 //! is outside its band.
+//!
+//! Durability: `--journal` / `--resume ID` use the same write-ahead run
+//! journal as the single-node `suite` — a crashed cluster run can even
+//! be resumed by `suite --resume ID` (and vice versa), because the
+//! journal records `(label, seed, result)` and says nothing about who
+//! dispatched the work. On resume the coordinator re-probes worker
+//! health and dispatches only the tasks the journal is missing.
 
-use csd_bench::suite::SuiteConfig;
+use csd_bench::suite::{journal_meta, SuiteConfig};
 use csd_cluster::{
-    run_specs_distributed, run_suite_distributed, ClusterConfig, DistributedOutput, WorkerPool,
+    run_specs_distributed, run_suite_distributed_resumable, ClusterConfig, DistributedOutput,
+    WorkerPool,
 };
 use csd_exp::ExperimentSpec;
-use csd_telemetry::Json;
+use csd_telemetry::{write_atomic, Json, RunJournal};
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -37,6 +48,9 @@ fn main() {
     let mut specs: Vec<ExperimentSpec> = Vec::new();
     let mut cluster = ClusterConfig::default();
     let mut daemon_workers = 1usize;
+    let mut journal = false;
+    let mut resume: Option<String> = None;
+    let mut journal_dir = "runs".to_string();
 
     fn num(args: &mut impl Iterator<Item = String>, name: &str) -> u64 {
         args.next()
@@ -85,6 +99,18 @@ fn main() {
             "--daemon-workers" => {
                 daemon_workers = num(&mut args, "--daemon-workers").max(1) as usize
             }
+            "--journal" => journal = true,
+            "--resume" => {
+                resume = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--resume needs a run id")),
+                );
+            }
+            "--journal-dir" => {
+                journal_dir = args
+                    .next()
+                    .unwrap_or_else(|| die("--journal-dir needs a path"));
+            }
             "--spec" => {
                 let arg = args
                     .next()
@@ -97,6 +123,7 @@ fn main() {
                      \x20              [--filter SUBSTR] [--out PATH] [--telemetry-out PATH]\n\
                      \x20              [--hedge-ms MS] [--window N] [--attempts N]\n\
                      \x20              [--task-timeout-ms MS] [--daemon-workers N]\n\
+                     \x20              [--journal] [--resume ID] [--journal-dir DIR]\n\
                      \x20              [--spec JSON|@FILE]...\n\
                      Shards the suite grid across csd-serve workers and merges a report\n\
                      byte-identical to a single-node `suite` run (default out\n\
@@ -105,7 +132,12 @@ fn main() {
                      --hedge-ms duplicates stragglers onto a second worker (first result\n\
                      wins); 0 disables hedging. --spec switches to ad-hoc experiment-plan\n\
                      mode. --telemetry-out writes the cluster telemetry (per-worker and\n\
-                     fleet latency, retry/hedge/reassign counters) as JSON."
+                     fleet latency, retry/hedge/reassign counters) as JSON. --journal\n\
+                     write-ahead-journals each completed task under --journal-dir\n\
+                     (default runs/); --resume ID reopens runs/ID.journal, skips what it\n\
+                     already holds, and still writes a byte-identical report. The\n\
+                     journal is shared with `suite`, so either runner can resume the\n\
+                     other's crashed run."
                 );
                 return;
             }
@@ -116,6 +148,9 @@ fn main() {
     cluster.seed = seed;
     if !addrs.is_empty() && workers > 0 {
         die("--workers and --addrs are mutually exclusive");
+    }
+    if (journal || resume.is_some()) && !specs.is_empty() {
+        die("--journal/--resume apply to suite mode, not --spec mode");
     }
 
     let mut pool = if addrs.is_empty() {
@@ -150,7 +185,15 @@ fn main() {
                 .map(|f| format!(" filter={f:?}"))
                 .unwrap_or_default()
         );
-        run_suite_distributed(&pool, &cfg, filter.as_deref(), &cluster).map(|(out, telem)| {
+        let run_journal = open_journal(journal, resume, &journal_dir, &cfg, filter.as_deref());
+        run_suite_distributed_resumable(
+            &pool,
+            &cfg,
+            filter.as_deref(),
+            &cluster,
+            run_journal.as_ref(),
+        )
+        .map(|(out, telem)| {
             let checks = match &out {
                 DistributedOutput::Full(report) => Some(report.clone()),
                 DistributedOutput::Filtered(_) => None,
@@ -180,12 +223,12 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
 
-    std::fs::write(&out_path, &artifact)
-        .unwrap_or_else(|e| die(&format!("writing {out_path}: {e}")));
+    write_atomic(std::path::Path::new(&out_path), artifact.as_bytes())
+        .unwrap_or_else(|e| die(&e.to_string()));
     eprintln!("cluster: wrote {out_path}");
     if let Some(path) = telemetry_out {
-        std::fs::write(&path, telemetry.pretty())
-            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        write_atomic(std::path::Path::new(&path), telemetry.pretty().as_bytes())
+            .unwrap_or_else(|e| die(&e.to_string()));
         eprintln!("cluster: wrote {path}");
     }
 
@@ -210,6 +253,49 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// Opens (or creates) the run journal when journaling was requested —
+/// the same id scheme and meta pinning as the `suite` CLI, so journals
+/// are interchangeable between the two runners.
+fn open_journal(
+    journal: bool,
+    resume: Option<String>,
+    journal_dir: &str,
+    cfg: &SuiteConfig,
+    filter: Option<&str>,
+) -> Option<Mutex<RunJournal>> {
+    if !journal && resume.is_none() {
+        return None;
+    }
+    let id = resume.unwrap_or_else(|| {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        format!(
+            "{}-{:x}-{t}-{}",
+            cfg.profile,
+            cfg.root_seed,
+            std::process::id()
+        )
+    });
+    let path = PathBuf::from(journal_dir).join(format!("{id}.journal"));
+    let meta = journal_meta(cfg, filter);
+    let rj = RunJournal::open(&path, &meta).unwrap_or_else(|e| die(&e.to_string()));
+    if rj.truncated() > 0 {
+        eprintln!(
+            "cluster: journal {} had a torn tail; truncated {} byte(s)",
+            path.display(),
+            rj.truncated()
+        );
+    }
+    eprintln!(
+        "cluster: journaling to {} ({} completed task(s) replayed; resume with --resume {id})",
+        path.display(),
+        rj.replayed().len()
+    );
+    Some(Mutex::new(rj))
 }
 
 /// Parses one `--spec` argument: inline JSON, or `@path` to a file

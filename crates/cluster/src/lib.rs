@@ -34,12 +34,15 @@ pub mod sched;
 
 pub use merge::{task_result_from_doc, unit_for_task, verify_exact_labels};
 pub use pool::{WorkerPool, WorkerState};
-pub use sched::{run_units, Board, Claim, ClusterConfig, Completion, WorkUnit};
+pub use sched::{run_units, run_units_with, Board, Claim, ClusterConfig, Completion, WorkUnit};
 
-use csd_bench::suite::{assemble_report, filtered_report, SuiteConfig, SuiteReport};
+use csd_bench::suite::{
+    assemble_report, filtered_report, replay_into_slots, SuiteConfig, SuiteReport,
+};
 use csd_bench::tasks::{build_tasks, filter_tasks};
 use csd_exp::ExperimentSpec;
-use csd_telemetry::{Json, ToJson};
+use csd_telemetry::{Json, RunJournal, ToJson};
+use std::sync::Mutex;
 
 /// A cluster-level failure: every worker died, a task exhausted its
 /// failure budget, or a worker answered something that fails
@@ -86,6 +89,24 @@ pub fn run_suite_distributed(
     filter: Option<&str>,
     cluster: &ClusterConfig,
 ) -> Result<(DistributedOutput, Json), ClusterError> {
+    run_suite_distributed_resumable(pool, cfg, filter, cluster, None)
+}
+
+/// [`run_suite_distributed`] under an optional write-ahead journal:
+/// tasks already journaled are *not dispatched at all* (their replayed
+/// results merge straight into the artifact), and every fresh
+/// completion is durably journaled the moment its response is verified
+/// — before it counts toward the merge. The journal format is shared
+/// with the single-node `suite`, so a run can crash under one runner
+/// and resume under the other; either way the final artifact is
+/// byte-identical to an uninterrupted run.
+pub fn run_suite_distributed_resumable(
+    pool: &WorkerPool,
+    cfg: &SuiteConfig,
+    filter: Option<&str>,
+    cluster: &ClusterConfig,
+    journal: Option<&Mutex<RunJournal>>,
+) -> Result<(DistributedOutput, Json), ClusterError> {
     let tasks = match filter {
         Some(f) => {
             let tasks = filter_tasks(cfg, f);
@@ -97,18 +118,63 @@ pub fn run_suite_distributed(
         None => build_tasks(cfg),
     };
     verify_exact_labels(cfg, &tasks)?;
-    let units: Vec<WorkUnit> = tasks
+
+    // Replay the journal's completed prefix into grid-order slots.
+    let mut slots: Vec<Option<Json>> = match journal {
+        Some(j) => {
+            let guard = j.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            replay_into_slots(&tasks, cfg.root_seed, &guard).map_err(ClusterError)?
+        }
+        None => (0..tasks.len()).map(|_| None).collect(),
+    };
+    let pending: Vec<usize> = slots
         .iter()
-        .map(|t| unit_for_task(t.label(), cfg.profile, cfg.root_seed))
+        .enumerate()
+        .filter_map(|(i, s)| s.is_none().then_some(i))
         .collect();
-    let (bodies, telemetry) = run_units(pool, &units, cluster)?;
-    let mut values = Vec::with_capacity(bodies.len());
-    for (t, body) in tasks.iter().zip(&bodies) {
-        values.push(task_result_from_doc(
+    let units: Vec<WorkUnit> = pending
+        .iter()
+        .map(|&i| unit_for_task(tasks[i].label(), cfg.profile, cfg.root_seed))
+        .collect();
+
+    // On every winning response: verify it answers our question, then
+    // journal the extracted result bytes before the board records it.
+    let on_won = journal.map(|j| {
+        let tasks = &tasks;
+        let pending = &pending;
+        move |u: usize, body: &[u8]| -> Result<(), String> {
+            let t = &tasks[pending[u]];
+            let seed = t.seed(cfg.root_seed);
+            let result = task_result_from_doc(body, t.label(), seed).map_err(|e| e.0)?;
+            j.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .record(t.label(), seed, result.dump().as_bytes())
+                .map_err(|e| format!("journal append: {e}"))
+        }
+    });
+    let (bodies, mut telemetry) = run_units_with(
+        pool,
+        &units,
+        cluster,
+        on_won
+            .as_ref()
+            .map(|h| h as &(dyn Fn(usize, &[u8]) -> Result<(), String> + Sync)),
+    )?;
+    telemetry.push_member("replayed", Json::from((tasks.len() - pending.len()) as u64));
+
+    for (&i, body) in pending.iter().zip(&bodies) {
+        let t = &tasks[i];
+        slots[i] = Some(task_result_from_doc(
             body,
             t.label(),
             t.seed(cfg.root_seed),
         )?);
+    }
+    let mut values = Vec::with_capacity(tasks.len());
+    for (t, slot) in tasks.iter().zip(slots) {
+        values.push(slot.ok_or_else(|| {
+            ClusterError(format!("task {:?} has no result after the run", t.label()))
+        })?);
     }
     let output = match filter {
         Some(f) => DistributedOutput::Filtered(filtered_report(cfg, f, values)),

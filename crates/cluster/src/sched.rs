@@ -337,6 +337,13 @@ fn rewait_timeout<'a, T>(
     }
 }
 
+/// Per-completion hook: called with `(unit index, response body)` for
+/// every winning `200` before it is recorded on the board. The journal
+/// layer uses it to durably persist each completed unit the moment it
+/// lands; returning `Err` fails the run (the durability contract is
+/// broken, so finishing without it would be lying).
+pub type OnWon<'a> = dyn Fn(usize, &[u8]) -> Result<(), String> + Sync + 'a;
+
 struct Shared<'a> {
     board: Mutex<Board>,
     cv: Condvar,
@@ -344,6 +351,7 @@ struct Shared<'a> {
     units: &'a [WorkUnit],
     cfg: &'a ClusterConfig,
     counters: Counters,
+    on_won: Option<&'a OnWon<'a>>,
 }
 
 impl Shared<'_> {
@@ -432,6 +440,19 @@ impl Shared<'_> {
                         t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
                     );
                     worker.completed.fetch_add(1, Ordering::Relaxed);
+                    // Journal before the board lock: the fsync happens
+                    // outside the critical section, and a copy that turns
+                    // out to be a hedge duplicate journals identical bytes
+                    // (the replay layer tolerates exact duplicates).
+                    if let Some(hook) = self.on_won {
+                        if let Err(e) = hook(u, &r.body) {
+                            let mut board = relock(&self.board);
+                            board.fail(format!("unit {:?}: {e}", self.units[u].label));
+                            drop(board);
+                            self.cv.notify_all();
+                            break;
+                        }
+                    }
                     let mut board = relock(&self.board);
                     match board.complete(u, w, r.body) {
                         Completion::Won => {
@@ -596,6 +617,21 @@ pub fn run_units(
     units: &[WorkUnit],
     cfg: &ClusterConfig,
 ) -> Result<(Vec<Vec<u8>>, Json), ClusterError> {
+    run_units_with(pool, units, cfg, None)
+}
+
+/// [`run_units`] with an optional per-completion hook (see [`OnWon`]) —
+/// the seam the write-ahead journal plugs into.
+///
+/// # Errors
+///
+/// Everything [`run_units`] fails on, plus a hook failure.
+pub fn run_units_with(
+    pool: &WorkerPool,
+    units: &[WorkUnit],
+    cfg: &ClusterConfig,
+    on_won: Option<&OnWon<'_>>,
+) -> Result<(Vec<Vec<u8>>, Json), ClusterError> {
     if pool.is_empty() {
         return Err(ClusterError("worker pool is empty".to_string()));
     }
@@ -606,6 +642,7 @@ pub fn run_units(
         units,
         cfg,
         counters: Counters::default(),
+        on_won,
     };
     std::thread::scope(|s| {
         for w in 0..pool.len() {

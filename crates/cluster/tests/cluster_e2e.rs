@@ -5,14 +5,17 @@
 //! that stops accepting and resets its streams, which is what a
 //! `kill -9`'d daemon looks like from the coordinator's side).
 
-use csd_bench::suite::{run_filtered, run_suite, SuiteConfig};
-use csd_cluster::{run_suite_distributed, ClusterConfig, DistributedOutput, WorkerPool};
+use csd_bench::suite::{journal_meta, run_filtered, run_suite, run_suite_resumable, SuiteConfig};
+use csd_cluster::{
+    run_suite_distributed, run_suite_distributed_resumable, ClusterConfig, DistributedOutput,
+    WorkerPool,
+};
 use csd_serve::{Server, ServerConfig, ShutdownHandle};
-use csd_telemetry::Json;
+use csd_telemetry::{Journal, Json, RunJournal};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 const SEED: u64 = 0xC5D_2018;
@@ -106,6 +109,66 @@ fn hedged_filtered_run_is_byte_identical_to_cli_filter() {
         counter(&telemetry, "hedges") >= counter(&telemetry, "hedge_discards"),
         "at most one discard per hedge copy"
     );
+}
+
+#[test]
+fn cluster_resumes_a_single_node_journal() {
+    // The journal meta pins only (profile, seed, filter) — not who ran
+    // the tasks — so a run that "crashed" under the single-node suite
+    // resumes under the cluster. Journal the whole grid single-node,
+    // keep the first 40 records, and let two workers finish the rest.
+    let cfg = SuiteConfig::quick(SEED, 2);
+    let meta = journal_meta(&cfg, None);
+    let dir = std::env::temp_dir().join(format!("csd-cluster-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    let full = dir.join("full.journal");
+    let rj = RunJournal::open(&full, &meta).expect("create journal");
+    run_suite_resumable(&cfg, &Mutex::new(rj)).expect("single-node journaled run");
+    let frames = Journal::open(&full).expect("reopen journal").records;
+    let tasks = frames.len() - 1;
+
+    let cut = dir.join("cut.journal");
+    let keep = 40.min(tasks - 1);
+    let mut j = Journal::create(&cut).expect("create cut journal");
+    for rec in frames.iter().take(1 + keep) {
+        j.append(rec).expect("append prefix frame");
+    }
+    drop(j);
+
+    let rj = RunJournal::open(&cut, &meta).expect("reopen cut journal");
+    assert_eq!(rj.replayed().len(), keep);
+    let journal = Mutex::new(rj);
+    let pool = WorkerPool::spawn_local(2, 1).expect("spawn local daemons");
+    let (out, telemetry) = run_suite_distributed_resumable(
+        &pool,
+        &cfg,
+        None,
+        &ClusterConfig::default(),
+        Some(&journal),
+    )
+    .expect("distributed resume");
+    let DistributedOutput::Full(report) = out else {
+        panic!("full-grid run must produce the full report");
+    };
+    assert_eq!(
+        report.json.pretty(),
+        cli_bytes(),
+        "cluster resume of a suite journal must still be CLI bytes"
+    );
+    // Only the remainder was dispatched; the journal now holds it all.
+    assert_eq!(counter(&telemetry, "completed") as usize, tasks - keep);
+    assert_eq!(
+        telemetry.get("replayed").and_then(Json::as_u64),
+        Some(keep as u64)
+    );
+    assert_eq!(
+        Journal::open(&cut).expect("reopen").records.len(),
+        1 + tasks,
+        "no task journaled twice"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // ---------------------------------------------------------------------

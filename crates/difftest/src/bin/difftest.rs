@@ -17,7 +17,7 @@
 //! default) keeps the full matrix.
 
 use csd_difftest::{cosim, mode_matrix, shrink, Generator};
-use csd_telemetry::{derive_seed, Json};
+use csd_telemetry::{derive_seed, write_atomic, Json};
 
 fn die(msg: &str) -> ! {
     eprintln!("difftest: {msg}");
@@ -149,7 +149,8 @@ fn main() {
     let text = summary.pretty();
     match out_path {
         Some(p) => {
-            std::fs::write(&p, &text).unwrap_or_else(|e| die(&format!("writing {p}: {e}")));
+            write_atomic(std::path::Path::new(&p), text.as_bytes())
+                .unwrap_or_else(|e| die(&e.to_string()));
             eprintln!("difftest: wrote {p}");
         }
         None => println!("{text}"),

@@ -17,8 +17,8 @@
 //! error, `3` coverage regressed below the `--baseline` document.
 
 use csd_difftest::{fnv1a64, fuzz, load_corpus, FuzzConfig};
-use csd_telemetry::{Json, ToJson};
-use std::path::PathBuf;
+use csd_telemetry::{write_atomic, Json, ToJson};
+use std::path::{Path, PathBuf};
 
 fn die(msg: &str) -> ! {
     eprintln!("fuzz: {msg}");
@@ -168,12 +168,12 @@ fn main() {
     if let Some(p) = &coverage_out {
         let mut text = coverage_json.pretty();
         text.push('\n');
-        std::fs::write(p, text).unwrap_or_else(|e| die(&format!("writing {p}: {e}")));
+        write_atomic(Path::new(p), text.as_bytes()).unwrap_or_else(|e| die(&e.to_string()));
     }
     let text = summary.pretty();
     match &out_path {
         Some(p) => {
-            std::fs::write(p, &text).unwrap_or_else(|e| die(&format!("writing {p}: {e}")));
+            write_atomic(Path::new(p), text.as_bytes()).unwrap_or_else(|e| die(&e.to_string()));
             eprintln!("fuzz: wrote {p}");
         }
         None => println!("{text}"),

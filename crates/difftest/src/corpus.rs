@@ -21,7 +21,7 @@
 use crate::asm::parse_asm;
 use crate::generator::GenProgram;
 use crate::harness::{cosim, mode_matrix, ModeLeg};
-use csd_telemetry::{Json, ToJson};
+use csd_telemetry::{write_atomic, Json, ToJson};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -108,7 +108,11 @@ impl CorpusEntry {
         ])
     }
 
-    /// Writes the `.asm`/`.json` pair into `dir`.
+    /// Writes the `.asm`/`.json` pair into `dir`. Both files land via
+    /// temp-file + rename ([`csd_telemetry::write_atomic`]), so a crash
+    /// mid-save never leaves a half-written corpus entry — at worst the
+    /// pair is missing one file, which `load_corpus` reports rather than
+    /// silently mis-replays.
     ///
     /// # Errors
     ///
@@ -117,11 +121,11 @@ impl CorpusEntry {
         fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
         let asm_path = dir.join(format!("{}.asm", self.name));
         let asm = format!("# {}\n{}", self.origin, self.program.to_asm());
-        fs::write(&asm_path, asm).map_err(|e| format!("write {}: {e}", asm_path.display()))?;
+        write_atomic(&asm_path, asm.as_bytes()).map_err(|e| e.to_string())?;
         let json_path = dir.join(format!("{}.json", self.name));
         let mut text = self.metadata().pretty();
         text.push('\n');
-        fs::write(&json_path, text).map_err(|e| format!("write {}: {e}", json_path.display()))
+        write_atomic(&json_path, text.as_bytes()).map_err(|e| e.to_string())
     }
 
     /// Reassembles and cosimulates the entry, checking it still behaves

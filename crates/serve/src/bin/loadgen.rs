@@ -37,9 +37,10 @@
 use csd_exp::{ExperimentSpec, LegMode};
 use csd_serve::{Client, ClientResponse, RetryClient};
 use csd_telemetry::ToJson;
-use csd_telemetry::{derive_seed, Histogram, Json, SplitMix64};
+use csd_telemetry::{derive_seed, write_atomic, Histogram, Json, SplitMix64};
 use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -223,8 +224,9 @@ fn main() {
             ));
         }
         match out_path {
-            Some(path) => std::fs::write(&path, &resp.body)
-                .unwrap_or_else(|e| die(&format!("writing {path}: {e}"))),
+            Some(path) => {
+                write_atomic(Path::new(&path), &resp.body).unwrap_or_else(|e| die(&e.to_string()))
+            }
             None => std::io::stdout()
                 .write_all(&resp.body)
                 .unwrap_or_else(|e| die(&format!("writing stdout: {e}"))),
@@ -259,8 +261,9 @@ fn main() {
             resp.header("x-csd-warm").unwrap_or("?")
         );
         match out_path {
-            Some(path) => std::fs::write(&path, &resp.body)
-                .unwrap_or_else(|e| die(&format!("writing {path}: {e}"))),
+            Some(path) => {
+                write_atomic(Path::new(&path), &resp.body).unwrap_or_else(|e| die(&e.to_string()))
+            }
             None => std::io::stdout()
                 .write_all(&resp.body)
                 .unwrap_or_else(|e| die(&format!("writing stdout: {e}"))),
@@ -338,6 +341,7 @@ fn main() {
         pct(&latency, 99.0),
         latency.max(),
     );
+    let mut summary_write_failed = false;
     if let Some(path) = summary_out {
         // Everything the stderr/stdout lines say — plus the per-connection
         // recovery counters — as one parseable document, so chaos and
@@ -366,14 +370,28 @@ fn main() {
                 ),
             ),
         ]);
-        std::fs::write(&path, summary.pretty()).unwrap_or_else(|e| {
-            die(&format!("writing {path}: {e}"));
-        });
-        eprintln!("loadgen: wrote summary to {path}");
+        // A summary the CI can't read must not look like a pass: the
+        // write failure is reported, accounting finishes, and the exit
+        // code goes non-zero — instead of dying mid-run or logging the
+        // error and exiting 0.
+        match write_atomic(Path::new(&path), summary.pretty().as_bytes()) {
+            Ok(()) => eprintln!("loadgen: wrote summary to {path}"),
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                summary_write_failed = true;
+            }
+        }
     }
-    if errors > 0 {
-        std::process::exit(1);
+    let code = load_exit_code(errors, summary_write_failed);
+    if code != 0 {
+        std::process::exit(code);
     }
+}
+
+/// The exit code for a load run: request failures and a failed summary
+/// write both fail the run.
+fn load_exit_code(errors: u64, summary_write_failed: bool) -> i32 {
+    i32::from(errors > 0 || summary_write_failed)
 }
 
 /// Renders one percentile, or `-` for an empty histogram (a run where
@@ -839,4 +857,21 @@ fn simple(addr: &str, method: &str, target: &str, body: &str) -> String {
 fn die(msg: &str) -> ! {
     eprintln!("loadgen: {msg}");
     std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::load_exit_code;
+
+    #[test]
+    fn summary_write_failure_fails_the_run() {
+        assert_eq!(load_exit_code(0, false), 0);
+        assert_eq!(load_exit_code(3, false), 1);
+        assert_eq!(
+            load_exit_code(0, true),
+            1,
+            "unreadable summary must not pass"
+        );
+        assert_eq!(load_exit_code(3, true), 1);
+    }
 }

@@ -30,12 +30,17 @@
 //! - [`coverage`] — [`CoverageMap`], the fixed-shape structural coverage
 //!   counters behind coverage-guided differential fuzzing, and
 //!   [`CoverageSink`], the [`EventSink`] adapter that fills one.
+//! - [`journal`] — the durability layer: [`write_atomic`] (temp+rename
+//!   artifact writes with typed [`ArtifactError`]s) and the CRC-framed
+//!   write-ahead [`Journal`] / [`RunJournal`] behind crash-resumable
+//!   `suite --resume` / `cluster --resume` runs.
 
 #![warn(missing_docs)]
 
 pub mod coverage;
 pub mod events;
 pub mod hist;
+pub mod journal;
 pub mod json;
 pub mod rng;
 
@@ -45,5 +50,8 @@ pub use events::{
     SinkHandle, StealthWindowEvent, StoreEvent, UopCacheEvent, UopDecodeEvent,
 };
 pub use hist::Histogram;
+pub use journal::{
+    content_digest, crc32, write_atomic, ArtifactError, Journal, Recovered, RunJournal, TaskRecord,
+};
 pub use json::{Json, ParseError, ToJson};
 pub use rng::{derive_seed, SplitMix64};

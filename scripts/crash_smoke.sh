@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Crash-injection smoke for durable runs (the write-ahead run journal):
+#   1. a clean journaled suite run must equal the committed golden bytes,
+#   2. seeded kill points (CSD_CRASH_AT=n aborts the process mid-append,
+#      leaving a torn frame) — crash → resume loops must converge and the
+#      final artifact must be byte-identical to an uninterrupted run,
+#   3. an arbitrary byte-level truncation of a finished journal must
+#      resume cleanly (torn-tail recovery),
+#   4. the same journal must be interchangeable between `suite` and
+#      `cluster` (crash under one runner, finish under the other),
+#   5. cluster crash loops at 1 in-process worker and at 3 external
+#      daemons — the coordinator dies, the daemons survive, and resumes
+#      keep reusing them.
+set -euo pipefail
+
+BIN=target/release
+GOLDEN=crates/bench/tests/golden/quick_suite.json
+PORT_BASE="${CSD_CRASH_PORT_BASE:-8361}"
+RUNS=/tmp/csd-crash-runs
+LOG=/tmp/csd-crash-smoke.log
+rm -rf "$RUNS"
+mkdir -p "$RUNS"
+: >"$LOG"
+
+cleanup() {
+    for pid in "${P1:-}" "${P2:-}" "${P3:-}"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+        fi
+    done
+}
+trap cleanup EXIT
+
+# crash_loop N CMD... — run CMD with CSD_CRASH_AT=N until it exits 0.
+# Every non-final iteration aborts mid-append; the journal named inside
+# CMD (--resume) carries the progress across crashes. A loop that does
+# not converge within the cap is a durability bug (e.g. zero progress
+# per iteration), not bad luck: every iteration must bank at least one
+# task.
+crash_loop() {
+    local n=$1
+    shift
+    local tries=0
+    while true; do
+        tries=$((tries + 1))
+        if [[ $tries -gt 80 ]]; then
+            echo "crash smoke: kill point $n did not converge after 80 crashes" >&2
+            tail -20 "$LOG" >&2
+            exit 1
+        fi
+        if CSD_CRASH_AT=$n "$@" >>"$LOG" 2>&1; then
+            break
+        fi
+    done
+    echo "   kill point $n: converged after $tries run(s)"
+}
+
+echo "== clean journaled run must equal the golden bytes"
+"$BIN/suite" --quick --journal --journal-dir "$RUNS" --out /tmp/crash-clean.json >>"$LOG" 2>&1
+cmp /tmp/crash-clean.json "$GOLDEN"
+
+echo "== suite crash->resume loops at several kill points"
+# Tight kill point on a filtered subgrid: ~1 task survives per run.
+"$BIN/suite" --quick --filter attack/ --out /tmp/crash-filter-clean.json >>"$LOG" 2>&1
+crash_loop 2 "$BIN/suite" --quick --filter attack/ --resume crash-f2 \
+    --journal-dir "$RUNS" --out /tmp/crash-f2.json
+cmp /tmp/crash-f2.json /tmp/crash-filter-clean.json
+# Full grid against the committed golden bytes.
+for n in 7 19; do
+    crash_loop "$n" "$BIN/suite" --quick --resume "crash-s$n" \
+        --journal-dir "$RUNS" --out "/tmp/crash-s$n.json"
+    cmp "/tmp/crash-s$n.json" "$GOLDEN"
+done
+
+echo "== arbitrary truncation of a finished journal resumes cleanly"
+truncate -s -13 "$RUNS/crash-s7.journal"
+"$BIN/suite" --quick --resume crash-s7 --journal-dir "$RUNS" \
+    --out /tmp/crash-trunc.json >>"$LOG" 2>&1
+cmp /tmp/crash-trunc.json "$GOLDEN"
+
+echo "== crash under suite, finish under cluster (shared journal format)"
+CSD_CRASH_AT=9 "$BIN/suite" --quick --resume crash-x --journal-dir "$RUNS" \
+    --out /tmp/crash-x.json >>"$LOG" 2>&1 || true
+"$BIN/cluster" --workers 2 --quick --resume crash-x --journal-dir "$RUNS" \
+    --out /tmp/crash-x.json >>"$LOG" 2>&1
+cmp /tmp/crash-x.json "$GOLDEN"
+
+echo "== cluster crash->resume loop, 1 in-process worker"
+crash_loop 7 "$BIN/cluster" --workers 1 --quick --resume crash-c1 \
+    --journal-dir "$RUNS" --out /tmp/crash-c1.json
+cmp /tmp/crash-c1.json "$GOLDEN"
+
+echo "== boot 3 external csd-serve daemons"
+A1="127.0.0.1:${PORT_BASE}"
+A2="127.0.0.1:$((PORT_BASE + 1))"
+A3="127.0.0.1:$((PORT_BASE + 2))"
+"$BIN/csd-serve" --addr "$A1" --workers 1 --queue-cap 64 &
+P1=$!
+"$BIN/csd-serve" --addr "$A2" --workers 1 --queue-cap 64 &
+P2=$!
+"$BIN/csd-serve" --addr "$A3" --workers 1 --queue-cap 64 &
+P3=$!
+for addr in "$A1" "$A2" "$A3"; do
+    for _ in $(seq 1 100); do
+        if "$BIN/loadgen" --addr "$addr" --ping >/dev/null 2>&1; then
+            break
+        fi
+        sleep 0.1
+    done
+    "$BIN/loadgen" --addr "$addr" --ping >/dev/null
+done
+
+echo "== cluster crash->resume loop, 3 external workers (daemons survive)"
+crash_loop 11 "$BIN/cluster" --addrs "$A1,$A2,$A3" --quick --resume crash-c3 \
+    --journal-dir "$RUNS" --out /tmp/crash-c3.json
+cmp /tmp/crash-c3.json "$GOLDEN"
+for addr in "$A1" "$A2" "$A3"; do
+    "$BIN/loadgen" --addr "$addr" --ping >/dev/null
+done
+
+echo "== daemons drain gracefully and exit 0"
+"$BIN/loadgen" --addr "$A1" --shutdown >/dev/null
+"$BIN/loadgen" --addr "$A2" --shutdown >/dev/null
+"$BIN/loadgen" --addr "$A3" --shutdown >/dev/null
+wait "$P1"
+P1=""
+wait "$P2"
+P2=""
+wait "$P3"
+P3=""
+
+echo "crash smoke: OK"
